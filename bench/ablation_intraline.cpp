@@ -1,0 +1,39 @@
+// Ablation A3: how much of each scheme's saving comes from the
+// intra-line skip (paper Section 4.2, "a further modification, also used
+// in [12]") versus the way mechanism itself.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wp;
+  bench::printHeader(
+      "Ablation A3: intra-line tag-check skip contribution\n"
+      "32KB 32-way I-cache, 16KB way-placement area, suite average",
+      "the Section 4.2 design note");
+
+  bench::SuiteRunner suite;
+  const cache::CacheGeometry icache = bench::initialICache();
+
+  TextTable t;
+  t.header({"scheme", "intra-line skip", "I$ energy (avg)", "ED (avg)"});
+  for (const bool skip : {true, false}) {
+    for (const bool memo : {false, true}) {
+      driver::SchemeSpec s = memo ? driver::SchemeSpec::wayMemoization()
+                                  : driver::SchemeSpec::wayPlacement(16 * 1024);
+      s.intraline_skip = skip;
+      const double e = suite.averageNormalized(
+          icache, s,
+          [](const driver::Normalized& n) { return n.icache_energy; });
+      const double ed = suite.averageNormalized(
+          icache, s, [](const driver::Normalized& n) { return n.ed_product; });
+      t.row({memo ? "way-memoization" : "way-placement", skip ? "on" : "off",
+             fmtPct(e, 1), fmt(ed, 3)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nway-placement keeps most of its saving without the skip\n"
+               "(single-way search already removes W-1 of W tag checks);\n"
+               "way-memoization depends on it much more heavily.\n";
+  return 0;
+}

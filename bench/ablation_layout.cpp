@@ -1,0 +1,63 @@
+// Ablation A1: does heaviest-first chain ordering matter? Runs the
+// way-placement *hardware* with three code layouts: the paper's
+// heaviest-first chains, the original program order, and a random
+// shuffle. The hardware is identical; only placement quality changes
+// which pages the 4 KB way-placement area covers.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wp;
+  bench::printHeader(
+      "Ablation A1: layout policy under way-placement hardware\n"
+      "32KB 32-way I-cache, 1KB way-placement area, suite average",
+      "the design choice behind Section 3");
+
+  bench::SuiteRunner suite;
+  const cache::CacheGeometry icache = bench::initialICache();
+
+  // A 1KB area makes placement quality matter: the kernels with multi-KB
+  // hot regions (sha, blowfish, cjpeg, rijndael) only fit their hottest
+  // chains if the pass ranks them correctly. The intra-line skip hides
+  // most of a bad layout (same-line fetches never check tags anyway), so
+  // the sweep is run in both regimes.
+  const auto specFor = [](layout::Policy policy, bool skip) {
+    driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
+    s.layout = policy;
+    s.intraline_skip = skip;
+    return s;
+  };
+
+  TextTable t;
+  t.header({"layout", "intra-line skip", "I$ energy (avg)", "ED (avg)"});
+  double chained_e = 0.0, random_e = 0.0;
+  for (const bool skip : {true, false}) {
+    for (const layout::Policy policy :
+         {layout::Policy::kWayPlacement, layout::Policy::kOriginal,
+          layout::Policy::kRandom}) {
+      const driver::SchemeSpec spec = specFor(policy, skip);
+      const double e = suite.averageNormalized(
+          icache, spec,
+          [](const driver::Normalized& n) { return n.icache_energy; });
+      const double ed = suite.averageNormalized(
+          icache, spec,
+          [](const driver::Normalized& n) { return n.ed_product; });
+      t.row({layout::policyName(policy), skip ? "on" : "off", fmtPct(e, 1),
+             fmt(ed, 3)});
+      if (!skip && policy == layout::Policy::kWayPlacement) chained_e = e;
+      if (!skip && policy == layout::Policy::kRandom) random_e = e;
+    }
+    t.separator();
+  }
+  t.print(std::cout);
+
+  std::cout << "\nwith the skip disabled, every fetch depends on the way\n"
+               "mechanism, and heaviest-first chains beat a random layout\n"
+               "by " << fmtPct(random_e - chained_e, 1)
+            << " of I-cache energy at a 1KB area. With the skip on, "
+               "same-line\nfetches are free either way and placement only "
+               "governs the\nline-crossing residue (as in the paper's "
+               "Figure 5 sensitivity).\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "workloads/workload.hpp"
+
+namespace wp::bench {
+
+std::vector<std::string> selectedWorkloads() {
+  const char* env = std::getenv("WP_BENCH_WORKLOADS");
+  if (env == nullptr || *env == '\0') return workloads::suiteNames();
+  std::vector<std::string> names;
+  std::stringstream ss(env);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) names.push_back(item);
+  }
+  return names;
+}
+
+SuiteRunner::SuiteRunner() {
+  const auto names = selectedWorkloads();
+  std::cerr << "preparing " << names.size()
+            << " workloads (profile + layout)...\n";
+  for (const std::string& name : names) {
+    prepared_.push_back(runner_.prepare(name));
+  }
+}
+
+std::string SuiteRunner::keyOf(const std::string& workload,
+                               const cache::CacheGeometry& g,
+                               const driver::SchemeSpec& s) {
+  std::ostringstream os;
+  os << workload << '/' << g.size_bytes << '/' << g.ways << '/'
+     << g.line_bytes << '/' << static_cast<int>(s.scheme) << '/'
+     << s.wp_area_bytes << '/' << s.intraline_skip << '/'
+     << s.wm_precise_invalidation << '/' << s.drowsy_window << '/'
+     << static_cast<int>(s.layout);
+  return os.str();
+}
+
+const driver::RunResult& SuiteRunner::run(const driver::PreparedWorkload& p,
+                                          const cache::CacheGeometry& icache,
+                                          const driver::SchemeSpec& spec) {
+  const std::string key = keyOf(p.name, icache, spec);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(key, runner_.run(p, icache, spec)).first->second;
+}
+
+double SuiteRunner::averageNormalized(
+    const cache::CacheGeometry& icache, const driver::SchemeSpec& spec,
+    const std::function<double(const driver::Normalized&)>& metric) {
+  Accumulator acc;
+  for (const auto& p : prepared_) {
+    const driver::RunResult& base =
+        run(p, icache, driver::SchemeSpec::baseline());
+    const driver::RunResult& r = run(p, icache, spec);
+    acc.add(metric(driver::normalize(r, base)));
+  }
+  return acc.mean();
+}
+
+void printHeader(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref
+            << " of Jones et al., DATE 2008)\n"
+            << "==============================================================\n\n";
+}
+
+}  // namespace wp::bench

@@ -1,0 +1,61 @@
+// Shared harness for the figure/table benches: prepares the benchmark
+// suite once (profile on small input + way-placement layout) and runs
+// priced simulations for arbitrary (geometry, scheme) combinations.
+//
+// Environment knobs:
+//   WP_BENCH_WORKLOADS  comma-separated subset (default: all 23)
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace wp::bench {
+
+/// Workload names selected by WP_BENCH_WORKLOADS (default: full suite).
+[[nodiscard]] std::vector<std::string> selectedWorkloads();
+
+class SuiteRunner {
+ public:
+  SuiteRunner();
+
+  [[nodiscard]] const std::vector<driver::PreparedWorkload>& prepared() const {
+    return prepared_;
+  }
+  [[nodiscard]] const driver::Runner& runner() const { return runner_; }
+
+  /// Runs one scheme for one workload (results are memoized per
+  /// (workload, geometry, scheme-key) so baselines are shared).
+  const driver::RunResult& run(const driver::PreparedWorkload& p,
+                               const cache::CacheGeometry& icache,
+                               const driver::SchemeSpec& spec);
+
+  /// Average of `metric(normalize(scheme, baseline))` across the suite.
+  double averageNormalized(
+      const cache::CacheGeometry& icache, const driver::SchemeSpec& spec,
+      const std::function<double(const driver::Normalized&)>& metric);
+
+ private:
+  [[nodiscard]] static std::string keyOf(const std::string& workload,
+                                         const cache::CacheGeometry& g,
+                                         const driver::SchemeSpec& s);
+
+  driver::Runner runner_;
+  std::vector<driver::PreparedWorkload> prepared_;
+  std::map<std::string, driver::RunResult> cache_;
+};
+
+/// The paper's initial configuration: 32 KB, 32-way, 32 B lines.
+[[nodiscard]] inline cache::CacheGeometry initialICache() {
+  return {32 * 1024, 32, 32};
+}
+
+/// Prints a standard bench header naming the figure being regenerated.
+void printHeader(const std::string& title, const std::string& paper_ref);
+
+}  // namespace wp::bench

@@ -1,0 +1,59 @@
+// Extension E2: the paper's §4.2 claim that way-placement "could also
+// easily be applied to a standard RAM cache". The same simulations are
+// re-priced with the RAM-tag energy model, where a conventional access
+// reads every way's tag and data in parallel — so way-placement now
+// saves data-array energy as well as tag energy.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wp;
+  bench::printHeader(
+      "Extension E2: CAM-tag vs RAM-tag implementation\n"
+      "32KB 32-way I-cache, 16KB way-placement area, suite average",
+      "the Section 4.2 portability claim");
+
+  bench::SuiteRunner suite;
+  const cache::CacheGeometry icache = bench::initialICache();
+  const energy::EnergyModel& model = suite.runner().energyModel();
+  const driver::SchemeSpec wp = driver::SchemeSpec::wayPlacement(16 * 1024);
+  const driver::SchemeSpec wm = driver::SchemeSpec::wayMemoization();
+
+  Accumulator cam_wp, cam_wm, ram_wp, ram_wm;
+  for (const auto& p : suite.prepared()) {
+    const driver::RunResult& base =
+        suite.run(p, icache, driver::SchemeSpec::baseline());
+    const driver::RunResult& rwp = suite.run(p, icache, wp);
+    const driver::RunResult& rwm = suite.run(p, icache, wm);
+
+    cam_wp.add(rwp.energy.icacheTotal() / base.energy.icacheTotal());
+    cam_wm.add(rwm.energy.icacheTotal() / base.energy.icacheTotal());
+
+    const auto ramPrice = [&](const driver::RunResult& r) {
+      return model
+          .cacheEnergyRam(icache, r.stats.icache,
+                          r.stats.icache_data_area_factor,
+                          r.stats.link_flash_clears)
+          .total();
+    };
+    const double ram_base = ramPrice(base);
+    ram_wp.add(ramPrice(rwp) / ram_base);
+    ram_wm.add(ramPrice(rwm) / ram_base);
+  }
+
+  TextTable t;
+  t.header({"scheme", "CAM-tag I$ energy", "RAM-tag I$ energy"});
+  t.row({"way-memoization", fmtPct(cam_wm.mean(), 1), fmtPct(ram_wm.mean(), 1)});
+  t.row({"way-placement 16KB", fmtPct(cam_wp.mean(), 1),
+         fmtPct(ram_wp.mean(), 1)});
+  t.print(std::cout);
+
+  std::cout << "\non a RAM-tag cache a normal access reads all "
+            << icache.ways
+            << " data ways in parallel, so knowing the way saves "
+            << fmtPct(1.0 - ram_wp.mean(), 1)
+            << " of I-cache energy — way-placement ports as §4.2 claims,\n"
+               "with an even larger payoff than on the XScale's CAM.\n";
+  return 0;
+}

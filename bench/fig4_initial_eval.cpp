@@ -1,0 +1,62 @@
+// Figure 4: initial evaluation on the 32 KB 32-way I-cache with a 16 KB
+// way-placement area. Per benchmark and on average:
+//   (a) normalized instruction-cache energy (% of baseline), and
+//   (b) ED product,
+// for the way-memoization scheme and for way-placement.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wp;
+  bench::printHeader(
+      "Figure 4: per-benchmark I-cache energy and ED product\n"
+      "32KB 32-way I-cache, 16KB way-placement area",
+      "Figure 4 (a) and (b) and Section 6.1");
+
+  bench::SuiteRunner suite;
+  const cache::CacheGeometry icache = bench::initialICache();
+  const driver::SchemeSpec wm = driver::SchemeSpec::wayMemoization();
+  const driver::SchemeSpec wp = driver::SchemeSpec::wayPlacement(16 * 1024);
+
+  TextTable ta, tb;
+  ta.header({"benchmark", "way-memo I$ energy", "way-place I$ energy"});
+  tb.header({"benchmark", "way-memo ED", "way-place ED"});
+  Accumulator ewm, ewp, edwm, edwp;
+  int wp_ed_below_090 = 0;
+
+  for (const auto& p : suite.prepared()) {
+    const driver::RunResult& base =
+        suite.run(p, icache, driver::SchemeSpec::baseline());
+    const driver::Normalized nwm =
+        driver::normalize(suite.run(p, icache, wm), base);
+    const driver::Normalized nwp =
+        driver::normalize(suite.run(p, icache, wp), base);
+    ta.row({p.name, fmtPct(nwm.icache_energy, 1), fmtPct(nwp.icache_energy, 1)});
+    tb.row({p.name, fmt(nwm.ed_product, 3), fmt(nwp.ed_product, 3)});
+    ewm.add(nwm.icache_energy);
+    ewp.add(nwp.icache_energy);
+    edwm.add(nwm.ed_product);
+    edwp.add(nwp.ed_product);
+    if (nwp.ed_product < 0.90) ++wp_ed_below_090;
+  }
+  ta.separator();
+  ta.row({"average", fmtPct(ewm.mean(), 1), fmtPct(ewp.mean(), 1)});
+  tb.separator();
+  tb.row({"average", fmt(edwm.mean(), 3), fmt(edwp.mean(), 3)});
+
+  std::cout << "(a) normalized instruction cache energy\n";
+  ta.print(std::cout);
+  std::cout << "\n(b) ED product\n";
+  tb.print(std::cout);
+
+  std::cout << "\nSummary vs paper Section 6.1:\n"
+            << "  way-placement saves " << fmtPct(1.0 - ewp.mean(), 1)
+            << " of I-cache energy (paper: ~50%)\n"
+            << "  way-memoization saves " << fmtPct(1.0 - ewm.mean(), 1)
+            << " (paper: ~32%)\n"
+            << "  way-placement average ED " << fmt(edwp.mean(), 2)
+            << " (paper: 0.93), benchmarks below 0.9: " << wp_ed_below_090
+            << " (paper: 2)\n";
+  return 0;
+}

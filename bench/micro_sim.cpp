@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark) of the simulator's building
+// blocks: cache lookups, fetch-path schemes, functional execution,
+// chain formation and linking. These guard against performance
+// regressions in the substrate the figure benches run on.
+#include <benchmark/benchmark.h>
+
+#include "cache/fetch_path.hpp"
+#include "driver/runner.hpp"
+#include "layout/layout.hpp"
+#include "profile/profiler.hpp"
+#include "sim/processor.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace wp;
+
+void BM_CamCacheFullLookup(benchmark::State& state) {
+  cache::CamCache c(cache::CacheGeometry{32 * 1024, 32, 32});
+  c.fill(0x1000, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.lookup(0x1000, cache::LookupKind::kFull));
+  }
+}
+BENCHMARK(BM_CamCacheFullLookup);
+
+void BM_CamCacheSingleWayLookup(benchmark::State& state) {
+  cache::CamCache c(cache::CacheGeometry{32 * 1024, 32, 32});
+  c.fill(0x1000, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.lookup(0x1000, cache::LookupKind::kSingleWay));
+  }
+}
+BENCHMARK(BM_CamCacheSingleWayLookup);
+
+void BM_FetchPath(benchmark::State& state) {
+  cache::FetchPathConfig cfg;
+  cfg.icache = cache::CacheGeometry{32 * 1024, 32, 32};
+  cfg.scheme = static_cast<cache::Scheme>(state.range(0));
+  cfg.wp_area_bytes =
+      cfg.scheme == cache::Scheme::kWayPlacement ? 16 * 1024 : 0;
+  cache::FetchPath fp(cfg);
+  u32 pc = 0;
+  for (auto _ : state) {
+    fp.fetch(pc, cache::FetchFlow::kSequential);
+    pc = (pc + 4) & 0x3fff;
+  }
+}
+BENCHMARK(BM_FetchPath)
+    ->Arg(static_cast<int>(cache::Scheme::kBaseline))
+    ->Arg(static_cast<int>(cache::Scheme::kWayPlacement))
+    ->Arg(static_cast<int>(cache::Scheme::kWayMemoization));
+
+void BM_FunctionalExecution(benchmark::State& state) {
+  auto w = workloads::makeWorkload("crc");
+  const ir::Module module = w->build();
+  const mem::Image image =
+      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+  for (auto _ : state) {
+    mem::Memory memory;
+    image.loadInto(memory);
+    w->prepare(memory, workloads::InputSize::kSmall);
+    const auto res = profile::profileImage(image, memory);
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(res.instructions), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_FunctionalExecution)->Unit(benchmark::kMillisecond);
+
+void BM_FullProcessorSimulation(benchmark::State& state) {
+  auto w = workloads::makeWorkload("crc");
+  const ir::Module module = w->build();
+  const mem::Image image =
+      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+  const sim::MachineConfig machine = sim::baselineMachine();
+  for (auto _ : state) {
+    mem::Memory memory;
+    image.loadInto(memory);
+    w->prepare(memory, workloads::InputSize::kSmall);
+    sim::Processor proc(machine, image, memory);
+    const sim::RunStats stats = proc.run();
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(stats.instructions), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_FullProcessorSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_ChainFormationAndLink(benchmark::State& state) {
+  auto w = workloads::makeWorkload("rijndael_e");
+  ir::Module module = w->build();
+  for (ir::BasicBlock& b : module.blocks) b.exec_count = b.id * 7 + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        layout::linkWithPolicy(module, layout::Policy::kWayPlacement));
+  }
+}
+BENCHMARK(BM_ChainFormationAndLink)->Unit(benchmark::kMicrosecond);
+
+void BM_ModuleBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto w = workloads::makeWorkload("sha");
+    benchmark::DoNotOptimize(w->build());
+  }
+}
+BENCHMARK(BM_ModuleBuild)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Table 1: the baseline system configuration, printed from the actual
+// machine structures so the table can never drift from the simulator.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wp;
+  bench::printHeader("Table 1: Baseline system configuration", "Table 1");
+
+  driver::Runner runner;
+  const sim::MachineConfig m = runner.machineFor(
+      bench::initialICache(), driver::SchemeSpec::baseline());
+
+  const auto cacheDesc = [](const cache::CacheGeometry& g) {
+    return std::to_string(g.size_bytes / 1024) + "KB, " +
+           std::to_string(g.ways) + "-Way, " +
+           std::to_string(g.line_bytes) + "B Block";
+  };
+
+  TextTable t;
+  t.header({"Parameter", "Configuration"});
+  t.row({"Pipeline", "7/8 stages (in-order issue, scoreboard)"});
+  t.row({"Functional Units", "1 ALU, 1 MAC, 1 Load/Store"});
+  t.row({"Issue", "Single Issue, In-Order"});
+  t.row({"Commit", "Out-of-Order (Scoreboard)"});
+  t.row({"Memory Bus Width", "32 Bit"});
+  t.row({"Memory Latency",
+         std::to_string(m.fetch.mem_latency_cycles) + " Cycles"});
+  t.row({"I-TLB, D-TLB",
+         std::to_string(m.fetch.tlb_entries) + "-Entry Fully Associative"});
+  t.row({"I-Cache", cacheDesc(m.fetch.icache)});
+  t.row({"D-Cache", cacheDesc(m.dcache.geometry)});
+  t.row({"Branch Predictor",
+         std::to_string(m.timing.btb_entries) + "-Entry BTB, " +
+             std::to_string(m.timing.branch_mispredict_penalty) +
+             "-cycle mispredict"});
+  t.row({"Page Size", std::to_string(mem::kPageBytes) + " B"});
+  t.print(std::cout);
+  return 0;
+}

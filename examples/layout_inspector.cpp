@@ -1,0 +1,75 @@
+// Example: look inside the compiler pass. Shows the profile-annotated
+// chains of a benchmark, the heaviest-first placement, which chains land
+// inside a chosen way-placement area, and a disassembly excerpt of the
+// start of the binary.
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "driver/runner.hpp"
+#include "isa/isa.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wp;
+  const std::string name = argc > 1 ? argv[1] : "sha";
+  const u32 area = argc > 2 ? static_cast<u32>(std::stoul(argv[2]) * 1024)
+                            : 2 * 1024;
+
+  driver::Runner runner;
+  const driver::PreparedWorkload p = runner.prepare(name);
+
+  auto chains = layout::formChains(p.module);
+  std::stable_sort(chains.begin(), chains.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.weight > b.weight;
+                   });
+
+  std::cout << "workload '" << name << "': " << p.module.blocks.size()
+            << " blocks in " << chains.size() << " chains, code size "
+            << p.wayplaced.code.size() << " B, way-placement area " << area
+            << " B\n\n";
+
+  TextTable t;
+  t.header({"rank", "chain head", "blocks", "insts", "weight",
+            "placed at", "in WP area?"});
+  u32 addr = mem::kCodeBase;
+  for (std::size_t i = 0; i < chains.size() && i < 12; ++i) {
+    const auto& c = chains[i];
+    u32 insts = 0;
+    for (const u32 id : c.blocks) {
+      insts += static_cast<u32>(p.module.blocks[id].insts.size());
+    }
+    const u32 head_addr = p.wayplaced.block_addr.at(c.blocks.front());
+    t.row({std::to_string(i + 1), p.module.blocks[c.blocks.front()].label,
+           std::to_string(c.blocks.size()), std::to_string(insts),
+           std::to_string(c.weight), "0x" + fmt(head_addr, 0),
+           head_addr < area ? "yes" : "no"});
+    addr += insts * 4;
+  }
+  t.print(std::cout);
+
+  std::cout << "\nfirst instructions of the way-placed binary "
+               "(hottest chain first):\n";
+  for (u32 pc = 0; pc < 48 && pc < p.wayplaced.code.size(); pc += 4) {
+    u32 word = 0;
+    for (int b = 0; b < 4; ++b) {
+      word |= static_cast<u32>(p.wayplaced.code[pc + b]) << (8 * b);
+    }
+    std::cout << "  0x" << std::hex << std::setw(5) << std::setfill('0')
+              << pc << std::dec << "  " << isa::disassemble(isa::decode(word))
+              << '\n';
+  }
+
+  // How much of the dynamic profile does the area capture?
+  u64 covered = 0, total = 0;
+  for (const ir::BasicBlock& b : p.module.blocks) {
+    const u64 dyn = b.exec_count * b.insts.size();
+    total += dyn;
+    if (p.wayplaced.block_addr.at(b.id) < area) covered += dyn;
+  }
+  std::cout << "\nway-placement area covers "
+            << fmtPct(double(covered) / double(total ? total : 1), 1)
+            << " of profiled dynamic instructions\n";
+  return 0;
+}

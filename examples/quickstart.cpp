@@ -1,0 +1,53 @@
+// Quickstart: profile a benchmark, lay it out for way-placement, simulate
+// all three schemes on the XScale-like baseline machine, and print the
+// headline metrics — the 30-second tour of the library.
+#include <iostream>
+
+#include "driver/runner.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wp;
+  const std::string name = argc > 1 ? argv[1] : "crc";
+
+  driver::Runner runner;
+  std::cout << "preparing workload '" << name << "' (profile on small input, "
+            << "heaviest-first chain layout)...\n";
+  const driver::PreparedWorkload prepared = runner.prepare(name);
+  std::cout << "  profiled " << prepared.profile_instructions
+            << " instructions, " << prepared.module.blocks.size()
+            << " basic blocks, " << layout::formChains(prepared.module).size()
+            << " chains, code size " << prepared.original.code.size()
+            << " B\n\n";
+
+  const cache::CacheGeometry icache{32 * 1024, 32, 32};  // XScale I-cache
+  const driver::RunResult base =
+      runner.run(prepared, icache, driver::SchemeSpec::baseline());
+  const driver::RunResult wm =
+      runner.run(prepared, icache, driver::SchemeSpec::wayMemoization());
+  const driver::RunResult wp =
+      runner.run(prepared, icache, driver::SchemeSpec::wayPlacement(16 * 1024));
+
+  TextTable t;
+  t.header({"scheme", "insts", "cycles", "I$ hit%", "tag cmps", "I$ energy",
+            "ED product"});
+  const auto row = [&](const char* label, const driver::RunResult& r) {
+    const driver::Normalized n = driver::normalize(r, base);
+    t.row({label, std::to_string(r.stats.instructions),
+           std::to_string(r.stats.cycles),
+           fmtPct(static_cast<double>(r.stats.icache.hits) /
+                      static_cast<double>(r.stats.icache.accesses),
+                  2),
+           std::to_string(r.stats.icache.tag_compares),
+           fmtPct(n.icache_energy, 1), fmt(n.ed_product, 3)});
+  };
+  row("baseline", base);
+  row("way-memoization", wm);
+  row("way-placement 16K", wp);
+  t.print(std::cout);
+
+  const driver::Normalized n = driver::normalize(wp, base);
+  std::cout << "\nway-placement saves " << fmtPct(1.0 - n.icache_energy, 1)
+            << " of instruction-cache energy on '" << name << "'\n";
+  return 0;
+}

@@ -1,0 +1,347 @@
+#include "asmkit/builder.hpp"
+
+#include <algorithm>
+
+#include "support/ensure.hpp"
+
+namespace wp::asmkit {
+
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+ir::Inst plain(Opcode op, u8 rd = 0, u8 rn = 0, u8 rm = 0, i32 imm = 0) {
+  ir::Inst inst;
+  inst.raw = Instruction{op, rd, rn, rm, imm};
+  return inst;
+}
+
+Opcode branchOpcode(Cond c) {
+  switch (c) {
+    case Cond::kEq:  return Opcode::kBeq;
+    case Cond::kNe:  return Opcode::kBne;
+    case Cond::kLt:  return Opcode::kBlt;
+    case Cond::kGe:  return Opcode::kBge;
+    case Cond::kGt:  return Opcode::kBgt;
+    case Cond::kLe:  return Opcode::kBle;
+    case Cond::kLtu: return Opcode::kBltu;
+    case Cond::kGeu: return Opcode::kBgeu;
+  }
+  WP_UNREACHABLE("bad condition");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FunctionBuilder
+// ---------------------------------------------------------------------------
+
+FunctionBuilder::FunctionBuilder(std::string name) : name_(std::move(name)) {
+  blocks_.emplace_back();
+}
+
+FunctionBuilder::ProtoBlock& FunctionBuilder::current() {
+  return blocks_.back();
+}
+
+Label FunctionBuilder::label() {
+  const Label l{next_label_++};
+  label_block_.push_back(-1);
+  return l;
+}
+
+void FunctionBuilder::bind(Label l) {
+  WP_ENSURE(l.id < label_block_.size(), "bind of foreign label");
+  WP_ENSURE(label_block_[l.id] < 0, "label bound twice in " + name_);
+  // Start a new block unless the current one is still empty and unlabeled
+  // in a way that lets us reuse it.
+  ProtoBlock& cur = current();
+  if (!cur.insts.empty() || cur.ends_unconditionally) {
+    closeBlock(cur.ends_unconditionally);
+  }
+  label_block_[l.id] = static_cast<i32>(blocks_.size() - 1);
+  current().labels.push_back(l.id);
+}
+
+void FunctionBuilder::closeBlock(bool unconditional) {
+  current().ends_unconditionally = unconditional;
+  current().splits_after = !unconditional;
+  after_unconditional_ = unconditional;
+  blocks_.emplace_back();
+}
+
+void FunctionBuilder::emit(ir::Inst inst) {
+  ProtoBlock& cur = current();
+  // Instructions directly after an unconditional transfer, with no label
+  // in between, can never execute — reject them as authoring bugs.
+  WP_ENSURE(!(after_unconditional_ && cur.insts.empty() &&
+              cur.labels.empty()),
+            "unreachable code after unconditional transfer in " + name_);
+  cur.insts.push_back(std::move(inst));
+  const Opcode op = cur.insts.back().raw.op;
+  if (op == Opcode::kB || op == Opcode::kJr || op == Opcode::kHalt) {
+    closeBlock(/*unconditional=*/true);
+  } else if (isa::isConditionalBranch(op) || op == Opcode::kBl) {
+    closeBlock(/*unconditional=*/false);
+  }
+}
+
+void FunctionBuilder::add(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kAdd, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::sub(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kSub, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::rsb(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kRsb, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::and_(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kAnd, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::orr(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kOrr, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::eor(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kEor, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::lsl(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kLsl, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::lsr(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kLsr, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::asr(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kAsr, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::mul(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kMul, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::mla(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kMla, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::mov(Reg rd, Reg rm) { emit(plain(Opcode::kMov, rd.index, 0, rm.index)); }
+void FunctionBuilder::mvn(Reg rd, Reg rm) { emit(plain(Opcode::kMvn, rd.index, 0, rm.index)); }
+void FunctionBuilder::slt(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kSlt, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::sltu(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kSltu, rd.index, rn.index, rm.index)); }
+
+void FunctionBuilder::addi(Reg rd, Reg rn, i32 imm) { emit(plain(Opcode::kAddi, rd.index, rn.index, 0, imm)); }
+void FunctionBuilder::subi(Reg rd, Reg rn, i32 imm) { emit(plain(Opcode::kSubi, rd.index, rn.index, 0, imm)); }
+void FunctionBuilder::andi(Reg rd, Reg rn, u32 imm) { emit(plain(Opcode::kAndi, rd.index, rn.index, 0, static_cast<i32>(imm))); }
+void FunctionBuilder::orri(Reg rd, Reg rn, u32 imm) { emit(plain(Opcode::kOrri, rd.index, rn.index, 0, static_cast<i32>(imm))); }
+void FunctionBuilder::eori(Reg rd, Reg rn, u32 imm) { emit(plain(Opcode::kEori, rd.index, rn.index, 0, static_cast<i32>(imm))); }
+void FunctionBuilder::lsli(Reg rd, Reg rn, u32 sh) { emit(plain(Opcode::kLsli, rd.index, rn.index, 0, static_cast<i32>(sh))); }
+void FunctionBuilder::lsri(Reg rd, Reg rn, u32 sh) { emit(plain(Opcode::kLsri, rd.index, rn.index, 0, static_cast<i32>(sh))); }
+void FunctionBuilder::asri(Reg rd, Reg rn, u32 sh) { emit(plain(Opcode::kAsri, rd.index, rn.index, 0, static_cast<i32>(sh))); }
+void FunctionBuilder::muli(Reg rd, Reg rn, i32 imm) { emit(plain(Opcode::kMuli, rd.index, rn.index, 0, imm)); }
+void FunctionBuilder::movi(Reg rd, i32 imm) { emit(plain(Opcode::kMovi, rd.index, 0, 0, imm)); }
+
+void FunctionBuilder::movi32(Reg rd, u32 value) {
+  const i32 as_signed = static_cast<i32>(value);
+  if (as_signed >= -32768 && as_signed <= 32767) {
+    movi(rd, as_signed);
+    return;
+  }
+  movi(rd, static_cast<i32>(value & 0xffffu));
+  emit(plain(Opcode::kMovhi, rd.index, 0, 0,
+             static_cast<i32>((value >> 16) & 0xffffu)));
+}
+
+void FunctionBuilder::la(Reg rd, const std::string& name, i32 addend) {
+  ir::Inst lo = plain(Opcode::kMovi, rd.index);
+  lo.reloc = ir::Reloc::kDataLo;
+  lo.data_symbol = name;
+  lo.data_addend = addend;
+  emit(std::move(lo));
+  ir::Inst hi = plain(Opcode::kMovhi, rd.index);
+  hi.reloc = ir::Reloc::kDataHi;
+  hi.data_symbol = name;
+  hi.data_addend = addend;
+  emit(std::move(hi));
+}
+
+void FunctionBuilder::ldr(Reg rd, Reg rn, i32 offset) { emit(plain(Opcode::kLdr, rd.index, rn.index, 0, offset)); }
+void FunctionBuilder::str(Reg rd, Reg rn, i32 offset) { emit(plain(Opcode::kStr, rd.index, rn.index, 0, offset)); }
+void FunctionBuilder::ldrb(Reg rd, Reg rn, i32 offset) { emit(plain(Opcode::kLdrb, rd.index, rn.index, 0, offset)); }
+void FunctionBuilder::strb(Reg rd, Reg rn, i32 offset) { emit(plain(Opcode::kStrb, rd.index, rn.index, 0, offset)); }
+void FunctionBuilder::ldrx(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kLdrx, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::strx(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kStrx, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::ldrbx(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kLdrbx, rd.index, rn.index, rm.index)); }
+void FunctionBuilder::strbx(Reg rd, Reg rn, Reg rm) { emit(plain(Opcode::kStrbx, rd.index, rn.index, rm.index)); }
+
+void FunctionBuilder::cmp(Reg rn, Reg rm) { emit(plain(Opcode::kCmp, 0, rn.index, rm.index)); }
+void FunctionBuilder::cmpi(Reg rn, i32 imm) { emit(plain(Opcode::kCmpi, 0, rn.index, 0, imm)); }
+
+void FunctionBuilder::br(Cond c, Label target) {
+  WP_ENSURE(target.id < label_block_.size(), "branch to foreign label");
+  ir::Inst inst = plain(branchOpcode(c));
+  inst.reloc = ir::Reloc::kBlockBranch;
+  inst.target_block = target.id;  // label id; resolved in build()
+  emit(std::move(inst));
+}
+
+void FunctionBuilder::cmpBr(Reg a, Reg b, Cond c, Label t) {
+  cmp(a, b);
+  br(c, t);
+}
+
+void FunctionBuilder::cmpiBr(Reg a, i32 imm, Cond c, Label t) {
+  cmpi(a, imm);
+  br(c, t);
+}
+
+void FunctionBuilder::jmp(Label target) {
+  WP_ENSURE(target.id < label_block_.size(), "jump to foreign label");
+  ir::Inst inst = plain(Opcode::kB);
+  inst.reloc = ir::Reloc::kBlockBranch;
+  inst.target_block = target.id;
+  emit(std::move(inst));
+}
+
+void FunctionBuilder::call(const std::string& function) {
+  ir::Inst inst = plain(Opcode::kBl);
+  inst.reloc = ir::Reloc::kFuncCall;
+  inst.target_func = function;
+  emit(std::move(inst));
+}
+
+void FunctionBuilder::jr(Reg rn) { emit(plain(Opcode::kJr, 0, rn.index)); }
+void FunctionBuilder::ret() { jr(Reg{isa::kLinkReg}); }
+void FunctionBuilder::halt() { emit(plain(Opcode::kHalt)); }
+void FunctionBuilder::nop() { emit(plain(Opcode::kNop)); }
+
+void FunctionBuilder::push(std::initializer_list<Reg> regs) {
+  WP_ENSURE(regs.size() > 0, "empty push");
+  subi(sp, sp, static_cast<i32>(regs.size() * 4));
+  i32 offset = 0;
+  for (const Reg r : regs) {
+    str(r, sp, offset);
+    offset += 4;
+  }
+}
+
+void FunctionBuilder::pop(std::initializer_list<Reg> regs) {
+  WP_ENSURE(regs.size() > 0, "empty pop");
+  i32 offset = 0;
+  for (const Reg r : regs) {
+    ldr(r, sp, offset);
+    offset += 4;
+  }
+  addi(sp, sp, static_cast<i32>(regs.size() * 4));
+}
+
+void FunctionBuilder::prologue(std::initializer_list<Reg> callee_saved) {
+  subi(sp, sp, static_cast<i32>((callee_saved.size() + 1) * 4));
+  str(Reg{isa::kLinkReg}, sp, 0);
+  i32 offset = 4;
+  for (const Reg r : callee_saved) {
+    str(r, sp, offset);
+    offset += 4;
+  }
+}
+
+void FunctionBuilder::epilogue(std::initializer_list<Reg> callee_saved) {
+  ldr(Reg{isa::kLinkReg}, sp, 0);
+  i32 offset = 4;
+  for (const Reg r : callee_saved) {
+    ldr(r, sp, offset);
+    offset += 4;
+  }
+  addi(sp, sp, static_cast<i32>((callee_saved.size() + 1) * 4));
+  ret();
+}
+
+// ---------------------------------------------------------------------------
+// ModuleBuilder
+// ---------------------------------------------------------------------------
+
+ModuleBuilder::ModuleBuilder() = default;
+
+FunctionBuilder& ModuleBuilder::func(const std::string& name) {
+  const auto it = func_index_.find(name);
+  if (it != func_index_.end()) return *funcs_[it->second];
+  func_index_[name] = funcs_.size();
+  funcs_.push_back(std::unique_ptr<FunctionBuilder>(new FunctionBuilder(name)));
+  return *funcs_.back();
+}
+
+u32 ModuleBuilder::data(const std::string& name, std::span<const u8> init,
+                        u32 align) {
+  WP_ENSURE(isPow2(align), "alignment must be a power of two");
+  const u32 offset = static_cast<u32>(alignUp(data_.size(), align));
+  data_.resize(offset);
+  data_.insert(data_.end(), init.begin(), init.end());
+  symbols_.push_back({name, offset, static_cast<u32>(init.size())});
+  return offset;
+}
+
+u32 ModuleBuilder::dataWords(const std::string& name,
+                             std::span<const u32> words) {
+  std::vector<u8> bytes;
+  bytes.reserve(words.size() * 4);
+  for (const u32 w : words) {
+    bytes.push_back(static_cast<u8>(w));
+    bytes.push_back(static_cast<u8>(w >> 8));
+    bytes.push_back(static_cast<u8>(w >> 16));
+    bytes.push_back(static_cast<u8>(w >> 24));
+  }
+  return data(name, bytes, 4);
+}
+
+u32 ModuleBuilder::bss(const std::string& name, u32 size, u32 align) {
+  const std::vector<u8> zeros(size, 0);
+  return data(name, zeros, align);
+}
+
+ir::Module ModuleBuilder::build(const std::string& entry) {
+  // Synthesize the entry stub.
+  FunctionBuilder& start = func("_start");
+  start.call(entry);
+  start.halt();
+
+  ir::Module m;
+  m.data_symbols = symbols_;
+  m.data_init = data_;
+  m.entry_function = "_start";
+
+  for (const auto& fb : funcs_) {
+    ir::Function f;
+    f.name = fb->name_;
+
+    // Map proto blocks to global ids, dropping a trailing empty block
+    // left open by the final unconditional transfer.
+    std::vector<i32> proto_to_global(fb->blocks_.size(), -1);
+    for (std::size_t p = 0; p < fb->blocks_.size(); ++p) {
+      const auto& proto = fb->blocks_[p];
+      const bool is_trailing_empty = p + 1 == fb->blocks_.size() &&
+                                     proto.insts.empty() &&
+                                     proto.labels.empty();
+      if (is_trailing_empty) continue;
+      proto_to_global[p] = static_cast<i32>(m.blocks.size() + f.block_ids.size());
+      f.block_ids.push_back(static_cast<u32>(proto_to_global[p]));
+    }
+
+    // Label id -> global block id.
+    std::vector<i32> label_to_global(fb->label_block_.size(), -1);
+    for (std::size_t lbl = 0; lbl < fb->label_block_.size(); ++lbl) {
+      const i32 proto = fb->label_block_[lbl];
+      WP_ENSURE(proto >= 0, "label created but never bound in " + f.name);
+      WP_ENSURE(proto_to_global[proto] >= 0,
+                "label bound to removed block in " + f.name);
+      label_to_global[lbl] = proto_to_global[proto];
+    }
+
+    for (std::size_t p = 0; p < fb->blocks_.size(); ++p) {
+      if (proto_to_global[p] < 0) continue;
+      const auto& proto = fb->blocks_[p];
+      ir::BasicBlock b;
+      b.id = static_cast<u32>(proto_to_global[p]);
+      b.label = f.name + ".bb" + std::to_string(p);
+      b.insts = proto.insts;
+      for (ir::Inst& inst : b.insts) {
+        if (inst.reloc == ir::Reloc::kBlockBranch) {
+          inst.target_block = static_cast<u32>(label_to_global[inst.target_block]);
+        }
+      }
+      if (!proto.ends_unconditionally) {
+        // Falls through to the next surviving proto block.
+        i32 next = -1;
+        for (std::size_t q = p + 1; q < fb->blocks_.size(); ++q) {
+          if (proto_to_global[q] >= 0) {
+            next = proto_to_global[q];
+            break;
+          }
+        }
+        WP_ENSURE(next >= 0, "function " + f.name +
+                                 " can fall off its final block; end it "
+                                 "with ret()/halt()/jmp()");
+        b.fallthrough = static_cast<u32>(next);
+      }
+      m.blocks.push_back(std::move(b));
+    }
+    m.functions.push_back(std::move(f));
+  }
+
+  m.validate();
+  return m;
+}
+
+}  // namespace wp::asmkit

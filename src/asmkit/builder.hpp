@@ -1,0 +1,173 @@
+// asmkit: a structured assembler for building WRISC-32 IR modules.
+//
+// Workloads are authored against this builder the way MiBench programs
+// are authored in C: functions, labels, loops, calls, and named data
+// buffers. The builder performs basic-block formation (splitting at
+// labels, branches and calls) and produces an ir::Module the layout
+// passes and linker consume.
+//
+// Register convention (software only — the hardware is uniform):
+//   r0..r3   arguments / return value / caller-saved scratch
+//   r4..r11  callee-saved
+//   r12      scratch
+//   r13 (sp) stack pointer, full-descending
+//   r14 (lr) link register
+//   r15      scratch (clobbered by prologue/epilogue helpers)
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace wp::asmkit {
+
+/// Strongly-typed register operand.
+struct Reg {
+  u8 index = 0;
+};
+
+inline constexpr Reg r0{0}, r1{1}, r2{2}, r3{3}, r4{4}, r5{5}, r6{6}, r7{7},
+    r8{8}, r9{9}, r10{10}, r11{11}, r12{12}, sp{13}, lr{14}, r15{15};
+
+enum class Cond : u8 { kEq, kNe, kLt, kGe, kGt, kLe, kLtu, kGeu };
+
+/// Function-local branch target. Create with FunctionBuilder::label(),
+/// attach with bind().
+struct Label {
+  u32 id = 0;
+};
+
+class ModuleBuilder;
+
+class FunctionBuilder {
+ public:
+  /// Creates a fresh, unbound label.
+  [[nodiscard]] Label label();
+
+  /// Binds @p l to the next emitted instruction (starts a basic block).
+  void bind(Label l);
+
+  // --- R-type ALU -------------------------------------------------------
+  void add(Reg rd, Reg rn, Reg rm);
+  void sub(Reg rd, Reg rn, Reg rm);
+  void rsb(Reg rd, Reg rn, Reg rm);
+  void and_(Reg rd, Reg rn, Reg rm);
+  void orr(Reg rd, Reg rn, Reg rm);
+  void eor(Reg rd, Reg rn, Reg rm);
+  void lsl(Reg rd, Reg rn, Reg rm);
+  void lsr(Reg rd, Reg rn, Reg rm);
+  void asr(Reg rd, Reg rn, Reg rm);
+  void mul(Reg rd, Reg rn, Reg rm);
+  void mla(Reg rd, Reg rn, Reg rm);  ///< rd += rn * rm
+  void mov(Reg rd, Reg rm);
+  void mvn(Reg rd, Reg rm);
+  void slt(Reg rd, Reg rn, Reg rm);
+  void sltu(Reg rd, Reg rn, Reg rm);
+
+  // --- I-type ALU -------------------------------------------------------
+  void addi(Reg rd, Reg rn, i32 imm);
+  void subi(Reg rd, Reg rn, i32 imm);
+  void andi(Reg rd, Reg rn, u32 imm);
+  void orri(Reg rd, Reg rn, u32 imm);
+  void eori(Reg rd, Reg rn, u32 imm);
+  void lsli(Reg rd, Reg rn, u32 sh);
+  void lsri(Reg rd, Reg rn, u32 sh);
+  void asri(Reg rd, Reg rn, u32 sh);
+  void muli(Reg rd, Reg rn, i32 imm);
+  void movi(Reg rd, i32 imm);
+
+  /// Loads an arbitrary 32-bit constant (1 or 2 instructions).
+  void movi32(Reg rd, u32 value);
+
+  /// Loads the address of data symbol @p name (+ @p addend bytes).
+  void la(Reg rd, const std::string& name, i32 addend = 0);
+
+  // --- memory -----------------------------------------------------------
+  void ldr(Reg rd, Reg rn, i32 offset = 0);
+  void str(Reg rd, Reg rn, i32 offset = 0);
+  void ldrb(Reg rd, Reg rn, i32 offset = 0);
+  void strb(Reg rd, Reg rn, i32 offset = 0);
+  void ldrx(Reg rd, Reg rn, Reg rm);
+  void strx(Reg rd, Reg rn, Reg rm);
+  void ldrbx(Reg rd, Reg rn, Reg rm);
+  void strbx(Reg rd, Reg rn, Reg rm);
+
+  // --- compare & control ------------------------------------------------
+  void cmp(Reg rn, Reg rm);
+  void cmpi(Reg rn, i32 imm);
+  void br(Cond c, Label target);               ///< branch on current flags
+  void cmpBr(Reg a, Reg b, Cond c, Label t);   ///< cmp + branch
+  void cmpiBr(Reg a, i32 imm, Cond c, Label t);
+  void jmp(Label target);
+  void call(const std::string& function);
+  void jr(Reg rn);
+  void ret();
+  void halt();
+  void nop();
+
+  // --- stack helpers ----------------------------------------------------
+  void push(std::initializer_list<Reg> regs);
+  void pop(std::initializer_list<Reg> regs);  ///< reverse order of push
+
+  /// Saves lr plus @p callee_saved; pair with epilogue().
+  void prologue(std::initializer_list<Reg> callee_saved = {});
+
+  /// Restores what prologue() saved and returns.
+  void epilogue(std::initializer_list<Reg> callee_saved = {});
+
+ private:
+  friend class ModuleBuilder;
+  explicit FunctionBuilder(std::string name);
+
+  struct ProtoBlock {
+    std::vector<ir::Inst> insts;
+    std::vector<u32> labels;       ///< labels bound at this block's start
+    bool ends_unconditionally = false;
+    bool splits_after = false;     ///< cond-branch/call: next block follows
+  };
+
+  void emit(ir::Inst inst);
+  void closeBlock(bool unconditional);
+  ProtoBlock& current();
+
+  std::string name_;
+  std::vector<ProtoBlock> blocks_;
+  bool after_unconditional_ = false;
+  u32 next_label_ = 0;
+  std::vector<i32> label_block_;  ///< label id -> proto block index (-1 unbound)
+  std::vector<Label> pending_labels_;
+};
+
+class ModuleBuilder {
+ public:
+  ModuleBuilder();
+
+  /// Starts (or continues) a function definition.
+  FunctionBuilder& func(const std::string& name);
+
+  /// Defines an initialized data symbol; returns its segment offset.
+  u32 data(const std::string& name, std::span<const u8> init, u32 align = 4);
+
+  /// Defines an initialized array of 32-bit words (little-endian).
+  u32 dataWords(const std::string& name, std::span<const u32> words);
+
+  /// Defines a zero-initialized symbol of @p size bytes.
+  u32 bss(const std::string& name, u32 size, u32 align = 4);
+
+  /// Finalizes the module. Adds a `_start` function that calls
+  /// @p entry and halts. Validates the result.
+  [[nodiscard]] ir::Module build(const std::string& entry = "main");
+
+ private:
+  std::vector<std::unique_ptr<FunctionBuilder>> funcs_;
+  std::map<std::string, std::size_t> func_index_;
+  std::vector<ir::DataSymbol> symbols_;
+  std::vector<u8> data_;
+};
+
+}  // namespace wp::asmkit

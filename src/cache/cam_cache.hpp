@@ -1,0 +1,123 @@
+// CAM-tag set-associative cache model (XScale-style).
+//
+// Each set is a fully-associative CAM sub-bank holding all its ways
+// (Zhang et al., "Highly-associative caches for low-power processors").
+// A *full* lookup precharges one match line per way and broadcasts the
+// tag to all W comparators. A *single-way* lookup (way-placement access)
+// precharges and compares exactly one way. A *no-tag* lookup (intra-line
+// or link-directed access) touches the data array only.
+//
+// Replacement is round-robin per set, as in the XScale. Way-placed fills
+// bypass round-robin and go to the way named by the address tag's low
+// bits, so a later single-way lookup is guaranteed to find the line if it
+// is resident at all.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "cache/stats.hpp"
+
+namespace wp::cache {
+
+enum class LookupKind : u8 {
+  kFull,       ///< search every way of the set
+  kSingleWay,  ///< search only the way named by the address tag bits
+  kNoTag,      ///< no search; caller asserts the line is resident
+};
+
+struct LookupResult {
+  bool hit = false;
+  u32 way = 0;
+};
+
+/// Identifies a resident line (used for eviction notifications).
+struct LineId {
+  u32 set = 0;
+  u32 way = 0;
+  friend bool operator==(const LineId&, const LineId&) = default;
+};
+
+class CamCache {
+ public:
+  explicit CamCache(const CacheGeometry& geometry);
+
+  [[nodiscard]] const CacheGeometry& geometry() const { return geom_; }
+
+  /// Performs a lookup, counting tag/data activity. For kSingleWay the
+  /// searched way is geometry().wayPlacedWayOf(addr). For kNoTag the line
+  /// must be resident (checked; a violation is a model bug).
+  LookupResult lookup(u32 addr, LookupKind kind);
+
+  /// Searches exactly one caller-chosen way (way prediction, Inoue et
+  /// al. [6]): one match-line precharge, one comparison.
+  LookupResult lookupOneWay(u32 addr, u32 way);
+
+  /// Searches every way except @p excluded_way (the second access of a
+  /// mispredicted way-predicted fetch): W-1 precharges and comparisons.
+  LookupResult lookupAllButOne(u32 addr, u32 excluded_way);
+
+  /// Side-effect-free residency probe (no counters touched).
+  [[nodiscard]] std::optional<u32> probe(u32 addr) const;
+
+  /// Brings the line containing @p addr into the cache. If @p way_placed,
+  /// the victim way is the tag-named way; otherwise round-robin.
+  /// Returns the way filled. Must only be called after a missing lookup.
+  u32 fill(u32 addr, bool way_placed);
+
+  /// Marks the line holding @p addr dirty (D-cache stores). Line must be
+  /// resident.
+  void markDirty(u32 addr);
+
+  /// Counts a data-array word read (instruction delivery / load data).
+  void countWordRead() { ++stats_.data_word_reads; }
+
+  /// Counts a data-array word write (store hit).
+  void countWordWrite() { ++stats_.data_word_writes; }
+
+  /// Invalidates the whole cache (program change between runs).
+  void reset();
+
+  /// Invalidates every line but keeps the accumulated statistics — the
+  /// OS cache-maintenance flush used when page attributes change.
+  void flush();
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  CacheStats& mutableStats() { return stats_; }
+
+  /// Line-eviction observer hook: the way-memoization layer registers
+  /// itself to invalidate links that point at the evicted line.
+  class EvictionListener {
+   public:
+    virtual ~EvictionListener() = default;
+    virtual void onEvict(LineId line) = 0;
+  };
+  void setEvictionListener(EvictionListener* listener) {
+    listener_ = listener;
+  }
+
+  /// Address of the line currently resident at @p line (valid lines only).
+  [[nodiscard]] u32 residentLineAddr(LineId line) const;
+
+  [[nodiscard]] bool lineValid(LineId line) const;
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    u32 tag = 0;
+  };
+
+  [[nodiscard]] Line& at(u32 set, u32 way);
+  [[nodiscard]] const Line& at(u32 set, u32 way) const;
+
+  CacheGeometry geom_;
+  u32 num_sets_;
+  std::vector<Line> lines_;        // sets * ways, row-major by set
+  std::vector<u32> round_robin_;   // next victim way per set
+  CacheStats stats_;
+  EvictionListener* listener_ = nullptr;
+};
+
+}  // namespace wp::cache

@@ -1,0 +1,34 @@
+#include "cache/data_cache.hpp"
+
+namespace wp::cache {
+
+DataCache::DataCache(const DataCacheConfig& config)
+    : config_(config), cache_(config.geometry) {}
+
+u32 DataCache::missPenalty() const {
+  return config_.mem_latency_cycles + config_.geometry.wordsPerLine();
+}
+
+u32 DataCache::load(u32 addr) {
+  const LookupResult r = cache_.lookup(addr, LookupKind::kFull);
+  cache_.countWordRead();
+  if (r.hit) return 1;
+  cache_.fill(addr, /*way_placed=*/false);
+  return 1 + missPenalty();
+}
+
+u32 DataCache::store(u32 addr) {
+  const LookupResult r = cache_.lookup(addr, LookupKind::kFull);
+  u32 cycles = 1;
+  if (!r.hit) {
+    cache_.fill(addr, /*way_placed=*/false);
+    cycles += missPenalty();
+  }
+  cache_.countWordWrite();
+  cache_.markDirty(addr);
+  return cycles;
+}
+
+void DataCache::reset() { cache_.reset(); }
+
+}  // namespace wp::cache

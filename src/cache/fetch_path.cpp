@@ -1,0 +1,266 @@
+#include "cache/fetch_path.hpp"
+
+#include "support/ensure.hpp"
+
+namespace wp::cache {
+
+const char* schemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kBaseline:
+      return "baseline";
+    case Scheme::kWayPlacement:
+      return "way-placement";
+    case Scheme::kWayMemoization:
+      return "way-memoization";
+    case Scheme::kWayPrediction:
+      return "way-prediction";
+  }
+  WP_UNREACHABLE("bad scheme");
+}
+
+FetchPath::FetchPath(const FetchPathConfig& config)
+    : config_(config),
+      icache_(config.icache),
+      itlb_(config.tlb_entries),
+      drowsy_(config.icache.sets(), config.icache.ways,
+              config.drowsy_window) {
+  if (config_.scheme == Scheme::kWayMemoization) {
+    memo_.emplace(icache_);
+  }
+  if (config_.scheme == Scheme::kWayPlacement) {
+    itlb_.setWayPlacementLimit(config_.wp_area_bytes);
+  }
+  if (config_.scheme == Scheme::kWayPrediction) {
+    mru_way_.assign(config_.icache.sets(), 0);
+  }
+}
+
+void FetchPath::resizeWayPlacementArea(u32 bytes) {
+  WP_ENSURE(config_.scheme == Scheme::kWayPlacement,
+            "area resize only applies to way-placement");
+  config_.wp_area_bytes = bytes;
+  itlb_.setWayPlacementLimit(bytes);
+  // Lines filled under the old policy may sit in ways the new policy's
+  // single-way lookups would never probe (and a way-placed refill next
+  // to a stale copy would give the CAM two matching tags), so the OS
+  // invalidates the I-cache as part of the attribute change.
+  icache_.flush();
+  hint_.reset();
+  last_valid_ = false;
+}
+
+u32 FetchPath::missPenalty() const {
+  // 50-cycle memory latency plus one bus cycle per remaining word of the
+  // line over the 32-bit memory bus (Table 1); the fill buffer forwards
+  // the critical word first, so execution resumes after latency + 1.
+  return config_.mem_latency_cycles + config_.icache.wordsPerLine();
+}
+
+u32 FetchPath::fetch(u32 addr, FetchFlow flow) {
+  WP_ENSURE((addr & 3u) == 0, "unaligned instruction fetch");
+  ++fetch_stats_.fetches;
+
+  const bool same_line =
+      last_valid_ &&
+      config_.icache.lineAddrOf(addr) == config_.icache.lineAddrOf(last_addr_);
+
+  // The I-TLB is accessed in parallel with the cache on every fetch.
+  const Tlb::Result tr = itlb_.access(addr);
+  u32 cycles = 0;
+  if (!tr.hit) cycles += config_.tlb_walk_cycles;
+
+  switch (config_.scheme) {
+    case Scheme::kBaseline:
+      cycles += fetchBaseline(addr);
+      break;
+    case Scheme::kWayPlacement:
+      cycles += fetchWayPlacement(addr, same_line, tr.way_placement_page);
+      break;
+    case Scheme::kWayMemoization:
+      cycles += fetchWayMemoization(addr, flow, same_line);
+      break;
+    case Scheme::kWayPrediction:
+      cycles += fetchWayPrediction(addr, same_line);
+      break;
+  }
+
+  // Every delivered instruction is one data-array word read.
+  icache_.countWordRead();
+
+  // Drowsy lines wake on first touch (one-cycle penalty). The fetched
+  // line is resident after every path above.
+  if (drowsy_.enabled()) {
+    const auto way = icache_.probe(addr);
+    WP_ENSURE(way.has_value(), "fetched line must be resident");
+    if (drowsy_.access(config_.icache.setOf(addr), *way)) {
+      cycles += 1;
+      ++fetch_stats_.extra_cycles;
+    }
+  }
+
+  last_valid_ = true;
+  last_addr_ = addr;
+  return cycles;
+}
+
+u32 FetchPath::fetchBaseline(u32 addr) {
+  const LookupResult r = icache_.lookup(addr, LookupKind::kFull);
+  if (r.hit) return 1;
+  icache_.fill(addr, /*way_placed=*/false);
+  return 1 + missPenalty();
+}
+
+u32 FetchPath::fetchWayPlacement(u32 addr, bool same_line, bool actual_wp) {
+  // Intra-line skip: the previous fetch pinned this line resident, so no
+  // tag check of any kind is needed.
+  if (config_.intraline_skip && same_line) {
+    ++fetch_stats_.sameline_skips;
+    icache_.lookup(addr, LookupKind::kNoTag);
+    hint_.update(actual_wp);
+    return 1;
+  }
+
+  const bool hinted_wp = hint_.predict();
+  u32 cycles = 1;
+  bool hit;
+
+  if (hinted_wp && actual_wp) {
+    // Correct way-placement access: one tag, one match line.
+    ++fetch_stats_.hint_correct;
+    ++fetch_stats_.wp_single_way;
+    hit = icache_.lookup(addr, LookupKind::kSingleWay).hit;
+  } else if (hinted_wp && !actual_wp) {
+    // Mispredict case 2 (§4.1): a single-way access was launched but the
+    // I-TLB bit reveals a normal page — the access is squashed and the
+    // cache re-read with all ways, costing a cycle and the wasted probe.
+    ++fetch_stats_.hint_miss_second_access;
+    ++squashed_probes_;
+    icache_.mutableStats().matchline_precharges += 1;
+    icache_.mutableStats().tag_compares += 1;
+    cycles += 1;
+    ++fetch_stats_.extra_cycles;
+    hit = icache_.lookup(addr, LookupKind::kFull).hit;
+  } else if (!hinted_wp && actual_wp) {
+    // Mispredict case 1: we merely miss the energy saving.
+    ++fetch_stats_.hint_miss_lost_saving;
+    hit = icache_.lookup(addr, LookupKind::kFull).hit;
+  } else {
+    ++fetch_stats_.hint_correct;
+    hit = icache_.lookup(addr, LookupKind::kFull).hit;
+  }
+
+  hint_.update(actual_wp);
+
+  if (!hit) {
+    // Way-placement pages always fill their tag-named way so single-way
+    // lookups stay exact; other pages use round-robin.
+    icache_.fill(addr, /*way_placed=*/actual_wp);
+    cycles += missPenalty();
+  }
+  return cycles;
+}
+
+u32 FetchPath::fetchWayMemoization(u32 addr, FetchFlow flow, bool same_line) {
+  if (config_.intraline_skip && same_line) {
+    ++fetch_stats_.sameline_skips;
+    icache_.lookup(addr, LookupKind::kNoTag);
+    return 1;
+  }
+
+  // Links memoize *line crossings* only: a sequential link belongs to
+  // the fall-off-the-end edge and a branch link to one taken edge.
+  // Same-line fetches (possible when the intra-line skip is disabled)
+  // must neither follow nor overwrite them.
+  const bool linkable =
+      !same_line && last_valid_ && flow != FetchFlow::kTakenIndirect;
+  const WayMemoizer::CrossKind kind = flow == FetchFlow::kSequential
+                                          ? WayMemoizer::CrossKind::kSequential
+                                          : WayMemoizer::CrossKind::kBranchTaken;
+
+  if (linkable) {
+    const std::optional<u32> way = memo_->followLink(last_addr_, kind);
+    if (way.has_value()) {
+      // Linked access: no tag search at all. Real hardware fetches from
+      // *way* blindly, so the invalidation machinery must guarantee the
+      // link is exact — a mismatch here is a model bug that silicon
+      // would express as executing the wrong instructions.
+      const LookupResult r = icache_.lookup(addr, LookupKind::kNoTag);
+      WP_ENSURE(r.way == *way,
+                "way-memoization link points at the wrong way");
+      return 1;
+    }
+  }
+
+  const LookupResult r = icache_.lookup(addr, LookupKind::kFull);
+  u32 cycles = 1;
+  u32 way = r.way;
+  if (!r.hit) {
+    way = icache_.fill(addr, /*way_placed=*/false);
+    if (!config_.wm_precise_invalidation) memo_->flashClearLinks();
+    cycles += missPenalty();
+  }
+  if (linkable && icache_.probe(last_addr_).has_value()) {
+    // The fill may have evicted the source line; only a still-resident
+    // line can hold the new link.
+    memo_->recordLink(last_addr_, kind, addr, way);
+  }
+  return cycles;
+}
+
+u32 FetchPath::fetchWayPrediction(u32 addr, bool same_line) {
+  if (config_.intraline_skip && same_line) {
+    ++fetch_stats_.sameline_skips;
+    icache_.lookup(addr, LookupKind::kNoTag);
+    return 1;
+  }
+
+  const u32 set = config_.icache.setOf(addr);
+  u32& mru = mru_way_[set];
+  u32 cycles = 1;
+
+  const LookupResult first = icache_.lookupOneWay(addr, mru);
+  if (first.hit) {
+    ++fetch_stats_.waypred_correct;
+    return cycles;
+  }
+
+  // Mispredict: one extra cycle, search the remaining ways.
+  ++fetch_stats_.waypred_mispredict;
+  ++fetch_stats_.extra_cycles;
+  cycles += 1;
+  const LookupResult rest = icache_.lookupAllButOne(addr, mru);
+  if (rest.hit) {
+    mru = rest.way;
+    return cycles;
+  }
+  mru = icache_.fill(addr, /*way_placed=*/false);
+  return cycles + missPenalty();
+}
+
+double FetchPath::dataAreaFactor() const {
+  return memo_.has_value() ? memo_->dataAreaFactor() : 1.0;
+}
+
+u64 FetchPath::linkFlashClears() const {
+  return memo_.has_value() ? memo_->flashClears() : 0;
+}
+
+void FetchPath::reset() {
+  icache_.reset();
+  itlb_.reset();
+  hint_.reset();
+  if (memo_.has_value()) memo_->reset();
+  if (config_.scheme == Scheme::kWayPlacement) {
+    itlb_.setWayPlacementLimit(config_.wp_area_bytes);
+  }
+  if (config_.scheme == Scheme::kWayPrediction) {
+    mru_way_.assign(config_.icache.sets(), 0);
+  }
+  drowsy_.reset();
+  fetch_stats_.reset();
+  squashed_probes_ = 0;
+  last_valid_ = false;
+  last_addr_ = 0;
+}
+
+}  // namespace wp::cache

@@ -1,0 +1,133 @@
+// The instruction-fetch path: way-hint bit + I-TLB + I-cache, wired for
+// one of the three evaluated schemes.
+//
+//   kBaseline        — unmodified cache: every fetch is a full CAM search.
+//   kWayPlacement    — the paper's scheme: way-hint predicts a
+//                      way-placement access; the I-TLB way-placement bit
+//                      resolves it; single-way search when correct; both
+//                      mispredict cases modelled (lost saving / second
+//                      full access costing one cycle and one full search).
+//   kWayMemoization  — Ma et al.'s links; intra-line skip included.
+//
+// The intra-line skip (no tag check when fetching from the same line as
+// the previous access, paper §4.2) applies to both optimized schemes and
+// can be disabled for the ablation bench.
+#pragma once
+
+#include <optional>
+
+#include "cache/cam_cache.hpp"
+#include "cache/drowsy.hpp"
+#include "cache/tlb.hpp"
+#include "cache/way_hint.hpp"
+#include "cache/way_memo.hpp"
+
+namespace wp::cache {
+
+enum class Scheme : u8 {
+  kBaseline,
+  kWayPlacement,
+  kWayMemoization,
+  /// MRU way prediction (Inoue et al. [6]) — the other hardware
+  /// alternative the paper's related work discusses: probe the set's
+  /// most-recently-used way first; a mispredict costs a second access
+  /// over the remaining W-1 ways plus a cycle.
+  kWayPrediction,
+};
+
+[[nodiscard]] const char* schemeName(Scheme s);
+
+/// How control arrived at the address being fetched. Way-memoization
+/// links are indexed by this: sequential crossings use the sequential
+/// link, direct taken branches the per-slot branch link, and indirect
+/// jumps can never be linked.
+enum class FetchFlow : u8 {
+  kSequential,
+  kTakenDirect,
+  kTakenIndirect,
+};
+
+// kBaseline / kWayPlacement / kWayMemoization / kWayPrediction share the
+// FetchPath plumbing; the per-fetch decision tree differs per scheme.
+struct FetchPathConfig {
+  CacheGeometry icache;
+  u32 tlb_entries = 32;
+  Scheme scheme = Scheme::kBaseline;
+  u32 wp_area_bytes = 0;      ///< way-placement area (kWayPlacement only)
+  bool intraline_skip = true; ///< §4.2 same-line optimisation
+  /// Way-memoization link invalidation: false = conservative flash-clear
+  /// on every refill (Ma et al.'s cheap hardware), true = precise
+  /// per-target invalidation (generous ablation variant).
+  bool wm_precise_invalidation = false;
+  /// Drowsy-line window in accesses (0 = off). Orthogonal to the scheme
+  /// choice, per the paper's related-work claim; waking a drowsy line
+  /// costs a cycle and a little energy, tracked in drowsyStats().
+  u32 drowsy_window = 0;
+  u32 mem_latency_cycles = 50;
+  u32 tlb_walk_cycles = 20;
+};
+
+class FetchPath {
+ public:
+  explicit FetchPath(const FetchPathConfig& config);
+
+  /// Fetches the instruction at @p addr; returns the cycles consumed by
+  /// the fetch (1 for a hit, plus miss/walk/mispredict penalties).
+  u32 fetch(u32 addr, FetchFlow flow);
+
+  /// OS runtime policy (paper §4.1: the area can be adjusted "even
+  /// during program execution"): installs a new way-placement area.
+  /// Changing page attributes requires the OS to flush the I-TLB and
+  /// invalidate the I-cache, which is modelled here; both costs show up
+  /// in the subsequent cold misses. Only valid for kWayPlacement.
+  void resizeWayPlacementArea(u32 bytes);
+
+  /// Forgets fetch history (e.g. between profiling and measurement runs).
+  void reset();
+
+  [[nodiscard]] const CacheStats& cacheStats() const {
+    return icache_.stats();
+  }
+  [[nodiscard]] const TlbStats& tlbStats() const { return itlb_.stats(); }
+  [[nodiscard]] const FetchStats& fetchStats() const { return fetch_stats_; }
+  [[nodiscard]] const FetchPathConfig& config() const { return config_; }
+  [[nodiscard]] const CamCache& icache() const { return icache_; }
+
+  /// Data-array area factor (1.0 except for way-memoization's links).
+  [[nodiscard]] double dataAreaFactor() const;
+
+  /// Counts squashed single-way probes (mispredict case 2); the energy
+  /// model charges them like single-way searches.
+  [[nodiscard]] u64 squashedProbes() const { return squashed_probes_; }
+
+  /// Way-memoization flash-clear events (0 for other schemes).
+  [[nodiscard]] u64 linkFlashClears() const;
+
+  /// Drowsy-line statistics (all zero when drowsy_window == 0).
+  [[nodiscard]] const DrowsyStats& drowsyStats() const {
+    return drowsy_.stats();
+  }
+  [[nodiscard]] u32 icacheLines() const { return drowsy_.totalLines(); }
+
+ private:
+  [[nodiscard]] u32 missPenalty() const;
+  u32 fetchBaseline(u32 addr);
+  u32 fetchWayPlacement(u32 addr, bool same_line, bool actual_wp);
+  u32 fetchWayMemoization(u32 addr, FetchFlow flow, bool same_line);
+  u32 fetchWayPrediction(u32 addr, bool same_line);
+
+  FetchPathConfig config_;
+  CamCache icache_;
+  Tlb itlb_;
+  WayHint hint_;
+  std::optional<WayMemoizer> memo_;
+  DrowsyCache drowsy_;
+  std::vector<u32> mru_way_;  ///< per-set MRU, way prediction only
+  FetchStats fetch_stats_;
+  u64 squashed_probes_ = 0;
+
+  bool last_valid_ = false;
+  u32 last_addr_ = 0;
+};
+
+}  // namespace wp::cache

@@ -1,0 +1,63 @@
+// Cache geometry: size/associativity/line-size arithmetic shared by the
+// cache model and the energy model.
+//
+// Address split (32-bit physical addresses):
+//   [ tag | set index | line offset ]
+//
+// Way-placement (paper §4.2): on a way-placement access the way inside
+// the set is selected by the *least-significant bits of the tag* — a
+// 32-way cache uses the low 5 tag bits. The tag stored and compared stays
+// full length (the way-selection bits are also part of it).
+#pragma once
+
+#include "support/bitops.hpp"
+
+namespace wp::cache {
+
+struct CacheGeometry {
+  u32 size_bytes = 32 * 1024;
+  u32 line_bytes = 32;
+  u32 ways = 32;
+
+  [[nodiscard]] u32 sets() const {
+    WP_ENSURE(isPow2(size_bytes) && isPow2(line_bytes) && isPow2(ways),
+              "cache geometry fields must be powers of two");
+    const u32 lines = size_bytes / line_bytes;
+    WP_ENSURE(lines >= ways, "cache smaller than one set");
+    return lines / ways;
+  }
+
+  [[nodiscard]] u32 offsetBits() const { return log2Exact(line_bytes); }
+  [[nodiscard]] u32 setBits() const { return log2Exact(sets()); }
+  [[nodiscard]] u32 wayBits() const { return log2Exact(ways); }
+
+  /// Width of the stored tag for 32-bit addresses.
+  [[nodiscard]] u32 tagBits() const { return 32 - offsetBits() - setBits(); }
+
+  [[nodiscard]] u32 setOf(u32 addr) const {
+    return bits(addr, offsetBits() + setBits() - 1, offsetBits());
+  }
+
+  [[nodiscard]] u32 tagOf(u32 addr) const {
+    return addr >> (offsetBits() + setBits());
+  }
+
+  /// Address of the first byte of the line containing @p addr.
+  [[nodiscard]] u32 lineAddrOf(u32 addr) const {
+    return addr & ~(line_bytes - 1);
+  }
+
+  /// Instruction slot (word index) of @p addr within its line.
+  [[nodiscard]] u32 slotOf(u32 addr) const {
+    return (addr & (line_bytes - 1)) / 4;
+  }
+
+  /// Way selected for a way-placed line: low log2(ways) bits of the tag.
+  [[nodiscard]] u32 wayPlacedWayOf(u32 addr) const {
+    return tagOf(addr) & (ways - 1);
+  }
+
+  [[nodiscard]] u32 wordsPerLine() const { return line_bytes / 4; }
+};
+
+}  // namespace wp::cache

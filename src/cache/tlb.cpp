@@ -1,0 +1,55 @@
+#include "cache/tlb.hpp"
+
+#include "support/ensure.hpp"
+
+namespace wp::cache {
+
+Tlb::Tlb(u32 entries) : entries_(entries) {
+  WP_ENSURE(entries > 0, "TLB needs at least one entry");
+}
+
+Tlb::Result Tlb::access(u32 addr) {
+  ++stats_.accesses;
+  const u32 vpn = mem::pageOf(addr);
+  // Fast path: consecutive fetches overwhelmingly hit the same page.
+  // Purely a simulator shortcut — the search result is identical.
+  {
+    const Entry& m = entries_[mru_];
+    if (m.valid && m.vpn == vpn) return {true, m.wp_bit};
+  }
+  for (u32 i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (e.valid && e.vpn == vpn) {
+      mru_ = i;
+      return {true, e.wp_bit};
+    }
+  }
+  // Miss: walk the page table (flat mapping) and install with FIFO
+  // replacement. The OS writes the way-placement bit alongside the
+  // existing permission bits (paper §4.1).
+  ++stats_.misses;
+  ++stats_.walks;
+  Entry& victim = entries_[fifo_next_];
+  mru_ = fifo_next_;
+  fifo_next_ = (fifo_next_ + 1) % static_cast<u32>(entries_.size());
+  victim.valid = true;
+  victim.vpn = vpn;
+  victim.wp_bit = inWayPlacementArea(addr);
+  return {false, victim.wp_bit};
+}
+
+void Tlb::setWayPlacementLimit(u32 bytes) {
+  WP_ENSURE(bytes % mem::kPageBytes == 0,
+            "way-placement area must be a multiple of the page size");
+  wp_limit_ = bytes;
+  for (Entry& e : entries_) e.valid = false;
+  fifo_next_ = 0;
+}
+
+void Tlb::reset() {
+  for (Entry& e : entries_) e = Entry{};
+  fifo_next_ = 0;
+  stats_.reset();
+}
+
+}  // namespace wp::cache

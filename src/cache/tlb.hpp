@@ -1,0 +1,64 @@
+// Instruction TLB with the paper's one-bit-per-entry extension.
+//
+// The way-placement area is a multiple of the page size starting at the
+// beginning of the binary; the OS sets a *way-placement bit* in each
+// I-TLB entry when it installs the translation (paper §4.1). Our "OS" is
+// the setWayPlacementLimit policy: pages whose start address is below the
+// limit are way-placement pages.
+//
+// The TLB is fully associative with FIFO replacement (32 entries in the
+// baseline machine, matching Table 1).
+#pragma once
+
+#include <vector>
+
+#include "cache/stats.hpp"
+#include "mem/memory.hpp"
+
+namespace wp::cache {
+
+class Tlb {
+ public:
+  explicit Tlb(u32 entries);
+
+  struct Result {
+    bool hit = false;
+    bool way_placement_page = false;
+  };
+
+  /// Translates @p addr; on a miss the entry is installed (the walk cost
+  /// is charged by the caller from stats().misses).
+  Result access(u32 addr);
+
+  /// OS policy: addresses below @p bytes lie in the way-placement area.
+  /// The limit must be page-aligned. Changing it flushes the TLB, which
+  /// is what an OS updating page attributes would require.
+  void setWayPlacementLimit(u32 bytes);
+
+  [[nodiscard]] u32 wayPlacementLimit() const { return wp_limit_; }
+
+  /// True if @p addr lies in the way-placement area (the OS view; the
+  /// hardware only sees the bit after a TLB access).
+  [[nodiscard]] bool inWayPlacementArea(u32 addr) const {
+    return addr < wp_limit_;
+  }
+
+  void reset();
+
+  [[nodiscard]] const TlbStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    u32 vpn = 0;
+    bool wp_bit = false;
+  };
+
+  std::vector<Entry> entries_;
+  u32 mru_ = 0;  ///< simulator fast path; no architectural effect
+  u32 fifo_next_ = 0;
+  u32 wp_limit_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace wp::cache

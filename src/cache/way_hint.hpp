@@ -1,0 +1,26 @@
+// The way-hint bit (paper §4.1).
+//
+// The I-TLB and I-cache are accessed in parallel, so the way-placement
+// bit is not known until *after* the cache access starts. A single bit of
+// state — "was the previous access to the way-placement area?" — selects
+// the access mode up front. Both mispredict scenarios are handled by the
+// fetch path; this class is just the predictor.
+#pragma once
+
+namespace wp::cache {
+
+class WayHint {
+ public:
+  /// Predicted mode for the upcoming access: true = way-placement access.
+  [[nodiscard]] bool predict() const { return last_was_wp_; }
+
+  /// Records the resolved way-placement bit of the access just made.
+  void update(bool actual_wp) { last_was_wp_ = actual_wp; }
+
+  void reset() { last_was_wp_ = false; }
+
+ private:
+  bool last_was_wp_ = false;
+};
+
+}  // namespace wp::cache

@@ -1,0 +1,107 @@
+#include "cache/way_memo.hpp"
+
+#include "support/ensure.hpp"
+
+namespace wp::cache {
+
+WayMemoizer::WayMemoizer(CamCache& cache)
+    : cache_(cache), num_sets_(cache.geometry().sets()) {
+  const std::size_t lines =
+      static_cast<std::size_t>(num_sets_) * cache_.geometry().ways;
+  links_.resize(lines);
+  for (LineLinks& l : links_) {
+    l.branch.resize(cache_.geometry().wordsPerLine());
+  }
+  generations_.assign(lines, 0);
+  cache_.setEvictionListener(this);
+}
+
+WayMemoizer::LineLinks& WayMemoizer::linksOf(LineId line) {
+  return links_[static_cast<std::size_t>(line.set) * cache_.geometry().ways +
+                line.way];
+}
+
+u64& WayMemoizer::generationOf(LineId line) {
+  return generations_[static_cast<std::size_t>(line.set) *
+                          cache_.geometry().ways +
+                      line.way];
+}
+
+WayMemoizer::Link& WayMemoizer::linkFor(u32 from_addr, CrossKind kind) {
+  const auto way = cache_.probe(from_addr);
+  WP_ENSURE(way.has_value(), "link access on non-resident source line");
+  LineLinks& l = linksOf({cache_.geometry().setOf(from_addr), *way});
+  if (kind == CrossKind::kSequential) return l.sequential;
+  return l.branch[cache_.geometry().slotOf(from_addr)];
+}
+
+std::optional<u32> WayMemoizer::followLink(u32 from_addr, CrossKind kind) {
+  ++cache_.mutableStats().link_reads;
+  const Link& link = linkFor(from_addr, kind);
+  if (link.valid && link.target_generation == generationOf(link.target)) {
+    ++cache_.mutableStats().linked_accesses;
+    return link.way;
+  }
+  return std::nullopt;
+}
+
+void WayMemoizer::recordLink(u32 from_addr, CrossKind kind, u32 to_addr,
+                             u32 to_way) {
+  Link& link = linkFor(from_addr, kind);
+  const LineId target{cache_.geometry().setOf(to_addr), to_way};
+  link.valid = true;
+  link.way = to_way;
+  link.target = target;
+  link.target_generation = generationOf(target);
+  ++cache_.mutableStats().link_writes;
+}
+
+void WayMemoizer::onEvict(LineId line) {
+  // Links *to* this line die via the generation bump; links *in* it die
+  // because the refill overwrites the link storage.
+  ++generationOf(line);
+  LineLinks& l = linksOf(line);
+  u64 cleared = l.sequential.valid ? 1 : 0;
+  l.sequential = Link{};
+  for (Link& b : l.branch) {
+    if (b.valid) ++cleared;
+    b = Link{};
+  }
+  cache_.mutableStats().link_invalidations += cleared;
+}
+
+void WayMemoizer::flashClearLinks() {
+  ++flash_clears_;
+  u64 cleared = 0;
+  for (LineLinks& l : links_) {
+    if (l.sequential.valid) ++cleared;
+    l.sequential.valid = false;
+    for (Link& b : l.branch) {
+      if (b.valid) ++cleared;
+      b.valid = false;
+    }
+  }
+  cache_.mutableStats().link_invalidations += cleared;
+}
+
+u32 WayMemoizer::linkBitsPerLine() const {
+  const u32 links = cache_.geometry().wordsPerLine() + 1;
+  const u32 bits_per_link = cache_.geometry().wayBits() + 1;  // way + valid
+  return links * bits_per_link;
+}
+
+double WayMemoizer::dataAreaFactor() const {
+  const double line_bits = cache_.geometry().line_bytes * 8.0;
+  return (line_bits + linkBitsPerLine()) / line_bits;
+}
+
+void WayMemoizer::reset() {
+  for (LineLinks& l : links_) {
+    l.sequential = Link{};
+    for (Link& b : l.branch) b = Link{};
+  }
+  std::fill(generations_.begin(), generations_.end(), 0u);
+  flash_clears_ = 0;
+}
+
+}  // namespace wp::cache

@@ -1,0 +1,94 @@
+// Way-memoization (Ma et al., "Way memoization to reduce fetch energy in
+// instruction caches", WCED at ISCA-28) — the state-of-the-art hardware
+// competitor the paper compares against.
+//
+// Each cache line is augmented with *links* stored in the data side:
+//   - one sequential link: the way holding the next sequential line, and
+//   - one branch link per instruction slot: the way holding that
+//     (direct) branch's target line.
+// A 32 B line (8 instructions) therefore carries 9 links; with a valid
+// bit plus log2(W) way bits each link is 6 bits for a 32-way cache —
+// a 21 % overhead on the data array, exactly the figure in the paper.
+//
+// A fetch that crosses lines follows the link recorded in the line it
+// is leaving; a valid link names the target way, so the tag search is
+// skipped entirely. A link must die when its source line is refilled or
+// its target line evicted. Two invalidation models are provided:
+//
+//   - conservative (default, matching the cheap hardware Ma et al.
+//     assume): every refill flash-clears ALL link valid bits — a wired
+//     clear is trivial in hardware, but each miss forces the whole link
+//     web to be re-established;
+//   - precise (ablation): per-line generation counters kill exactly the
+//     stale links; this is simulator-only bookkeeping that is *generous*
+//     to way-memoization.
+#pragma once
+
+#include <vector>
+
+#include "cache/cam_cache.hpp"
+
+namespace wp::cache {
+
+class WayMemoizer final : public CamCache::EvictionListener {
+ public:
+  /// Attaches to @p cache and registers for eviction notifications.
+  explicit WayMemoizer(CamCache& cache);
+
+  enum class CrossKind : u8 {
+    kSequential,   ///< fell off the end of the line
+    kBranchTaken,  ///< direct branch/call leaving the line
+  };
+
+  /// Consults the link for a fetch leaving the line of @p from_addr.
+  /// Returns the memoized way if the link is valid, nullopt otherwise.
+  /// Counts a link read either way (the link comes out with the data).
+  [[nodiscard]] std::optional<u32> followLink(u32 from_addr, CrossKind kind);
+
+  /// Records the way of the line containing @p to_addr into the link of
+  /// @p from_addr's line after a tag-checked crossing resolved there.
+  void recordLink(u32 from_addr, CrossKind kind, u32 to_addr, u32 to_way);
+
+  /// Eviction callback: clears the evicted line's own links and bumps its
+  /// generation so every link pointing at it becomes invalid.
+  void onEvict(LineId line) override;
+
+  /// Conservative invalidation: clears every link valid bit in the cache
+  /// (called on each refill unless precise invalidation is selected).
+  void flashClearLinks();
+
+  [[nodiscard]] u64 flashClears() const { return flash_clears_; }
+
+  /// Extra data-array bits per line from the links.
+  [[nodiscard]] u32 linkBitsPerLine() const;
+
+  /// Data-array area scale factor, e.g. 1.21 for a 32 B/32-way line.
+  [[nodiscard]] double dataAreaFactor() const;
+
+  void reset();
+
+ private:
+  struct Link {
+    bool valid = false;
+    u32 way = 0;
+    LineId target{};
+    u64 target_generation = 0;
+  };
+
+  struct LineLinks {
+    Link sequential;
+    std::vector<Link> branch;  // one per instruction slot
+  };
+
+  [[nodiscard]] Link& linkFor(u32 from_addr, CrossKind kind);
+  [[nodiscard]] u64& generationOf(LineId line);
+  [[nodiscard]] LineLinks& linksOf(LineId line);
+
+  CamCache& cache_;
+  u32 num_sets_;
+  std::vector<LineLinks> links_;      // sets * ways
+  std::vector<u64> generations_;      // sets * ways
+  u64 flash_clears_ = 0;
+};
+
+}  // namespace wp::cache

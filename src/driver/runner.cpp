@@ -1,0 +1,75 @@
+#include "driver/runner.hpp"
+
+#include "support/ensure.hpp"
+
+namespace wp::driver {
+
+Normalized normalize(const RunResult& scheme, const RunResult& baseline) {
+  Normalized n;
+  n.icache_energy =
+      scheme.energy.icacheTotal() / baseline.energy.icacheTotal();
+  n.total_energy = scheme.energy.total() / baseline.energy.total();
+  n.delay = static_cast<double>(scheme.stats.cycles) /
+            static_cast<double>(baseline.stats.cycles);
+  n.ed_product = n.total_energy * n.delay;
+  return n;
+}
+
+Runner::Runner(energy::EnergyParams params) : model_(params) {}
+
+PreparedWorkload Runner::prepare(const std::string& name,
+                                 workloads::InputSize profile_input) const {
+  PreparedWorkload p;
+  p.name = name;
+  p.workload = workloads::makeWorkload(name);
+  p.module = p.workload->build();
+
+  // Profile the original-order binary on the training input.
+  p.original = layout::linkWithPolicy(p.module, layout::Policy::kOriginal);
+  mem::Memory memory;
+  p.original.loadInto(memory);
+  p.workload->prepare(memory, profile_input);
+  const profile::ProfileResult prof = profile::profileImage(p.original, memory);
+  p.profile_instructions = prof.instructions;
+  profile::annotate(p.module, prof);
+
+  // The way-placement layout (heaviest chains first).
+  p.wayplaced = layout::linkWithPolicy(p.module, layout::Policy::kWayPlacement);
+  return p;
+}
+
+sim::MachineConfig Runner::machineFor(const cache::CacheGeometry& icache,
+                                      const SchemeSpec& spec) const {
+  sim::MachineConfig m = sim::baselineMachine(spec.scheme, spec.wp_area_bytes);
+  m.fetch.icache = icache;
+  m.fetch.intraline_skip = spec.intraline_skip;
+  m.fetch.wm_precise_invalidation = spec.wm_precise_invalidation;
+  m.fetch.drowsy_window = spec.drowsy_window;
+  return m;
+}
+
+RunResult Runner::run(const PreparedWorkload& prepared,
+                      const cache::CacheGeometry& icache,
+                      const SchemeSpec& spec,
+                      workloads::InputSize input) const {
+  const mem::Image& image = spec.layout == layout::Policy::kWayPlacement
+                                ? prepared.wayplaced
+                                : prepared.original;
+  WP_ENSURE(spec.scheme != cache::Scheme::kWayPlacement ||
+                spec.wp_area_bytes > 0,
+            "way-placement needs a non-empty area");
+
+  mem::Memory memory;
+  image.loadInto(memory);
+  prepared.workload->prepare(memory, input);
+
+  const sim::MachineConfig machine = machineFor(icache, spec);
+  sim::Processor proc(machine, image, memory);
+
+  RunResult result;
+  result.stats = proc.run();
+  result.energy = sim::Processor::price(model_, machine, result.stats);
+  return result;
+}
+
+}  // namespace wp::driver

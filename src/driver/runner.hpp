@@ -1,0 +1,115 @@
+// Experiment driver: reproduces the paper's methodology end to end.
+//
+// Per workload (paper §5):
+//   1. build the program,
+//   2. link it in original order and profile it on the *small* input,
+//   3. run the way-placement layout pass on the profile,
+//   4. simulate the *large* input under each scheme on equally-configured
+//      machines (baseline and way-memoization use the original binary;
+//      way-placement uses the chained binary plus an area size),
+//   5. price each run with the energy model and normalize to baseline.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/fetch_path.hpp"
+#include "energy/energy_model.hpp"
+#include "layout/layout.hpp"
+#include "profile/profiler.hpp"
+#include "sim/processor.hpp"
+#include "workloads/workload.hpp"
+
+namespace wp::driver {
+
+/// Which fetch scheme to run, with its knobs.
+struct SchemeSpec {
+  cache::Scheme scheme = cache::Scheme::kBaseline;
+  u32 wp_area_bytes = 0;        ///< way-placement only
+  bool intraline_skip = true;   ///< ablation knob (optimized schemes)
+  bool wm_precise_invalidation = false;  ///< ablation knob (way-memo)
+  u32 drowsy_window = 0;        ///< drowsy-line window (extension E4)
+  layout::Policy layout = layout::Policy::kOriginal;  ///< code layout
+
+  [[nodiscard]] static SchemeSpec baseline() { return {}; }
+  [[nodiscard]] static SchemeSpec wayPlacement(u32 area_bytes) {
+    SchemeSpec s;
+    s.scheme = cache::Scheme::kWayPlacement;
+    s.wp_area_bytes = area_bytes;
+    s.layout = layout::Policy::kWayPlacement;
+    return s;
+  }
+  [[nodiscard]] static SchemeSpec wayMemoization() {
+    SchemeSpec s;
+    s.scheme = cache::Scheme::kWayMemoization;
+    return s;
+  }
+  [[nodiscard]] static SchemeSpec wayPrediction() {
+    SchemeSpec s;
+    s.scheme = cache::Scheme::kWayPrediction;
+    return s;
+  }
+};
+
+/// One priced simulation.
+struct RunResult {
+  sim::RunStats stats;
+  energy::RunEnergy energy;
+};
+
+/// A workload made ready to simulate: profiled and laid out.
+struct PreparedWorkload {
+  std::string name;
+  std::unique_ptr<workloads::Workload> workload;
+  ir::Module module;        ///< profile-annotated
+  mem::Image original;      ///< original-order binary
+  mem::Image wayplaced;     ///< heaviest-first chained binary
+  u64 profile_instructions = 0;
+};
+
+/// Normalized headline metrics of a scheme run against its baseline.
+struct Normalized {
+  double icache_energy = 1.0;  ///< scheme / baseline I-cache energy
+  double total_energy = 1.0;
+  double delay = 1.0;          ///< cycles ratio
+  double ed_product = 1.0;     ///< total_energy * delay
+};
+
+[[nodiscard]] Normalized normalize(const RunResult& scheme,
+                                   const RunResult& baseline);
+
+class Runner {
+ public:
+  explicit Runner(energy::EnergyParams params = energy::EnergyParams{});
+
+  /// Steps 1-3 above. Profiling is cache-independent, so one prepared
+  /// workload serves every geometry. @p profile_input selects the
+  /// training input: the paper's methodology trains on kSmall; passing
+  /// kLarge gives the oracle (self-profiled) layout for robustness
+  /// studies.
+  [[nodiscard]] PreparedWorkload prepare(
+      const std::string& name,
+      workloads::InputSize profile_input = workloads::InputSize::kSmall) const;
+
+  /// Step 4-5 for one scheme on one I-cache geometry.
+  [[nodiscard]] RunResult run(const PreparedWorkload& prepared,
+                              const cache::CacheGeometry& icache,
+                              const SchemeSpec& spec,
+                              workloads::InputSize input =
+                                  workloads::InputSize::kLarge) const;
+
+  /// Builds the machine configuration used by run() (exposed so benches
+  /// can print Table 1 and tests can inspect it).
+  [[nodiscard]] sim::MachineConfig machineFor(
+      const cache::CacheGeometry& icache, const SchemeSpec& spec) const;
+
+  [[nodiscard]] const energy::EnergyModel& energyModel() const {
+    return model_;
+  }
+
+ private:
+  energy::EnergyModel model_;
+};
+
+}  // namespace wp::driver

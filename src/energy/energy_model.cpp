@@ -1,0 +1,115 @@
+#include "energy/energy_model.hpp"
+
+namespace wp::energy {
+
+CacheEnergy EnergyModel::cacheEnergy(const CacheGeometry& geom,
+                                     const CacheStats& stats,
+                                     double data_area_factor,
+                                     u64 flash_clears) const {
+  CacheEnergy e;
+  const double tag_bits = geom.tagBits();
+  const double row_bits = geom.line_bytes * 8.0 * data_area_factor;
+
+  e.tag = static_cast<double>(stats.matchline_precharges) * tag_bits *
+              p_.cam_matchline_per_bit +
+          static_cast<double>(stats.tag_compares) * tag_bits *
+              p_.cam_compare_per_bit;
+
+  // Every delivered word senses its (possibly link-widened) row; store
+  // hits write one word.
+  e.data = static_cast<double>(stats.data_word_reads) * row_bits *
+               p_.data_read_per_bit +
+           static_cast<double>(stats.data_word_writes) * 32.0 *
+               p_.data_write_per_bit +
+           static_cast<double>(stats.accesses) * p_.access_overhead;
+
+  e.fills = static_cast<double>(stats.line_fills + stats.writebacks) *
+                row_bits * p_.data_write_per_bit +
+            static_cast<double>(stats.line_fills) * p_.tag_write;
+
+  // Link maintenance: each link write updates (way bits + valid) cells.
+  const double link_bits = geom.wayBits() + 1.0;
+  e.links = static_cast<double>(stats.link_writes) * link_bits *
+                p_.data_write_per_bit +
+            static_cast<double>(flash_clears) * p_.link_flash_clear;
+  return e;
+}
+
+CacheEnergy EnergyModel::cacheEnergyRam(const CacheGeometry& geom,
+                                        const CacheStats& stats,
+                                        double data_area_factor,
+                                        u64 flash_clears) const {
+  CacheEnergy e;
+  const double tag_bits = geom.tagBits();
+  const double row_bits = geom.line_bytes * 8.0 * data_area_factor;
+  const double ways = geom.ways;
+
+  // Tag SRAM reads: the lookup-kind counters say how many tag entries
+  // each access touched (the CAM counters carry the same information).
+  e.tag = static_cast<double>(stats.tag_compares) * tag_bits *
+          p_.ram_tag_read_per_bit;
+
+  // Data rows read in parallel with the tags, per lookup kind.
+  const double rows_read =
+      static_cast<double>(stats.full_lookups) * ways +
+      static_cast<double>(stats.partial_lookups) * (ways - 1.0) +
+      static_cast<double>(stats.single_way_lookups) +
+      static_cast<double>(stats.no_tag_lookups);
+  e.data = rows_read * row_bits * p_.data_read_per_bit +
+           static_cast<double>(stats.data_word_writes) * 32.0 *
+               p_.data_write_per_bit +
+           static_cast<double>(stats.accesses) * p_.access_overhead;
+
+  e.fills = static_cast<double>(stats.line_fills + stats.writebacks) *
+                row_bits * p_.data_write_per_bit +
+            static_cast<double>(stats.line_fills) * p_.tag_write;
+
+  const double link_bits = geom.wayBits() + 1.0;
+  e.links = static_cast<double>(stats.link_writes) * link_bits *
+                p_.data_write_per_bit +
+            static_cast<double>(flash_clears) * p_.link_flash_clear;
+  return e;
+}
+
+double EnergyModel::lookupEnergy(const CacheGeometry& geom,
+                                 u32 ways_searched) const {
+  const double tag_bits = geom.tagBits();
+  const double row_bits = geom.line_bytes * 8.0;
+  return ways_searched * tag_bits *
+             (p_.cam_matchline_per_bit + p_.cam_compare_per_bit) +
+         row_bits * p_.data_read_per_bit + p_.access_overhead;
+}
+
+double EnergyModel::leakageEnergy(const cache::DrowsyStats& stats) const {
+  return static_cast<double>(stats.awake_line_ticks) *
+             p_.leak_awake_per_line_tick +
+         static_cast<double>(stats.drowsy_line_ticks) *
+             p_.leak_awake_per_line_tick * p_.leak_drowsy_factor +
+         static_cast<double>(stats.wakeups) * p_.drowsy_wake;
+}
+
+double EnergyModel::leakageAllAwake(u32 lines, u64 accesses) const {
+  return static_cast<double>(lines) * static_cast<double>(accesses) *
+         p_.leak_awake_per_line_tick;
+}
+
+double EnergyModel::tlbEnergy(const TlbStats& stats, bool wp_bit_active) const {
+  double per_access = p_.tlb_access;
+  if (wp_bit_active) per_access += p_.tlb_wp_bit;
+  return static_cast<double>(stats.accesses) * per_access;
+}
+
+double EnergyModel::hintEnergy(const FetchStats& stats) const {
+  return static_cast<double>(stats.fetches) * p_.way_hint_bit;
+}
+
+double EnergyModel::coreEnergy(u64 instructions, u64 cycles) const {
+  return static_cast<double>(instructions) * p_.core_per_instruction +
+         static_cast<double>(cycles) * p_.core_per_cycle;
+}
+
+double EnergyModel::memoryEnergy(u64 line_transfers) const {
+  return static_cast<double>(line_transfers) * p_.mem_access_per_line;
+}
+
+}  // namespace wp::energy

@@ -1,0 +1,80 @@
+#include "ir/module.hpp"
+
+#include <unordered_set>
+
+#include "support/ensure.hpp"
+
+namespace wp::ir {
+
+const Function* Module::findFunction(const std::string& name) const {
+  for (const Function& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const DataSymbol* Module::findSymbol(const std::string& name) const {
+  for (const DataSymbol& s : data_symbols) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+u64 Module::staticInstructions() const {
+  u64 n = 0;
+  for (const BasicBlock& b : blocks) n += b.insts.size();
+  return n;
+}
+
+void Module::validate() const {
+  for (u32 i = 0; i < blocks.size(); ++i) {
+    WP_ENSURE(blocks[i].id == i, "block ids must be dense and ordered");
+  }
+
+  std::unordered_set<u32> seen;
+  for (const Function& f : functions) {
+    WP_ENSURE(!f.block_ids.empty(), "function '" + f.name + "' has no blocks");
+    for (std::size_t i = 0; i < f.block_ids.size(); ++i) {
+      const u32 id = f.block_ids[i];
+      WP_ENSURE(id < blocks.size(), "function references unknown block");
+      WP_ENSURE(seen.insert(id).second, "block belongs to two functions");
+      const BasicBlock& b = blocks[id];
+      if (b.fallthrough.has_value()) {
+        WP_ENSURE(i + 1 < f.block_ids.size(),
+                  "final block of '" + f.name + "' falls through");
+        WP_ENSURE(*b.fallthrough == f.block_ids[i + 1],
+                  "fallthrough must target the next block in order");
+      }
+      WP_ENSURE(!b.insts.empty() || b.fallthrough.has_value(),
+                "empty block without fallthrough in '" + f.name + "'");
+    }
+  }
+  WP_ENSURE(seen.size() == blocks.size(), "orphan blocks outside functions");
+
+  for (const BasicBlock& b : blocks) {
+    for (const Inst& inst : b.insts) {
+      switch (inst.reloc) {
+        case Reloc::kNone:
+          break;
+        case Reloc::kBlockBranch:
+          WP_ENSURE(inst.target_block < blocks.size(),
+                    "branch to unknown block in " + b.label);
+          break;
+        case Reloc::kFuncCall:
+          WP_ENSURE(findFunction(inst.target_func) != nullptr,
+                    "call to unknown function '" + inst.target_func + "'");
+          break;
+        case Reloc::kDataLo:
+        case Reloc::kDataHi:
+          WP_ENSURE(findSymbol(inst.data_symbol) != nullptr,
+                    "reference to unknown symbol '" + inst.data_symbol + "'");
+          break;
+      }
+    }
+  }
+
+  WP_ENSURE(findFunction(entry_function) != nullptr,
+            "entry function '" + entry_function + "' not defined");
+}
+
+}  // namespace wp::ir

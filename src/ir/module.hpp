@@ -1,0 +1,84 @@
+// Link-time IR: the interprocedural control-flow graph the way-placement
+// pass operates on (paper §3). This substitutes for Diablo's IR.
+//
+// A module is a set of functions, each a list of basic blocks. Blocks
+// carry symbolic control-flow (branch targets are block ids, calls are
+// function names, data addresses are symbol references) so the linker can
+// re-order blocks freely and fix everything up afterwards.
+//
+// `fallthrough` records the *must-follow* constraint the paper's chain
+// formation respects: the next block in original order when control can
+// flow off the end of this block (plain fall-through, the not-taken side
+// of a conditional branch, or a call's return site).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace wp::ir {
+
+/// Relocation attached to an instruction whose immediate the linker must
+/// resolve after placement.
+enum class Reloc : u8 {
+  kNone,
+  kBlockBranch,  ///< B-type: imm = signed word offset to a block
+  kFuncCall,     ///< BL: imm = signed word offset to a function entry
+  kDataLo,       ///< movi: low 16 bits of a data symbol address
+  kDataHi,       ///< movhi: high 16 bits of a data symbol address
+};
+
+struct Inst {
+  isa::Instruction raw;
+  Reloc reloc = Reloc::kNone;
+  u32 target_block = 0;      ///< kBlockBranch
+  std::string target_func;   ///< kFuncCall
+  std::string data_symbol;   ///< kDataLo / kDataHi
+  i32 data_addend = 0;       ///< byte offset added to the symbol address
+};
+
+struct BasicBlock {
+  u32 id = 0;                ///< module-global, dense
+  std::string label;         ///< "function.label" for diagnostics
+  std::vector<Inst> insts;
+  std::optional<u32> fallthrough;  ///< must-follow successor block id
+  u64 exec_count = 0;        ///< filled in by the profiler
+};
+
+struct Function {
+  std::string name;
+  std::vector<u32> block_ids;  ///< in original (authored) order
+};
+
+struct DataSymbol {
+  std::string name;
+  u32 offset = 0;  ///< byte offset within the data segment
+  u32 size = 0;
+};
+
+struct Module {
+  std::vector<BasicBlock> blocks;  ///< indexed by block id
+  std::vector<Function> functions;
+  std::vector<DataSymbol> data_symbols;
+  std::vector<u8> data_init;       ///< initial data segment contents
+  std::string entry_function = "_start";
+
+  [[nodiscard]] const Function* findFunction(const std::string& name) const;
+  [[nodiscard]] const DataSymbol* findSymbol(const std::string& name) const;
+
+  /// Total static instruction count (before linker-inserted repairs).
+  [[nodiscard]] u64 staticInstructions() const;
+
+  /// Checks structural invariants:
+  ///  - block ids are dense and match their index,
+  ///  - every fallthrough edge targets the next block of its function,
+  ///  - the final block of each function cannot fall through,
+  ///  - every branch target / callee / data symbol exists,
+  ///  - the entry function exists.
+  /// Throws SimError with a description on violation.
+  void validate() const;
+};
+
+}  // namespace wp::ir

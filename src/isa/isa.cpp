@@ -1,0 +1,218 @@
+#include "isa/isa.hpp"
+
+#include <sstream>
+
+#include "support/ensure.hpp"
+
+namespace wp::isa {
+
+namespace {
+
+struct OpInfo {
+  const char* name;
+  Format format;
+};
+
+// Indexed by Opcode value; order must match the enum definition.
+constexpr OpInfo kOpInfo[] = {
+    {"add", Format::kRType},   {"sub", Format::kRType},
+    {"rsb", Format::kRType},   {"and", Format::kRType},
+    {"orr", Format::kRType},   {"eor", Format::kRType},
+    {"lsl", Format::kRType},   {"lsr", Format::kRType},
+    {"asr", Format::kRType},   {"mul", Format::kRType},
+    {"mla", Format::kRType},   {"mov", Format::kRType},
+    {"mvn", Format::kRType},   {"cmp", Format::kRType},
+    {"slt", Format::kRType},   {"sltu", Format::kRType},
+    {"addi", Format::kIType},  {"subi", Format::kIType},
+    {"andi", Format::kIType},  {"orri", Format::kIType},
+    {"eori", Format::kIType},  {"lsli", Format::kIType},
+    {"lsri", Format::kIType},  {"asri", Format::kIType},
+    {"muli", Format::kIType},  {"cmpi", Format::kIType},
+    {"movi", Format::kIType},  {"movhi", Format::kIType},
+    {"ldr", Format::kIType},   {"str", Format::kIType},
+    {"ldrb", Format::kIType},  {"strb", Format::kIType},
+    {"ldrx", Format::kRType},  {"strx", Format::kRType},
+    {"ldrbx", Format::kRType}, {"strbx", Format::kRType},
+    {"b", Format::kBType},     {"beq", Format::kBType},
+    {"bne", Format::kBType},   {"blt", Format::kBType},
+    {"bge", Format::kBType},   {"bgt", Format::kBType},
+    {"ble", Format::kBType},   {"bltu", Format::kBType},
+    {"bgeu", Format::kBType},  {"bl", Format::kBType},
+    {"jr", Format::kJType},    {"nop", Format::kNone},
+    {"halt", Format::kNone},
+};
+
+static_assert(sizeof(kOpInfo) / sizeof(kOpInfo[0]) == kOpcodeCount,
+              "kOpInfo must cover every opcode");
+
+const OpInfo& info(Opcode op) {
+  const auto idx = static_cast<u32>(op);
+  WP_ENSURE(idx < kOpcodeCount, "opcode out of range");
+  return kOpInfo[idx];
+}
+
+}  // namespace
+
+Format formatOf(Opcode op) { return info(op).format; }
+
+const char* mnemonic(Opcode op) { return info(op).name; }
+
+bool isControlTransfer(Opcode op) {
+  switch (op) {
+    case Opcode::kB:
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBgt:
+    case Opcode::kBle:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+    case Opcode::kBl:
+    case Opcode::kJr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isConditionalBranch(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBgt:
+    case Opcode::kBle:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isLoad(Opcode op) {
+  return op == Opcode::kLdr || op == Opcode::kLdrb || op == Opcode::kLdrx ||
+         op == Opcode::kLdrbx;
+}
+
+bool isStore(Opcode op) {
+  return op == Opcode::kStr || op == Opcode::kStrb || op == Opcode::kStrx ||
+         op == Opcode::kStrbx;
+}
+
+bool isMultiply(Opcode op) {
+  return op == Opcode::kMul || op == Opcode::kMla || op == Opcode::kMuli;
+}
+
+u32 encode(const Instruction& inst) {
+  const auto opfield = static_cast<u32>(inst.op);
+  WP_ENSURE(opfield < kOpcodeCount, "cannot encode unknown opcode");
+  WP_ENSURE(inst.rd < kNumRegisters && inst.rn < kNumRegisters &&
+                inst.rm < kNumRegisters,
+            "register field out of range");
+  u32 word = opfield << 24;
+  switch (formatOf(inst.op)) {
+    case Format::kRType:
+      word |= static_cast<u32>(inst.rd) << 20;
+      word |= static_cast<u32>(inst.rn) << 16;
+      word |= static_cast<u32>(inst.rm) << 12;
+      break;
+    case Format::kIType: {
+      WP_ENSURE(inst.imm >= -32768 && inst.imm <= 65535,
+                "I-type immediate out of 16-bit range");
+      word |= static_cast<u32>(inst.rd) << 20;
+      word |= static_cast<u32>(inst.rn) << 16;
+      word |= static_cast<u32>(inst.imm) & 0xffffu;
+      break;
+    }
+    case Format::kBType: {
+      WP_ENSURE(inst.imm >= -(1 << 23) && inst.imm < (1 << 23),
+                "branch offset out of 24-bit range");
+      word |= static_cast<u32>(inst.imm) & 0x00ffffffu;
+      break;
+    }
+    case Format::kJType:
+      word |= static_cast<u32>(inst.rn) << 16;
+      break;
+    case Format::kNone:
+      break;
+  }
+  return word;
+}
+
+Instruction decode(u32 word) {
+  const u32 opfield = bits(word, 31, 24);
+  WP_ENSURE(opfield < kOpcodeCount, "decode: unknown opcode field");
+  Instruction inst;
+  inst.op = static_cast<Opcode>(opfield);
+  switch (formatOf(inst.op)) {
+    case Format::kRType:
+      inst.rd = static_cast<u8>(bits(word, 23, 20));
+      inst.rn = static_cast<u8>(bits(word, 19, 16));
+      inst.rm = static_cast<u8>(bits(word, 15, 12));
+      break;
+    case Format::kIType:
+      inst.rd = static_cast<u8>(bits(word, 23, 20));
+      inst.rn = static_cast<u8>(bits(word, 19, 16));
+      inst.imm = signExtend(bits(word, 15, 0), 16);
+      break;
+    case Format::kBType:
+      inst.imm = signExtend(bits(word, 23, 0), 24);
+      break;
+    case Format::kJType:
+      inst.rn = static_cast<u8>(bits(word, 19, 16));
+      break;
+    case Format::kNone:
+      break;
+  }
+  return inst;
+}
+
+std::string disassemble(const Instruction& inst) {
+  std::ostringstream os;
+  os << mnemonic(inst.op);
+  switch (formatOf(inst.op)) {
+    case Format::kRType:
+      if (inst.op == Opcode::kCmp) {
+        os << " r" << int{inst.rn} << ", r" << int{inst.rm};
+      } else if (inst.op == Opcode::kMov || inst.op == Opcode::kMvn) {
+        os << " r" << int{inst.rd} << ", r" << int{inst.rm};
+      } else if (inst.op == Opcode::kLdrx || inst.op == Opcode::kLdrbx) {
+        os << " r" << int{inst.rd} << ", [r" << int{inst.rn} << ", r"
+           << int{inst.rm} << ']';
+      } else if (inst.op == Opcode::kStrx || inst.op == Opcode::kStrbx) {
+        os << " r" << int{inst.rd} << ", [r" << int{inst.rn} << ", r"
+           << int{inst.rm} << ']';
+      } else {
+        os << " r" << int{inst.rd} << ", r" << int{inst.rn} << ", r"
+           << int{inst.rm};
+      }
+      break;
+    case Format::kIType:
+      if (isLoad(inst.op) || isStore(inst.op)) {
+        os << " r" << int{inst.rd} << ", [r" << int{inst.rn} << ", #"
+           << inst.imm << ']';
+      } else if (inst.op == Opcode::kCmpi) {
+        os << " r" << int{inst.rn} << ", #" << inst.imm;
+      } else if (inst.op == Opcode::kMovi || inst.op == Opcode::kMovhi) {
+        os << " r" << int{inst.rd} << ", #" << inst.imm;
+      } else {
+        os << " r" << int{inst.rd} << ", r" << int{inst.rn} << ", #"
+           << inst.imm;
+      }
+      break;
+    case Format::kBType:
+      os << " pc" << (inst.imm >= 0 ? "+" : "") << inst.imm * 4 + 4;
+      break;
+    case Format::kJType:
+      os << " r" << int{inst.rn};
+      break;
+    case Format::kNone:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace wp::isa

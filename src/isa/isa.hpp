@@ -1,0 +1,152 @@
+// WRISC-32: the fixed-width 32-bit RISC ISA executed by the simulator.
+//
+// The ISA is ARM-flavoured to match the paper's XScale testbed: 16
+// general-purpose registers, condition flags written only by compare
+// instructions, a link register for calls, and PC-relative branches with
+// a 24-bit signed word offset. Every instruction is 4 bytes, so a 32-byte
+// cache line holds 8 instructions exactly as in the paper's setup.
+//
+// Instruction formats (op = bits [31:24]):
+//   R-type : op rd[23:20] rn[19:16] rm[15:12]            (register ALU)
+//   I-type : op rd[23:20] rn[19:16] imm16[15:0]          (immediate ALU/mem)
+//   B-type : op imm24[23:0]                              (branches, signed
+//            word offset relative to the *next* instruction)
+//   J-type : op rn[19:16]                                (indirect jump)
+#pragma once
+
+#include <string>
+
+#include "support/bitops.hpp"
+
+namespace wp::isa {
+
+inline constexpr u32 kNumRegisters = 16;
+inline constexpr u32 kInstructionBytes = 4;
+
+/// Register aliases. r13 is the stack pointer and r14 the link register
+/// by software convention; the hardware treats all 16 uniformly except
+/// that BL writes kLinkReg.
+inline constexpr u8 kStackReg = 13;
+inline constexpr u8 kLinkReg = 14;
+
+enum class Opcode : u8 {
+  // R-type ALU: rd = rn OP rm.
+  kAdd,
+  kSub,
+  kRsb,   // rd = rm - rn (reverse subtract)
+  kAnd,
+  kOrr,
+  kEor,
+  kLsl,
+  kLsr,
+  kAsr,
+  kMul,
+  kMla,   // multiply-accumulate: rd = rd + rn * rm (the MAC unit)
+  kMov,   // rd = rm
+  kMvn,   // rd = ~rm
+  kCmp,   // flags = rn - rm (rd unused)
+  kSlt,   // rd = (signed) rn < rm ? 1 : 0
+  kSltu,  // rd = (unsigned) rn < rm ? 1 : 0
+
+  // I-type ALU: rd = rn OP simm16 (logical ops use zero-extended imm).
+  kAddi,
+  kSubi,
+  kAndi,
+  kOrri,
+  kEori,
+  kLsli,
+  kLsri,
+  kAsri,
+  kMuli,
+  kCmpi,   // flags = rn - simm16
+  kMovi,   // rd = simm16
+  kMovhi,  // rd = (rd & 0xffff) | (imm16 << 16)
+
+  // I-type memory: address = rn + simm16.
+  kLdr,   // rd = mem32[addr]
+  kStr,   // mem32[addr] = rd
+  kLdrb,  // rd = zext(mem8[addr])
+  kStrb,  // mem8[addr] = rd & 0xff
+
+  // R-type memory: address = rn + rm.
+  kLdrx,
+  kStrx,
+  kLdrbx,
+  kStrbx,
+
+  // B-type branches: target = pc + 4 + imm24 * 4.
+  kB,
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kBgt,
+  kBle,
+  kBltu,
+  kBgeu,
+  kBl,  // call: link register := pc + 4
+
+  // J-type.
+  kJr,  // pc = rn (RET is JR lr)
+
+  // Misc (no operands).
+  kNop,
+  kHalt,
+
+  kOpcodeCount,
+};
+
+inline constexpr u32 kOpcodeCount = static_cast<u32>(Opcode::kOpcodeCount);
+
+/// Operand-format class of an opcode.
+enum class Format : u8 {
+  kRType,
+  kIType,
+  kBType,
+  kJType,
+  kNone,
+};
+
+/// Decoded (or to-be-encoded) instruction. `imm` holds the sign-extended
+/// immediate for I-types and the signed word offset for B-types.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  u8 rd = 0;
+  u8 rn = 0;
+  u8 rm = 0;
+  i32 imm = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Returns the operand format of @p op.
+[[nodiscard]] Format formatOf(Opcode op);
+
+/// Mnemonic string, e.g. "add".
+[[nodiscard]] const char* mnemonic(Opcode op);
+
+/// True for any control-transfer instruction (branches, calls, jr).
+[[nodiscard]] bool isControlTransfer(Opcode op);
+
+/// True for conditional branches only.
+[[nodiscard]] bool isConditionalBranch(Opcode op);
+
+/// True for loads (both addressing modes).
+[[nodiscard]] bool isLoad(Opcode op);
+
+/// True for stores (both addressing modes).
+[[nodiscard]] bool isStore(Opcode op);
+
+/// True if @p op is kMul/kMla/kMuli (longer functional-unit latency).
+[[nodiscard]] bool isMultiply(Opcode op);
+
+/// Encodes @p inst to its 32-bit machine word. Validates field ranges.
+[[nodiscard]] u32 encode(const Instruction& inst);
+
+/// Decodes a 32-bit machine word. Throws SimError on an unknown opcode.
+[[nodiscard]] Instruction decode(u32 word);
+
+/// Human-readable disassembly, e.g. "addi r1, r2, #-4".
+[[nodiscard]] std::string disassemble(const Instruction& inst);
+
+}  // namespace wp::isa

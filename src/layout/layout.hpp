@@ -1,0 +1,56 @@
+// Link-time code placement — the paper's compiler contribution (§3).
+//
+// Chain formation: basic blocks are linked into chains wherever a
+// predefined ordering must be respected — fall-through edges (including
+// the not-taken side of conditional branches) and call/return-site pairs
+// (a call block's return site is its fall-through in this IR). Remaining
+// blocks are singleton chains. Each chain is weighted by the sum of its
+// blocks' dynamic instruction counts (execution count x block length);
+// chains are then concatenated heaviest-first, so the hottest code lands
+// at the start of the binary where the way-placement area lives.
+//
+// Three policies are provided:
+//   kOriginal      — authored order (the baseline binary; also used for
+//                    the way-memoization runs, which keep the original
+//                    program untouched),
+//   kWayPlacement  — the paper's heaviest-first chain order,
+//   kRandom        — a layout ablation that shuffles blocks arbitrarily,
+//                    exercising the linker's fall-through repair.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "mem/image.hpp"
+
+namespace wp::layout {
+
+enum class Policy : u8 { kOriginal, kWayPlacement, kRandom };
+
+[[nodiscard]] const char* policyName(Policy p);
+
+struct Chain {
+  std::vector<u32> blocks;
+  u64 weight = 0;  ///< sum over blocks of exec_count * instruction count
+};
+
+/// Forms the must-respect chains of @p module (paper §3).
+[[nodiscard]] std::vector<Chain> formChains(const ir::Module& module);
+
+/// Produces the block placement order for @p policy. @p seed only affects
+/// kRandom.
+[[nodiscard]] std::vector<u32> orderBlocks(const ir::Module& module,
+                                           Policy policy, u64 seed = 0);
+
+/// Lays out @p block_order (a permutation of all block ids), repairs
+/// broken fall-throughs with synthetic unconditional branches, resolves
+/// every relocation and emits the final image.
+[[nodiscard]] mem::Image link(const ir::Module& module,
+                              std::span<const u32> block_order);
+
+/// Convenience: orderBlocks + link.
+[[nodiscard]] mem::Image linkWithPolicy(const ir::Module& module,
+                                        Policy policy, u64 seed = 0);
+
+}  // namespace wp::layout

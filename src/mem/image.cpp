@@ -1,0 +1,14 @@
+#include "mem/image.hpp"
+
+#include "support/ensure.hpp"
+
+namespace wp::mem {
+
+void Image::loadInto(Memory& memory) const {
+  WP_ENSURE(kCodeBase + code.size() <= kDataBase,
+            "code segment overflows into data segment");
+  memory.writeBlock(kCodeBase, code);
+  memory.writeBlock(kDataBase, data);
+}
+
+}  // namespace wp::mem

@@ -1,0 +1,41 @@
+// Loadable program image produced by the linker and consumed by the
+// simulator and the profiler.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mem/memory.hpp"
+#include "support/bitops.hpp"
+
+namespace wp::mem {
+
+/// A linked program: code bytes (loaded at kCodeBase), initialized data
+/// (loaded at kDataBase) and a symbol table mapping basic-block ids and
+/// function names to addresses.
+struct Image {
+  std::vector<u8> code;
+  std::vector<u8> data;
+  u32 entry = kCodeBase;
+
+  /// Start address of every laid-out basic block, keyed by the block's
+  /// module-global id. Used by the profiler to map executed addresses
+  /// back to IR blocks.
+  std::map<u32, u32> block_addr;
+
+  /// First address past each block (same key), for address->block lookup.
+  std::map<u32, u32> block_end;
+
+  /// Function entry addresses by name.
+  std::map<std::string, u32> function_addr;
+
+  [[nodiscard]] u32 codeEnd() const {
+    return kCodeBase + static_cast<u32>(code.size());
+  }
+
+  /// Loads code and data segments into @p memory.
+  void loadInto(Memory& memory) const;
+};
+
+}  // namespace wp::mem

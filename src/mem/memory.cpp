@@ -1,0 +1,56 @@
+#include "mem/memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/ensure.hpp"
+
+namespace wp::mem {
+
+Memory::Memory(std::size_t size_bytes) : bytes_(size_bytes, 0) {
+  WP_ENSURE(size_bytes % kPageBytes == 0,
+            "memory size must be a whole number of pages");
+}
+
+void Memory::checkRange(u32 addr, u32 len) const {
+  WP_ENSURE(static_cast<std::size_t>(addr) + len <= bytes_.size(),
+            "memory access out of range");
+}
+
+u8 Memory::load8(u32 addr) const {
+  checkRange(addr, 1);
+  return bytes_[addr];
+}
+
+u32 Memory::load32(u32 addr) const {
+  WP_ENSURE((addr & 3u) == 0, "unaligned 32-bit load");
+  checkRange(addr, 4);
+  u32 v = 0;
+  std::memcpy(&v, bytes_.data() + addr, 4);
+  return v;
+}
+
+void Memory::store8(u32 addr, u8 value) {
+  checkRange(addr, 1);
+  bytes_[addr] = value;
+}
+
+void Memory::store32(u32 addr, u32 value) {
+  WP_ENSURE((addr & 3u) == 0, "unaligned 32-bit store");
+  checkRange(addr, 4);
+  std::memcpy(bytes_.data() + addr, &value, 4);
+}
+
+void Memory::writeBlock(u32 addr, std::span<const u8> data) {
+  checkRange(addr, static_cast<u32>(data.size()));
+  std::copy(data.begin(), data.end(), bytes_.begin() + addr);
+}
+
+std::vector<u8> Memory::readBlock(u32 addr, std::size_t len) const {
+  checkRange(addr, static_cast<u32>(len));
+  return {bytes_.begin() + addr, bytes_.begin() + addr + len};
+}
+
+void Memory::clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+}  // namespace wp::mem

@@ -1,0 +1,193 @@
+#include "pipeline/timing.hpp"
+
+#include <algorithm>
+
+#include "support/ensure.hpp"
+
+namespace wp::pipeline {
+
+using isa::Format;
+using isa::Instruction;
+using isa::Opcode;
+
+RegUse regUsesOf(const Instruction& inst) {
+  RegUse u;
+  const auto addSrc = [&u](u8 r) { u.srcs[u.num_srcs++] = r; };
+  switch (isa::formatOf(inst.op)) {
+    case Format::kRType:
+      switch (inst.op) {
+        case Opcode::kMov:
+        case Opcode::kMvn:
+          addSrc(inst.rm);
+          u.has_dst = true;
+          u.dst = inst.rd;
+          break;
+        case Opcode::kCmp:
+          addSrc(inst.rn);
+          addSrc(inst.rm);
+          u.writes_flags = true;
+          break;
+        case Opcode::kMla:
+          addSrc(inst.rd);  // accumulator
+          addSrc(inst.rn);
+          addSrc(inst.rm);
+          u.has_dst = true;
+          u.dst = inst.rd;
+          break;
+        case Opcode::kLdrx:
+        case Opcode::kLdrbx:
+          addSrc(inst.rn);
+          addSrc(inst.rm);
+          u.has_dst = true;
+          u.dst = inst.rd;
+          break;
+        case Opcode::kStrx:
+        case Opcode::kStrbx:
+          addSrc(inst.rd);  // store data
+          addSrc(inst.rn);
+          addSrc(inst.rm);
+          break;
+        default:
+          addSrc(inst.rn);
+          addSrc(inst.rm);
+          u.has_dst = true;
+          u.dst = inst.rd;
+          break;
+      }
+      break;
+    case Format::kIType:
+      switch (inst.op) {
+        case Opcode::kCmpi:
+          addSrc(inst.rn);
+          u.writes_flags = true;
+          break;
+        case Opcode::kMovi:
+          u.has_dst = true;
+          u.dst = inst.rd;
+          break;
+        case Opcode::kMovhi:
+          addSrc(inst.rd);
+          u.has_dst = true;
+          u.dst = inst.rd;
+          break;
+        case Opcode::kLdr:
+        case Opcode::kLdrb:
+          addSrc(inst.rn);
+          u.has_dst = true;
+          u.dst = inst.rd;
+          break;
+        case Opcode::kStr:
+        case Opcode::kStrb:
+          addSrc(inst.rd);
+          addSrc(inst.rn);
+          break;
+        default:
+          addSrc(inst.rn);
+          u.has_dst = true;
+          u.dst = inst.rd;
+          break;
+      }
+      break;
+    case Format::kBType:
+      if (isa::isConditionalBranch(inst.op)) u.reads_flags = true;
+      if (inst.op == Opcode::kBl) {
+        u.has_dst = true;
+        u.dst = isa::kLinkReg;
+      }
+      break;
+    case Format::kJType:
+      addSrc(inst.rn);
+      break;
+    case Format::kNone:
+      break;
+  }
+  return u;
+}
+
+TimingModel::TimingModel(const TimingConfig& config)
+    : config_(config), btb_(config.btb_entries) {
+  WP_ENSURE(isPow2(config.btb_entries), "BTB entries must be a power of two");
+}
+
+bool TimingModel::predictAndUpdate(u32 pc, bool taken, u32 target) {
+  const u32 index = (pc >> 2) & (static_cast<u32>(btb_.size()) - 1);
+  BtbEntry& e = btb_[index];
+  const bool entry_matches = e.valid && e.tag == pc;
+  const bool predicted_taken = entry_matches && e.counter >= 2;
+  const u32 predicted_target = entry_matches ? e.target : 0;
+
+  const bool correct =
+      predicted_taken == taken && (!taken || predicted_target == target);
+
+  // Update: (re)allocate on taken branches, train the counter.
+  if (!entry_matches) {
+    if (taken) {
+      e.valid = true;
+      e.tag = pc;
+      e.target = target;
+      e.counter = 2;
+    }
+  } else {
+    if (taken) {
+      e.counter = static_cast<u8>(std::min<u32>(e.counter + 1, 3));
+      e.target = target;
+    } else {
+      e.counter = static_cast<u8>(e.counter > 0 ? e.counter - 1 : 0);
+    }
+  }
+  return correct;
+}
+
+void TimingModel::onInstruction(const Instruction& inst, u32 pc,
+                                u32 fetch_cycles, u32 mem_cycles, bool taken,
+                                u32 target) {
+  WP_ENSURE(fetch_cycles >= 1, "fetch must take at least one cycle");
+
+  // Fetch stalls (cache miss, TLB walk, way-hint second access) delay the
+  // pipeline front end directly.
+  cycle_ += fetch_cycles - 1;
+
+  // Scoreboard: issue waits for sources.
+  const RegUse use = regUsesOf(inst);
+  u64 issue = cycle_ + 1;
+  for (u32 i = 0; i < use.num_srcs; ++i) {
+    issue = std::max(issue, reg_ready_[use.srcs[i]]);
+  }
+  if (use.reads_flags) issue = std::max(issue, flags_ready_);
+  cycle_ = issue;
+
+  // Completion latency (out-of-order completion: later independent
+  // instructions are not delayed, so only the scoreboard entry moves).
+  u64 result_ready = issue + 1;
+  if (isa::isMultiply(inst.op)) {
+    result_ready = issue + config_.mul_latency;
+  } else if (isa::isLoad(inst.op)) {
+    // mem_cycles covers the D-cache access (1 on a hit); the load-use
+    // latency covers the remaining pipeline distance.
+    result_ready = issue + mem_cycles + config_.load_use_latency - 1;
+  } else if (isa::isStore(inst.op)) {
+    // Stores retire through the write buffer; a miss stalls the unit.
+    if (mem_cycles > 1) cycle_ += mem_cycles - 1;
+  }
+  if (use.has_dst) reg_ready_[use.dst] = result_ready;
+  if (use.writes_flags) flags_ready_ = issue + 1;
+
+  if (isa::isControlTransfer(inst.op)) {
+    ++branches_.branches;
+    const bool correct = predictAndUpdate(pc, taken, target);
+    if (!correct) {
+      ++branches_.mispredicts;
+      cycle_ += config_.branch_mispredict_penalty;
+    }
+  }
+}
+
+void TimingModel::reset() {
+  cycle_ = 0;
+  reg_ready_.fill(0);
+  flags_ready_ = 0;
+  std::fill(btb_.begin(), btb_.end(), BtbEntry{});
+  branches_.reset();
+}
+
+}  // namespace wp::pipeline

@@ -1,0 +1,82 @@
+// Timing model of the 7-stage, single-issue, in-order XScale-like core
+// (Table 1): in-order issue with a register scoreboard, out-of-order
+// completion, one ALU, one MAC, one load/store unit, a branch target
+// buffer, and blocking caches.
+//
+// The model tracks, per architectural register, the cycle its value
+// becomes available; an instruction issues at the max of the pipeline
+// cycle and its source-ready cycles, matching a scoreboard stall. Fetch
+// and data-cache penalties are supplied per instruction by the caller
+// (the Processor), which owns the cache models.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace wp::pipeline {
+
+struct TimingConfig {
+  u32 branch_mispredict_penalty = 4;
+  u32 load_use_latency = 3;  ///< cycles before a load's result is usable
+  u32 mul_latency = 3;       ///< MAC unit latency
+  u32 btb_entries = 128;
+};
+
+struct BranchStats {
+  u64 branches = 0;
+  u64 mispredicts = 0;
+  void reset() { *this = BranchStats{}; }
+};
+
+/// Source/destination registers of an instruction, plus flag use/def.
+struct RegUse {
+  std::array<u8, 3> srcs{};
+  u32 num_srcs = 0;
+  bool has_dst = false;
+  u8 dst = 0;
+  bool reads_flags = false;
+  bool writes_flags = false;
+};
+
+[[nodiscard]] RegUse regUsesOf(const isa::Instruction& inst);
+
+class TimingModel {
+ public:
+  explicit TimingModel(const TimingConfig& config);
+
+  /// Advances time over one committed instruction.
+  /// @param fetch_cycles  cycles the fetch path reported (>= 1)
+  /// @param mem_cycles    D-cache cycles for loads/stores (0 otherwise)
+  /// @param taken         branch outcome (control transfers only)
+  /// @param target        branch target (control transfers only)
+  void onInstruction(const isa::Instruction& inst, u32 pc, u32 fetch_cycles,
+                     u32 mem_cycles, bool taken, u32 target);
+
+  [[nodiscard]] u64 cycles() const { return cycle_; }
+  [[nodiscard]] const BranchStats& branchStats() const { return branches_; }
+
+  void reset();
+
+ private:
+  struct BtbEntry {
+    bool valid = false;
+    u32 tag = 0;
+    u32 target = 0;
+    u8 counter = 0;  // 2-bit saturating, taken if >= 2
+  };
+
+  /// Predicts direction+target for the branch at @p pc; returns true if
+  /// the prediction matches (@p taken, @p target). Updates the BTB.
+  bool predictAndUpdate(u32 pc, bool taken, u32 target);
+
+  TimingConfig config_;
+  u64 cycle_ = 0;
+  std::array<u64, isa::kNumRegisters> reg_ready_{};
+  u64 flags_ready_ = 0;
+  std::vector<BtbEntry> btb_;
+  BranchStats branches_;
+};
+
+}  // namespace wp::pipeline

@@ -1,0 +1,54 @@
+#include "profile/profiler.hpp"
+
+#include <vector>
+
+#include "support/ensure.hpp"
+
+namespace wp::profile {
+
+ProfileResult profileImage(const mem::Image& image, mem::Memory& memory,
+                           u64 max_instructions) {
+  // Flat pc -> block-id map over the code segment for O(1) counting.
+  const std::size_t words = image.code.size() / 4;
+  std::vector<i32> block_at(words, -1);
+  for (const auto& [id, addr] : image.block_addr) {
+    const std::size_t w = (addr - mem::kCodeBase) / 4;
+    if (w < words) block_at[w] = static_cast<i32>(id);
+  }
+
+  sim::Core core(image, memory);
+  sim::CoreState state = core.initialState();
+
+  ProfileResult result;
+  std::vector<u64> counts(image.block_addr.empty()
+                              ? 0
+                              : image.block_addr.rbegin()->first + 1,
+                          0);
+
+  // A block is "entered" when the pc lands on its first instruction.
+  while (!state.halted) {
+    WP_ENSURE(result.instructions < max_instructions,
+              "profiling budget exhausted (runaway guest?)");
+    const u32 pc = state.pc;
+    const std::size_t w = (pc - mem::kCodeBase) / 4;
+    if (w < words && block_at[w] >= 0) {
+      ++counts[static_cast<std::size_t>(block_at[w])];
+    }
+    core.step(state);
+    ++result.instructions;
+  }
+
+  for (u32 id = 0; id < counts.size(); ++id) {
+    if (counts[id] != 0) result.block_counts[id] = counts[id];
+  }
+  return result;
+}
+
+void annotate(ir::Module& module, const ProfileResult& result) {
+  for (ir::BasicBlock& b : module.blocks) {
+    const auto it = result.block_counts.find(b.id);
+    b.exec_count = it == result.block_counts.end() ? 0 : it->second;
+  }
+}
+
+}  // namespace wp::profile

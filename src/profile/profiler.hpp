@@ -1,0 +1,30 @@
+// Profiler: executes a linked image functionally (no caches, no timing)
+// on the *small* training input and produces per-basic-block execution
+// counts, which the way-placement layout pass consumes (paper §3 and §5:
+// "the small set for profiling and the large inputs for evaluation").
+#pragma once
+
+#include <map>
+
+#include "ir/module.hpp"
+#include "mem/image.hpp"
+#include "sim/core.hpp"
+
+namespace wp::profile {
+
+struct ProfileResult {
+  std::map<u32, u64> block_counts;  ///< block id -> times entered
+  u64 instructions = 0;
+};
+
+/// Runs @p image (already loaded into @p memory with inputs prepared)
+/// until HALT, counting entries into each laid-out basic block.
+[[nodiscard]] ProfileResult profileImage(const mem::Image& image,
+                                         mem::Memory& memory,
+                                         u64 max_instructions = 2'000'000'000ULL);
+
+/// Copies @p result's counts into the module's blocks (zeroing blocks the
+/// profile never reached).
+void annotate(ir::Module& module, const ProfileResult& result);
+
+}  // namespace wp::profile

@@ -1,0 +1,63 @@
+// Functional execution core for WRISC-32.
+//
+// The core is deliberately separate from timing: the profiler runs it
+// bare (fast block counting on the training input), the Processor wraps
+// it with the fetch path, D-cache and timing model for measurement runs.
+//
+// Code is predecoded once from the loaded image — the guest ISA has no
+// self-modifying code — while loads and stores go to the live Memory.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "mem/image.hpp"
+#include "mem/memory.hpp"
+
+namespace wp::sim {
+
+struct CoreState {
+  std::array<u32, isa::kNumRegisters> regs{};
+  bool n = false, z = false, c = false, v = false;  // NZCV flags
+  u32 pc = 0;
+  bool halted = false;
+};
+
+/// Everything the wrappers need to know about one executed instruction.
+struct StepInfo {
+  u32 pc = 0;
+  isa::Instruction inst;
+  u32 next_pc = 0;
+  bool control_transfer = false;
+  bool taken = false;           ///< for control transfers
+  bool indirect = false;        ///< jr (register target)
+  std::optional<u32> mem_addr;  ///< effective address of a load/store
+};
+
+class Core {
+ public:
+  /// Predecodes @p image's code segment; @p memory holds data and stack.
+  Core(const mem::Image& image, mem::Memory& memory);
+
+  /// Initial state: pc at the entry point, sp at the stack top.
+  [[nodiscard]] CoreState initialState() const;
+
+  /// Executes the instruction at @p state.pc. Returns what happened.
+  StepInfo step(CoreState& state);
+
+  [[nodiscard]] u32 codeBase() const { return code_base_; }
+  [[nodiscard]] u32 codeEnd() const {
+    return code_base_ + static_cast<u32>(decoded_.size()) * 4;
+  }
+
+ private:
+  [[nodiscard]] const isa::Instruction& fetchDecoded(u32 pc) const;
+
+  mem::Memory& memory_;
+  std::vector<isa::Instruction> decoded_;
+  u32 code_base_;
+  u32 entry_;
+};
+
+}  // namespace wp::sim

@@ -1,0 +1,89 @@
+#include "sim/processor.hpp"
+
+#include "support/ensure.hpp"
+
+namespace wp::sim {
+
+MachineConfig baselineMachine(cache::Scheme scheme, u32 wp_area_bytes) {
+  MachineConfig m;
+  m.fetch.icache = cache::CacheGeometry{32 * 1024, 32, 32};
+  m.fetch.tlb_entries = 32;
+  m.fetch.scheme = scheme;
+  m.fetch.wp_area_bytes = wp_area_bytes;
+  m.dcache.geometry = cache::CacheGeometry{32 * 1024, 32, 32};
+  return m;
+}
+
+Processor::Processor(const MachineConfig& config, const mem::Image& image,
+                     mem::Memory& memory)
+    : config_(config),
+      core_(image, memory),
+      fetch_(config.fetch),
+      dcache_(config.dcache),
+      timing_(config.timing) {}
+
+RunStats Processor::run() {
+  CoreState state = core_.initialState();
+  RunStats stats;
+
+  // Flow into the *next* fetch, derived from the previous instruction.
+  cache::FetchFlow flow = cache::FetchFlow::kSequential;
+
+  while (!state.halted) {
+    WP_ENSURE(stats.instructions < config_.max_instructions,
+              "instruction budget exhausted (runaway guest?)");
+
+    const u32 pc = state.pc;
+    const u32 fetch_cycles = fetch_.fetch(pc, flow);
+
+    const StepInfo info = core_.step(state);
+    ++stats.instructions;
+
+    u32 mem_cycles = 0;
+    if (info.mem_addr.has_value()) {
+      mem_cycles = isa::isStore(info.inst.op) ? dcache_.store(*info.mem_addr)
+                                              : dcache_.load(*info.mem_addr);
+    }
+
+    timing_.onInstruction(info.inst, pc, fetch_cycles, mem_cycles,
+                          info.taken, info.next_pc);
+
+    if (info.control_transfer && info.taken) {
+      flow = info.indirect ? cache::FetchFlow::kTakenIndirect
+                           : cache::FetchFlow::kTakenDirect;
+    } else {
+      flow = cache::FetchFlow::kSequential;
+    }
+  }
+
+  stats.cycles = timing_.cycles();
+  stats.icache = fetch_.cacheStats();
+  stats.dcache = dcache_.stats();
+  stats.itlb = fetch_.tlbStats();
+  stats.fetch = fetch_.fetchStats();
+  stats.branches = timing_.branchStats();
+  stats.squashed_probes = fetch_.squashedProbes();
+  stats.link_flash_clears = fetch_.linkFlashClears();
+  stats.icache_data_area_factor = fetch_.dataAreaFactor();
+  stats.drowsy = fetch_.drowsyStats();
+  stats.icache_lines = fetch_.icacheLines();
+  return stats;
+}
+
+energy::RunEnergy Processor::price(const energy::EnergyModel& model,
+                                   const MachineConfig& config,
+                                   const RunStats& stats) {
+  energy::RunEnergy e;
+  e.icache = model.cacheEnergy(config.fetch.icache, stats.icache,
+                               stats.icache_data_area_factor,
+                               stats.link_flash_clears);
+  e.dcache = model.cacheEnergy(config.dcache.geometry, stats.dcache);
+  const bool wp_active = config.fetch.scheme == cache::Scheme::kWayPlacement;
+  e.itlb = model.tlbEnergy(stats.itlb, wp_active);
+  e.hint = wp_active ? model.hintEnergy(stats.fetch) : 0.0;
+  e.core = model.coreEnergy(stats.instructions, stats.cycles);
+  e.memory = model.memoryEnergy(stats.memLineTransfers());
+  return e;
+}
+
+}  // namespace wp::sim

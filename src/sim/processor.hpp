@@ -1,0 +1,70 @@
+// The whole simulated processor: functional core + fetch path (way-hint,
+// I-TLB, I-cache) + D-cache + timing model. This is the XTREM substitute
+// the experiments run on.
+#pragma once
+
+#include "cache/data_cache.hpp"
+#include "cache/fetch_path.hpp"
+#include "energy/energy_model.hpp"
+#include "pipeline/timing.hpp"
+#include "sim/core.hpp"
+
+namespace wp::sim {
+
+struct MachineConfig {
+  cache::FetchPathConfig fetch;   ///< I-cache geometry + scheme selection
+  cache::DataCacheConfig dcache;
+  pipeline::TimingConfig timing;
+  u64 max_instructions = 4'000'000'000ULL;
+};
+
+/// Returns the baseline machine of Table 1 (32 KB 32-way 32 B caches,
+/// 32-entry TLBs, 50-cycle memory) with the given scheme installed.
+[[nodiscard]] MachineConfig baselineMachine(
+    cache::Scheme scheme = cache::Scheme::kBaseline, u32 wp_area_bytes = 0);
+
+/// Raw activity counts of one run; the energy model prices them.
+struct RunStats {
+  u64 instructions = 0;
+  u64 cycles = 0;
+  cache::CacheStats icache;
+  cache::CacheStats dcache;
+  cache::TlbStats itlb;
+  cache::FetchStats fetch;
+  pipeline::BranchStats branches;
+  u64 squashed_probes = 0;
+  u64 link_flash_clears = 0;
+  double icache_data_area_factor = 1.0;
+  cache::DrowsyStats drowsy;
+  u32 icache_lines = 0;
+
+  [[nodiscard]] u64 memLineTransfers() const {
+    return icache.line_fills + dcache.line_fills + dcache.writebacks;
+  }
+};
+
+class Processor {
+ public:
+  /// The image must already be loaded into @p memory (Image::loadInto).
+  Processor(const MachineConfig& config, const mem::Image& image,
+            mem::Memory& memory);
+
+  /// Runs from the image entry point until HALT; returns activity counts.
+  RunStats run();
+
+  /// Prices a run with @p model, filling a RunEnergy breakdown.
+  [[nodiscard]] static energy::RunEnergy price(
+      const energy::EnergyModel& model, const MachineConfig& config,
+      const RunStats& stats);
+
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+ private:
+  MachineConfig config_;
+  Core core_;
+  cache::FetchPath fetch_;
+  cache::DataCache dcache_;
+  pipeline::TimingModel timing_;
+};
+
+}  // namespace wp::sim

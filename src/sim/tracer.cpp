@@ -1,0 +1,71 @@
+#include "sim/tracer.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "isa/isa.hpp"
+#include "support/ensure.hpp"
+
+namespace wp::sim {
+
+Tracer::Tracer(std::size_t depth) : depth_(depth) {
+  WP_ENSURE(depth > 0, "tracer depth must be positive");
+}
+
+void Tracer::record(const Core& core, const CoreState& state,
+                    const mem::Image& image) {
+  const u32 pc = state.pc;
+  std::string disasm = "<pc outside code>";
+  if (pc >= core.codeBase() && pc < core.codeEnd() && (pc & 3u) == 0) {
+    u32 word = 0;
+    for (int i = 0; i < 4; ++i) {
+      word |= static_cast<u32>(image.code[pc - core.codeBase() + i])
+              << (8 * i);
+    }
+    disasm = isa::disassemble(isa::decode(word));
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "pc=%06x  %-28s r0=%08x r1=%08x r2=%08x r3=%08x sp=%08x "
+                "lr=%08x %c%c%c%c",
+                pc, disasm.c_str(), state.regs[0], state.regs[1],
+                state.regs[2], state.regs[3], state.regs[isa::kStackReg],
+                state.regs[isa::kLinkReg], state.n ? 'N' : '-',
+                state.z ? 'Z' : '-', state.c ? 'C' : '-',
+                state.v ? 'V' : '-');
+  entries_.emplace_back(buf);
+  if (entries_.size() > depth_) entries_.pop_front();
+}
+
+std::vector<std::string> Tracer::lines() const {
+  return {entries_.begin(), entries_.end()};
+}
+
+std::string Tracer::dump() const {
+  std::ostringstream os;
+  for (const std::string& e : entries_) os << e << '\n';
+  return os.str();
+}
+
+u64 runTraced(const mem::Image& image, mem::Memory& memory,
+              u64 max_instructions, std::size_t trace_depth) {
+  Core core(image, memory);
+  CoreState state = core.initialState();
+  Tracer tracer(trace_depth);
+  u64 executed = 0;
+  try {
+    while (!state.halted) {
+      WP_ENSURE(executed < max_instructions,
+                "traced run exceeded the instruction budget");
+      tracer.record(core, state, image);
+      core.step(state);
+      ++executed;
+    }
+  } catch (const SimError& e) {
+    throw SimError(std::string(e.what()) + "\n--- last instructions ---\n" +
+                   tracer.dump());
+  }
+  return executed;
+}
+
+}  // namespace wp::sim

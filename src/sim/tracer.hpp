@@ -1,0 +1,47 @@
+// Execution tracer: a ring buffer of the last N executed instructions
+// with register snapshots, for debugging guest programs. When a guest
+// throws (unaligned access, runaway loop, pc out of range), the tail of
+// the trace is the first thing you want to see.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "mem/image.hpp"
+#include "sim/core.hpp"
+
+namespace wp::sim {
+
+class Tracer {
+ public:
+  /// Keeps the last @p depth instructions.
+  explicit Tracer(std::size_t depth = 64);
+
+  /// Records one step: call just *before* Core::step with the current
+  /// state (the disassembly needs the pre-execution registers).
+  void record(const Core& core, const CoreState& state,
+              const mem::Image& image);
+
+  /// Formatted trace lines, oldest first.
+  [[nodiscard]] std::vector<std::string> lines() const;
+
+  /// Renders everything into one string (for exception messages).
+  [[nodiscard]] std::string dump() const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::size_t depth_;
+  std::deque<std::string> entries_;
+};
+
+/// Runs @p image functionally until HALT with tracing, returning the
+/// executed instruction count. On a guest fault, rethrows SimError with
+/// the trace tail appended — the debugging workhorse for new workloads.
+u64 runTraced(const mem::Image& image, mem::Memory& memory,
+              u64 max_instructions = 100'000'000ULL,
+              std::size_t trace_depth = 64);
+
+}  // namespace wp::sim

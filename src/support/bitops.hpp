@@ -1,0 +1,76 @@
+// Bit-manipulation helpers shared by the ISA encoder, the cache geometry
+// computations and the energy model. All functions are constexpr and
+// operate on unsigned types per Core Guidelines ES.101 (use unsigned for
+// bit manipulation).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "support/ensure.hpp"
+
+namespace wp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// True iff @p v is a power of two (zero is not).
+[[nodiscard]] constexpr bool isPow2(u64 v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// log2 of an exact power of two; throws for anything else.
+[[nodiscard]] inline u32 log2Exact(u64 v) {
+  WP_ENSURE(isPow2(v), "log2Exact requires a power of two");
+  return static_cast<u32>(std::countr_zero(v));
+}
+
+/// Smallest power-of-two exponent e with 2^e >= v (v >= 1).
+[[nodiscard]] constexpr u32 ceilLog2(u64 v) noexcept {
+  u32 e = 0;
+  u64 p = 1;
+  while (p < v) {
+    p <<= 1;
+    ++e;
+  }
+  return e;
+}
+
+/// Mask with the low @p n bits set (n in [0, 64]).
+[[nodiscard]] constexpr u64 lowMask(u32 n) noexcept {
+  return n >= 64 ? ~u64{0} : ((u64{1} << n) - 1);
+}
+
+/// Extract bits [hi:lo] of @p v (inclusive, hi >= lo).
+[[nodiscard]] constexpr u32 bits(u32 v, u32 hi, u32 lo) noexcept {
+  return (v >> lo) & static_cast<u32>(lowMask(hi - lo + 1));
+}
+
+/// Sign-extend the low @p width bits of @p v to 32 bits.
+[[nodiscard]] constexpr i32 signExtend(u32 v, u32 width) noexcept {
+  const u32 shift = 32 - width;
+  return static_cast<i32>(v << shift) >> shift;
+}
+
+/// Round @p v up to the next multiple of @p align (align a power of two).
+[[nodiscard]] constexpr u64 alignUp(u64 v, u64 align) noexcept {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Round @p v down to a multiple of @p align (align a power of two).
+[[nodiscard]] constexpr u64 alignDown(u64 v, u64 align) noexcept {
+  return v & ~(align - 1);
+}
+
+/// Population count convenience wrapper.
+[[nodiscard]] constexpr u32 popcount(u32 v) noexcept {
+  return static_cast<u32>(std::popcount(v));
+}
+
+}  // namespace wp

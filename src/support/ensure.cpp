@@ -1,0 +1,17 @@
+#include "support/ensure.hpp"
+
+#include <sstream>
+
+namespace wp::detail {
+
+void throwEnsureFailure(const char* file, int line, const char* expr,
+                        const std::string& message) {
+  std::ostringstream os;
+  os << file << ':' << line << ": ensure failed: " << expr;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw SimError(os.str());
+}
+
+}  // namespace wp::detail

@@ -1,0 +1,40 @@
+// Error-handling primitives for the wayplace library.
+//
+// The simulator treats internal inconsistencies (bad decode, misaligned
+// fetch, out-of-range memory access) as programming errors in either the
+// library or the guest program; both abort the current run by throwing
+// wp::SimError carrying a formatted source location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wp {
+
+/// Exception thrown for any violated runtime invariant inside the
+/// simulator, the compiler passes or the workload harness.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwEnsureFailure(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message);
+}  // namespace detail
+
+}  // namespace wp
+
+/// Check a runtime invariant; throws wp::SimError on failure.
+/// Usage: WP_ENSURE(ways > 0, "cache must have at least one way");
+#define WP_ENSURE(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::wp::detail::throwEnsureFailure(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                     \
+  } while (false)
+
+/// Marks an unreachable code path (e.g. exhaustive switch fall-off).
+#define WP_UNREACHABLE(msg) \
+  ::wp::detail::throwEnsureFailure(__FILE__, __LINE__, "unreachable", (msg))

@@ -1,0 +1,50 @@
+// Deterministic PRNG used by workload input generators and property tests.
+//
+// splitmix64 is used for seeding and xoshiro-style stepping so that the
+// same seed produces the same workload inputs on every platform — the
+// experiment harness depends on run-to-run determinism.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bitops.hpp"
+
+namespace wp {
+
+/// Small, fast, deterministic 64-bit PRNG (splitmix64).
+class Rng {
+ public:
+  explicit constexpr Rng(u64 seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr u64 next() noexcept {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound) for bound >= 1.
+  constexpr u64 below(u64 bound) noexcept { return next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  constexpr i64 range(i64 lo, i64 hi) noexcept {
+    return lo + static_cast<i64>(below(static_cast<u64>(hi - lo + 1)));
+  }
+
+  /// Uniform 32-bit value.
+  constexpr u32 next32() noexcept { return static_cast<u32>(next() >> 32); }
+
+  /// Uniform double in [0, 1).
+  constexpr double unit() noexcept {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability @p p.
+  constexpr bool chance(double p) noexcept { return unit() < p; }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace wp

@@ -1,0 +1,63 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/ensure.hpp"
+
+namespace wp {
+
+double mean(std::span<const double> xs) {
+  WP_ENSURE(!xs.empty(), "mean of empty span");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  WP_ENSURE(!xs.empty(), "geomean of empty span");
+  double s = 0.0;
+  for (double x : xs) {
+    WP_ENSURE(x > 0.0, "geomean requires positive values");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double minOf(std::span<const double> xs) {
+  WP_ENSURE(!xs.empty(), "minOf of empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double maxOf(std::span<const double> xs) {
+  WP_ENSURE(!xs.empty(), "maxOf of empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+double Accumulator::mean() const {
+  WP_ENSURE(n_ > 0, "mean of empty accumulator");
+  return sum_ / static_cast<double>(n_);
+}
+
+double Accumulator::min() const {
+  WP_ENSURE(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  WP_ENSURE(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+}  // namespace wp

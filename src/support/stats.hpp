@@ -1,0 +1,36 @@
+// Aggregation helpers used by the experiment driver when averaging
+// normalized energy and ED product across the benchmark suite.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wp {
+
+/// Arithmetic mean of a non-empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Geometric mean of a non-empty span of positive values.
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+/// Minimum / maximum of a non-empty span.
+[[nodiscard]] double minOf(std::span<const double> xs);
+[[nodiscard]] double maxOf(std::span<const double> xs);
+
+/// Incremental mean/min/max accumulator.
+class Accumulator {
+ public:
+  void add(double x);
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] long count() const { return n_; }
+
+ private:
+  long n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace wp

@@ -1,0 +1,67 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace wp {
+
+void TextTable::header(std::vector<std::string> cells) {
+  rows_.insert(rows_.begin(), Row{std::move(cells), false});
+  has_header_ = true;
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::separator() { rows_.push_back(Row{{}, true}); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  for (const Row& r : rows_) {
+    if (r.is_separator) continue;
+    if (widths.size() < r.cells.size()) widths.resize(r.cells.size(), 0);
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], r.cells[i].size());
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+
+  bool printed_header = false;
+  for (const Row& r : rows_) {
+    if (r.is_separator) {
+      os << std::string(total, '-') << '\n';
+      continue;
+    }
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+      const std::size_t w = widths[i];
+      const std::string& c = r.cells[i];
+      if (i == 0) {
+        os << c << std::string(w - c.size() + 2, ' ');
+      } else {
+        os << std::string(w - c.size(), ' ') << c << "  ";
+      }
+    }
+    os << '\n';
+    if (has_header_ && !printed_header) {
+      os << std::string(total, '-') << '\n';
+      printed_header = true;
+    }
+  }
+}
+
+std::string fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmtPct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace wp

@@ -1,0 +1,41 @@
+// Fixed-width text-table printer. Every bench binary uses this to print
+// the rows/series of the paper figure it regenerates.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wp {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row; row lengths may differ from the header.
+  void row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void separator();
+
+  /// Renders the table; the first column is left-aligned, the rest right.
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::vector<Row> rows_;
+  bool has_header_ = false;
+};
+
+/// Formats a double with @p decimals fraction digits.
+[[nodiscard]] std::string fmt(double v, int decimals = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.503 -> "50.3%".
+[[nodiscard]] std::string fmtPct(double fraction, int decimals = 1);
+
+}  // namespace wp

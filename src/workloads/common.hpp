@@ -1,0 +1,81 @@
+// Shared helpers for workload implementations: deterministic input
+// generation and typed access to guest memory buffers.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "asmkit/builder.hpp"
+#include "mem/memory.hpp"
+#include "support/ensure.hpp"
+#include "support/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace wp::workloads {
+
+/// Guest address of a data symbol defined at @p offset.
+[[nodiscard]] inline u32 guestAddr(u32 offset) {
+  return mem::kDataBase + offset;
+}
+
+inline void writeWords(mem::Memory& m, u32 addr, std::span<const u32> words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    m.store32(addr + static_cast<u32>(i) * 4, words[i]);
+  }
+}
+
+inline void writeBytes(mem::Memory& m, u32 addr, std::span<const u8> bytes) {
+  m.writeBlock(addr, bytes);
+}
+
+[[nodiscard]] inline std::vector<u32> readWords(const mem::Memory& m, u32 addr,
+                                                std::size_t count) {
+  std::vector<u32> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = m.load32(addr + static_cast<u32>(i) * 4);
+  }
+  return out;
+}
+
+[[nodiscard]] inline std::vector<u8> toBytes(std::span<const u32> words) {
+  std::vector<u8> out;
+  out.reserve(words.size() * 4);
+  for (const u32 w : words) {
+    out.push_back(static_cast<u8>(w));
+    out.push_back(static_cast<u8>(w >> 8));
+    out.push_back(static_cast<u8>(w >> 16));
+    out.push_back(static_cast<u8>(w >> 24));
+  }
+  return out;
+}
+
+[[nodiscard]] inline std::vector<u8> u32ToBytes(u32 v) {
+  return {static_cast<u8>(v), static_cast<u8>(v >> 8), static_cast<u8>(v >> 16),
+          static_cast<u8>(v >> 24)};
+}
+
+/// Deterministic per-workload, per-input-size random bytes.
+[[nodiscard]] std::vector<u8> randomBytes(const std::string& workload,
+                                          InputSize size, std::size_t count);
+
+/// Deterministic random words.
+[[nodiscard]] std::vector<u32> randomWords(const std::string& workload,
+                                           InputSize size, std::size_t count);
+
+/// Deterministic pseudo-text (lowercase words separated by spaces).
+[[nodiscard]] std::vector<u8> randomText(const std::string& workload,
+                                         InputSize size, std::size_t count);
+
+/// Deterministic 8-bit "image" with smooth gradients plus noise — gives
+/// the susan/tiff/jpeg kernels realistic, compressible pixel data.
+[[nodiscard]] std::vector<u8> syntheticImage(const std::string& workload,
+                                             InputSize size, u32 width,
+                                             u32 height);
+
+/// Deterministic 16-bit PCM-like waveform for the audio codecs.
+[[nodiscard]] std::vector<i16> syntheticAudio(const std::string& workload,
+                                              InputSize size,
+                                              std::size_t samples);
+
+}  // namespace wp::workloads

@@ -1,0 +1,35 @@
+// Internal factory declarations — one per benchmark. The public entry
+// points are suiteNames()/makeWorkload() in workload.hpp.
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace wp::workloads {
+
+std::unique_ptr<Workload> makeBitcount();
+std::unique_ptr<Workload> makeSusanC();
+std::unique_ptr<Workload> makeSusanE();
+std::unique_ptr<Workload> makeSusanS();
+std::unique_ptr<Workload> makeCjpeg();
+std::unique_ptr<Workload> makeDjpeg();
+std::unique_ptr<Workload> makeTiff2bw();
+std::unique_ptr<Workload> makeTiff2rgba();
+std::unique_ptr<Workload> makeTiffdither();
+std::unique_ptr<Workload> makeTiffmedian();
+std::unique_ptr<Workload> makePatricia();
+std::unique_ptr<Workload> makeIspell();
+std::unique_ptr<Workload> makeRsynth();
+std::unique_ptr<Workload> makeBlowfishD();
+std::unique_ptr<Workload> makeBlowfishE();
+std::unique_ptr<Workload> makeRijndaelD();
+std::unique_ptr<Workload> makeRijndaelE();
+std::unique_ptr<Workload> makeSha();
+std::unique_ptr<Workload> makeRawcaudio();
+std::unique_ptr<Workload> makeRawdaudio();
+std::unique_ptr<Workload> makeCrc();
+std::unique_ptr<Workload> makeFft();
+std::unique_ptr<Workload> makeFftInv();
+
+}  // namespace wp::workloads

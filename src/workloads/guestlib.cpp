@@ -1,0 +1,77 @@
+#include "workloads/guestlib.hpp"
+
+namespace wp::workloads {
+
+using namespace asmkit;
+
+void emitUdiv(asmkit::ModuleBuilder& mb) {
+  // Restoring long division, 32 iterations.
+  // In: r0 numerator, r1 divisor. Out: r0 quotient, r1 remainder.
+  auto& f = mb.func("udiv");
+  f.push({r4, r5});
+  f.mov(r2, r0);   // shifting numerator
+  f.movi(r0, 0);   // quotient
+  f.movi(r3, 0);   // remainder
+  f.movi(r4, 32);  // iteration counter
+
+  const auto loop = f.label();
+  const auto skip = f.label();
+  f.bind(loop);
+  f.lsli(r3, r3, 1);
+  f.lsri(r5, r2, 31);
+  f.orr(r3, r3, r5);
+  f.lsli(r2, r2, 1);
+  f.lsli(r0, r0, 1);
+  f.cmpBr(r3, r1, Cond::kLtu, skip);
+  f.sub(r3, r3, r1);
+  f.orri(r0, r0, 1);
+  f.bind(skip);
+  f.subi(r4, r4, 1);
+  f.cmpiBr(r4, 0, Cond::kNe, loop);
+
+  f.mov(r1, r3);
+  f.pop({r4, r5});
+  f.ret();
+}
+
+void emitSdiv(asmkit::ModuleBuilder& mb) {
+  emitUdiv(mb);
+  // In: r0 numerator, r1 divisor. Out: r0 = r0/r1 truncated toward zero,
+  // r1 = remainder carrying the numerator's sign (C semantics).
+  auto& f = mb.func("sdiv");
+  f.prologue({r4, r5});
+  f.movi(r4, 0);  // negate quotient?
+  f.movi(r5, 0);  // negate remainder?
+
+  const auto num_pos = f.label();
+  f.cmpiBr(r0, 0, Cond::kGe, num_pos);
+  f.mvn(r0, r0);
+  f.addi(r0, r0, 1);
+  f.eori(r4, r4, 1);
+  f.movi(r5, 1);
+  f.bind(num_pos);
+
+  const auto den_pos = f.label();
+  f.cmpiBr(r1, 0, Cond::kGe, den_pos);
+  f.mvn(r1, r1);
+  f.addi(r1, r1, 1);
+  f.eori(r4, r4, 1);
+  f.bind(den_pos);
+
+  f.call("udiv");
+
+  const auto no_neg_q = f.label();
+  f.cmpiBr(r4, 0, Cond::kEq, no_neg_q);
+  f.mvn(r0, r0);
+  f.addi(r0, r0, 1);
+  f.bind(no_neg_q);
+
+  const auto no_neg_r = f.label();
+  f.cmpiBr(r5, 0, Cond::kEq, no_neg_r);
+  f.mvn(r1, r1);
+  f.addi(r1, r1, 1);
+  f.bind(no_neg_r);
+  f.epilogue({r4, r5});
+}
+
+}  // namespace wp::workloads

@@ -1,0 +1,18 @@
+// Small guest-side runtime library emitted into workload modules —
+// WRISC-32 has no divide instruction, so programs call these the way
+// ARM binaries call __aeabi_uidiv.
+#pragma once
+
+#include "asmkit/builder.hpp"
+
+namespace wp::workloads {
+
+/// Emits `udiv`: r0 = r0 / r1 (unsigned), r1 = remainder. r1 must be
+/// non-zero (guest behaviour on zero is a 0 quotient, numerator rest).
+void emitUdiv(asmkit::ModuleBuilder& mb);
+
+/// Emits `sdiv`: r0 = r0 / r1 (signed, truncating toward zero),
+/// r1 = remainder with the sign of the numerator. Calls `udiv`.
+void emitSdiv(asmkit::ModuleBuilder& mb);
+
+}  // namespace wp::workloads

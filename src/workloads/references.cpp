@@ -1,0 +1,496 @@
+#include "workloads/references.hpp"
+
+#include <cmath>
+
+#include "support/ensure.hpp"
+#include "support/rng.hpp"
+
+namespace wp::workloads::ref {
+
+// ---------------------------------------------------------------------------
+// SHA-1
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr u32 rol(u32 v, u32 n) { return (v << n) | (v >> (32 - n)); }
+}  // namespace
+
+std::vector<u8> sha1Pad(std::span<const u8> message) {
+  std::vector<u8> out(message.begin(), message.end());
+  const u64 bit_len = static_cast<u64>(message.size()) * 8;
+  out.push_back(0x80);
+  while (out.size() % 64 != 56) out.push_back(0);
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<u8>(bit_len >> (i * 8)));
+  }
+  return out;
+}
+
+std::array<u32, 5> sha1(std::span<const u8> message) {
+  std::array<u32, 5> h = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+                          0xC3D2E1F0u};
+  const std::vector<u8> padded = sha1Pad(message);
+  u32 w[80];
+  for (std::size_t off = 0; off < padded.size(); off += 64) {
+    for (int t = 0; t < 16; ++t) {
+      w[t] = (static_cast<u32>(padded[off + t * 4]) << 24) |
+             (static_cast<u32>(padded[off + t * 4 + 1]) << 16) |
+             (static_cast<u32>(padded[off + t * 4 + 2]) << 8) |
+             static_cast<u32>(padded[off + t * 4 + 3]);
+    }
+    for (int t = 16; t < 80; ++t) {
+      w[t] = rol(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+    }
+    u32 a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int t = 0; t < 80; ++t) {
+      u32 f, k;
+      if (t < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5A827999u;
+      } else if (t < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1u;
+      } else if (t < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDCu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6u;
+      }
+      const u32 temp = rol(a, 5) + f + e + k + w[t];
+      e = d;
+      d = c;
+      c = rol(b, 30);
+      b = a;
+      a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+u32 crc32(std::span<const u8> data) {
+  static const std::array<u32, 256> table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  u32 crc = 0xFFFFFFFFu;
+  for (const u8 b : data) crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+// ---------------------------------------------------------------------------
+// AES-128
+// ---------------------------------------------------------------------------
+
+namespace aes {
+
+u8 gfmul(u8 a, u8 b) {
+  u8 p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1u) p ^= a;
+    const bool hi = (a & 0x80u) != 0;
+    a = static_cast<u8>(a << 1);
+    if (hi) a ^= 0x1Bu;
+    b >>= 1;
+  }
+  return p;
+}
+
+// S-box derived from first principles (GF(2^8) inverse + affine map) so
+// no 256-entry constant needs transcribing; FIPS-197 vectors in the test
+// suite pin it down.
+const std::array<u8, 256>& sbox() {
+  static const std::array<u8, 256> box = [] {
+    std::array<u8, 256> s{};
+    for (u32 x = 0; x < 256; ++x) {
+      u8 inv = 0;
+      if (x != 0) {
+        for (u32 y = 1; y < 256; ++y) {
+          if (gfmul(static_cast<u8>(x), static_cast<u8>(y)) == 1) {
+            inv = static_cast<u8>(y);
+            break;
+          }
+        }
+      }
+      const auto rot = [](u8 v, int n) {
+        return static_cast<u8>((v << n) | (v >> (8 - n)));
+      };
+      s[x] = static_cast<u8>(inv ^ rot(inv, 1) ^ rot(inv, 2) ^ rot(inv, 3) ^
+                             rot(inv, 4) ^ 0x63u);
+    }
+    return s;
+  }();
+  return box;
+}
+
+const std::array<u8, 256>& invSbox() {
+  static const std::array<u8, 256> box = [] {
+    std::array<u8, 256> s{};
+    for (u32 x = 0; x < 256; ++x) s[sbox()[x]] = static_cast<u8>(x);
+    return s;
+  }();
+  return box;
+}
+
+}  // namespace aes
+
+const std::array<u8, 256>& aesSbox() { return aes::sbox(); }
+const std::array<u8, 256>& aesInvSbox() { return aes::invSbox(); }
+u8 aesGfmul(u8 a, u8 b) { return aes::gfmul(a, b); }
+
+Aes128::Aes128(std::span<const u8> key16) {
+  WP_ENSURE(key16.size() == 16, "AES-128 key must be 16 bytes");
+  const auto& sb = aes::sbox();
+  for (int i = 0; i < 16; ++i) round_keys_[i] = key16[i];
+  u8 rcon = 1;
+  for (int i = 4; i < 44; ++i) {
+    u8 t[4] = {round_keys_[(i - 1) * 4], round_keys_[(i - 1) * 4 + 1],
+               round_keys_[(i - 1) * 4 + 2], round_keys_[(i - 1) * 4 + 3]};
+    if (i % 4 == 0) {
+      const u8 tmp = t[0];  // RotWord
+      t[0] = static_cast<u8>(sb[t[1]] ^ rcon);
+      t[1] = sb[t[2]];
+      t[2] = sb[t[3]];
+      t[3] = sb[tmp];
+      rcon = aes::gfmul(rcon, 2);
+    }
+    for (int b = 0; b < 4; ++b) {
+      round_keys_[i * 4 + b] =
+          static_cast<u8>(round_keys_[(i - 4) * 4 + b] ^ t[b]);
+    }
+  }
+}
+
+void Aes128::encryptBlock(const u8 in[16], u8 out[16]) const {
+  const auto& sb = aes::sbox();
+  u8 s[16];
+  for (int i = 0; i < 16; ++i) s[i] = static_cast<u8>(in[i] ^ round_keys_[i]);
+  for (int round = 1; round <= 10; ++round) {
+    // SubBytes.
+    for (auto& b : s) b = sb[b];
+    // ShiftRows: byte index = r + 4c.
+    u8 t[16];
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) t[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+    }
+    if (round < 10) {
+      // MixColumns.
+      for (int c = 0; c < 4; ++c) {
+        const u8 a0 = t[4 * c], a1 = t[4 * c + 1], a2 = t[4 * c + 2],
+                 a3 = t[4 * c + 3];
+        s[4 * c] = static_cast<u8>(aes::gfmul(a0, 2) ^ aes::gfmul(a1, 3) ^ a2 ^ a3);
+        s[4 * c + 1] = static_cast<u8>(a0 ^ aes::gfmul(a1, 2) ^ aes::gfmul(a2, 3) ^ a3);
+        s[4 * c + 2] = static_cast<u8>(a0 ^ a1 ^ aes::gfmul(a2, 2) ^ aes::gfmul(a3, 3));
+        s[4 * c + 3] = static_cast<u8>(aes::gfmul(a0, 3) ^ a1 ^ a2 ^ aes::gfmul(a3, 2));
+      }
+    } else {
+      for (int i = 0; i < 16; ++i) s[i] = t[i];
+    }
+    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[round * 16 + i];
+  }
+  for (int i = 0; i < 16; ++i) out[i] = s[i];
+}
+
+void Aes128::decryptBlock(const u8 in[16], u8 out[16]) const {
+  const auto& isb = aes::invSbox();
+  u8 s[16];
+  for (int i = 0; i < 16; ++i) {
+    s[i] = static_cast<u8>(in[i] ^ round_keys_[160 + i]);
+  }
+  for (int round = 9; round >= 0; --round) {
+    // InvShiftRows.
+    u8 t[16];
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) t[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+    }
+    // InvSubBytes + AddRoundKey.
+    for (int i = 0; i < 16; ++i) {
+      s[i] = static_cast<u8>(isb[t[i]] ^ round_keys_[round * 16 + i]);
+    }
+    if (round > 0) {
+      // InvMixColumns.
+      for (int c = 0; c < 4; ++c) {
+        const u8 a0 = s[4 * c], a1 = s[4 * c + 1], a2 = s[4 * c + 2],
+                 a3 = s[4 * c + 3];
+        s[4 * c] = static_cast<u8>(aes::gfmul(a0, 14) ^ aes::gfmul(a1, 11) ^
+                                   aes::gfmul(a2, 13) ^ aes::gfmul(a3, 9));
+        s[4 * c + 1] = static_cast<u8>(aes::gfmul(a0, 9) ^ aes::gfmul(a1, 14) ^
+                                       aes::gfmul(a2, 11) ^ aes::gfmul(a3, 13));
+        s[4 * c + 2] = static_cast<u8>(aes::gfmul(a0, 13) ^ aes::gfmul(a1, 9) ^
+                                       aes::gfmul(a2, 14) ^ aes::gfmul(a3, 11));
+        s[4 * c + 3] = static_cast<u8>(aes::gfmul(a0, 11) ^ aes::gfmul(a1, 13) ^
+                                       aes::gfmul(a2, 9) ^ aes::gfmul(a3, 14));
+      }
+    }
+  }
+  for (int i = 0; i < 16; ++i) out[i] = s[i];
+}
+
+// ---------------------------------------------------------------------------
+// Blowfish-variant
+// ---------------------------------------------------------------------------
+
+void Blowfish::initialTables(u64 seed, std::array<u32, 18>& p,
+                             std::array<u32, 1024>& s) {
+  Rng rng(seed);
+  for (auto& v : p) v = rng.next32();
+  for (auto& v : s) v = rng.next32();
+}
+
+u32 Blowfish::feistel(u32 x) const {
+  const u32 a = x >> 24, b = (x >> 16) & 0xffu, c = (x >> 8) & 0xffu,
+            d = x & 0xffu;
+  return ((s[a] + s[256 + b]) ^ s[512 + c]) + s[768 + d];
+}
+
+Blowfish::Blowfish(std::span<const u8> key, u64 table_seed) {
+  WP_ENSURE(!key.empty(), "empty blowfish key");
+  initialTables(table_seed, p, s);
+  // XOR the key into P, cycling.
+  std::size_t kpos = 0;
+  for (auto& pv : p) {
+    u32 kw = 0;
+    for (int i = 0; i < 4; ++i) {
+      kw = (kw << 8) | key[kpos];
+      kpos = (kpos + 1) % key.size();
+    }
+    pv ^= kw;
+  }
+  // Regenerate P then S by repeated encryption of the zero block.
+  u32 l = 0, r = 0;
+  for (std::size_t i = 0; i < p.size(); i += 2) {
+    encryptBlock(l, r);
+    p[i] = l;
+    p[i + 1] = r;
+  }
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    encryptBlock(l, r);
+    s[i] = l;
+    s[i + 1] = r;
+  }
+}
+
+void Blowfish::encryptBlock(u32& left, u32& right) const {
+  u32 xl = left, xr = right;
+  for (int i = 0; i < 16; ++i) {
+    xl ^= p[i];
+    xr ^= feistel(xl);
+    std::swap(xl, xr);
+  }
+  std::swap(xl, xr);
+  xr ^= p[16];
+  xl ^= p[17];
+  left = xl;
+  right = xr;
+}
+
+void Blowfish::decryptBlock(u32& left, u32& right) const {
+  u32 xl = left, xr = right;
+  for (int i = 17; i > 1; --i) {
+    xl ^= p[i];
+    xr ^= feistel(xl);
+    std::swap(xl, xr);
+  }
+  std::swap(xl, xr);
+  xr ^= p[1];
+  xl ^= p[0];
+  left = xl;
+  right = xr;
+}
+
+// ---------------------------------------------------------------------------
+// IMA ADPCM
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr i16 kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+constexpr i8 kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                -1, -1, -1, -1, 2, 4, 6, 8};
+}  // namespace
+
+std::span<const i16> adpcmStepTable() { return kStepTable; }
+std::span<const i8> adpcmIndexTable() { return kIndexTable; }
+
+std::vector<u8> adpcmEncode(std::span<const i16> pcm) {
+  std::vector<u8> out;
+  out.reserve((pcm.size() + 1) / 2);
+  i32 valpred = 0;
+  i32 index = 0;
+  i32 step = kStepTable[0];
+  u8 outputbuffer = 0;
+  bool high_nibble = true;
+
+  for (const i16 sample : pcm) {
+    i32 diff = sample - valpred;
+    const i32 sign = diff < 0 ? 8 : 0;
+    if (sign) diff = -diff;
+
+    i32 delta = 0;
+    i32 vpdiff = step >> 3;
+    if (diff >= step) {
+      delta = 4;
+      diff -= step;
+      vpdiff += step;
+    }
+    step >>= 1;
+    if (diff >= step) {
+      delta |= 2;
+      diff -= step;
+      vpdiff += step;
+    }
+    step >>= 1;
+    if (diff >= step) {
+      delta |= 1;
+      vpdiff += step;
+    }
+
+    if (sign) {
+      valpred -= vpdiff;
+    } else {
+      valpred += vpdiff;
+    }
+    if (valpred > 32767) valpred = 32767;
+    if (valpred < -32768) valpred = -32768;
+
+    delta |= sign;
+    index += kIndexTable[delta];
+    if (index < 0) index = 0;
+    if (index > 88) index = 88;
+    step = kStepTable[index];
+
+    if (high_nibble) {
+      outputbuffer = static_cast<u8>((delta << 4) & 0xf0);
+    } else {
+      out.push_back(static_cast<u8>((delta & 0x0f) | outputbuffer));
+    }
+    high_nibble = !high_nibble;
+  }
+  if (!high_nibble) out.push_back(outputbuffer);
+  return out;
+}
+
+std::vector<i16> adpcmDecode(std::span<const u8> codes,
+                             std::size_t sample_count) {
+  std::vector<i16> out;
+  out.reserve(sample_count);
+  i32 valpred = 0;
+  i32 index = 0;
+  i32 step = kStepTable[0];
+  std::size_t inpos = 0;
+  bool high_nibble = true;
+
+  for (std::size_t n = 0; n < sample_count; ++n) {
+    i32 delta;
+    if (high_nibble) {
+      WP_ENSURE(inpos < codes.size(), "adpcm stream too short");
+      delta = (codes[inpos] >> 4) & 0xf;
+    } else {
+      delta = codes[inpos] & 0xf;
+      ++inpos;
+    }
+    high_nibble = !high_nibble;
+
+    index += kIndexTable[delta];
+    if (index < 0) index = 0;
+    if (index > 88) index = 88;
+
+    const i32 sign = delta & 8;
+    delta &= 7;
+    i32 vpdiff = step >> 3;
+    if (delta & 4) vpdiff += step;
+    if (delta & 2) vpdiff += step >> 1;
+    if (delta & 1) vpdiff += step >> 2;
+    if (sign) {
+      valpred -= vpdiff;
+    } else {
+      valpred += vpdiff;
+    }
+    if (valpred > 32767) valpred = 32767;
+    if (valpred < -32768) valpred = -32768;
+
+    step = kStepTable[index];
+    out.push_back(static_cast<i16>(valpred));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-point FFT
+// ---------------------------------------------------------------------------
+
+void fftTwiddles(std::size_t n, std::vector<i32>& cos_q15,
+                 std::vector<i32>& sin_q15) {
+  cos_q15.resize(n / 2);
+  sin_q15.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double a = 2.0 * 3.14159265358979323846 * static_cast<double>(k) /
+                     static_cast<double>(n);
+    cos_q15[k] = static_cast<i32>(std::lround(32767.0 * std::cos(a)));
+    sin_q15[k] = static_cast<i32>(std::lround(32767.0 * std::sin(a)));
+  }
+}
+
+void fftFixed(std::vector<i32>& re, std::vector<i32>& im, bool inverse) {
+  const std::size_t n = re.size();
+  WP_ENSURE(n == im.size() && isPow2(n), "fft size must be a power of two");
+  std::vector<i32> cs, sn;
+  fftTwiddles(n, cs, sn);
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t tstep = n / len;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const std::size_t k = j * tstep;
+        const i32 wr = cs[k];
+        const i32 wi = inverse ? sn[k] : -sn[k];
+        const i32 xr = re[i + j + half];
+        const i32 xi = im[i + j + half];
+        const i32 tr = (wr * xr - wi * xi) >> 15;
+        const i32 ti = (wr * xi + wi * xr) >> 15;
+        re[i + j + half] = (re[i + j] - tr) >> 1;
+        im[i + j + half] = (im[i + j] - ti) >> 1;
+        re[i + j] = (re[i + j] + tr) >> 1;
+        im[i + j] = (im[i + j] + ti) >> 1;
+      }
+    }
+  }
+}
+
+}  // namespace wp::workloads::ref

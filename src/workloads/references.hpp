@@ -1,0 +1,91 @@
+// Host-side reference implementations of the workload kernels.
+//
+// Each guest (WRISC-32) kernel has a bit-exact C++ twin here; workload
+// verification compares guest output against these, and the unit tests
+// check the twins against published vectors (FIPS-197 for AES, the "abc"
+// vector for SHA-1, the CRC-32 check value) where such vectors exist.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "support/bitops.hpp"
+
+namespace wp::workloads::ref {
+
+// --- SHA-1 ------------------------------------------------------------
+/// Internal state words after digesting @p message (with standard
+/// padding). The guest stores the same five words little-endian.
+[[nodiscard]] std::array<u32, 5> sha1(std::span<const u8> message);
+
+/// Standard MD-padding: message + 0x80 + zeros + 64-bit bit length.
+[[nodiscard]] std::vector<u8> sha1Pad(std::span<const u8> message);
+
+// --- CRC-32 -----------------------------------------------------------
+[[nodiscard]] u32 crc32(std::span<const u8> data);
+
+// --- AES-128 (FIPS-197) -------------------------------------------------
+struct Aes128 {
+  explicit Aes128(std::span<const u8> key16);
+  void encryptBlock(const u8 in[16], u8 out[16]) const;
+  void decryptBlock(const u8 in[16], u8 out[16]) const;
+  /// 11 round keys x 16 bytes, as laid out for the guest.
+  [[nodiscard]] const std::array<u8, 176>& roundKeys() const {
+    return round_keys_;
+  }
+
+ private:
+  std::array<u8, 176> round_keys_{};
+};
+
+/// AES building blocks, exposed so the guest's constant tables are
+/// generated from the same source as the reference.
+[[nodiscard]] const std::array<u8, 256>& aesSbox();
+[[nodiscard]] const std::array<u8, 256>& aesInvSbox();
+[[nodiscard]] u8 aesGfmul(u8 a, u8 b);
+
+// --- Blowfish-variant ---------------------------------------------------
+/// Blowfish with the standard algorithm but PRNG-seeded initial P/S
+/// tables instead of the pi digits (documented substitution — the
+/// hot code paths are identical). Key schedule runs exactly as in
+/// Schneier's reference: XOR key into P, then repeatedly encrypt the
+/// zero block to regenerate P and S.
+struct Blowfish {
+  Blowfish(std::span<const u8> key, u64 table_seed);
+  void encryptBlock(u32& left, u32& right) const;
+  void decryptBlock(u32& left, u32& right) const;
+
+  /// Initial (pre-key-schedule) tables with the same seed; the guest
+  /// runs the key schedule itself starting from these.
+  static void initialTables(u64 seed, std::array<u32, 18>& p,
+                            std::array<u32, 1024>& s);
+
+  std::array<u32, 18> p{};
+  std::array<u32, 1024> s{};  // 4 boxes x 256, contiguous
+
+ private:
+  [[nodiscard]] u32 feistel(u32 x) const;
+};
+
+// --- IMA ADPCM ----------------------------------------------------------
+/// Encoder/decoder matching the MiBench adpcm coder (Intel/DVI IMA).
+[[nodiscard]] std::vector<u8> adpcmEncode(std::span<const i16> pcm);
+[[nodiscard]] std::vector<i16> adpcmDecode(std::span<const u8> codes,
+                                           std::size_t sample_count);
+[[nodiscard]] std::span<const i16> adpcmStepTable();   // 89 entries
+[[nodiscard]] std::span<const i8> adpcmIndexTable();   // 16 entries
+
+// --- Fixed-point FFT ------------------------------------------------------
+/// In-place radix-2 DIT FFT on Q15 data, bit-exact with the guest:
+/// butterflies use ((a*b) >> 15) products and >>1 scaling per stage.
+/// @p inverse uses conjugated twiddles (no final 1/N — the per-stage >>1
+/// already applies 1/N overall).
+void fftFixed(std::vector<i32>& re, std::vector<i32>& im, bool inverse);
+
+/// Q15 twiddle tables (cos, -sin) for size @p n, as laid out for the
+/// guest: index k in [0, n/2).
+void fftTwiddles(std::size_t n, std::vector<i32>& cos_q15,
+                 std::vector<i32>& sin_q15);
+
+}  // namespace wp::workloads::ref

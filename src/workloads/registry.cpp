@@ -1,0 +1,59 @@
+#include "support/ensure.hpp"
+#include "workloads/factories.hpp"
+#include "workloads/workload.hpp"
+
+namespace wp::workloads {
+
+namespace {
+
+struct Entry {
+  const char* name;
+  std::unique_ptr<Workload> (*make)();
+};
+
+// Figure 4 order.
+constexpr Entry kSuite[] = {
+    {"bitcount", makeBitcount},
+    {"susan_c", makeSusanC},
+    {"susan_e", makeSusanE},
+    {"susan_s", makeSusanS},
+    {"cjpeg", makeCjpeg},
+    {"djpeg", makeDjpeg},
+    {"tiff2bw", makeTiff2bw},
+    {"tiff2rgba", makeTiff2rgba},
+    {"tiffdither", makeTiffdither},
+    {"tiffmedian", makeTiffmedian},
+    {"patricia", makePatricia},
+    {"ispell", makeIspell},
+    {"rsynth", makeRsynth},
+    {"blowfish_d", makeBlowfishD},
+    {"blowfish_e", makeBlowfishE},
+    {"rijndael_d", makeRijndaelD},
+    {"rijndael_e", makeRijndaelE},
+    {"sha", makeSha},
+    {"rawcaudio", makeRawcaudio},
+    {"rawdaudio", makeRawdaudio},
+    {"crc", makeCrc},
+    {"fft", makeFft},
+    {"fft_i", makeFftInv},
+};
+
+}  // namespace
+
+const std::vector<std::string>& suiteNames() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const Entry& e : kSuite) v.emplace_back(e.name);
+    return v;
+  }();
+  return names;
+}
+
+std::unique_ptr<Workload> makeWorkload(const std::string& name) {
+  for (const Entry& e : kSuite) {
+    if (name == e.name) return e.make();
+  }
+  throw SimError("unknown workload: " + name);
+}
+
+}  // namespace wp::workloads

@@ -1,0 +1,331 @@
+// rawcaudio / rawdaudio — MiBench telecomm/adpcm: the Intel/DVI IMA
+// ADPCM coder and decoder, bit-exact with the reference coder including
+// the nibble packing order and predictor clamping.
+//
+// WRISC-32 has no halfword loads, so PCM samples travel as sign-extended
+// 32-bit words; the 4-bit code stream is packed two codes per byte
+// exactly as in the original (first code in the high nibble).
+#include "workloads/common.hpp"
+#include "workloads/factories.hpp"
+#include "workloads/references.hpp"
+
+namespace wp::workloads {
+
+namespace {
+
+constexpr std::size_t kSmallSamples = 12 * 1024;
+constexpr std::size_t kLargeSamples = 72 * 1024;
+
+std::vector<i16> pcm(InputSize size) {
+  return syntheticAudio("adpcm", size,
+                        size == InputSize::kSmall ? kSmallSamples
+                                                  : kLargeSamples);
+}
+
+std::vector<u32> stepTableWords() {
+  std::vector<u32> w;
+  for (const i16 v : ref::adpcmStepTable()) w.push_back(static_cast<u32>(v));
+  return w;
+}
+
+std::vector<u32> indexTableWords() {
+  std::vector<u32> w;
+  for (const i8 v : ref::adpcmIndexTable()) {
+    w.push_back(static_cast<u32>(static_cast<i32>(v)));
+  }
+  return w;
+}
+
+// Emits the clamp of r7 (valpred) to [-32768, 32767].
+void emitClampValpred(asmkit::FunctionBuilder& f) {
+  using namespace asmkit;
+  const auto c1 = f.label();
+  const auto c2 = f.label();
+  f.movi(r0, 32767);
+  f.cmpBr(r7, r0, Cond::kLe, c1);
+  f.mov(r7, r0);
+  f.bind(c1);
+  f.movi(r0, -32768);
+  f.cmpBr(r7, r0, Cond::kGe, c2);
+  f.mov(r7, r0);
+  f.bind(c2);
+}
+
+// Emits the clamp of r8 (index) to [0, 88].
+void emitClampIndex(asmkit::FunctionBuilder& f) {
+  using namespace asmkit;
+  const auto i1 = f.label();
+  const auto i2 = f.label();
+  f.cmpiBr(r8, 0, Cond::kGe, i1);
+  f.movi(r8, 0);
+  f.bind(i1);
+  f.cmpiBr(r8, 88, Cond::kLe, i2);
+  f.movi(r8, 88);
+  f.bind(i2);
+}
+
+class AdpcmWorkload : public Workload {
+ public:
+  explicit AdpcmWorkload(bool decode) : decode_(decode) {}
+
+  std::string name() const override {
+    return decode_ ? "rawdaudio" : "rawcaudio";
+  }
+
+  ir::Module build() override {
+    asmkit::ModuleBuilder mb;
+    using namespace asmkit;
+
+    mb.dataWords("step_tab", stepTableWords());
+    mb.dataWords("index_tab", indexTableWords());
+    input_off_ = mb.bss("input", static_cast<u32>(
+        decode_ ? (kLargeSamples + 1) / 2 : kLargeSamples * 4));
+    nsamples_off_ = mb.bss("nsamples", 4);
+    out_off_ = mb.bss("output", static_cast<u32>(
+        decode_ ? kLargeSamples * 4 : (kLargeSamples + 1) / 2));
+
+    if (decode_) {
+      emitDecoder(mb);
+    } else {
+      emitEncoder(mb);
+    }
+    return mb.build();
+  }
+
+  void prepare(mem::Memory& memory, InputSize size) const override {
+    const auto samples = pcm(size);
+    memory.store32(guestAddr(nsamples_off_),
+                   static_cast<u32>(samples.size()));
+    if (decode_) {
+      writeBytes(memory, guestAddr(input_off_), ref::adpcmEncode(samples));
+    } else {
+      std::vector<u32> words;
+      words.reserve(samples.size());
+      for (const i16 s : samples) {
+        words.push_back(static_cast<u32>(static_cast<i32>(s)));
+      }
+      writeWords(memory, guestAddr(input_off_), words);
+    }
+  }
+
+  std::vector<u8> output(const mem::Memory& memory) const override {
+    const std::size_t len =
+        decode_ ? kLargeSamples * 4 : (kLargeSamples + 1) / 2;
+    return memory.readBlock(guestAddr(out_off_), len);
+  }
+
+  std::vector<u8> expected(InputSize size) const override {
+    const auto samples = pcm(size);
+    std::vector<u8> e;
+    if (decode_) {
+      const auto decoded =
+          ref::adpcmDecode(ref::adpcmEncode(samples), samples.size());
+      std::vector<u32> words;
+      for (const i16 s : decoded) {
+        words.push_back(static_cast<u32>(static_cast<i32>(s)));
+      }
+      e = toBytes(words);
+      e.resize(kLargeSamples * 4, 0);
+    } else {
+      e = ref::adpcmEncode(samples);
+      e.resize((kLargeSamples + 1) / 2, 0);
+    }
+    return e;
+  }
+
+ private:
+  static void emitEncoder(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7, r8, r9, r10, r11});
+    f.la(r2, "step_tab");
+    f.la(r3, "index_tab");
+    f.la(r4, "input");
+    f.la(r0, "nsamples");
+    f.ldr(r5, r0);
+    f.la(r6, "output");
+    f.movi(r7, 0);      // valpred
+    f.movi(r8, 0);      // index
+    f.ldr(r9, r2, 0);   // step
+    f.movi(r10, 0);     // output buffer
+    f.movi(r11, 1);     // next nibble is high
+
+    const auto loop = f.label();
+    const auto done = f.label();
+    f.bind(loop);
+    f.cmpiBr(r5, 0, Cond::kEq, done);
+    f.ldr(r0, r4, 0);
+    f.addi(r4, r4, 4);
+    f.sub(r0, r0, r7);  // diff = val - valpred
+    f.movi(r12, 0);     // sign
+    const auto pos = f.label();
+    f.cmpiBr(r0, 0, Cond::kGe, pos);
+    f.movi(r12, 8);
+    f.mvn(r0, r0);
+    f.addi(r0, r0, 1);
+    f.bind(pos);
+
+    f.movi(r1, 0);       // delta
+    f.lsri(r15, r9, 3);  // vpdiff = step >> 3
+    const auto s1 = f.label();
+    f.cmpBr(r0, r9, Cond::kLt, s1);
+    f.orri(r1, r1, 4);
+    f.sub(r0, r0, r9);
+    f.add(r15, r15, r9);
+    f.bind(s1);
+    f.lsri(r9, r9, 1);
+    const auto s2 = f.label();
+    f.cmpBr(r0, r9, Cond::kLt, s2);
+    f.orri(r1, r1, 2);
+    f.sub(r0, r0, r9);
+    f.add(r15, r15, r9);
+    f.bind(s2);
+    f.lsri(r9, r9, 1);
+    const auto s3 = f.label();
+    f.cmpBr(r0, r9, Cond::kLt, s3);
+    f.orri(r1, r1, 1);
+    f.add(r15, r15, r9);
+    f.bind(s3);
+
+    const auto addv = f.label();
+    const auto applied = f.label();
+    f.cmpiBr(r12, 0, Cond::kEq, addv);
+    f.sub(r7, r7, r15);
+    f.jmp(applied);
+    f.bind(addv);
+    f.add(r7, r7, r15);
+    f.bind(applied);
+    emitClampValpred(f);
+
+    f.orr(r1, r1, r12);  // delta |= sign
+    f.lsli(r0, r1, 2);
+    f.ldrx(r0, r3, r0);
+    f.add(r8, r8, r0);
+    emitClampIndex(f);
+    f.lsli(r0, r8, 2);
+    f.ldrx(r9, r2, r0);  // step = table[index]
+
+    const auto lownib = f.label();
+    const auto packed = f.label();
+    f.cmpiBr(r11, 0, Cond::kEq, lownib);
+    f.lsli(r10, r1, 4);
+    f.andi(r10, r10, 0xf0);
+    f.movi(r11, 0);
+    f.jmp(packed);
+    f.bind(lownib);
+    f.andi(r0, r1, 0x0f);
+    f.orr(r0, r0, r10);
+    f.strb(r0, r6, 0);
+    f.addi(r6, r6, 1);
+    f.movi(r11, 1);
+    f.bind(packed);
+
+    f.subi(r5, r5, 1);
+    f.jmp(loop);
+
+    f.bind(done);
+    const auto noflush = f.label();
+    f.cmpiBr(r11, 1, Cond::kEq, noflush);
+    f.strb(r10, r6, 0);
+    f.bind(noflush);
+    f.epilogue({r4, r5, r6, r7, r8, r9, r10, r11});
+  }
+
+  static void emitDecoder(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7, r8, r9, r10, r11});
+    f.la(r2, "step_tab");
+    f.la(r3, "index_tab");
+    f.la(r4, "input");
+    f.la(r0, "nsamples");
+    f.ldr(r5, r0);
+    f.la(r6, "output");
+    f.movi(r7, 0);      // valpred
+    f.movi(r8, 0);      // index
+    f.ldr(r9, r2, 0);   // step
+    f.movi(r10, 0);     // input buffer
+    f.movi(r11, 1);     // need a fresh byte (read high nibble)
+
+    const auto loop = f.label();
+    const auto done = f.label();
+    f.bind(loop);
+    f.cmpiBr(r5, 0, Cond::kEq, done);
+
+    const auto low = f.label();
+    const auto got = f.label();
+    f.cmpiBr(r11, 0, Cond::kEq, low);
+    f.ldrb(r10, r4, 0);
+    f.addi(r4, r4, 1);
+    f.lsri(r1, r10, 4);
+    f.andi(r1, r1, 0xf);
+    f.movi(r11, 0);
+    f.jmp(got);
+    f.bind(low);
+    f.andi(r1, r10, 0xf);
+    f.movi(r11, 1);
+    f.bind(got);
+
+    f.lsli(r0, r1, 2);
+    f.ldrx(r0, r3, r0);
+    f.add(r8, r8, r0);
+    emitClampIndex(f);
+
+    f.andi(r12, r1, 8);  // sign
+    f.andi(r1, r1, 7);
+    f.lsri(r15, r9, 3);  // vpdiff = step >> 3
+    const auto d1 = f.label();
+    f.andi(r0, r1, 4);
+    f.cmpiBr(r0, 0, Cond::kEq, d1);
+    f.add(r15, r15, r9);
+    f.bind(d1);
+    const auto d2 = f.label();
+    f.andi(r0, r1, 2);
+    f.cmpiBr(r0, 0, Cond::kEq, d2);
+    f.lsri(r0, r9, 1);
+    f.add(r15, r15, r0);
+    f.bind(d2);
+    const auto d3 = f.label();
+    f.andi(r0, r1, 1);
+    f.cmpiBr(r0, 0, Cond::kEq, d3);
+    f.lsri(r0, r9, 2);
+    f.add(r15, r15, r0);
+    f.bind(d3);
+
+    const auto addv = f.label();
+    const auto applied = f.label();
+    f.cmpiBr(r12, 0, Cond::kEq, addv);
+    f.sub(r7, r7, r15);
+    f.jmp(applied);
+    f.bind(addv);
+    f.add(r7, r7, r15);
+    f.bind(applied);
+    emitClampValpred(f);
+
+    f.lsli(r0, r8, 2);
+    f.ldrx(r9, r2, r0);  // step = table[index]
+    f.str(r7, r6, 0);
+    f.addi(r6, r6, 4);
+    f.subi(r5, r5, 1);
+    f.jmp(loop);
+
+    f.bind(done);
+    f.epilogue({r4, r5, r6, r7, r8, r9, r10, r11});
+  }
+
+  bool decode_;
+  u32 input_off_ = 0;
+  u32 nsamples_off_ = 0;
+  u32 out_off_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeRawcaudio() {
+  return std::make_unique<AdpcmWorkload>(false);
+}
+std::unique_ptr<Workload> makeRawdaudio() {
+  return std::make_unique<AdpcmWorkload>(true);
+}
+
+}  // namespace wp::workloads

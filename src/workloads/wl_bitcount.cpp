@@ -1,0 +1,199 @@
+// bitcount — MiBench auto/bitcount: counts bits in a stream of random
+// words with five different algorithms (shift-and-test, Kernighan's
+// clear-lowest-bit, 4-bit nibble table, 8-bit byte table, SWAR), each in
+// its own loop calling its own function — the multi-kernel, call-heavy
+// profile the original is known for.
+#include "workloads/common.hpp"
+#include "workloads/factories.hpp"
+
+namespace wp::workloads {
+
+namespace {
+
+constexpr std::size_t kSmallWords = 1200;
+constexpr std::size_t kLargeWords = 10000;
+constexpr int kAlgorithms = 5;
+
+std::vector<u32> inputWords(InputSize size) {
+  return randomWords("bitcount", size,
+                     size == InputSize::kSmall ? kSmallWords : kLargeWords);
+}
+
+class BitcountWorkload final : public Workload {
+ public:
+  std::string name() const override { return "bitcount"; }
+
+  ir::Module build() override {
+    asmkit::ModuleBuilder mb;
+    using namespace asmkit;
+
+    // Lookup tables.
+    std::vector<u8> nib(16), byte_tab(256);
+    for (u32 i = 0; i < 16; ++i) nib[i] = static_cast<u8>(popcount(i));
+    for (u32 i = 0; i < 256; ++i) byte_tab[i] = static_cast<u8>(popcount(i));
+    mb.data("nib_tab", nib);
+    mb.data("byte_tab", byte_tab);
+    input_off_ = mb.bss("input", kLargeWords * 4);
+    nwords_off_ = mb.bss("nwords", 4);
+    out_off_ = mb.bss("sums", kAlgorithms * 4);
+
+    emitShift(mb);
+    emitKernighan(mb);
+    emitNibble(mb);
+    emitByte(mb);
+    emitSwar(mb);
+
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7});
+    const char* fns[kAlgorithms] = {"bc_shift", "bc_kern", "bc_nib",
+                                    "bc_byte", "bc_swar"};
+    for (int a = 0; a < kAlgorithms; ++a) {
+      f.la(r4, "input");
+      f.la(r0, "nwords");
+      f.ldr(r5, r0);
+      f.movi(r6, 0);  // sum
+      const auto loop = f.label();
+      const auto done = f.label();
+      f.bind(loop);
+      f.cmpiBr(r5, 0, Cond::kEq, done);
+      f.ldr(r0, r4, 0);
+      f.call(fns[a]);
+      f.add(r6, r6, r0);
+      f.addi(r4, r4, 4);
+      f.subi(r5, r5, 1);
+      f.jmp(loop);
+      f.bind(done);
+      f.la(r7, "sums", a * 4);
+      f.str(r6, r7);
+    }
+    f.epilogue({r4, r5, r6, r7});
+
+    return mb.build();
+  }
+
+  void prepare(mem::Memory& memory, InputSize size) const override {
+    const auto words = inputWords(size);
+    writeWords(memory, guestAddr(input_off_), words);
+    memory.store32(guestAddr(nwords_off_), static_cast<u32>(words.size()));
+  }
+
+  std::vector<u8> output(const mem::Memory& memory) const override {
+    return memory.readBlock(guestAddr(out_off_), kAlgorithms * 4);
+  }
+
+  std::vector<u8> expected(InputSize size) const override {
+    u32 total = 0;
+    for (const u32 w : inputWords(size)) total += popcount(w);
+    std::vector<u32> sums(kAlgorithms, total);
+    return toBytes(sums);
+  }
+
+ private:
+  static void emitShift(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("bc_shift");
+    f.mov(r1, r0);
+    f.movi(r0, 0);
+    const auto loop = f.label();
+    const auto done = f.label();
+    f.bind(loop);
+    f.cmpiBr(r1, 0, Cond::kEq, done);
+    f.andi(r2, r1, 1);
+    f.add(r0, r0, r2);
+    f.lsri(r1, r1, 1);
+    f.jmp(loop);
+    f.bind(done);
+    f.ret();
+  }
+
+  static void emitKernighan(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("bc_kern");
+    f.mov(r1, r0);
+    f.movi(r0, 0);
+    const auto loop = f.label();
+    const auto done = f.label();
+    f.bind(loop);
+    f.cmpiBr(r1, 0, Cond::kEq, done);
+    f.subi(r2, r1, 1);
+    f.and_(r1, r1, r2);
+    f.addi(r0, r0, 1);
+    f.jmp(loop);
+    f.bind(done);
+    f.ret();
+  }
+
+  static void emitNibble(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("bc_nib");
+    f.la(r2, "nib_tab");
+    f.mov(r1, r0);
+    f.movi(r0, 0);
+    f.movi(r3, 8);
+    const auto loop = f.label();
+    f.bind(loop);
+    f.andi(r12, r1, 0xf);
+    f.ldrbx(r12, r2, r12);
+    f.add(r0, r0, r12);
+    f.lsri(r1, r1, 4);
+    f.subi(r3, r3, 1);
+    f.cmpiBr(r3, 0, Cond::kNe, loop);
+    f.ret();
+  }
+
+  static void emitByte(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("bc_byte");
+    f.la(r2, "byte_tab");
+    f.mov(r1, r0);
+    f.movi(r0, 0);
+    f.movi(r3, 4);
+    const auto loop = f.label();
+    f.bind(loop);
+    f.andi(r12, r1, 0xff);
+    f.ldrbx(r12, r2, r12);
+    f.add(r0, r0, r12);
+    f.lsri(r1, r1, 8);
+    f.subi(r3, r3, 1);
+    f.cmpiBr(r3, 0, Cond::kNe, loop);
+    f.ret();
+  }
+
+  static void emitSwar(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("bc_swar");
+    // v -= (v >> 1) & 0x55555555
+    f.lsri(r1, r0, 1);
+    f.movi32(r2, 0x55555555u);
+    f.and_(r1, r1, r2);
+    f.sub(r0, r0, r1);
+    // v = (v & 0x33333333) + ((v >> 2) & 0x33333333)
+    f.movi32(r2, 0x33333333u);
+    f.and_(r1, r0, r2);
+    f.lsri(r0, r0, 2);
+    f.and_(r0, r0, r2);
+    f.add(r0, r0, r1);
+    // v = (v + (v >> 4)) & 0x0F0F0F0F
+    f.lsri(r1, r0, 4);
+    f.add(r0, r0, r1);
+    f.movi32(r2, 0x0F0F0F0Fu);
+    f.and_(r0, r0, r2);
+    // count = (v * 0x01010101) >> 24
+    f.movi32(r2, 0x01010101u);
+    f.mul(r0, r0, r2);
+    f.lsri(r0, r0, 24);
+    f.ret();
+  }
+
+  u32 input_off_ = 0;
+  u32 nwords_off_ = 0;
+  u32 out_off_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeBitcount() {
+  return std::make_unique<BitcountWorkload>();
+}
+
+}  // namespace wp::workloads

@@ -1,0 +1,305 @@
+// fft / fft_i — MiBench telecomm/FFT: radix-2 decimation-in-time FFT
+// over multiple waveforms. The original uses floating point; WRISC-32
+// has none, so this is a Q15 fixed-point FFT (per-stage >>1 scaling,
+// precomputed Q15 twiddle tables) — the host reference implements the
+// identical integer arithmetic, and a property test checks it against a
+// double-precision DFT.
+//
+// The forward and inverse programs share the guest kernel: the twiddle
+// sign convention lives entirely in the host-written sine table, exactly
+// like the original benchmark's single binary with the -i flag.
+#include "workloads/common.hpp"
+#include "workloads/factories.hpp"
+#include "workloads/references.hpp"
+
+namespace wp::workloads {
+
+namespace {
+
+constexpr u32 kSmallN = 256, kSmallRuns = 4;
+constexpr u32 kLargeN = 1024, kLargeRuns = 8;
+
+struct Params {
+  u32 n, runs;
+};
+
+Params paramsFor(InputSize size) {
+  return size == InputSize::kSmall ? Params{kSmallN, kSmallRuns}
+                                   : Params{kLargeN, kLargeRuns};
+}
+
+// Q15 input waveforms, one per run (real input, zero imaginary).
+std::vector<i32> baseSignal(InputSize size) {
+  const Params p = paramsFor(size);
+  const auto audio =
+      syntheticAudio("fft", size, static_cast<std::size_t>(p.n) * p.runs);
+  std::vector<i32> out(audio.size());
+  for (std::size_t i = 0; i < audio.size(); ++i) out[i] = audio[i];
+  return out;
+}
+
+class FftWorkload : public Workload {
+ public:
+  explicit FftWorkload(bool inverse) : inverse_(inverse) {}
+
+  std::string name() const override { return inverse_ ? "fft_i" : "fft"; }
+
+  ir::Module build() override {
+    asmkit::ModuleBuilder mb;
+    using namespace asmkit;
+
+    re_off_ = mb.bss("re", kLargeN * kLargeRuns * 4);
+    im_off_ = mb.bss("im", kLargeN * kLargeRuns * 4);
+    cos_off_ = mb.bss("cos_tab", kLargeN / 2 * 4);
+    sin_off_ = mb.bss("sin_tab", kLargeN / 2 * 4);
+    n_off_ = mb.bss("fft_n", 4);
+    runs_off_ = mb.bss("fft_runs", 4);
+
+    emitFft(mb);
+
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7, r8});
+    f.la(r0, "fft_n");
+    f.ldr(r4, r0);        // n
+    f.la(r0, "fft_runs");
+    f.ldr(r5, r0);        // runs remaining
+    f.la(r6, "re");
+    f.la(r7, "im");
+    f.lsli(r8, r4, 2);    // bytes per run
+    const auto loop = f.label();
+    const auto done = f.label();
+    f.bind(loop);
+    f.cmpiBr(r5, 0, Cond::kEq, done);
+    f.mov(r0, r6);
+    f.mov(r1, r7);
+    f.mov(r2, r4);
+    f.call("fft");
+    f.add(r6, r6, r8);
+    f.add(r7, r7, r8);
+    f.subi(r5, r5, 1);
+    f.jmp(loop);
+    f.bind(done);
+    f.epilogue({r4, r5, r6, r7, r8});
+
+    return mb.build();
+  }
+
+  void prepare(mem::Memory& memory, InputSize size) const override {
+    const Params p = paramsFor(size);
+    memory.store32(guestAddr(n_off_), p.n);
+    memory.store32(guestAddr(runs_off_), p.runs);
+
+    std::vector<i32> cs, sn;
+    ref::fftTwiddles(p.n, cs, sn);
+    std::vector<u32> cos_w(p.n / 2), sin_w(p.n / 2);
+    for (u32 k = 0; k < p.n / 2; ++k) {
+      cos_w[k] = static_cast<u32>(cs[k]);
+      // Forward FFT uses e^{-i...}: the guest reads the sine table
+      // verbatim, so the direction is baked in here.
+      sin_w[k] = static_cast<u32>(inverse_ ? sn[k] : -sn[k]);
+    }
+    writeWords(memory, guestAddr(cos_off_), cos_w);
+    writeWords(memory, guestAddr(sin_off_), sin_w);
+
+    const auto [re, im] = inputArrays(size, inverse_);
+    writeWords(memory, guestAddr(re_off_), toWords(re));
+    writeWords(memory, guestAddr(im_off_), toWords(im));
+  }
+
+  std::vector<u8> output(const mem::Memory& memory) const override {
+    std::vector<u8> out =
+        memory.readBlock(guestAddr(re_off_), kLargeN * kLargeRuns * 4);
+    const std::vector<u8> im =
+        memory.readBlock(guestAddr(im_off_), kLargeN * kLargeRuns * 4);
+    out.insert(out.end(), im.begin(), im.end());
+    return out;
+  }
+
+  std::vector<u8> expected(InputSize size) const override {
+    const Params p = paramsFor(size);
+    auto [re, im] = inputArrays(size, inverse_);
+    for (u32 run = 0; run < p.runs; ++run) {
+      std::vector<i32> r(re.begin() + run * p.n, re.begin() + (run + 1) * p.n);
+      std::vector<i32> i(im.begin() + run * p.n, im.begin() + (run + 1) * p.n);
+      ref::fftFixed(r, i, inverse_);
+      std::copy(r.begin(), r.end(), re.begin() + run * p.n);
+      std::copy(i.begin(), i.end(), im.begin() + run * p.n);
+    }
+    std::vector<u32> all = toWords(re);
+    all.resize(kLargeN * kLargeRuns, 0);
+    const std::vector<u32> imw = toWords(im);
+    std::vector<u32> imall = imw;
+    imall.resize(kLargeN * kLargeRuns, 0);
+    all.insert(all.end(), imall.begin(), imall.end());
+    return toBytes(all);
+  }
+
+ private:
+  static std::vector<u32> toWords(const std::vector<i32>& v) {
+    std::vector<u32> w(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) w[i] = static_cast<u32>(v[i]);
+    return w;
+  }
+
+  /// (re, im) inputs. Forward: the raw signal. Inverse: the forward
+  /// transform of the signal (so fft_i undoes what fft produced).
+  static std::pair<std::vector<i32>, std::vector<i32>> inputArrays(
+      InputSize size, bool inverse) {
+    const Params p = paramsFor(size);
+    std::vector<i32> re = baseSignal(size);
+    std::vector<i32> im(re.size(), 0);
+    if (inverse) {
+      for (u32 run = 0; run < p.runs; ++run) {
+        std::vector<i32> r(re.begin() + run * p.n,
+                           re.begin() + (run + 1) * p.n);
+        std::vector<i32> i(im.begin() + run * p.n,
+                           im.begin() + (run + 1) * p.n);
+        ref::fftFixed(r, i, /*inverse=*/false);
+        std::copy(r.begin(), r.end(), re.begin() + run * p.n);
+        std::copy(i.begin(), i.end(), im.begin() + run * p.n);
+      }
+    }
+    return {std::move(re), std::move(im)};
+  }
+
+  // fft(r0 = re, r1 = im, r2 = n): in-place radix-2 DIT with Q15
+  // twiddles and >>1 per-stage scaling.
+  static void emitFft(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("fft");
+    f.prologue({r4, r5, r6, r7, r8, r9, r10, r11});
+    f.subi(sp, sp, 16);  // [0] sin base, [4] tr, [8] unused, [12] n
+    f.la(r8, "sin_tab");
+    f.str(r8, sp, 0);
+    f.str(r2, sp, 12);
+    f.la(r11, "cos_tab");
+
+    // --- bit-reversal permutation ---
+    f.movi(r3, 1);  // i
+    f.movi(r4, 0);  // j
+    const auto brl = f.label();
+    const auto brdone = f.label();
+    f.bind(brl);
+    f.cmpBr(r3, r2, Cond::kGeu, brdone);
+    f.lsri(r5, r2, 1);  // bit
+    const auto wl = f.label();
+    const auto wdone = f.label();
+    f.bind(wl);
+    f.and_(r8, r4, r5);
+    f.cmpiBr(r8, 0, Cond::kEq, wdone);
+    f.eor(r4, r4, r5);
+    f.lsri(r5, r5, 1);
+    f.jmp(wl);
+    f.bind(wdone);
+    f.eor(r4, r4, r5);
+    const auto noswap = f.label();
+    f.cmpBr(r3, r4, Cond::kGeu, noswap);
+    f.lsli(r8, r3, 2);
+    f.lsli(r9, r4, 2);
+    f.ldrx(r10, r0, r8);
+    f.ldrx(r12, r0, r9);
+    f.strx(r12, r0, r8);
+    f.strx(r10, r0, r9);
+    f.ldrx(r10, r1, r8);
+    f.ldrx(r12, r1, r9);
+    f.strx(r12, r1, r8);
+    f.strx(r10, r1, r9);
+    f.bind(noswap);
+    f.addi(r3, r3, 1);
+    f.jmp(brl);
+    f.bind(brdone);
+
+    // --- butterfly stages ---
+    f.movi(r3, 2);       // len
+    f.lsri(r4, r2, 1);   // tstep
+    const auto outer = f.label();
+    const auto alldone = f.label();
+    f.bind(outer);
+    f.lsli(r5, r3, 1);   // half, in bytes ((len/2)*4)
+    f.movi(r6, 0);       // i (elements)
+    const auto middle = f.label();
+    const auto middone = f.label();
+    f.bind(middle);
+    f.ldr(r2, sp, 12);
+    f.cmpBr(r6, r2, Cond::kGeu, middone);
+    f.movi(r7, 0);       // j (elements)
+    const auto inner = f.label();
+    const auto innerdone = f.label();
+    f.bind(inner);
+    f.lsli(r2, r7, 2);
+    f.cmpBr(r2, r5, Cond::kGeu, innerdone);
+
+    f.mul(r8, r7, r4);   // k = j * tstep
+    f.lsli(r8, r8, 2);
+    f.ldrx(r9, r11, r8);  // wr
+    f.ldr(r10, sp, 0);
+    f.ldrx(r10, r10, r8); // wi
+    f.add(r12, r6, r7);
+    f.lsli(r12, r12, 2);  // off1
+    f.add(r8, r12, r5);   // off2
+
+    // tr = (wr*re2 - wi*im2) >> 15
+    f.ldrx(r15, r0, r8);
+    f.mul(r15, r9, r15);
+    f.ldrx(r2, r1, r8);
+    f.mul(r2, r10, r2);
+    f.sub(r15, r15, r2);
+    f.asri(r15, r15, 15);
+    f.str(r15, sp, 4);
+    // ti = (wr*im2 + wi*re2) >> 15
+    f.ldrx(r15, r1, r8);
+    f.mul(r15, r9, r15);
+    f.ldrx(r2, r0, r8);
+    f.mul(r2, r10, r2);
+    f.add(r15, r15, r2);
+    f.asri(r15, r15, 15);
+
+    // re updates (wr/wi now dead).
+    f.ldrx(r9, r0, r12);  // re1
+    f.ldr(r2, sp, 4);     // tr
+    f.sub(r10, r9, r2);
+    f.asri(r10, r10, 1);
+    f.strx(r10, r0, r8);
+    f.add(r10, r9, r2);
+    f.asri(r10, r10, 1);
+    f.strx(r10, r0, r12);
+    // im updates (ti in r15).
+    f.ldrx(r9, r1, r12);  // im1
+    f.sub(r10, r9, r15);
+    f.asri(r10, r10, 1);
+    f.strx(r10, r1, r8);
+    f.add(r10, r9, r15);
+    f.asri(r10, r10, 1);
+    f.strx(r10, r1, r12);
+
+    f.addi(r7, r7, 1);
+    f.jmp(inner);
+    f.bind(innerdone);
+    f.add(r6, r6, r3);
+    f.jmp(middle);
+    f.bind(middone);
+    f.lsli(r3, r3, 1);
+    f.lsri(r4, r4, 1);
+    f.ldr(r2, sp, 12);
+    f.cmpBr(r3, r2, Cond::kLe, outer);  // while len <= n
+    f.bind(alldone);
+
+    f.addi(sp, sp, 16);
+    f.epilogue({r4, r5, r6, r7, r8, r9, r10, r11});
+  }
+
+  bool inverse_;
+  u32 re_off_ = 0;
+  u32 im_off_ = 0;
+  u32 cos_off_ = 0;
+  u32 sin_off_ = 0;
+  u32 n_off_ = 0;
+  u32 runs_off_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeFft() { return std::make_unique<FftWorkload>(false); }
+std::unique_ptr<Workload> makeFftInv() { return std::make_unique<FftWorkload>(true); }
+
+}  // namespace wp::workloads

@@ -1,0 +1,337 @@
+// ispell — MiBench office/ispell: spell checking against a sorted
+// dictionary. Each text word is binary-searched (12-byte fixed slots,
+// byte-wise compare); on a miss the checker strips the common suffixes
+// "s", "ed", "ing", "ly" and retries — the original's affix-stripping
+// control flow in miniature. String compares dominate, as in ispell.
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/factories.hpp"
+
+namespace wp::workloads {
+
+namespace {
+
+constexpr u32 kSlot = 12;  // max 11 chars + NUL
+
+struct Sizes {
+  std::size_t dict_words, text_words;
+};
+
+Sizes sizesFor(InputSize s) {
+  return s == InputSize::kSmall ? Sizes{512, 1500} : Sizes{4096, 8000};
+}
+
+const char* const kSuffixes[4] = {"s", "ed", "ing", "ly"};
+
+std::string randomWord(Rng& rng, std::size_t min_len, std::size_t max_len) {
+  const std::size_t len = min_len + rng.below(max_len - min_len + 1);
+  std::string w(len, 'a');
+  for (auto& c : w) c = static_cast<char>('a' + rng.below(26));
+  return w;
+}
+
+std::vector<std::string> dictionary(InputSize s) {
+  const Sizes z = sizesFor(s);
+  Rng rng(s == InputSize::kSmall ? 0xd1c7ULL : 0xd1c8ULL);
+  std::set<std::string> words;
+  while (words.size() < z.dict_words) {
+    words.insert(randomWord(rng, 3, 8));
+  }
+  return {words.begin(), words.end()};  // sorted by construction
+}
+
+std::vector<std::string> text(InputSize s) {
+  const Sizes z = sizesFor(s);
+  const auto dict = dictionary(s);
+  Rng rng(s == InputSize::kSmall ? 0x7e47aULL : 0x7e47bULL);
+  std::vector<std::string> out;
+  out.reserve(z.text_words);
+  for (std::size_t i = 0; i < z.text_words; ++i) {
+    if (rng.chance(0.6)) {
+      std::string w = dict[rng.below(dict.size())];
+      if (rng.chance(0.4)) w += kSuffixes[rng.below(4)];
+      if (w.size() > kSlot - 1) w.resize(kSlot - 1);
+      out.push_back(std::move(w));
+    } else {
+      out.push_back(randomWord(rng, 3, 10));
+    }
+  }
+  return out;
+}
+
+std::vector<u8> packSlots(const std::vector<std::string>& words) {
+  std::vector<u8> out(words.size() * kSlot, 0);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    for (std::size_t c = 0; c < words[i].size(); ++c) {
+      out[i * kSlot + c] = static_cast<u8>(words[i][c]);
+    }
+  }
+  return out;
+}
+
+// Host reference mirroring the guest: binary search over the packed
+// slots, then suffix strip and retry.
+std::pair<u32, u32> refCheck(InputSize s) {
+  const auto dict = dictionary(s);
+  const auto words = text(s);
+  u32 found = 0, idx_sum = 0;
+  const auto lookup = [&dict](const std::string& w) -> i32 {
+    const auto it = std::lower_bound(dict.begin(), dict.end(), w);
+    if (it != dict.end() && *it == w) {
+      return static_cast<i32>(it - dict.begin());
+    }
+    return -1;
+  };
+  for (const std::string& w : words) {
+    i32 idx = lookup(w);
+    if (idx < 0) {
+      for (const char* suf : kSuffixes) {
+        const std::size_t sl = std::string(suf).size();
+        if (w.size() > sl && w.compare(w.size() - sl, sl, suf) == 0) {
+          idx = lookup(w.substr(0, w.size() - sl));
+          if (idx >= 0) break;
+        }
+      }
+    }
+    if (idx >= 0) {
+      ++found;
+      idx_sum += static_cast<u32>(idx);
+    }
+  }
+  return {found, idx_sum};
+}
+
+class IspellWorkload final : public Workload {
+ public:
+  std::string name() const override { return "ispell"; }
+
+  ir::Module build() override {
+    asmkit::ModuleBuilder mb;
+    using namespace asmkit;
+
+    const Sizes z = sizesFor(InputSize::kLarge);
+    dict_off_ = mb.bss("dict", static_cast<u32>(z.dict_words * kSlot));
+    dictn_off_ = mb.bss("dict_n", 4);
+    text_off_ = mb.bss("text", static_cast<u32>(z.text_words * kSlot));
+    textn_off_ = mb.bss("text_n", 4);
+    out_off_ = mb.bss("results", 8);
+    mb.bss("wordbuf", kSlot);
+
+    // Suffix table: 4 entries of [len, c0, c1, c2].
+    std::vector<u8> suf;
+    for (const char* sfx : kSuffixes) {
+      const std::string s(sfx);
+      suf.push_back(static_cast<u8>(s.size()));
+      for (std::size_t i = 0; i < 3; ++i) {
+        suf.push_back(i < s.size() ? static_cast<u8>(s[i]) : 0);
+      }
+    }
+    mb.data("suffixes", suf);
+
+    emitWcmp(mb);
+    emitLookup(mb);
+    emitMain(mb);
+    return mb.build();
+  }
+
+  void prepare(mem::Memory& memory, InputSize size) const override {
+    const auto dict = dictionary(size);
+    const auto words = text(size);
+    writeBytes(memory, guestAddr(dict_off_), packSlots(dict));
+    memory.store32(guestAddr(dictn_off_), static_cast<u32>(dict.size()));
+    writeBytes(memory, guestAddr(text_off_), packSlots(words));
+    memory.store32(guestAddr(textn_off_), static_cast<u32>(words.size()));
+  }
+
+  std::vector<u8> output(const mem::Memory& memory) const override {
+    return memory.readBlock(guestAddr(out_off_), 8);
+  }
+
+  std::vector<u8> expected(InputSize size) const override {
+    const auto [found, sum] = refCheck(size);
+    std::vector<u32> out = {found, sum};
+    return toBytes(out);
+  }
+
+ private:
+  // wcmp(r0 = a, r1 = b) -> r0 = -1 / 0 / 1 over 12-byte slots.
+  static void emitWcmp(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("wcmp");
+    f.movi(r2, 0);
+    const auto loop = f.label();
+    const auto diff = f.label();
+    const auto equal = f.label();
+    f.bind(loop);
+    f.ldrbx(r3, r0, r2);
+    f.ldrbx(r12, r1, r2);
+    f.cmpBr(r3, r12, Cond::kNe, diff);
+    f.addi(r2, r2, 1);
+    f.cmpiBr(r2, kSlot, Cond::kLt, loop);
+    f.bind(equal);
+    f.movi(r0, 0);
+    f.ret();
+    f.bind(diff);
+    const auto lower = f.label();
+    f.cmpBr(r3, r12, Cond::kLtu, lower);
+    f.movi(r0, 1);
+    f.ret();
+    f.bind(lower);
+    f.movi(r0, -1);
+    f.ret();
+  }
+
+  // dict_lookup(r0 = word) -> r0 = index or -1. Binary search.
+  static void emitLookup(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("dict_lookup");
+    f.prologue({r4, r5, r6, r7, r8});
+    f.mov(r4, r0);       // word
+    f.la(r5, "dict");
+    f.la(r0, "dict_n");
+    f.ldr(r6, r0);       // hi = n (exclusive)
+    f.movi(r7, 0);       // lo
+    const auto loop = f.label();
+    const auto miss = f.label();
+    const auto below = f.label();
+    const auto above = f.label();
+    f.bind(loop);
+    f.cmpBr(r7, r6, Cond::kGe, miss);
+    f.add(r8, r7, r6);
+    f.lsri(r8, r8, 1);   // mid
+    f.muli(r0, r8, kSlot);
+    f.add(r1, r5, r0);   // &dict[mid]
+    f.mov(r0, r4);
+    f.call("wcmp");
+    f.cmpiBr(r0, 0, Cond::kLt, below);
+    f.cmpiBr(r0, 0, Cond::kGt, above);
+    f.mov(r0, r8);       // hit: return mid
+    f.epilogue({r4, r5, r6, r7, r8});
+    f.bind(below);
+    f.mov(r6, r8);       // hi = mid
+    f.jmp(loop);
+    f.bind(above);
+    f.addi(r7, r8, 1);   // lo = mid + 1
+    f.jmp(loop);
+    f.bind(miss);
+    f.movi(r0, -1);
+    f.epilogue({r4, r5, r6, r7, r8});
+  }
+
+  static void emitMain(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7, r8, r9, r10, r11});
+    f.la(r4, "text");
+    f.la(r0, "text_n");
+    f.ldr(r5, r0);
+    f.movi(r6, 0);  // found
+    f.movi(r7, 0);  // index sum
+
+    const auto wloop = f.label();
+    const auto wdone = f.label();
+    const auto record = f.label();
+    const auto nextword = f.label();
+    f.bind(wloop);
+    f.cmpiBr(r5, 0, Cond::kEq, wdone);
+    f.mov(r0, r4);
+    f.call("dict_lookup");
+    f.cmpiBr(r0, 0, Cond::kGe, record);
+
+    // Miss: compute word length into r8.
+    f.movi(r8, 0);
+    const auto ll = f.label();
+    const auto ldone = f.label();
+    f.bind(ll);
+    f.ldrbx(r1, r4, r8);
+    f.cmpiBr(r1, 0, Cond::kEq, ldone);
+    f.addi(r8, r8, 1);
+    f.cmpiBr(r8, kSlot, Cond::kLt, ll);
+    f.bind(ldone);
+
+    // Try each suffix.
+    f.la(r9, "suffixes");
+    f.movi(r10, 0);  // suffix idx
+    const auto sloop = f.label();
+    const auto sdone = f.label();
+    const auto snext = f.label();
+    f.bind(sloop);
+    f.cmpiBr(r10, 4, Cond::kGe, sdone);
+    f.lsli(r11, r10, 2);
+    f.ldrbx(r1, r9, r11);  // suffix length
+    f.cmpBr(r8, r1, Cond::kLe, snext);  // need wordlen > suflen
+    // Tail compare: word[len-sl+i] == suffix[i] for i < sl.
+    f.sub(r2, r8, r1);     // stem length
+    f.movi(r3, 0);         // i
+    const auto tl = f.label();
+    const auto tmatch = f.label();
+    f.bind(tl);
+    f.cmpBr(r3, r1, Cond::kGe, tmatch);
+    f.add(r0, r2, r3);
+    f.ldrbx(r12, r4, r0);
+    f.addi(r0, r11, 1);
+    f.add(r0, r0, r3);
+    f.ldrbx(r15, r9, r0);
+    f.cmpBr(r12, r15, Cond::kNe, snext);
+    f.addi(r3, r3, 1);
+    f.jmp(tl);
+    f.bind(tmatch);
+    // Copy stem into wordbuf (NUL-padded) and look it up.
+    f.la(r0, "wordbuf");
+    f.movi(r3, 0);
+    const auto cp = f.label();
+    const auto cpdone = f.label();
+    f.bind(cp);
+    f.cmpiBr(r3, kSlot, Cond::kGe, cpdone);
+    const auto pad = f.label();
+    const auto stored = f.label();
+    f.cmpBr(r3, r2, Cond::kGe, pad);
+    f.ldrbx(r12, r4, r3);
+    f.jmp(stored);
+    f.bind(pad);
+    f.movi(r12, 0);
+    f.bind(stored);
+    f.strbx(r12, r0, r3);
+    f.addi(r3, r3, 1);
+    f.jmp(cp);
+    f.bind(cpdone);
+    f.call("dict_lookup");
+    f.cmpiBr(r0, 0, Cond::kGe, record);
+    f.bind(snext);
+    f.addi(r10, r10, 1);
+    f.jmp(sloop);
+    f.bind(sdone);
+    f.jmp(nextword);
+
+    f.bind(record);
+    f.addi(r6, r6, 1);
+    f.add(r7, r7, r0);
+    f.bind(nextword);
+    f.addi(r4, r4, kSlot);
+    f.subi(r5, r5, 1);
+    f.jmp(wloop);
+
+    f.bind(wdone);
+    f.la(r0, "results");
+    f.str(r6, r0, 0);
+    f.str(r7, r0, 4);
+    f.epilogue({r4, r5, r6, r7, r8, r9, r10, r11});
+  }
+
+  u32 dict_off_ = 0;
+  u32 dictn_off_ = 0;
+  u32 text_off_ = 0;
+  u32 textn_off_ = 0;
+  u32 out_off_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeIspell() {
+  return std::make_unique<IspellWorkload>();
+}
+
+}  // namespace wp::workloads

@@ -1,0 +1,571 @@
+// cjpeg / djpeg — MiBench consumer/jpeg: the computational core of a
+// baseline JPEG codec on grayscale images.
+//   cjpeg: per 8x8 block — level shift, separable Q12 integer DCT-II
+//          (orthonormal, so the inverse reuses the transposed table),
+//          quantization (signed divide via the guest sdiv routine),
+//          zigzag scan and zero-run RLE into a word stream.
+//   djpeg: parse the RLE stream, dezigzag, dequantize, integer IDCT,
+//          level unshift and clamp back to pixels.
+// Entropy coding (Huffman) is replaced by the RLE stage — the DCT,
+// quantizer and scan order dominate the original's execution profile
+// (recorded as a substitution in DESIGN.md).
+#include <cmath>
+
+#include "workloads/common.hpp"
+#include "workloads/factories.hpp"
+#include "workloads/guestlib.hpp"
+
+namespace wp::workloads {
+
+namespace {
+
+struct Dims {
+  u32 w, h;
+};
+
+Dims dimsFor(InputSize s) {
+  return s == InputSize::kSmall ? Dims{64, 48} : Dims{192, 144};
+}
+
+constexpr u32 kMaxPixels = 192 * 144;
+constexpr u32 kMaxStreamWords = (kMaxPixels / 64) * 65 + 1;
+constexpr u32 kEob = 0x80000000u;
+
+// Q12 orthonormal DCT-II matrix: coef[k][n] = round(4096 * c_k *
+// cos((2n+1)k pi / 16) / 2), c_0 = 1/sqrt(2), else 1. C * C^T = I (up to
+// rounding), so the IDCT is the transposed product with the same table.
+std::vector<u32> dctCoefWords() {
+  std::vector<u32> w(64);
+  for (int k = 0; k < 8; ++k) {
+    const double ck = k == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+    for (int n = 0; n < 8; ++n) {
+      const double v =
+          2048.0 * ck * std::cos((2 * n + 1) * k * 3.14159265358979 / 16.0);
+      w[k * 8 + n] = static_cast<u32>(static_cast<i32>(std::lround(v)));
+    }
+  }
+  return w;
+}
+
+std::vector<u8> zigzagOrder() {
+  std::vector<u8> zz(64);
+  int idx = 0;
+  for (int s = 0; s < 15; ++s) {
+    if (s % 2 == 0) {  // up-right
+      for (int y = std::min(s, 7); y >= 0 && s - y <= 7; --y) {
+        zz[idx++] = static_cast<u8>(y * 8 + (s - y));
+      }
+    } else {  // down-left
+      for (int x = std::min(s, 7); x >= 0 && s - x <= 7; --x) {
+        zz[idx++] = static_cast<u8>((s - x) * 8 + x);
+      }
+    }
+  }
+  return zz;
+}
+
+std::vector<u32> quantTable() {
+  std::vector<u32> q(64);
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) q[u * 8 + v] = 8 + 2 * (u + v);
+  }
+  return q;
+}
+
+std::vector<u8> sourceImage(InputSize s) {
+  const Dims d = dimsFor(s);
+  return syntheticImage("jpeg", s, d.w, d.h);
+}
+
+// --- host reference pipeline (bit-exact with the guest) -------------------
+
+void refDct2d(i32 blk[64]) {
+  const auto coef = dctCoefWords();
+  i32 tmp[64];
+  for (int r = 0; r < 8; ++r) {
+    for (int k = 0; k < 8; ++k) {
+      i32 acc = 0;
+      for (int n = 0; n < 8; ++n) {
+        acc += blk[r * 8 + n] * static_cast<i32>(coef[k * 8 + n]);
+      }
+      tmp[r * 8 + k] = (acc + 2048) >> 12;
+    }
+  }
+  for (int c = 0; c < 8; ++c) {
+    for (int k = 0; k < 8; ++k) {
+      i32 acc = 0;
+      for (int n = 0; n < 8; ++n) {
+        acc += tmp[n * 8 + c] * static_cast<i32>(coef[k * 8 + n]);
+      }
+      blk[k * 8 + c] = (acc + 2048) >> 12;
+    }
+  }
+}
+
+void refIdct2d(i32 blk[64]) {
+  const auto coef = dctCoefWords();
+  i32 tmp[64];
+  // Columns: x[n] = sum_k coef[k][n] * X[k].
+  for (int c = 0; c < 8; ++c) {
+    for (int n = 0; n < 8; ++n) {
+      i32 acc = 0;
+      for (int k = 0; k < 8; ++k) {
+        acc += blk[k * 8 + c] * static_cast<i32>(coef[k * 8 + n]);
+      }
+      tmp[n * 8 + c] = (acc + 2048) >> 12;
+    }
+  }
+  for (int r = 0; r < 8; ++r) {
+    for (int n = 0; n < 8; ++n) {
+      i32 acc = 0;
+      for (int k = 0; k < 8; ++k) {
+        acc += tmp[r * 8 + k] * static_cast<i32>(coef[k * 8 + n]);
+      }
+      blk[r * 8 + n] = (acc + 2048) >> 12;
+    }
+  }
+}
+
+std::vector<u32> refEncode(InputSize s) {
+  const Dims d = dimsFor(s);
+  const auto img = sourceImage(s);
+  const auto zz = zigzagOrder();
+  const auto qt = quantTable();
+  std::vector<u32> stream;
+  stream.push_back(0);  // length patched at the end
+
+  for (u32 by = 0; by < d.h / 8; ++by) {
+    for (u32 bx = 0; bx < d.w / 8; ++bx) {
+      i32 blk[64];
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          blk[y * 8 + x] =
+              static_cast<i32>(img[(by * 8 + y) * d.w + bx * 8 + x]) - 128;
+        }
+      }
+      refDct2d(blk);
+      u32 run = 0;
+      for (int i = 0; i < 64; ++i) {
+        const int src = zz[i];
+        const i32 q = blk[src] / static_cast<i32>(qt[src]);
+        if (q == 0) {
+          ++run;
+        } else {
+          stream.push_back((run << 16) |
+                           (static_cast<u32>(q) & 0xffffu));
+          run = 0;
+        }
+      }
+      stream.push_back(kEob);
+    }
+  }
+  stream[0] = static_cast<u32>(stream.size());
+  return stream;
+}
+
+std::vector<u8> refDecode(InputSize s) {
+  const Dims d = dimsFor(s);
+  const auto stream = refEncode(s);
+  const auto zz = zigzagOrder();
+  const auto qt = quantTable();
+  std::vector<u8> img(static_cast<std::size_t>(d.w) * d.h);
+
+  std::size_t pos = 1;
+  for (u32 by = 0; by < d.h / 8; ++by) {
+    for (u32 bx = 0; bx < d.w / 8; ++bx) {
+      i32 blk[64] = {0};
+      u32 i = 0;
+      while (stream[pos] != kEob) {
+        const u32 word = stream[pos++];
+        i += word >> 16;  // zero run
+        const i32 q = signExtend(word & 0xffffu, 16);
+        const int dst = zz[i];
+        blk[dst] = q * static_cast<i32>(qt[dst]);
+        ++i;
+      }
+      ++pos;  // EOB
+      refIdct2d(blk);
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          i32 v = blk[y * 8 + x] + 128;
+          if (v < 0) v = 0;
+          if (v > 255) v = 255;
+          img[(by * 8 + y) * d.w + bx * 8 + x] = static_cast<u8>(v);
+        }
+      }
+    }
+  }
+  return img;
+}
+
+// --- guest builders ---------------------------------------------------------
+
+// Separable DCT/IDCT passes with the Q12 coefficients folded into
+// multiply immediates and the k/n loops fully unrolled — the code shape
+// a constant-propagating compiler produces for a fixed 8x8 transform
+// (and what makes cjpeg/djpeg carry realistically large hot regions).
+//
+// Forward row pass: dst[r*8+k] = (sum_n src[r*8+n]*coef[k][n]+2048)>>12.
+// Forward col pass: dst[k*8+c] = (sum_n src[n*8+c]*coef[k][n]+2048)>>12.
+// Inverse swaps the roles (accumulate over k with coef[k][n]).
+void emitTransformPass(asmkit::ModuleBuilder& mb, const char* fname,
+                       bool col_pass, bool inverse) {
+  using namespace asmkit;
+  auto& f = mb.func(fname);
+  f.prologue({r4, r5});
+  const auto coef = dctCoefWords();
+  const auto coefAt = [&coef](int k, int n) {
+    return static_cast<i32>(static_cast<i32>(coef[k * 8 + n]));
+  };
+
+  // r0 = src, r1 = dst, r5 = vec index (row r or column c).
+  f.movi(r5, 0);
+  const auto vloop = f.label();
+  const auto vdone = f.label();
+  f.bind(vloop);
+  f.cmpiBr(r5, 8, Cond::kGe, vdone);
+  // r2 = src vector base, r3 = dst vector base.
+  if (col_pass) {
+    f.lsli(r2, r5, 2);  // c*4; element stride 32
+  } else {
+    f.lsli(r2, r5, 5);  // r*32; element stride 4
+  }
+  f.add(r3, r2, r1);
+  f.add(r2, r2, r0);
+  const i32 estride = col_pass ? 32 : 4;
+
+  for (int out = 0; out < 8; ++out) {
+    // acc (r4) = sum over in of src[in] * coefficient.
+    bool first = true;
+    for (int in = 0; in < 8; ++in) {
+      const i32 c = inverse ? coefAt(in, out) : coefAt(out, in);
+      f.ldr(r12, r2, in * estride);
+      if (first) {
+        f.muli(r4, r12, c);
+        first = false;
+      } else {
+        f.muli(r12, r12, c);
+        f.add(r4, r4, r12);
+      }
+    }
+    f.addi(r4, r4, 2048);
+    f.asri(r4, r4, 12);
+    f.str(r4, r3, out * estride);
+  }
+
+  f.addi(r5, r5, 1);
+  f.jmp(vloop);
+  f.bind(vdone);
+  f.epilogue({r4, r5});
+}
+
+class JpegWorkload : public Workload {
+ public:
+  explicit JpegWorkload(bool decode) : decode_(decode) {}
+
+  std::string name() const override { return decode_ ? "djpeg" : "cjpeg"; }
+
+  ir::Module build() override {
+    asmkit::ModuleBuilder mb;
+    using namespace asmkit;
+
+    mb.dataWords("dct_coef", dctCoefWords());
+    mb.data("zigzag", zigzagOrder());
+    mb.dataWords("qtable", quantTable());
+    img_off_ = mb.bss("image", kMaxPixels);
+    stream_off_ = mb.bss("stream", kMaxStreamWords * 4);
+    w_off_ = mb.bss("width", 4);
+    h_off_ = mb.bss("height", 4);
+    mb.bss("blk", 64 * 4);
+    mb.bss("tmp", 64 * 4);
+
+    if (decode_) {
+      emitTransformPass(mb, "idct_cols", /*col_pass=*/true, /*inverse=*/true);
+      emitTransformPass(mb, "idct_rows", /*col_pass=*/false, /*inverse=*/true);
+      buildDecoder(mb);
+    } else {
+      emitSdiv(mb);
+      emitTransformPass(mb, "dct_rows", /*col_pass=*/false, /*inverse=*/false);
+      emitTransformPass(mb, "dct_cols", /*col_pass=*/true, /*inverse=*/false);
+      buildEncoder(mb);
+    }
+    return mb.build();
+  }
+
+  void prepare(mem::Memory& memory, InputSize size) const override {
+    const Dims d = dimsFor(size);
+    memory.store32(guestAddr(w_off_), d.w);
+    memory.store32(guestAddr(h_off_), d.h);
+    if (decode_) {
+      writeWords(memory, guestAddr(stream_off_), refEncode(size));
+    } else {
+      writeBytes(memory, guestAddr(img_off_), sourceImage(size));
+    }
+  }
+
+  std::vector<u8> output(const mem::Memory& memory) const override {
+    if (decode_) {
+      return memory.readBlock(guestAddr(img_off_), kMaxPixels);
+    }
+    return memory.readBlock(guestAddr(stream_off_), kMaxStreamWords * 4);
+  }
+
+  std::vector<u8> expected(InputSize size) const override {
+    if (decode_) {
+      auto e = refDecode(size);
+      e.resize(kMaxPixels, 0);
+      return e;
+    }
+    std::vector<u32> s = refEncode(size);
+    s.resize(kMaxStreamWords, 0);
+    return toBytes(s);
+  }
+
+ private:
+  // Encoder main: per block, gather+shift, DCT, quantize+zigzag+RLE.
+  void buildEncoder(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7, r8, r9, r10, r11});
+    f.la(r0, "width");
+    f.ldr(r6, r0);
+    f.la(r0, "height");
+    f.ldr(r7, r0);
+    f.la(r10, "stream", 4);  // write cursor (word 0 = length)
+    f.movi(r8, 0);           // by*8 (pixel row of block)
+
+    const auto byloop = f.label();
+    const auto bydone = f.label();
+    f.bind(byloop);
+    f.cmpBr(r8, r7, Cond::kGe, bydone);
+    f.movi(r9, 0);  // bx*8
+
+    const auto bxloop = f.label();
+    const auto bxdone = f.label();
+    f.bind(bxloop);
+    f.cmpBr(r9, r6, Cond::kGe, bxdone);
+
+    // Gather the 8x8 block with level shift.
+    f.la(r4, "image");
+    f.la(r5, "blk");
+    f.movi(r11, 0);  // y
+    const auto gy = f.label();
+    const auto gydone = f.label();
+    f.bind(gy);
+    f.cmpiBr(r11, 8, Cond::kGe, gydone);
+    f.add(r0, r8, r11);   // pixel row
+    f.mul(r0, r0, r6);
+    f.add(r0, r0, r9);    // + bx*8
+    f.add(r0, r0, r4);    // &image[row][bx*8]
+    f.lsli(r1, r11, 5);
+    f.add(r1, r1, r5);    // &blk[y*8]
+    f.movi(r12, 0);       // x
+    const auto gx = f.label();
+    const auto gxdone = f.label();
+    f.bind(gx);
+    f.cmpiBr(r12, 8, Cond::kGe, gxdone);
+    f.ldrbx(r2, r0, r12);
+    f.subi(r2, r2, 128);
+    f.lsli(r3, r12, 2);
+    f.strx(r2, r1, r3);
+    f.addi(r12, r12, 1);
+    f.jmp(gx);
+    f.bind(gxdone);
+    f.addi(r11, r11, 1);
+    f.jmp(gy);
+    f.bind(gydone);
+
+    // 2D DCT: rows blk->tmp, cols tmp->blk.
+    f.la(r0, "blk");
+    f.la(r1, "tmp");
+    f.call("dct_rows");
+    f.la(r0, "tmp");
+    f.la(r1, "blk");
+    f.call("dct_cols");
+
+    // Quantize + zigzag + RLE. r4 zigzag, r5 blk, r11 run, r7 (height)
+    // is preserved; use r12 for i. qtable via r0-scratch la.
+    f.la(r4, "zigzag");
+    f.la(r5, "blk");
+    f.movi(r11, 0);  // run
+    f.movi(r12, 0);  // i
+    const auto ql = f.label();
+    const auto qdone = f.label();
+    const auto zero = f.label();
+    const auto next = f.label();
+    f.bind(ql);
+    f.cmpiBr(r12, 64, Cond::kGe, qdone);
+    f.ldrbx(r0, r4, r12);  // src = zigzag[i]
+    f.lsli(r0, r0, 2);
+    f.ldrx(r1, r5, r0);    // blk[src] (numerator)
+    f.la(r2, "qtable");
+    f.ldrx(r2, r2, r0);    // qtable[src] (divisor)
+    f.mov(r0, r1);
+    f.mov(r1, r2);
+    f.call("sdiv");
+    f.cmpiBr(r0, 0, Cond::kEq, zero);
+    // emit (run<<16) | (q & 0xffff)
+    f.lsli(r1, r11, 16);
+    f.movi32(r2, 0xffffu);
+    f.and_(r0, r0, r2);
+    f.orr(r0, r0, r1);
+    f.str(r0, r10, 0);
+    f.addi(r10, r10, 4);
+    f.movi(r11, 0);
+    f.jmp(next);
+    f.bind(zero);
+    f.addi(r11, r11, 1);
+    f.bind(next);
+    f.addi(r12, r12, 1);
+    f.jmp(ql);
+    f.bind(qdone);
+    // EOB.
+    f.movi32(r0, kEob);
+    f.str(r0, r10, 0);
+    f.addi(r10, r10, 4);
+
+    f.addi(r9, r9, 8);
+    f.jmp(bxloop);
+    f.bind(bxdone);
+    f.addi(r8, r8, 8);
+    f.jmp(byloop);
+    f.bind(bydone);
+
+    // Patch stream[0] with the total word count.
+    f.la(r0, "stream");
+    f.sub(r1, r10, r0);
+    f.lsri(r1, r1, 2);
+    f.str(r1, r0, 0);
+    f.epilogue({r4, r5, r6, r7, r8, r9, r10, r11});
+  }
+
+  // Decoder main: per block, parse RLE, dequantize into blk, IDCT,
+  // unshift+clamp into the image.
+  void buildDecoder(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7, r8, r9, r10, r11});
+    f.la(r0, "width");
+    f.ldr(r6, r0);
+    f.la(r0, "height");
+    f.ldr(r7, r0);
+    f.la(r10, "stream", 4);  // read cursor
+    f.movi(r8, 0);           // by*8
+
+    const auto byloop = f.label();
+    const auto bydone = f.label();
+    f.bind(byloop);
+    f.cmpBr(r8, r7, Cond::kGe, bydone);
+    f.movi(r9, 0);
+
+    const auto bxloop = f.label();
+    const auto bxdone = f.label();
+    f.bind(bxloop);
+    f.cmpBr(r9, r6, Cond::kGe, bxdone);
+
+    // Clear blk.
+    f.la(r5, "blk");
+    f.movi(r0, 0);
+    f.movi(r1, 0);
+    const auto cl = f.label();
+    f.bind(cl);
+    f.strx(r0, r5, r1);
+    f.addi(r1, r1, 4);
+    f.cmpiBr(r1, 256, Cond::kLt, cl);
+
+    // Parse RLE until EOB. r4 zigzag, r11 i, r12 scratch.
+    f.la(r4, "zigzag");
+    f.movi(r11, 0);
+    const auto parse = f.label();
+    const auto parsed = f.label();
+    f.bind(parse);
+    f.ldr(r0, r10, 0);
+    f.addi(r10, r10, 4);
+    f.movi32(r1, kEob);
+    f.cmpBr(r0, r1, Cond::kEq, parsed);
+    f.lsri(r1, r0, 16);   // run
+    f.add(r11, r11, r1);
+    f.lsli(r1, r0, 16);   // sign-extended value
+    f.asri(r1, r1, 16);
+    f.ldrbx(r2, r4, r11); // dst = zigzag[i]
+    f.lsli(r2, r2, 2);
+    f.la(r3, "qtable");
+    f.ldrx(r3, r3, r2);
+    f.mul(r1, r1, r3);    // dequantize
+    f.strx(r1, r5, r2);
+    f.addi(r11, r11, 1);
+    f.jmp(parse);
+    f.bind(parsed);
+
+    // IDCT: cols blk->tmp, rows tmp->blk.
+    f.la(r0, "blk");
+    f.la(r1, "tmp");
+    f.call("idct_cols");
+    f.la(r0, "tmp");
+    f.la(r1, "blk");
+    f.call("idct_rows");
+
+    // Scatter with unshift + clamp.
+    f.la(r4, "image");
+    f.la(r5, "blk");
+    f.movi(r11, 0);  // y
+    const auto sy = f.label();
+    const auto sydone = f.label();
+    f.bind(sy);
+    f.cmpiBr(r11, 8, Cond::kGe, sydone);
+    f.add(r0, r8, r11);
+    f.mul(r0, r0, r6);
+    f.add(r0, r0, r9);
+    f.add(r0, r0, r4);    // &image[row][bx*8]
+    f.lsli(r1, r11, 5);
+    f.add(r1, r1, r5);    // &blk[y*8]
+    f.movi(r12, 0);
+    const auto sx = f.label();
+    const auto sxdone = f.label();
+    f.bind(sx);
+    f.cmpiBr(r12, 8, Cond::kGe, sxdone);
+    f.lsli(r2, r12, 2);
+    f.ldrx(r3, r1, r2);
+    f.addi(r3, r3, 128);
+    const auto noclamp_lo = f.label();
+    const auto noclamp_hi = f.label();
+    f.cmpiBr(r3, 0, Cond::kGe, noclamp_lo);
+    f.movi(r3, 0);
+    f.bind(noclamp_lo);
+    f.cmpiBr(r3, 255, Cond::kLe, noclamp_hi);
+    f.movi(r3, 255);
+    f.bind(noclamp_hi);
+    f.strbx(r3, r0, r12);
+    f.addi(r12, r12, 1);
+    f.jmp(sx);
+    f.bind(sxdone);
+    f.addi(r11, r11, 1);
+    f.jmp(sy);
+    f.bind(sydone);
+
+    f.addi(r9, r9, 8);
+    f.jmp(bxloop);
+    f.bind(bxdone);
+    f.addi(r8, r8, 8);
+    f.jmp(byloop);
+    f.bind(bydone);
+    f.epilogue({r4, r5, r6, r7, r8, r9, r10, r11});
+  }
+
+  bool decode_;
+  u32 img_off_ = 0;
+  u32 stream_off_ = 0;
+  u32 w_off_ = 0;
+  u32 h_off_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeCjpeg() {
+  return std::make_unique<JpegWorkload>(false);
+}
+std::unique_ptr<Workload> makeDjpeg() {
+  return std::make_unique<JpegWorkload>(true);
+}
+
+}  // namespace wp::workloads

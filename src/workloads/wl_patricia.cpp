@@ -1,0 +1,322 @@
+// patricia — MiBench network/patricia: a PATRICIA-style radix trie
+// (crit-bit form: internal nodes store the index of the distinguishing
+// bit, leaves store keys) over IPv4-like addresses with heavy prefix
+// sharing, then a query phase. Pointer-chasing, data-dependent branches
+// and a bump allocator, all in guest memory.
+#include <set>
+
+#include "workloads/common.hpp"
+#include "workloads/factories.hpp"
+
+namespace wp::workloads {
+
+namespace {
+
+struct Sizes {
+  std::size_t inserts, queries;
+};
+
+Sizes sizesFor(InputSize s) {
+  return s == InputSize::kSmall ? Sizes{500, 1000} : Sizes{4000, 8000};
+}
+
+// IPv4-flavoured keys: one of 256 shared /16 prefixes + a random host
+// part, so trie paths share long prefixes as in routing tables.
+std::vector<u32> insertKeys(InputSize s) {
+  const Sizes z = sizesFor(s);
+  Rng rng(s == InputSize::kSmall ? 0x9a717ULL : 0x9a718ULL);
+  std::vector<u32> prefixes(256);
+  for (auto& p : prefixes) p = rng.next32() & 0xffff0000u;
+  std::vector<u32> keys(z.inserts);
+  for (auto& k : keys) {
+    k = prefixes[rng.below(prefixes.size())] | (rng.next32() & 0xffffu);
+  }
+  return keys;
+}
+
+std::vector<u32> queryKeys(InputSize s) {
+  const Sizes z = sizesFor(s);
+  const auto keys = insertKeys(s);
+  Rng rng(s == InputSize::kSmall ? 0x2b4dULL : 0x2b4eULL);
+  std::vector<u32> q(z.queries);
+  for (auto& k : q) {
+    k = rng.chance(0.5) ? keys[rng.below(keys.size())] : rng.next32();
+  }
+  return q;
+}
+
+class PatriciaWorkload final : public Workload {
+ public:
+  std::string name() const override { return "patricia"; }
+
+  ir::Module build() override {
+    asmkit::ModuleBuilder mb;
+    using namespace asmkit;
+
+    const Sizes z = sizesFor(InputSize::kLarge);
+    keys_off_ = mb.bss("keys", static_cast<u32>(z.inserts * 4));
+    nkeys_off_ = mb.bss("nkeys", 4);
+    queries_off_ = mb.bss("queries", static_cast<u32>(z.queries * 4));
+    nqueries_off_ = mb.bss("nqueries", 4);
+    out_off_ = mb.bss("results", 8);
+    mb.bss("trie_root", 4);
+    heap_off_ = mb.bss("heap", 160 * 1024);
+    heapnext_off_ = mb.bss("heap_next", 4);
+
+    emitInsert(mb);
+    emitSearch(mb);
+
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7});
+    // heap_next = &heap.
+    f.la(r0, "heap");
+    f.la(r1, "heap_next");
+    f.str(r0, r1);
+
+    f.la(r4, "keys");
+    f.la(r0, "nkeys");
+    f.ldr(r5, r0);
+    f.movi(r6, 0);  // inserted
+    const auto il = f.label();
+    const auto idone = f.label();
+    f.bind(il);
+    f.cmpiBr(r5, 0, Cond::kEq, idone);
+    f.ldr(r0, r4, 0);
+    f.call("trie_insert");
+    f.add(r6, r6, r0);
+    f.addi(r4, r4, 4);
+    f.subi(r5, r5, 1);
+    f.jmp(il);
+    f.bind(idone);
+    f.la(r0, "results");
+    f.str(r6, r0, 0);
+
+    f.la(r4, "queries");
+    f.la(r0, "nqueries");
+    f.ldr(r5, r0);
+    f.movi(r7, 0);  // hits
+    const auto ql = f.label();
+    const auto qdone = f.label();
+    f.bind(ql);
+    f.cmpiBr(r5, 0, Cond::kEq, qdone);
+    f.ldr(r0, r4, 0);
+    f.call("trie_search");
+    f.add(r7, r7, r0);
+    f.addi(r4, r4, 4);
+    f.subi(r5, r5, 1);
+    f.jmp(ql);
+    f.bind(qdone);
+    f.la(r0, "results");
+    f.str(r7, r0, 4);
+    f.epilogue({r4, r5, r6, r7});
+
+    return mb.build();
+  }
+
+  void prepare(mem::Memory& memory, InputSize size) const override {
+    const auto ins = insertKeys(size);
+    const auto qs = queryKeys(size);
+    writeWords(memory, guestAddr(keys_off_), ins);
+    memory.store32(guestAddr(nkeys_off_), static_cast<u32>(ins.size()));
+    writeWords(memory, guestAddr(queries_off_), qs);
+    memory.store32(guestAddr(nqueries_off_), static_cast<u32>(qs.size()));
+  }
+
+  std::vector<u8> output(const mem::Memory& memory) const override {
+    return memory.readBlock(guestAddr(out_off_), 8);
+  }
+
+  std::vector<u8> expected(InputSize size) const override {
+    const auto ins = insertKeys(size);
+    const std::set<u32> keyset(ins.begin(), ins.end());
+    u32 hits = 0;
+    for (const u32 q : queryKeys(size)) hits += keyset.count(q);
+    std::vector<u32> out = {static_cast<u32>(keyset.size()), hits};
+    return toBytes(out);
+  }
+
+ private:
+  // Emits: r3 = bit(r4, r1) — the r1-th bit of the key counted from the
+  // MSB. Clobbers r2.
+  static void emitBitOfKey(asmkit::FunctionBuilder& f) {
+    using namespace asmkit;
+    f.movi(r2, 31);
+    f.sub(r2, r2, r1);
+    f.lsr(r3, r4, r2);
+    f.andi(r3, r3, 1);
+  }
+
+  // trie_insert(r0 = key) -> r0 = 1 if inserted, 0 if duplicate.
+  static void emitInsert(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("trie_insert");
+    f.prologue({r4, r5, r6, r7, r8, r9});
+    f.mov(r4, r0);
+    f.la(r9, "trie_root");
+    f.ldr(r0, r9, 0);
+    const auto nonempty = f.label();
+    f.cmpiBr(r0, 0, Cond::kNe, nonempty);
+    // Empty trie: root = new leaf.
+    f.la(r1, "heap_next");
+    f.ldr(r2, r1, 0);
+    f.str(r4, r2, 0);
+    f.addi(r3, r2, 4);
+    f.str(r3, r1, 0);
+    f.orri(r2, r2, 1);
+    f.str(r2, r9, 0);
+    f.movi(r0, 1);
+    f.epilogue({r4, r5, r6, r7, r8, r9});
+
+    f.bind(nonempty);
+    // Walk to the nearest leaf.
+    f.mov(r5, r0);
+    const auto walk = f.label();
+    const auto atleaf = f.label();
+    const auto goright = f.label();
+    f.bind(walk);
+    f.andi(r1, r5, 1);
+    f.cmpiBr(r1, 1, Cond::kEq, atleaf);
+    f.ldr(r1, r5, 0);  // bit index
+    emitBitOfKey(f);
+    f.cmpiBr(r3, 1, Cond::kEq, goright);
+    f.ldr(r5, r5, 4);
+    f.jmp(walk);
+    f.bind(goright);
+    f.ldr(r5, r5, 8);
+    f.jmp(walk);
+
+    f.bind(atleaf);
+    f.subi(r6, r5, 1);  // untag
+    f.ldr(r6, r6, 0);   // leaf key
+    f.eor(r7, r4, r6);
+    const auto differs = f.label();
+    f.cmpiBr(r7, 0, Cond::kNe, differs);
+    f.movi(r0, 0);      // duplicate
+    f.epilogue({r4, r5, r6, r7, r8, r9});
+
+    f.bind(differs);
+    // r8 = index (from MSB) of the first differing bit.
+    f.movi(r8, 0);
+    const auto clz = f.label();
+    const auto clzdone = f.label();
+    f.bind(clz);
+    f.lsl(r2, r7, r8);
+    f.lsri(r2, r2, 31);
+    f.cmpiBr(r2, 1, Cond::kEq, clzdone);
+    f.addi(r8, r8, 1);
+    f.jmp(clz);
+    f.bind(clzdone);
+
+    // Allocate leaf (1 word) + internal (3 words). The tagged leaf
+    // pointer lives in r7 (the diff value is dead) because
+    // emitBitOfKey scratches r2.
+    f.la(r1, "heap_next");
+    f.ldr(r2, r1, 0);   // leaf address
+    f.str(r4, r2, 0);
+    f.addi(r0, r2, 4);  // internal address
+    f.addi(r5, r0, 12);
+    f.str(r5, r1, 0);
+    f.str(r8, r0, 0);   // bit index
+    f.orri(r7, r2, 1);  // tagged leaf
+    // dir = bit(key, r8); child[dir] = leaf.
+    f.mov(r1, r8);
+    emitBitOfKey(f);
+    const auto leaf_right = f.label();
+    const auto placed = f.label();
+    f.cmpiBr(r3, 1, Cond::kEq, leaf_right);
+    f.str(r7, r0, 4);
+    f.jmp(placed);
+    f.bind(leaf_right);
+    f.str(r7, r0, 8);
+    f.bind(placed);
+
+    // Find the insertion point: the first edge whose node is a leaf or
+    // has a bit index >= r8.
+    f.la(r5, "trie_root");  // r5 = address of the edge word
+    const auto find = f.label();
+    const auto found = f.label();
+    const auto fright = f.label();
+    f.bind(find);
+    f.ldr(r6, r5, 0);       // candidate tagged pointer
+    f.andi(r1, r6, 1);
+    f.cmpiBr(r1, 1, Cond::kEq, found);
+    f.ldr(r1, r6, 0);       // its bit index
+    f.cmpBr(r1, r8, Cond::kGe, found);
+    emitBitOfKey(f);
+    f.cmpiBr(r3, 1, Cond::kEq, fright);
+    f.addi(r5, r6, 4);
+    f.jmp(find);
+    f.bind(fright);
+    f.addi(r5, r6, 8);
+    f.jmp(find);
+
+    f.bind(found);
+    // n.child[1-dir] = displaced subtree; edge = internal node.
+    f.mov(r1, r8);
+    emitBitOfKey(f);
+    const auto sub_left = f.label();
+    const auto linked = f.label();
+    f.cmpiBr(r3, 1, Cond::kEq, sub_left);
+    f.str(r6, r0, 8);  // dir==0: subtree goes right
+    f.jmp(linked);
+    f.bind(sub_left);
+    f.str(r6, r0, 4);  // dir==1: subtree goes left
+    f.bind(linked);
+    f.str(r0, r5, 0);
+    f.movi(r0, 1);
+    f.epilogue({r4, r5, r6, r7, r8, r9});
+  }
+
+  // trie_search(r0 = key) -> r0 = 1 if present.
+  static void emitSearch(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("trie_search");
+    f.prologue({r4, r5});
+    f.mov(r4, r0);
+    f.la(r0, "trie_root");
+    f.ldr(r5, r0, 0);
+    const auto miss = f.label();
+    f.cmpiBr(r5, 0, Cond::kEq, miss);
+    const auto walk = f.label();
+    const auto atleaf = f.label();
+    const auto goright = f.label();
+    f.bind(walk);
+    f.andi(r1, r5, 1);
+    f.cmpiBr(r1, 1, Cond::kEq, atleaf);
+    f.ldr(r1, r5, 0);
+    emitBitOfKey(f);
+    f.cmpiBr(r3, 1, Cond::kEq, goright);
+    f.ldr(r5, r5, 4);
+    f.jmp(walk);
+    f.bind(goright);
+    f.ldr(r5, r5, 8);
+    f.jmp(walk);
+    f.bind(atleaf);
+    f.subi(r5, r5, 1);
+    f.ldr(r5, r5, 0);
+    const auto hit = f.label();
+    f.cmpBr(r5, r4, Cond::kEq, hit);
+    f.bind(miss);
+    f.movi(r0, 0);
+    f.epilogue({r4, r5});
+    f.bind(hit);
+    f.movi(r0, 1);
+    f.epilogue({r4, r5});
+  }
+
+  u32 keys_off_ = 0;
+  u32 nkeys_off_ = 0;
+  u32 queries_off_ = 0;
+  u32 nqueries_off_ = 0;
+  u32 out_off_ = 0;
+  u32 heap_off_ = 0;
+  u32 heapnext_off_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makePatricia() {
+  return std::make_unique<PatriciaWorkload>();
+}
+
+}  // namespace wp::workloads

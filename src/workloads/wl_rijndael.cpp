@@ -1,0 +1,417 @@
+// rijndael_e / rijndael_d — MiBench security/rijndael: AES-128 in ECB
+// mode over a byte stream. The guest runs the *entire* cipher: key
+// expansion (RotWord/SubWord/Rcon), and per block SubBytes, ShiftRows,
+// MixColumns and AddRoundKey (inverses for decryption), using GF(2^8)
+// multiplication tables in the data segment.
+#include "workloads/common.hpp"
+#include "workloads/factories.hpp"
+#include "workloads/references.hpp"
+
+namespace wp::workloads {
+
+namespace {
+
+constexpr std::size_t kSmallBlocks = 72;
+constexpr std::size_t kLargeBlocks = 768;
+
+std::vector<u8> cipherKey() {
+  return randomBytes("rijndael-key", InputSize::kSmall, 16);
+}
+
+std::vector<u8> plaintext(InputSize size) {
+  return randomBytes("rijndael", size,
+                     16 * (size == InputSize::kSmall ? kSmallBlocks
+                                                     : kLargeBlocks));
+}
+
+std::vector<u8> ciphertext(InputSize size) {
+  const ref::Aes128 aes(cipherKey());
+  const std::vector<u8> pt = plaintext(size);
+  std::vector<u8> out(pt.size());
+  for (std::size_t off = 0; off < pt.size(); off += 16) {
+    aes.encryptBlock(pt.data() + off, out.data() + off);
+  }
+  return out;
+}
+
+std::array<u8, 256> gmulTable(u8 factor) {
+  std::array<u8, 256> t{};
+  for (u32 i = 0; i < 256; ++i) {
+    t[i] = ref::aesGfmul(static_cast<u8>(i), factor);
+  }
+  return t;
+}
+
+class RijndaelWorkload : public Workload {
+ public:
+  explicit RijndaelWorkload(bool decrypt) : decrypt_(decrypt) {}
+
+  std::string name() const override {
+    return decrypt_ ? "rijndael_d" : "rijndael_e";
+  }
+
+  ir::Module build() override {
+    asmkit::ModuleBuilder mb;
+    using namespace asmkit;
+
+    mb.data("sbox", ref::aesSbox());
+    mb.data("isbox", ref::aesInvSbox());
+    mb.data("gm2", gmulTable(2));
+    mb.data("gm3", gmulTable(3));
+    mb.data("gm9", gmulTable(9));
+    mb.data("gm11", gmulTable(11));
+    mb.data("gm13", gmulTable(13));
+    mb.data("gm14", gmulTable(14));
+
+    // shiftmap[r+4c] = r + 4((c+r)%4); dshiftmap is the inverse rotation.
+    std::array<u8, 16> shiftmap{}, dshiftmap{};
+    for (u32 r = 0; r < 4; ++r) {
+      for (u32 c = 0; c < 4; ++c) {
+        shiftmap[r + 4 * c] = static_cast<u8>(r + 4 * ((c + r) % 4));
+        dshiftmap[r + 4 * c] = static_cast<u8>(r + 4 * ((c + 4 - r) % 4));
+      }
+    }
+    mb.data("shiftmap", shiftmap);
+    mb.data("dshiftmap", dshiftmap);
+    mb.data("aes_key", cipherKey());
+    mb.bss("rk", 176);
+    mb.bss("aes_state", 16);
+    mb.bss("aes_tmp", 16);
+    input_off_ = mb.bss("input", 16 * kLargeBlocks);
+    nblocks_off_ = mb.bss("nblocks", 4);
+    out_off_ = mb.bss("output", 16 * kLargeBlocks);
+
+    emitExpand(mb);
+    if (decrypt_) {
+      emitDecrypt(mb);
+    } else {
+      emitEncrypt(mb);
+    }
+
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6});
+    f.call("aes_expand");
+    f.la(r4, "input");
+    f.la(r6, "output");
+    f.la(r0, "nblocks");
+    f.ldr(r5, r0);
+    const auto loop = f.label();
+    const auto done = f.label();
+    f.bind(loop);
+    f.cmpiBr(r5, 0, Cond::kEq, done);
+    f.mov(r0, r4);
+    f.mov(r1, r6);
+    f.call(decrypt_ ? "aes_decrypt" : "aes_encrypt");
+    f.addi(r4, r4, 16);
+    f.addi(r6, r6, 16);
+    f.subi(r5, r5, 1);
+    f.jmp(loop);
+    f.bind(done);
+    f.epilogue({r4, r5, r6});
+
+    return mb.build();
+  }
+
+  void prepare(mem::Memory& memory, InputSize size) const override {
+    const std::vector<u8> in = decrypt_ ? ciphertext(size) : plaintext(size);
+    writeBytes(memory, guestAddr(input_off_), in);
+    memory.store32(guestAddr(nblocks_off_),
+                   static_cast<u32>(in.size() / 16));
+  }
+
+  std::vector<u8> output(const mem::Memory& memory) const override {
+    return memory.readBlock(guestAddr(out_off_), 16 * kLargeBlocks);
+  }
+
+  std::vector<u8> expected(InputSize size) const override {
+    std::vector<u8> e = decrypt_ ? plaintext(size) : ciphertext(size);
+    e.resize(16 * kLargeBlocks, 0);
+    return e;
+  }
+
+ private:
+  // aes_expand: FIPS-197 key expansion from "aes_key" into "rk".
+  static void emitExpand(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("aes_expand");
+    f.prologue({r4, r5, r6, r7, r8, r9});
+    f.la(r4, "aes_key");
+    f.la(r5, "rk");
+    f.la(r6, "sbox");
+
+    f.movi(r0, 0);
+    const auto cloop = f.label();
+    f.bind(cloop);
+    f.ldrbx(r1, r4, r0);
+    f.strbx(r1, r5, r0);
+    f.addi(r0, r0, 1);
+    f.cmpiBr(r0, 16, Cond::kLt, cloop);
+
+    f.movi(r7, 1);  // rcon
+    f.movi(r8, 4);  // word index i
+    const auto iloop = f.label();
+    const auto no_rot = f.label();
+    f.bind(iloop);
+    // t0..t3 (r0..r3) = bytes of word i-1.
+    f.lsli(r9, r8, 2);
+    f.subi(r9, r9, 4);
+    f.ldrbx(r0, r5, r9);
+    f.addi(r12, r9, 1);
+    f.ldrbx(r1, r5, r12);
+    f.addi(r12, r9, 2);
+    f.ldrbx(r2, r5, r12);
+    f.addi(r12, r9, 3);
+    f.ldrbx(r3, r5, r12);
+
+    f.andi(r12, r8, 3);
+    f.cmpiBr(r12, 0, Cond::kNe, no_rot);
+    // (t0,t1,t2,t3) = (sbox[t1]^rcon, sbox[t2], sbox[t3], sbox[t0]).
+    f.mov(r12, r0);
+    f.ldrbx(r0, r6, r1);
+    f.eor(r0, r0, r7);
+    f.ldrbx(r1, r6, r2);
+    f.ldrbx(r2, r6, r3);
+    f.ldrbx(r3, r6, r12);
+    f.la(r12, "gm2");
+    f.ldrbx(r7, r12, r7);  // rcon = xtime(rcon)
+    f.bind(no_rot);
+
+    // rk[4i+b] = rk[4(i-4)+b] ^ tb.
+    f.lsli(r9, r8, 2);
+    const auto xorByte = [&](Reg t, i32 b) {
+      f.subi(r12, r9, 16 - b);
+      f.ldrbx(r15, r5, r12);
+      f.eor(r15, r15, t);
+      f.addi(r12, r9, b);
+      f.strbx(r15, r5, r12);
+    };
+    xorByte(r0, 0);
+    xorByte(r1, 1);
+    xorByte(r2, 2);
+    xorByte(r3, 3);
+
+    f.addi(r8, r8, 1);
+    f.cmpiBr(r8, 44, Cond::kLt, iloop);
+    f.epilogue({r4, r5, r6, r7, r8, r9});
+  }
+
+  // aes_encrypt(r0 = in, r1 = out): one AES-128 block. The per-byte
+  // operations are unrolled with immediate offsets and the ShiftRows
+  // permutation folded into the offsets at build time — the shape of any
+  // optimized AES byte implementation.
+  static void emitEncrypt(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("aes_encrypt");
+    f.prologue({r4, r5, r6, r7, r8, r9, r10, r11});
+    f.mov(r4, r0);
+    f.mov(r5, r1);
+    f.la(r6, "rk");
+    f.la(r7, "aes_state");
+    f.la(r9, "aes_tmp");
+
+    // AddRoundKey(0), unrolled.
+    for (i32 i = 0; i < 16; ++i) {
+      f.ldrb(r1, r4, i);
+      f.ldrb(r2, r6, i);
+      f.eor(r1, r1, r2);
+      f.strb(r1, r7, i);
+    }
+
+    i32 shift[16];
+    for (i32 r = 0; r < 4; ++r) {
+      for (i32 c = 0; c < 4; ++c) shift[r + 4 * c] = r + 4 * ((c + r) % 4);
+    }
+
+    f.movi(r8, 1);  // round
+    const auto rloop = f.label();
+    const auto skipmix = f.label();
+    const auto addkey = f.label();
+    f.bind(rloop);
+    // tmp[i] = sbox[state[shift[i]]]  (SubBytes + ShiftRows, unrolled).
+    f.la(r10, "sbox");
+    for (i32 i = 0; i < 16; ++i) {
+      f.ldrb(r1, r7, shift[i]);
+      f.ldrbx(r2, r10, r1);
+      f.strb(r2, r9, i);
+    }
+
+    f.cmpiBr(r8, 10, Cond::kEq, skipmix);
+    // MixColumns tmp -> state, all four columns unrolled.
+    f.la(r10, "gm2");
+    f.la(r11, "gm3");
+    for (i32 c = 0; c < 4; ++c) {
+      const i32 o = 4 * c;
+      f.ldrb(r1, r9, o);       // a0
+      f.ldrb(r2, r9, o + 1);   // a1
+      f.ldrb(r3, r9, o + 2);   // a2
+      f.ldrb(r12, r9, o + 3);  // a3
+      // s0 = gm2[a0]^gm3[a1]^a2^a3
+      f.ldrbx(r15, r10, r1);
+      f.ldrbx(r4, r11, r2);
+      f.eor(r15, r15, r4);
+      f.eor(r15, r15, r3);
+      f.eor(r15, r15, r12);
+      f.strb(r15, r7, o);
+      // s1 = a0^gm2[a1]^gm3[a2]^a3
+      f.ldrbx(r15, r10, r2);
+      f.ldrbx(r4, r11, r3);
+      f.eor(r15, r15, r4);
+      f.eor(r15, r15, r1);
+      f.eor(r15, r15, r12);
+      f.strb(r15, r7, o + 1);
+      // s2 = a0^a1^gm2[a2]^gm3[a3]
+      f.ldrbx(r15, r10, r3);
+      f.ldrbx(r4, r11, r12);
+      f.eor(r15, r15, r4);
+      f.eor(r15, r15, r1);
+      f.eor(r15, r15, r2);
+      f.strb(r15, r7, o + 2);
+      // s3 = gm3[a0]^a1^a2^gm2[a3]
+      f.ldrbx(r15, r11, r1);
+      f.ldrbx(r4, r10, r12);
+      f.eor(r15, r15, r4);
+      f.eor(r15, r15, r2);
+      f.eor(r15, r15, r3);
+      f.strb(r15, r7, o + 3);
+    }
+    f.jmp(addkey);
+
+    f.bind(skipmix);  // final round: state = tmp
+    for (i32 i = 0; i < 16; ++i) {
+      f.ldrb(r1, r9, i);
+      f.strb(r1, r7, i);
+    }
+
+    f.bind(addkey);  // state[i] ^= rk[16*round + i], unrolled
+    f.lsli(r4, r8, 4);
+    f.add(r4, r4, r6);  // &rk[16*round]
+    for (i32 i = 0; i < 16; ++i) {
+      f.ldrb(r1, r7, i);
+      f.ldrb(r2, r4, i);
+      f.eor(r1, r1, r2);
+      f.strb(r1, r7, i);
+    }
+
+    f.addi(r8, r8, 1);
+    f.cmpiBr(r8, 10, Cond::kLe, rloop);
+
+    // state -> out.
+    for (i32 i = 0; i < 16; ++i) {
+      f.ldrb(r1, r7, i);
+      f.strb(r1, r5, i);
+    }
+    f.epilogue({r4, r5, r6, r7, r8, r9, r10, r11});
+  }
+
+  // aes_decrypt(r0 = in, r1 = out): inverse cipher, unrolled like the
+  // encryptor (InvShiftRows folded into immediate offsets).
+  static void emitDecrypt(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    auto& f = mb.func("aes_decrypt");
+    f.prologue({r4, r5, r6, r7, r8, r9, r10, r11});
+    f.mov(r4, r0);
+    f.mov(r5, r1);
+    f.la(r6, "rk");
+    f.la(r7, "aes_state");
+    f.la(r9, "aes_tmp");
+
+    // AddRoundKey(10): state = in ^ rk[160..175], unrolled.
+    for (i32 i = 0; i < 16; ++i) {
+      f.ldrb(r1, r4, i);
+      f.ldrb(r2, r6, 160 + i);
+      f.eor(r1, r1, r2);
+      f.strb(r1, r7, i);
+    }
+
+    i32 dshift[16];
+    for (i32 r = 0; r < 4; ++r) {
+      for (i32 c = 0; c < 4; ++c) {
+        dshift[r + 4 * c] = r + 4 * ((c + 4 - r) % 4);
+      }
+    }
+
+    f.movi(r8, 9);  // round 9 .. 0
+    const auto rloop = f.label();
+    const auto no_mix = f.label();
+    const auto nextround = f.label();
+    f.bind(rloop);
+    // InvShiftRows (gather, unrolled): tmp[i] = state[dshift[i]].
+    for (i32 i = 0; i < 16; ++i) {
+      f.ldrb(r1, r7, dshift[i]);
+      f.strb(r1, r9, i);
+    }
+
+    // InvSubBytes + AddRoundKey, unrolled over bytes.
+    f.la(r10, "isbox");
+    f.lsli(r11, r8, 4);
+    f.add(r11, r11, r6);  // &rk[16*round]
+    for (i32 i = 0; i < 16; ++i) {
+      f.ldrb(r1, r9, i);
+      f.ldrbx(r2, r10, r1);
+      f.ldrb(r3, r11, i);
+      f.eor(r2, r2, r3);
+      f.strb(r2, r7, i);
+    }
+
+    f.cmpiBr(r8, 0, Cond::kEq, no_mix);
+    // InvMixColumns in place, all four columns unrolled. Table bases in
+    // r10/r11/r0/r4 (r4 is dead after the initial AddRoundKey).
+    f.la(r10, "gm14");
+    f.la(r11, "gm11");
+    f.la(r0, "gm13");
+    f.la(r4, "gm9");
+    for (i32 c = 0; c < 4; ++c) {
+      const i32 o = 4 * c;
+      f.ldrb(r1, r7, o);       // a0
+      f.ldrb(r2, r7, o + 1);   // a1
+      f.ldrb(r3, r7, o + 2);   // a2
+      f.ldrb(r12, r7, o + 3);  // a3
+      const Reg a[4] = {r1, r2, r3, r12};
+      const Reg tbl[4] = {r10, r11, r0, r4};  // gm14, gm11, gm13, gm9
+      for (int row = 0; row < 4; ++row) {
+        bool first = true;
+        for (int col = 0; col < 4; ++col) {
+          // coefficient index for (row, col): (col - row + 4) % 4.
+          f.ldrbx(r9, tbl[(col - row + 4) % 4], a[col]);
+          if (first) {
+            f.mov(r15, r9);
+            first = false;
+          } else {
+            f.eor(r15, r15, r9);
+          }
+        }
+        f.strb(r15, r7, o + row);
+      }
+    }
+    f.la(r9, "aes_tmp");  // restore the tmp base clobbered above
+    f.bind(no_mix);
+    f.jmp(nextround);
+    f.bind(nextround);
+
+    f.subi(r8, r8, 1);
+    f.cmpiBr(r8, 0, Cond::kGe, rloop);
+
+    // state -> out.
+    for (i32 i = 0; i < 16; ++i) {
+      f.ldrb(r1, r7, i);
+      f.strb(r1, r5, i);
+    }
+    f.epilogue({r4, r5, r6, r7, r8, r9, r10, r11});
+  }
+
+  bool decrypt_;
+  u32 input_off_ = 0;
+  u32 nblocks_off_ = 0;
+  u32 out_off_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeRijndaelE() {
+  return std::make_unique<RijndaelWorkload>(false);
+}
+std::unique_ptr<Workload> makeRijndaelD() {
+  return std::make_unique<RijndaelWorkload>(true);
+}
+
+}  // namespace wp::workloads

@@ -1,0 +1,232 @@
+// rsynth — MiBench office/rsynth: the text-to-phoneme front end of a
+// speech synthesizer, reduced to its letter-to-sound rule engine: for
+// each position the engine tries context rules ('c'/'g' soften before
+// e/i/y), then scans a digraph rule table ("th", "ch", "ee", ...), and
+// falls back to a single-letter map. Table scanning over short strings
+// with data-dependent exits — the original's hot pattern.
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/factories.hpp"
+
+namespace wp::workloads {
+
+namespace {
+
+constexpr std::size_t kSmallLen = 2 * 1024;
+constexpr std::size_t kLargeLen = 16 * 1024;
+
+const char* const kDigraphs[] = {
+    "th", "ch", "sh", "ph", "wh", "qu", "ck", "ng", "ee", "ea", "oo", "ou",
+    "ow", "ai", "ay", "oi", "oy", "au", "aw", "ar", "er", "ir", "or", "ur",
+};
+constexpr u32 kNumDigraphs = sizeof(kDigraphs) / sizeof(kDigraphs[0]);
+constexpr u8 kWordBoundary = 0;
+constexpr u8 kSoftC = 60;
+constexpr u8 kSoftG = 61;
+constexpr u8 kDigraphBase = 30;
+constexpr u8 kSingleBase = 1;
+
+std::vector<u8> inputText(InputSize s) {
+  return randomText("rsynth", s,
+                    s == InputSize::kSmall ? kSmallLen : kLargeLen);
+}
+
+bool softensNext(u8 c) { return c == 'e' || c == 'i' || c == 'y'; }
+
+std::vector<u8> refPhonemes(InputSize s) {
+  const auto text = inputText(s);
+  std::vector<u8> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const u8 c = text[i];
+    if (c == ' ') {
+      out.push_back(kWordBoundary);
+      ++i;
+      continue;
+    }
+    if (i + 1 < text.size()) {
+      const u8 c2 = text[i + 1];
+      if (c == 'c' && softensNext(c2)) {
+        out.push_back(kSoftC);
+        ++i;
+        continue;
+      }
+      if (c == 'g' && softensNext(c2)) {
+        out.push_back(kSoftG);
+        ++i;
+        continue;
+      }
+      bool matched = false;
+      for (u32 j = 0; j < kNumDigraphs; ++j) {
+        if (c == static_cast<u8>(kDigraphs[j][0]) &&
+            c2 == static_cast<u8>(kDigraphs[j][1])) {
+          out.push_back(static_cast<u8>(kDigraphBase + j));
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    out.push_back(static_cast<u8>(kSingleBase + (c - 'a')));
+    ++i;
+  }
+  return out;
+}
+
+class RsynthWorkload final : public Workload {
+ public:
+  std::string name() const override { return "rsynth"; }
+
+  ir::Module build() override {
+    asmkit::ModuleBuilder mb;
+    using namespace asmkit;
+
+    std::vector<u8> pats;
+    for (const char* d : kDigraphs) {
+      pats.push_back(static_cast<u8>(d[0]));
+      pats.push_back(static_cast<u8>(d[1]));
+    }
+    mb.data("digraphs", pats);
+    text_off_ = mb.bss("text", kLargeLen);
+    textn_off_ = mb.bss("text_n", 4);
+    out_off_ = mb.bss("phonemes", kLargeLen);  // output <= input length
+    outn_off_ = mb.bss("phonemes_n", 4);
+
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7, r8, r9});
+    f.la(r4, "text");
+    f.la(r0, "text_n");
+    f.ldr(r5, r0);       // n
+    f.la(r6, "phonemes");
+    f.movi(r7, 0);       // i
+    f.movi(r8, 0);       // out count
+    f.la(r9, "digraphs");
+
+    const auto loop = f.label();
+    const auto done = f.label();
+    const auto emit1 = f.label();   // emit r0, advance 1
+    const auto emit2 = f.label();   // emit r0, advance 2
+    const auto single = f.label();
+    const auto no_pair = f.label();
+    f.bind(loop);
+    f.cmpBr(r7, r5, Cond::kGe, done);
+    f.ldrbx(r1, r4, r7);  // c
+
+    const auto notspace = f.label();
+    f.cmpiBr(r1, ' ', Cond::kNe, notspace);
+    f.movi(r0, kWordBoundary);
+    f.jmp(emit1);
+    f.bind(notspace);
+
+    // Need a second character for context and digraph rules.
+    f.addi(r2, r7, 1);
+    f.cmpBr(r2, r5, Cond::kGe, no_pair);
+    f.ldrbx(r2, r4, r2);  // c2
+
+    // Softening context rules.
+    const auto not_c = f.label();
+    const auto not_soft = f.label();
+    const auto soften_check = f.label();
+    const auto is_g = f.label();
+    f.cmpiBr(r1, 'c', Cond::kEq, soften_check);
+    f.cmpiBr(r1, 'g', Cond::kEq, soften_check);
+    f.jmp(not_soft);
+    f.bind(soften_check);
+    const auto do_soften = f.label();
+    f.cmpiBr(r2, 'e', Cond::kEq, do_soften);
+    f.cmpiBr(r2, 'i', Cond::kEq, do_soften);
+    f.cmpiBr(r2, 'y', Cond::kEq, do_soften);
+    f.jmp(not_soft);
+    f.bind(do_soften);
+    f.cmpiBr(r1, 'g', Cond::kEq, is_g);
+    f.movi(r0, kSoftC);
+    f.jmp(emit1);
+    f.bind(is_g);
+    f.movi(r0, kSoftG);
+    f.jmp(emit1);
+    f.bind(not_c);  // (unused label kept for symmetry)
+    f.bind(not_soft);
+
+    // Digraph table scan.
+    f.movi(r3, 0);  // j
+    const auto scan = f.label();
+    const auto scan_miss = f.label();
+    const auto next_j = f.label();
+    f.bind(scan);
+    f.cmpiBr(r3, kNumDigraphs, Cond::kGe, scan_miss);
+    f.lsli(r12, r3, 1);
+    f.ldrbx(r0, r9, r12);   // pattern[0]
+    f.cmpBr(r0, r1, Cond::kNe, next_j);
+    f.addi(r12, r12, 1);
+    f.ldrbx(r0, r9, r12);   // pattern[1]
+    f.cmpBr(r0, r2, Cond::kNe, next_j);
+    f.addi(r0, r3, kDigraphBase);
+    f.jmp(emit2);
+    f.bind(next_j);
+    f.addi(r3, r3, 1);
+    f.jmp(scan);
+    f.bind(scan_miss);
+    f.jmp(single);
+
+    f.bind(no_pair);
+    f.bind(single);
+    f.subi(r0, r1, 'a');
+    f.addi(r0, r0, kSingleBase);
+    f.jmp(emit1);
+
+    f.bind(emit2);
+    f.strbx(r0, r6, r8);
+    f.addi(r8, r8, 1);
+    f.addi(r7, r7, 2);
+    f.jmp(loop);
+    f.bind(emit1);
+    f.strbx(r0, r6, r8);
+    f.addi(r8, r8, 1);
+    f.addi(r7, r7, 1);
+    f.jmp(loop);
+
+    f.bind(done);
+    f.la(r0, "phonemes_n");
+    f.str(r8, r0);
+    f.epilogue({r4, r5, r6, r7, r8, r9});
+
+    return mb.build();
+  }
+
+  void prepare(mem::Memory& memory, InputSize size) const override {
+    const auto text = inputText(size);
+    writeBytes(memory, guestAddr(text_off_), text);
+    memory.store32(guestAddr(textn_off_), static_cast<u32>(text.size()));
+  }
+
+  std::vector<u8> output(const mem::Memory& memory) const override {
+    std::vector<u8> out = memory.readBlock(guestAddr(outn_off_), 4);
+    const auto ph = memory.readBlock(guestAddr(out_off_), kLargeLen);
+    out.insert(out.end(), ph.begin(), ph.end());
+    return out;
+  }
+
+  std::vector<u8> expected(InputSize size) const override {
+    std::vector<u8> ph = refPhonemes(size);
+    std::vector<u8> out = u32ToBytes(static_cast<u32>(ph.size()));
+    ph.resize(kLargeLen, 0);
+    out.insert(out.end(), ph.begin(), ph.end());
+    return out;
+  }
+
+ private:
+  u32 text_off_ = 0;
+  u32 textn_off_ = 0;
+  u32 out_off_ = 0;
+  u32 outn_off_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeRsynth() {
+  return std::make_unique<RsynthWorkload>();
+}
+
+}  // namespace wp::workloads

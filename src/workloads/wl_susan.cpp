@@ -1,0 +1,309 @@
+// susan_s / susan_e / susan_c — MiBench auto/susan: the SUSAN family of
+// image kernels built on a brightness-similarity LUT.
+//   susan_s: 3x3 LUT-weighted smoothing with an integer divide per pixel
+//            (the guest calls the udiv library routine, as ARM MiBench
+//            calls __divsi3),
+//   susan_e: 3x3 USAN edge response (unrolled neighbourhood),
+//   susan_c: 5x5 USAN corner response (looped neighbourhood).
+// Borders are copied through unchanged.
+#include <cmath>
+#include <cstdlib>
+
+#include "workloads/common.hpp"
+#include "workloads/factories.hpp"
+#include "workloads/guestlib.hpp"
+
+namespace wp::workloads {
+
+namespace {
+
+enum class Variant { kSmooth, kEdge, kCorner };
+
+struct Dims {
+  u32 w, h;
+};
+
+Dims dimsFor(Variant v, InputSize s) {
+  const bool small = s == InputSize::kSmall;
+  switch (v) {
+    case Variant::kSmooth: return small ? Dims{48, 36} : Dims{96, 72};
+    case Variant::kEdge:   return small ? Dims{80, 60} : Dims{192, 144};
+    case Variant::kCorner: return small ? Dims{56, 42} : Dims{112, 84};
+  }
+  WP_UNREACHABLE("bad variant");
+}
+
+constexpr u32 kMaxPixels = 192 * 144;
+
+/// Brightness-similarity LUT: lut[d + 256] = round(100 * exp(-(d/t)^2)).
+std::vector<u8> brightnessLut(double t) {
+  std::vector<u8> lut(512);
+  for (int i = 0; i < 512; ++i) {
+    const double d = (i - 256) / t;
+    lut[i] = static_cast<u8>(std::lround(100.0 * std::exp(-d * d)));
+  }
+  return lut;
+}
+
+constexpr double kSmoothT = 27.0;
+constexpr double kEdgeT = 20.0;
+constexpr double kCornerT = 20.0;
+constexpr i32 kEdgeG = 600;    // of 800 max
+constexpr i32 kCornerG = 1200; // of 2400 max
+
+std::vector<u8> image(Variant v, InputSize s) {
+  const Dims d = dimsFor(v, s);
+  const char* salt = v == Variant::kSmooth  ? "susan_s"
+                     : v == Variant::kEdge ? "susan_e"
+                                           : "susan_c";
+  return syntheticImage(salt, s, d.w, d.h);
+}
+
+std::vector<u8> referenceOutput(Variant v, InputSize s) {
+  const Dims d = dimsFor(v, s);
+  const std::vector<u8> img = image(v, s);
+  std::vector<u8> out = img;  // borders pass through
+
+  const auto lut = brightnessLut(v == Variant::kSmooth  ? kSmoothT
+                                 : v == Variant::kEdge ? kEdgeT
+                                                       : kCornerT);
+  const int margin = v == Variant::kCorner ? 2 : 1;
+  for (u32 y = margin; y + margin < d.h; ++y) {
+    for (u32 x = margin; x + margin < d.w; ++x) {
+      const i32 c = img[y * d.w + x];
+      if (v == Variant::kSmooth) {
+        u32 total = 0, wsum = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const i32 p = img[(y + dy) * d.w + (x + dx)];
+            const u32 wgt = lut[p - c + 256];
+            wsum += wgt;
+            total += wgt * static_cast<u32>(p);
+          }
+        }
+        out[y * d.w + x] = static_cast<u8>(total / wsum);
+      } else {
+        i32 n = 0;
+        for (int dy = -margin; dy <= margin; ++dy) {
+          for (int dx = -margin; dx <= margin; ++dx) {
+            if (dy == 0 && dx == 0) continue;
+            const i32 p = img[(y + dy) * d.w + (x + dx)];
+            n += lut[p - c + 256];
+          }
+        }
+        const i32 g = v == Variant::kEdge ? kEdgeG : kCornerG;
+        const int shift = v == Variant::kEdge ? 2 : 3;
+        out[y * d.w + x] =
+            n < g ? static_cast<u8>((g - n) >> shift) : u8{0};
+      }
+    }
+  }
+  return out;
+}
+
+class SusanWorkload : public Workload {
+ public:
+  explicit SusanWorkload(Variant v) : variant_(v) {}
+
+  std::string name() const override {
+    switch (variant_) {
+      case Variant::kSmooth: return "susan_s";
+      case Variant::kEdge:   return "susan_e";
+      case Variant::kCorner: return "susan_c";
+    }
+    WP_UNREACHABLE("bad variant");
+  }
+
+  ir::Module build() override {
+    asmkit::ModuleBuilder mb;
+    using namespace asmkit;
+
+    mb.data("lut", brightnessLut(variant_ == Variant::kSmooth  ? kSmoothT
+                                 : variant_ == Variant::kEdge ? kEdgeT
+                                                              : kCornerT));
+    img_off_ = mb.bss("img", kMaxPixels);
+    out_off_ = mb.bss("out", kMaxPixels);
+    w_off_ = mb.bss("width", 4);
+    h_off_ = mb.bss("height", 4);
+
+    if (variant_ == Variant::kSmooth) emitSdivFree(mb);
+
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7, r8, r9, r10, r11});
+    f.la(r4, "img");
+    f.la(r5, "out");
+    f.la(r0, "width");
+    f.ldr(r6, r0);
+    f.la(r0, "height");
+    f.ldr(r7, r0);
+    f.la(r10, "lut");
+
+    // Pass the whole image through first (borders).
+    f.mul(r0, r6, r7);
+    f.movi(r1, 0);
+    const auto copy = f.label();
+    f.bind(copy);
+    f.ldrbx(r2, r4, r1);
+    f.strbx(r2, r5, r1);
+    f.addi(r1, r1, 1);
+    f.cmpBr(r1, r0, Cond::kLt, copy);
+
+    const int margin = variant_ == Variant::kCorner ? 2 : 1;
+    f.movi(r8, margin);  // y
+    const auto yloop = f.label();
+    const auto ydone = f.label();
+    f.bind(yloop);
+    f.subi(r0, r7, margin);
+    f.cmpBr(r8, r0, Cond::kGe, ydone);
+    f.movi(r9, margin);  // x
+    const auto xloop = f.label();
+    const auto xdone = f.label();
+    f.bind(xloop);
+    f.subi(r0, r6, margin);
+    f.cmpBr(r9, r0, Cond::kGe, xdone);
+
+    // r3 = &img[y*w + x]; r15 = centre value.
+    f.mul(r3, r8, r6);
+    f.add(r3, r3, r9);
+    f.add(r3, r3, r4);
+    f.ldrb(r15, r3, 0);
+    f.movi(r11, 0);  // total / USAN accumulator
+    f.movi(r12, 0);  // weight sum (smoothing only)
+
+    if (variant_ == Variant::kSmooth) {
+      emitSmoothNeighbours(f);
+      // out = total / wsum.
+      f.mov(r0, r11);
+      f.mov(r1, r12);
+      f.call("udiv");
+      f.mul(r2, r8, r6);
+      f.add(r2, r2, r9);
+      f.strbx(r0, r5, r2);
+    } else {
+      emitUsan(f, margin);
+      // response = n < g ? (g - n) >> shift : 0.
+      const i32 g = variant_ == Variant::kEdge ? kEdgeG : kCornerG;
+      const int shift = variant_ == Variant::kEdge ? 2 : 3;
+      const auto flat = f.label();
+      const auto store = f.label();
+      f.movi(r0, 0);
+      f.cmpiBr(r11, g, Cond::kGe, flat);
+      f.movi(r0, g);
+      f.sub(r0, r0, r11);
+      f.asri(r0, r0, static_cast<u32>(shift));
+      f.bind(flat);
+      f.jmp(store);  // single join point keeps the CFG honest
+      f.bind(store);
+      f.mul(r2, r8, r6);
+      f.add(r2, r2, r9);
+      f.strbx(r0, r5, r2);
+    }
+
+    f.addi(r9, r9, 1);
+    f.jmp(xloop);
+    f.bind(xdone);
+    f.addi(r8, r8, 1);
+    f.jmp(yloop);
+    f.bind(ydone);
+    f.epilogue({r4, r5, r6, r7, r8, r9, r10, r11});
+
+    return mb.build();
+  }
+
+  void prepare(mem::Memory& memory, InputSize size) const override {
+    const Dims d = dimsFor(variant_, size);
+    writeBytes(memory, guestAddr(img_off_), image(variant_, size));
+    memory.store32(guestAddr(w_off_), d.w);
+    memory.store32(guestAddr(h_off_), d.h);
+  }
+
+  std::vector<u8> output(const mem::Memory& memory) const override {
+    return memory.readBlock(guestAddr(out_off_), kMaxPixels);
+  }
+
+  std::vector<u8> expected(InputSize size) const override {
+    std::vector<u8> e = referenceOutput(variant_, size);
+    e.resize(kMaxPixels, 0);
+    return e;
+  }
+
+ private:
+  static void emitSdivFree(asmkit::ModuleBuilder& mb) { emitUdiv(mb); }
+
+  // 9 unrolled neighbour taps: r11 += wgt*p, r12 += wgt. Uses r0-r2.
+  static void emitSmoothNeighbours(asmkit::FunctionBuilder& f) {
+    using namespace asmkit;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        // r2 = &img[(y+dy)*w + (x+dx)] from the centre pointer r3.
+        if (dy < 0) {
+          f.sub(r2, r3, r6);
+        } else if (dy > 0) {
+          f.add(r2, r3, r6);
+        } else {
+          f.mov(r2, r3);
+        }
+        if (dx != 0) f.addi(r2, r2, dx);
+        f.ldrb(r0, r2, 0);
+        f.sub(r1, r0, r15);
+        f.addi(r1, r1, 256);
+        f.ldrbx(r1, r10, r1);  // wgt
+        f.add(r12, r12, r1);
+        f.mul(r0, r1, r0);
+        f.add(r11, r11, r0);
+      }
+    }
+  }
+
+  // Fully unrolled (2*margin+1)^2 - 1 USAN taps: r11 += lut[p - c + 256].
+  // Row bases are formed with width adds (r6 = w), pixels addressed with
+  // immediate offsets — the code a compiler emits for a fixed mask.
+  static void emitUsan(asmkit::FunctionBuilder& f, int margin) {
+    using namespace asmkit;
+    for (int dy = -margin; dy <= margin; ++dy) {
+      // r2 = &img[(y+dy)*w + x].
+      if (dy == 0) {
+        f.mov(r2, r3);
+      } else {
+        const bool up = dy < 0;
+        for (int step = 0; step < std::abs(dy); ++step) {
+          if (step == 0) {
+            up ? f.sub(r2, r3, r6) : f.add(r2, r3, r6);
+          } else {
+            up ? f.sub(r2, r2, r6) : f.add(r2, r2, r6);
+          }
+        }
+      }
+      for (int dx = -margin; dx <= margin; ++dx) {
+        if (dy == 0 && dx == 0) continue;
+        f.ldrb(r0, r2, dx);
+        f.sub(r0, r0, r15);
+        f.addi(r0, r0, 256);
+        f.ldrbx(r0, r10, r0);
+        f.add(r11, r11, r0);
+      }
+    }
+  }
+
+  Variant variant_;
+  u32 img_off_ = 0;
+  u32 out_off_ = 0;
+  u32 w_off_ = 0;
+  u32 h_off_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeSusanS() {
+  return std::make_unique<SusanWorkload>(Variant::kSmooth);
+}
+std::unique_ptr<Workload> makeSusanE() {
+  return std::make_unique<SusanWorkload>(Variant::kEdge);
+}
+std::unique_ptr<Workload> makeSusanC() {
+  return std::make_unique<SusanWorkload>(Variant::kCorner);
+}
+
+}  // namespace
+
+// (factories are defined inside wp::workloads above)

@@ -1,0 +1,581 @@
+// tiff2bw / tiff2rgba / tiffdither / tiffmedian — MiBench consumer/tiff:
+// four raster transforms over synthetic images.
+//   tiff2bw:    RGB -> luminance, (77R + 150G + 29B) >> 8
+//   tiff2rgba:  palette indices -> RGBA words via a 256-entry palette
+//   tiffdither: grayscale -> 1-bit Floyd-Steinberg error diffusion
+//   tiffmedian: RGB -> 8-colour quantized indices (3-3-2 histogram,
+//               popularity palette, nearest-colour mapping) — a compact
+//               stand-in for median-cut with the same hot loops
+//               (histogram build, repeated bin scans, per-pixel distance
+//               minimization). Recorded as a substitution in DESIGN.md.
+#include "workloads/common.hpp"
+#include "workloads/factories.hpp"
+
+namespace wp::workloads {
+
+namespace {
+
+enum class Variant { kBw, kRgba, kDither, kMedian };
+
+struct Dims {
+  u32 w, h;
+};
+
+Dims dimsFor(Variant v, InputSize s) {
+  const bool small = s == InputSize::kSmall;
+  switch (v) {
+    case Variant::kBw:     return small ? Dims{96, 72} : Dims{320, 240};
+    case Variant::kRgba:   return small ? Dims{96, 72} : Dims{320, 240};
+    case Variant::kDither: return small ? Dims{96, 72} : Dims{256, 192};
+    case Variant::kMedian: return small ? Dims{64, 48} : Dims{160, 120};
+  }
+  WP_UNREACHABLE("bad variant");
+}
+
+constexpr u32 kMaxPixels = 320 * 240;
+constexpr int kPaletteColors = 8;
+
+const char* variantName(Variant v) {
+  switch (v) {
+    case Variant::kBw:     return "tiff2bw";
+    case Variant::kRgba:   return "tiff2rgba";
+    case Variant::kDither: return "tiffdither";
+    case Variant::kMedian: return "tiffmedian";
+  }
+  WP_UNREACHABLE("bad variant");
+}
+
+std::vector<u8> rgbImage(Variant v, InputSize s) {
+  const Dims d = dimsFor(v, s);
+  const std::string base = variantName(v);
+  const auto r = syntheticImage(base + "-r", s, d.w, d.h);
+  const auto g = syntheticImage(base + "-g", s, d.w, d.h);
+  const auto b = syntheticImage(base + "-b", s, d.w, d.h);
+  std::vector<u8> out;
+  out.reserve(r.size() * 3);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    out.push_back(r[i]);
+    out.push_back(g[i]);
+    out.push_back(b[i]);
+  }
+  return out;
+}
+
+std::vector<u8> grayImage(Variant v, InputSize s) {
+  const Dims d = dimsFor(v, s);
+  return syntheticImage(variantName(v), s, d.w, d.h);
+}
+
+std::vector<u32> rgbaPalette() {
+  const auto bytes = randomBytes("tiff2rgba-palette", InputSize::kSmall,
+                                 256 * 4);
+  std::vector<u32> pal(256);
+  for (u32 i = 0; i < 256; ++i) {
+    pal[i] = static_cast<u32>(bytes[i * 4]) |
+             (static_cast<u32>(bytes[i * 4 + 1]) << 8) |
+             (static_cast<u32>(bytes[i * 4 + 2]) << 16) |
+             (static_cast<u32>(bytes[i * 4 + 3]) << 24);
+  }
+  return pal;
+}
+
+// ---------------------------------------------------------------------------
+// Host references
+// ---------------------------------------------------------------------------
+
+std::vector<u8> refBw(InputSize s) {
+  const auto rgb = rgbImage(Variant::kBw, s);
+  std::vector<u8> out(rgb.size() / 3);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<u8>(
+        (77u * rgb[i * 3] + 150u * rgb[i * 3 + 1] + 29u * rgb[i * 3 + 2]) >>
+        8);
+  }
+  return out;
+}
+
+std::vector<u8> refRgba(InputSize s) {
+  const auto idx = grayImage(Variant::kRgba, s);
+  const auto pal = rgbaPalette();
+  std::vector<u32> out(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) out[i] = pal[idx[i]];
+  return toBytes(out);
+}
+
+std::vector<u8> refDither(InputSize s) {
+  const Dims d = dimsFor(Variant::kDither, s);
+  const auto img = grayImage(Variant::kDither, s);
+  std::vector<u8> out(img.size());
+  std::vector<i32> cur(d.w + 2, 0), next(d.w + 2, 0);
+  for (u32 y = 0; y < d.h; ++y) {
+    for (u32 x = 0; x < d.w; ++x) {
+      const i32 v = img[y * d.w + x] + cur[x + 1];
+      const i32 o = v >= 128 ? 255 : 0;
+      out[y * d.w + x] = static_cast<u8>(o);
+      const i32 err = v - o;
+      cur[x + 2] += (err * 7) >> 4;
+      next[x] += (err * 3) >> 4;
+      next[x + 1] += (err * 5) >> 4;
+      next[x + 2] += (err * 1) >> 4;
+    }
+    cur.swap(next);
+    std::fill(next.begin(), next.end(), 0);
+  }
+  return out;
+}
+
+struct MedianResult {
+  std::vector<u8> palette;  // kPaletteColors * 3 bytes
+  std::vector<u8> indices;
+};
+
+MedianResult refMedian(InputSize s) {
+  const auto rgb = rgbImage(Variant::kMedian, s);
+  const std::size_t npix = rgb.size() / 3;
+
+  std::vector<u32> hist(256, 0);
+  for (std::size_t i = 0; i < npix; ++i) {
+    const u32 bin = ((rgb[i * 3] >> 5) << 5) | ((rgb[i * 3 + 1] >> 5) << 2) |
+                    (rgb[i * 3 + 2] >> 6);
+    ++hist[bin];
+  }
+
+  MedianResult res;
+  res.palette.resize(kPaletteColors * 3);
+  for (int k = 0; k < kPaletteColors; ++k) {
+    u32 best = 0, best_count = hist[0];
+    for (u32 b = 1; b < 256; ++b) {
+      if (hist[b] > best_count) {
+        best_count = hist[b];
+        best = b;
+      }
+    }
+    hist[best] = 0;
+    res.palette[k * 3] = static_cast<u8>(((best >> 5) << 5) | 16);
+    res.palette[k * 3 + 1] = static_cast<u8>((((best >> 2) & 7) << 5) | 16);
+    res.palette[k * 3 + 2] = static_cast<u8>(((best & 3) << 6) | 32);
+  }
+
+  res.indices.resize(npix);
+  for (std::size_t i = 0; i < npix; ++i) {
+    i32 best_d = 0x7fffffff;
+    u8 best_k = 0;
+    for (int k = 0; k < kPaletteColors; ++k) {
+      const i32 dr = rgb[i * 3] - res.palette[k * 3];
+      const i32 dg = rgb[i * 3 + 1] - res.palette[k * 3 + 1];
+      const i32 db = rgb[i * 3 + 2] - res.palette[k * 3 + 2];
+      const i32 dist = dr * dr + dg * dg + db * db;
+      if (dist < best_d) {
+        best_d = dist;
+        best_k = static_cast<u8>(k);
+      }
+    }
+    res.indices[i] = best_k;
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------------
+
+class TiffWorkload : public Workload {
+ public:
+  explicit TiffWorkload(Variant v) : variant_(v) {}
+
+  std::string name() const override { return variantName(variant_); }
+
+  ir::Module build() override {
+    asmkit::ModuleBuilder mb;
+    switch (variant_) {
+      case Variant::kBw:     buildBw(mb); break;
+      case Variant::kRgba:   buildRgba(mb); break;
+      case Variant::kDither: buildDither(mb); break;
+      case Variant::kMedian: buildMedian(mb); break;
+    }
+    return mb.build();
+  }
+
+  void prepare(mem::Memory& memory, InputSize size) const override {
+    const Dims d = dimsFor(variant_, size);
+    memory.store32(guestAddr(w_off_), d.w);
+    memory.store32(guestAddr(h_off_), d.h);
+    memory.store32(guestAddr(npix_off_), d.w * d.h);
+    if (variant_ == Variant::kBw || variant_ == Variant::kMedian) {
+      writeBytes(memory, guestAddr(in_off_), rgbImage(variant_, size));
+    } else {
+      writeBytes(memory, guestAddr(in_off_), grayImage(variant_, size));
+    }
+  }
+
+  std::vector<u8> output(const mem::Memory& memory) const override {
+    switch (variant_) {
+      case Variant::kBw:
+        return memory.readBlock(guestAddr(out_off_), kMaxPixels);
+      case Variant::kRgba:
+        return memory.readBlock(guestAddr(out_off_), kMaxPixels * 4);
+      case Variant::kDither:
+        return memory.readBlock(guestAddr(out_off_), kMaxPixels);
+      case Variant::kMedian: {
+        auto out = memory.readBlock(guestAddr(pal_off_), kPaletteColors * 3);
+        const auto idx = memory.readBlock(guestAddr(out_off_), kMaxPixels);
+        out.insert(out.end(), idx.begin(), idx.end());
+        return out;
+      }
+    }
+    WP_UNREACHABLE("bad variant");
+  }
+
+  std::vector<u8> expected(InputSize size) const override {
+    switch (variant_) {
+      case Variant::kBw: {
+        auto e = refBw(size);
+        e.resize(kMaxPixels, 0);
+        return e;
+      }
+      case Variant::kRgba: {
+        auto e = refRgba(size);
+        e.resize(kMaxPixels * 4, 0);
+        return e;
+      }
+      case Variant::kDither: {
+        auto e = refDither(size);
+        e.resize(kMaxPixels, 0);
+        return e;
+      }
+      case Variant::kMedian: {
+        const MedianResult r = refMedian(size);
+        std::vector<u8> e = r.palette;
+        std::vector<u8> idx = r.indices;
+        idx.resize(kMaxPixels, 0);
+        e.insert(e.end(), idx.begin(), idx.end());
+        return e;
+      }
+    }
+    WP_UNREACHABLE("bad variant");
+  }
+
+ private:
+  void commonSymbols(asmkit::ModuleBuilder& mb, u32 in_bytes, u32 out_bytes) {
+    in_off_ = mb.bss("input", in_bytes);
+    out_off_ = mb.bss("output", out_bytes);
+    w_off_ = mb.bss("width", 4);
+    h_off_ = mb.bss("height", 4);
+    npix_off_ = mb.bss("npixels", 4);
+  }
+
+  void buildBw(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    commonSymbols(mb, kMaxPixels * 3, kMaxPixels);
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6});
+    f.la(r4, "input");
+    f.la(r5, "output");
+    f.la(r0, "npixels");
+    f.ldr(r6, r0);
+    const auto loop = f.label();
+    const auto done = f.label();
+    f.bind(loop);
+    f.cmpiBr(r6, 0, Cond::kEq, done);
+    f.ldrb(r0, r4, 0);
+    f.ldrb(r1, r4, 1);
+    f.ldrb(r2, r4, 2);
+    f.muli(r0, r0, 77);
+    f.muli(r1, r1, 150);
+    f.muli(r2, r2, 29);
+    f.add(r0, r0, r1);
+    f.add(r0, r0, r2);
+    f.lsri(r0, r0, 8);
+    f.strb(r0, r5, 0);
+    f.addi(r4, r4, 3);
+    f.addi(r5, r5, 1);
+    f.subi(r6, r6, 1);
+    f.jmp(loop);
+    f.bind(done);
+    f.epilogue({r4, r5, r6});
+  }
+
+  void buildRgba(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    mb.dataWords("palette", rgbaPalette());
+    commonSymbols(mb, kMaxPixels, kMaxPixels * 4);
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7});
+    f.la(r4, "input");
+    f.la(r5, "output");
+    f.la(r0, "npixels");
+    f.ldr(r6, r0);
+    f.la(r7, "palette");
+    const auto loop = f.label();
+    const auto done = f.label();
+    f.bind(loop);
+    f.cmpiBr(r6, 0, Cond::kEq, done);
+    f.ldrb(r0, r4, 0);
+    f.lsli(r0, r0, 2);
+    f.ldrx(r1, r7, r0);
+    f.str(r1, r5, 0);
+    f.addi(r4, r4, 1);
+    f.addi(r5, r5, 4);
+    f.subi(r6, r6, 1);
+    f.jmp(loop);
+    f.bind(done);
+    f.epilogue({r4, r5, r6, r7});
+  }
+
+  void buildDither(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    commonSymbols(mb, kMaxPixels, kMaxPixels);
+    mb.bss("err_a", (320 + 2) * 4);
+    mb.bss("err_b", (320 + 2) * 4);
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7, r8, r9, r10, r11});
+    f.la(r4, "input");
+    f.la(r5, "output");
+    f.la(r0, "width");
+    f.ldr(r6, r0);
+    f.la(r0, "height");
+    f.ldr(r7, r0);
+    f.la(r10, "err_a");  // current row errors (x+1 offset)
+    f.la(r11, "err_b");  // next row errors
+
+    f.movi(r8, 0);  // y
+    const auto yloop = f.label();
+    const auto ydone = f.label();
+    f.bind(yloop);
+    f.cmpBr(r8, r7, Cond::kGe, ydone);
+    f.movi(r9, 0);  // x
+    const auto xloop = f.label();
+    const auto xdone = f.label();
+    f.bind(xloop);
+    f.cmpBr(r9, r6, Cond::kGe, xdone);
+
+    // v = img[y*w+x] + cur[x+1]
+    f.mul(r0, r8, r6);
+    f.add(r0, r0, r9);
+    f.ldrbx(r1, r4, r0);
+    f.addi(r2, r9, 1);
+    f.lsli(r2, r2, 2);
+    f.ldrx(r3, r10, r2);
+    f.add(r1, r1, r3);
+    // out = v >= 128 ? 255 : 0
+    const auto white = f.label();
+    const auto stored = f.label();
+    f.movi(r12, 0);
+    f.cmpiBr(r1, 128, Cond::kGe, white);
+    f.jmp(stored);
+    f.bind(white);
+    f.movi(r12, 255);
+    f.bind(stored);
+    f.strbx(r12, r5, r0);
+    f.sub(r1, r1, r12);  // err
+    // cur[x+2] += (err*7)>>4
+    f.muli(r0, r1, 7);
+    f.asri(r0, r0, 4);
+    f.addi(r2, r9, 2);
+    f.lsli(r2, r2, 2);
+    f.ldrx(r3, r10, r2);
+    f.add(r3, r3, r0);
+    f.strx(r3, r10, r2);
+    // next[x] += (err*3)>>4
+    f.muli(r0, r1, 3);
+    f.asri(r0, r0, 4);
+    f.lsli(r2, r9, 2);
+    f.ldrx(r3, r11, r2);
+    f.add(r3, r3, r0);
+    f.strx(r3, r11, r2);
+    // next[x+1] += (err*5)>>4
+    f.muli(r0, r1, 5);
+    f.asri(r0, r0, 4);
+    f.addi(r2, r9, 1);
+    f.lsli(r2, r2, 2);
+    f.ldrx(r3, r11, r2);
+    f.add(r3, r3, r0);
+    f.strx(r3, r11, r2);
+    // next[x+2] += err>>4
+    f.asri(r0, r1, 4);
+    f.addi(r2, r9, 2);
+    f.lsli(r2, r2, 2);
+    f.ldrx(r3, r11, r2);
+    f.add(r3, r3, r0);
+    f.strx(r3, r11, r2);
+
+    f.addi(r9, r9, 1);
+    f.jmp(xloop);
+    f.bind(xdone);
+    // swap cur/next, clear next.
+    f.mov(r0, r10);
+    f.mov(r10, r11);
+    f.mov(r11, r0);
+    f.addi(r1, r6, 2);
+    f.lsli(r1, r1, 2);
+    f.movi(r0, 0);
+    f.movi(r2, 0);
+    const auto clr = f.label();
+    f.bind(clr);
+    f.strx(r0, r11, r2);
+    f.addi(r2, r2, 4);
+    f.cmpBr(r2, r1, Cond::kLt, clr);
+    f.addi(r8, r8, 1);
+    f.jmp(yloop);
+    f.bind(ydone);
+    f.epilogue({r4, r5, r6, r7, r8, r9, r10, r11});
+  }
+
+  void buildMedian(asmkit::ModuleBuilder& mb) {
+    using namespace asmkit;
+    commonSymbols(mb, kMaxPixels * 3, kMaxPixels);
+    mb.bss("hist", 256 * 4);
+    pal_off_ = mb.bss("med_palette", kPaletteColors * 3);
+
+    auto& f = mb.func("main");
+    f.prologue({r4, r5, r6, r7, r8, r9, r10, r11});
+    f.la(r4, "input");
+    f.la(r0, "npixels");
+    f.ldr(r6, r0);
+    f.la(r7, "hist");
+
+    // Phase 1: 3-3-2 histogram.
+    f.movi(r5, 0);  // pixel counter
+    const auto h_loop = f.label();
+    const auto h_done = f.label();
+    f.bind(h_loop);
+    f.cmpBr(r5, r6, Cond::kGe, h_done);
+    f.muli(r0, r5, 3);
+    f.ldrbx(r1, r4, r0);      // r
+    f.addi(r0, r0, 1);
+    f.ldrbx(r2, r4, r0);      // g
+    f.addi(r0, r0, 1);
+    f.ldrbx(r3, r4, r0);      // b
+    f.lsri(r1, r1, 5);
+    f.lsli(r1, r1, 5);
+    f.lsri(r2, r2, 5);
+    f.lsli(r2, r2, 2);
+    f.orr(r1, r1, r2);
+    f.lsri(r3, r3, 6);
+    f.orr(r1, r1, r3);        // bin
+    f.lsli(r1, r1, 2);
+    f.ldrx(r0, r7, r1);
+    f.addi(r0, r0, 1);
+    f.strx(r0, r7, r1);
+    f.addi(r5, r5, 1);
+    f.jmp(h_loop);
+    f.bind(h_done);
+
+    // Phase 2: popularity palette (8 repeated max-scans).
+    f.la(r8, "med_palette");
+    f.movi(r9, 0);  // k
+    const auto k_loop = f.label();
+    const auto k_done = f.label();
+    f.bind(k_loop);
+    f.cmpiBr(r9, kPaletteColors, Cond::kGe, k_done);
+    f.movi(r10, 0);           // best bin
+    f.ldr(r11, r7, 0);        // best count
+    f.movi(r5, 1);            // bin
+    const auto scan = f.label();
+    const auto scan_done = f.label();
+    const auto not_better = f.label();
+    f.bind(scan);
+    f.cmpiBr(r5, 256, Cond::kGe, scan_done);
+    f.lsli(r0, r5, 2);
+    f.ldrx(r1, r7, r0);
+    f.cmpBr(r1, r11, Cond::kLe, not_better);
+    f.mov(r11, r1);
+    f.mov(r10, r5);
+    f.bind(not_better);
+    f.addi(r5, r5, 1);
+    f.jmp(scan);
+    f.bind(scan_done);
+    // hist[best] = 0.
+    f.lsli(r0, r10, 2);
+    f.movi(r1, 0);
+    f.strx(r1, r7, r0);
+    // palette bytes = bin centres.
+    f.muli(r3, r9, 3);
+    f.lsri(r0, r10, 5);
+    f.lsli(r0, r0, 5);
+    f.orri(r0, r0, 16);
+    f.strbx(r0, r8, r3);
+    f.lsri(r0, r10, 2);
+    f.andi(r0, r0, 7);
+    f.lsli(r0, r0, 5);
+    f.orri(r0, r0, 16);
+    f.addi(r3, r3, 1);
+    f.strbx(r0, r8, r3);
+    f.andi(r0, r10, 3);
+    f.lsli(r0, r0, 6);
+    f.orri(r0, r0, 32);
+    f.addi(r3, r3, 1);
+    f.strbx(r0, r8, r3);
+    f.addi(r9, r9, 1);
+    f.jmp(k_loop);
+    f.bind(k_done);
+
+    // Phase 3: nearest-palette mapping.
+    f.la(r5, "output");
+    f.movi(r9, 0);  // pixel index
+    const auto m_loop = f.label();
+    const auto m_done = f.label();
+    f.bind(m_loop);
+    f.cmpBr(r9, r6, Cond::kGe, m_done);
+    f.muli(r0, r9, 3);
+    f.add(r10, r4, r0);       // &rgb[pixel]
+    f.movi32(r11, 0x7fffffff);  // best distance
+    f.movi(r7, 0);            // best k (r7 reused after histogram)
+    // Unrolled nearest-palette scan: palette offsets are immediates.
+    for (i32 k = 0; k < kPaletteColors; ++k) {
+      const auto not_closer = f.label();
+      // dr
+      f.ldrb(r0, r10, 0);
+      f.ldrb(r2, r8, 3 * k);
+      f.sub(r0, r0, r2);
+      f.mul(r0, r0, r0);
+      f.mov(r3, r0);
+      // dg
+      f.ldrb(r0, r10, 1);
+      f.ldrb(r2, r8, 3 * k + 1);
+      f.sub(r0, r0, r2);
+      f.mul(r0, r0, r0);
+      f.add(r3, r3, r0);
+      // db
+      f.ldrb(r0, r10, 2);
+      f.ldrb(r2, r8, 3 * k + 2);
+      f.sub(r0, r0, r2);
+      f.mul(r0, r0, r0);
+      f.add(r3, r3, r0);
+      f.cmpBr(r3, r11, Cond::kGe, not_closer);
+      f.mov(r11, r3);
+      f.movi(r7, k);
+      f.bind(not_closer);
+    }
+    f.strbx(r7, r5, r9);
+    f.addi(r9, r9, 1);
+    f.jmp(m_loop);
+    f.bind(m_done);
+    f.epilogue({r4, r5, r6, r7, r8, r9, r10, r11});
+  }
+
+  Variant variant_;
+  u32 in_off_ = 0;
+  u32 out_off_ = 0;
+  u32 pal_off_ = 0;
+  u32 w_off_ = 0;
+  u32 h_off_ = 0;
+  u32 npix_off_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeTiff2bw() {
+  return std::make_unique<TiffWorkload>(Variant::kBw);
+}
+std::unique_ptr<Workload> makeTiff2rgba() {
+  return std::make_unique<TiffWorkload>(Variant::kRgba);
+}
+std::unique_ptr<Workload> makeTiffdither() {
+  return std::make_unique<TiffWorkload>(Variant::kDither);
+}
+std::unique_ptr<Workload> makeTiffmedian() {
+  return std::make_unique<TiffWorkload>(Variant::kMedian);
+}
+
+}  // namespace wp::workloads

@@ -1,0 +1,63 @@
+// The MiBench-substitute workload suite (paper §5).
+//
+// Each workload is a real kernel implemented as a WRISC-32 program via
+// asmkit, plus a host-side C++ reference implementation. Workloads carry
+// two input sets: kSmall (the training input used for profiling) and
+// kLarge (the evaluation input), generated deterministically so that
+// small != large in both size and content — the profile/evaluate split is
+// part of what the paper's technique must survive.
+//
+// The contract:
+//   1. build()                       — produce the IR module (idempotent)
+//   2. <link + load image>           — done by the harness
+//   3. prepare(memory, size)         — write the input buffers
+//   4. <run>                         — simulator executes until HALT
+//   5. output(memory)                — read back the result bytes
+//   6. expected(size)                — host-computed reference bytes
+// A workload is correct when output == expected for both input sizes
+// under every layout policy and scheme.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "mem/memory.hpp"
+
+namespace wp::workloads {
+
+enum class InputSize : u8 { kSmall, kLarge };
+
+[[nodiscard]] inline const char* inputSizeName(InputSize s) {
+  return s == InputSize::kSmall ? "small" : "large";
+}
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Builds the program. May be called repeatedly; must be deterministic.
+  [[nodiscard]] virtual ir::Module build() = 0;
+
+  /// Writes the input buffers for @p size into @p memory (which already
+  /// holds the loaded image).
+  virtual void prepare(mem::Memory& memory, InputSize size) const = 0;
+
+  /// Reads the program's result buffer after a run.
+  [[nodiscard]] virtual std::vector<u8> output(
+      const mem::Memory& memory) const = 0;
+
+  /// Host-reference result for @p size.
+  [[nodiscard]] virtual std::vector<u8> expected(InputSize size) const = 0;
+};
+
+/// All 23 benchmarks of the paper's Figure 4, in figure order.
+[[nodiscard]] const std::vector<std::string>& suiteNames();
+
+/// Instantiates a workload by name; throws SimError for unknown names.
+[[nodiscard]] std::unique_ptr<Workload> makeWorkload(const std::string& name);
+
+}  // namespace wp::workloads

@@ -1,0 +1,174 @@
+// Builder tests: basic-block formation, label discipline, validation
+// errors, data layout and the module invariants.
+#include <gtest/gtest.h>
+
+#include "asmkit/builder.hpp"
+
+namespace wp {
+namespace {
+
+using namespace asmkit;
+
+TEST(AsmkitBlocks, StraightLineIsOneBlockPerTerminator) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  f.movi(r0, 1);
+  f.addi(r0, r0, 1);
+  f.ret();
+  const ir::Module m = mb.build();
+  // main has one block; _start has one block (call+halt splits: bl ends
+  // a block, halt ends the next).
+  const ir::Function* main_fn = m.findFunction("main");
+  ASSERT_NE(main_fn, nullptr);
+  EXPECT_EQ(main_fn->block_ids.size(), 1u);
+  EXPECT_EQ(m.blocks[main_fn->block_ids[0]].insts.size(), 3u);
+}
+
+TEST(AsmkitBlocks, ConditionalBranchSplitsWithFallthrough) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  const auto target = f.label();
+  f.movi(r0, 0);
+  f.cmpiBr(r0, 0, Cond::kEq, target);
+  f.movi(r0, 1);
+  f.bind(target);
+  f.ret();
+  const ir::Module m = mb.build();
+  const ir::Function* fn = m.findFunction("main");
+  ASSERT_EQ(fn->block_ids.size(), 3u);
+  const ir::BasicBlock& b0 = m.blocks[fn->block_ids[0]];
+  const ir::BasicBlock& b1 = m.blocks[fn->block_ids[1]];
+  EXPECT_TRUE(b0.fallthrough.has_value());
+  EXPECT_EQ(*b0.fallthrough, fn->block_ids[1]);
+  EXPECT_TRUE(b1.fallthrough.has_value());
+}
+
+TEST(AsmkitBlocks, CallEndsBlockWithFallthrough) {
+  ModuleBuilder mb;
+  auto& g = mb.func("callee");
+  g.ret();
+  auto& f = mb.func("main");
+  f.prologue();
+  f.call("callee");
+  f.movi(r0, 1);
+  f.epilogue();
+  const ir::Module m = mb.build();
+  const ir::Function* fn = m.findFunction("main");
+  // prologue+call | movi+epilogue-loads | (ret ends).
+  ASSERT_GE(fn->block_ids.size(), 2u);
+  const ir::BasicBlock& callblk = m.blocks[fn->block_ids[0]];
+  EXPECT_EQ(callblk.insts.back().raw.op, isa::Opcode::kBl);
+  EXPECT_TRUE(callblk.fallthrough.has_value());
+}
+
+TEST(AsmkitLabels, DoubleBindRejected) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  const auto l = f.label();
+  f.bind(l);
+  EXPECT_THROW(f.bind(l), SimError);
+}
+
+TEST(AsmkitLabels, UnboundLabelRejectedAtBuild) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  const auto l = f.label();
+  f.jmp(l);
+  EXPECT_THROW(mb.build(), SimError);
+}
+
+TEST(AsmkitLabels, MultipleLabelsOneBlock) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  const auto a = f.label();
+  const auto b = f.label();
+  f.movi(r0, 0);
+  f.cmpiBr(r0, 1, Cond::kEq, a);
+  f.cmpiBr(r0, 2, Cond::kEq, b);
+  f.bind(a);
+  f.bind(b);
+  f.ret();
+  EXPECT_NO_THROW(mb.build());
+}
+
+TEST(AsmkitErrors, FallOffFunctionEndRejected) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  f.movi(r0, 1);  // no terminator
+  EXPECT_THROW(mb.build(), SimError);
+}
+
+TEST(AsmkitErrors, UnreachableCodeAfterJumpRejected) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  const auto l = f.label();
+  f.bind(l);
+  f.jmp(l);
+  EXPECT_THROW(f.movi(r0, 1), SimError);
+}
+
+TEST(AsmkitErrors, CallToUnknownFunctionRejected) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  f.call("missing");
+  f.ret();
+  EXPECT_THROW(mb.build(), SimError);
+}
+
+TEST(AsmkitErrors, UnknownDataSymbolRejected) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  f.la(r0, "missing");
+  f.ret();
+  EXPECT_THROW(mb.build(), SimError);
+}
+
+TEST(AsmkitData, AlignmentAndOffsets) {
+  ModuleBuilder mb;
+  const u32 a = mb.data("a", std::vector<u8>{1, 2, 3});
+  const u32 b = mb.data("b", std::vector<u8>{4}, 4);
+  const u32 c = mb.bss("c", 10, 8);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 4u);  // re-aligned past the 3 bytes
+  EXPECT_EQ(c, 8u);
+  auto& f = mb.func("main");
+  f.ret();
+  const ir::Module m = mb.build();
+  EXPECT_EQ(m.findSymbol("b")->offset, 4u);
+  EXPECT_EQ(m.data_init.size(), 18u);
+  EXPECT_EQ(m.data_init[4], 4);
+}
+
+TEST(AsmkitData, DataWordsLittleEndian) {
+  ModuleBuilder mb;
+  mb.dataWords("w", std::vector<u32>{0x11223344u});
+  auto& f = mb.func("main");
+  f.ret();
+  const ir::Module m = mb.build();
+  EXPECT_EQ(m.data_init[0], 0x44);
+  EXPECT_EQ(m.data_init[3], 0x11);
+}
+
+TEST(AsmkitModule, StartFunctionSynthesized) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  f.ret();
+  const ir::Module m = mb.build();
+  EXPECT_NE(m.findFunction("_start"), nullptr);
+  EXPECT_EQ(m.entry_function, "_start");
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(AsmkitModule, StaticInstructionCount) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  f.movi(r0, 1);
+  f.movi(r1, 2);
+  f.ret();
+  const ir::Module m = mb.build();
+  // main: 3, _start: bl + halt = 2.
+  EXPECT_EQ(m.staticInstructions(), 5u);
+}
+
+}  // namespace
+}  // namespace wp

@@ -1,0 +1,131 @@
+// Driver integration tests: the paper's experimental flow end to end on
+// representative workloads, checking the headline result *shapes*.
+#include <gtest/gtest.h>
+
+#include "driver/runner.hpp"
+
+namespace wp {
+namespace {
+
+const cache::CacheGeometry kXScale{32 * 1024, 32, 32};
+
+class DriverShape : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DriverShape, WayPlacementBeatsBaselineAndMemoization) {
+  driver::Runner runner;
+  const driver::PreparedWorkload prepared = runner.prepare(GetParam());
+
+  const driver::RunResult base =
+      runner.run(prepared, kXScale, driver::SchemeSpec::baseline());
+  const driver::RunResult wm =
+      runner.run(prepared, kXScale, driver::SchemeSpec::wayMemoization());
+  const driver::RunResult wp =
+      runner.run(prepared, kXScale, driver::SchemeSpec::wayPlacement(16 * 1024));
+
+  const driver::Normalized nwp = driver::normalize(wp, base);
+  const driver::Normalized nwm = driver::normalize(wm, base);
+
+  // Energy: way-placement saves a lot and beats way-memoization.
+  EXPECT_LT(nwp.icache_energy, 0.75) << "way-placement savings too small";
+  EXPECT_LT(nwp.icache_energy, nwm.icache_energy);
+
+  // Performance: "There is no change in performance when using either
+  // way-placement or way-memoization" (§6.1) — within noise.
+  EXPECT_NEAR(nwp.delay, 1.0, 0.05);
+  EXPECT_NEAR(nwm.delay, 1.0, 0.05);
+
+  // ED product below 1 for way-placement.
+  EXPECT_LT(nwp.ed_product, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Representative, DriverShape,
+                         ::testing::Values("crc", "sha", "bitcount",
+                                           "rijndael_e", "fft"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Driver, ProfileUsesSmallInput) {
+  driver::Runner runner;
+  const driver::PreparedWorkload p = runner.prepare("crc");
+  const driver::RunResult large =
+      runner.run(p, kXScale, driver::SchemeSpec::baseline());
+  // The training run must be much shorter than the evaluation run.
+  EXPECT_LT(p.profile_instructions * 4, large.stats.instructions);
+}
+
+TEST(Driver, WayPlacementAreaSizeMonotonicity) {
+  driver::Runner runner;
+  const driver::PreparedWorkload p = runner.prepare("rijndael_e");
+  const driver::RunResult base =
+      runner.run(p, kXScale, driver::SchemeSpec::baseline());
+
+  double prev = 0.0;
+  for (const u32 area : {1024u, 4096u, 16384u}) {
+    const driver::RunResult r =
+        runner.run(p, kXScale, driver::SchemeSpec::wayPlacement(area));
+    const double e = driver::normalize(r, base).icache_energy;
+    EXPECT_LT(e, 1.0) << "area " << area;
+    if (prev != 0.0) {
+      // Larger areas can only help (or tie) on these small programs.
+      EXPECT_LE(e, prev + 0.02) << "area " << area;
+    }
+    prev = e;
+  }
+}
+
+TEST(Driver, SingleWayFetchesDominateInWpArea) {
+  driver::Runner runner;
+  const driver::PreparedWorkload p = runner.prepare("sha");
+  const driver::RunResult wp =
+      runner.run(p, kXScale, driver::SchemeSpec::wayPlacement(16 * 1024));
+  const auto& f = wp.stats.fetch;
+  // Paper §4.1: the way-hint is very accurate because execution stays
+  // inside the way-placement area for long stretches.
+  const double accuracy =
+      static_cast<double>(f.hint_correct) /
+      static_cast<double>(f.hint_correct + f.hint_miss_lost_saving +
+                          f.hint_miss_second_access);
+  EXPECT_GT(accuracy, 0.95);
+  // Nearly every non-same-line fetch is a single-way access.
+  EXPECT_GT(f.wp_single_way + f.sameline_skips,
+            static_cast<u64>(0.95 * static_cast<double>(f.fetches)));
+}
+
+TEST(Driver, EnergyBreakdownIsConsistent) {
+  driver::Runner runner;
+  const driver::PreparedWorkload p = runner.prepare("crc");
+  const driver::RunResult r =
+      runner.run(p, kXScale, driver::SchemeSpec::baseline());
+  const auto& e = r.energy;
+  EXPECT_GT(e.icache.total(), 0.0);
+  EXPECT_GT(e.dcache.total(), 0.0);
+  EXPECT_GT(e.core, 0.0);
+  EXPECT_NEAR(e.total(), e.icache.total() + e.dcache.total() + e.itlb +
+                             e.hint + e.core + e.memory,
+              1e-9);
+  // The I-cache share of total energy should be in the StrongARM
+  // ballpark (its I-cache burns 27 % [13]).
+  const double share = e.icacheTotal() / e.total();
+  EXPECT_GT(share, 0.10);
+  EXPECT_LT(share, 0.40);
+}
+
+TEST(Driver, WayMemoizationRunsOriginalLayout) {
+  const driver::SchemeSpec wm = driver::SchemeSpec::wayMemoization();
+  EXPECT_EQ(wm.layout, layout::Policy::kOriginal);
+  const driver::SchemeSpec wp = driver::SchemeSpec::wayPlacement(1024);
+  EXPECT_EQ(wp.layout, layout::Policy::kWayPlacement);
+}
+
+TEST(Driver, MachineMatchesTable1) {
+  driver::Runner runner;
+  const sim::MachineConfig m =
+      runner.machineFor(kXScale, driver::SchemeSpec::baseline());
+  EXPECT_EQ(m.fetch.tlb_entries, 32u);            // 32-entry I-TLB
+  EXPECT_EQ(m.fetch.mem_latency_cycles, 50u);     // 50-cycle memory
+  EXPECT_EQ(m.dcache.geometry.size_bytes, 32u * 1024u);
+  EXPECT_EQ(m.dcache.geometry.ways, 32u);
+  EXPECT_EQ(m.dcache.geometry.line_bytes, 32u);
+}
+
+}  // namespace
+}  // namespace wp

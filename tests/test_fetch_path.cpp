@@ -1,0 +1,186 @@
+// Fetch-path tests: the three schemes' tag-check behaviour, the
+// way-hint bit's two mispredict scenarios with their penalties, the
+// intra-line skip, and way-memoization's linked fetches.
+#include <gtest/gtest.h>
+
+#include "cache/fetch_path.hpp"
+
+namespace wp::cache {
+namespace {
+
+FetchPathConfig configFor(Scheme scheme, u32 wp_area = 16 * 1024) {
+  FetchPathConfig c;
+  c.icache = CacheGeometry{32 * 1024, 32, 32};
+  c.scheme = scheme;
+  c.wp_area_bytes = scheme == Scheme::kWayPlacement ? wp_area : 0;
+  return c;
+}
+
+TEST(FetchBaseline, EveryFetchIsFullSearch) {
+  FetchPath fp(configFor(Scheme::kBaseline));
+  fp.fetch(0x0, FetchFlow::kSequential);
+  fp.fetch(0x4, FetchFlow::kSequential);
+  fp.fetch(0x8, FetchFlow::kSequential);
+  EXPECT_EQ(fp.cacheStats().full_lookups, 3u);
+  EXPECT_EQ(fp.cacheStats().tag_compares, 3u * 32u);
+  EXPECT_EQ(fp.fetchStats().sameline_skips, 0u);
+}
+
+TEST(FetchBaseline, MissPenaltyCharged) {
+  FetchPath fp(configFor(Scheme::kBaseline));
+  const u32 cold = fp.fetch(0x0, FetchFlow::kSequential);
+  // TLB walk (20) + 1 + memory (50 + 8 words).
+  EXPECT_EQ(cold, 20u + 1u + 50u + 8u);
+  EXPECT_EQ(fp.fetch(0x0, FetchFlow::kSequential), 1u);
+}
+
+TEST(FetchWayPlacement, IntralineSkipAvoidsAllTagChecks) {
+  FetchPath fp(configFor(Scheme::kWayPlacement));
+  fp.fetch(0x0, FetchFlow::kSequential);  // miss + fill
+  const u64 tags_before = fp.cacheStats().tag_compares;
+  fp.fetch(0x4, FetchFlow::kSequential);
+  fp.fetch(0x8, FetchFlow::kSequential);
+  EXPECT_EQ(fp.cacheStats().tag_compares, tags_before);
+  EXPECT_EQ(fp.fetchStats().sameline_skips, 2u);
+}
+
+TEST(FetchWayPlacement, WpAccessChecksOneTag) {
+  FetchPath fp(configFor(Scheme::kWayPlacement));
+  fp.fetch(0x00, FetchFlow::kSequential);   // in WP area; hint initially 0
+  const u64 tags_before = fp.cacheStats().tag_compares;
+  fp.fetch(0x20, FetchFlow::kSequential);   // line crossing, hint now 1
+  EXPECT_EQ(fp.cacheStats().tag_compares, tags_before + 1);
+  EXPECT_EQ(fp.fetchStats().wp_single_way, 1u);
+}
+
+TEST(FetchWayPlacement, HintCase1LosesSavingOnly) {
+  // First access to the WP area with hint=0: full search, no penalty.
+  FetchPath fp(configFor(Scheme::kWayPlacement));
+  const u32 cycles = fp.fetch(0x0, FetchFlow::kSequential);
+  EXPECT_EQ(fp.fetchStats().hint_miss_lost_saving, 1u);
+  EXPECT_EQ(fp.fetchStats().hint_miss_second_access, 0u);
+  EXPECT_EQ(cycles, 20u + 1u + 50u + 8u);  // no extra cycle
+}
+
+TEST(FetchWayPlacement, HintCase2CostsCycleAndSecondAccess) {
+  FetchPath fp(configFor(Scheme::kWayPlacement, /*wp_area=*/1024));
+  fp.fetch(0x0, FetchFlow::kSequential);     // WP page; hint becomes 1
+  // Jump outside the WP area: hint=1 but page is normal.
+  const u32 cycles = fp.fetch(0x8000, FetchFlow::kTakenDirect);
+  EXPECT_EQ(fp.fetchStats().hint_miss_second_access, 1u);
+  EXPECT_EQ(fp.squashedProbes(), 1u);
+  // 1 extra cycle on top of TLB walk + miss.
+  EXPECT_EQ(cycles, 20u + 1u + 1u + 50u + 8u);
+  EXPECT_EQ(fp.fetchStats().extra_cycles, 1u);
+}
+
+TEST(FetchWayPlacement, WpLinesAlwaysFoundBySingleWayLookup) {
+  // Thrash a set with way-placed lines; single-way lookups must always
+  // resolve (fills are deterministic).
+  FetchPathConfig cfg = configFor(Scheme::kWayPlacement, 64 * 1024);
+  cfg.icache = CacheGeometry{1024, 32, 4};  // 8 sets
+  FetchPath fp(cfg);
+  const u32 set_stride = 32 * 8;
+  for (int round = 0; round < 3; ++round) {
+    for (u32 tag = 0; tag < 6; ++tag) {
+      fp.fetch(tag * set_stride, FetchFlow::kTakenDirect);
+    }
+  }
+  // No inconsistency ensures fired; hits+misses == accesses.
+  const CacheStats& s = fp.cacheStats();
+  EXPECT_EQ(s.hits + s.misses, s.accesses);
+}
+
+TEST(FetchWayMemoization, LinkedRefetchSkipsTags) {
+  FetchPath fp(configFor(Scheme::kWayMemoization));
+  // A 2-line loop: A(0x00) -> B(0x20) -> A ...
+  fp.fetch(0x00, FetchFlow::kSequential);
+  fp.fetch(0x20, FetchFlow::kSequential);   // records seq link A->B
+  fp.fetch(0x00, FetchFlow::kTakenDirect);  // records branch link B->A
+  const u64 tags_before = fp.cacheStats().tag_compares;
+  fp.fetch(0x20, FetchFlow::kSequential);   // linked
+  fp.fetch(0x00, FetchFlow::kTakenDirect);  // linked
+  EXPECT_EQ(fp.cacheStats().tag_compares, tags_before);
+  EXPECT_EQ(fp.cacheStats().linked_accesses, 2u);
+}
+
+TEST(FetchWayMemoization, IndirectJumpsNeverLink) {
+  FetchPath fp(configFor(Scheme::kWayMemoization));
+  fp.fetch(0x00, FetchFlow::kSequential);
+  fp.fetch(0x40, FetchFlow::kTakenIndirect);
+  fp.fetch(0x00, FetchFlow::kTakenIndirect);
+  fp.fetch(0x40, FetchFlow::kTakenIndirect);
+  EXPECT_EQ(fp.cacheStats().linked_accesses, 0u);
+}
+
+TEST(FetchWayMemoization, ConservativeFlashClearOnMiss) {
+  FetchPathConfig cfg = configFor(Scheme::kWayMemoization);
+  cfg.wm_precise_invalidation = false;
+  FetchPath fp(cfg);
+  fp.fetch(0x00, FetchFlow::kSequential);
+  fp.fetch(0x20, FetchFlow::kSequential);  // link A->B recorded
+  fp.fetch(0x40, FetchFlow::kSequential);  // miss -> flash clear
+  EXPECT_GE(fp.linkFlashClears(), 1u);
+  // The A->B link is gone: crossing again needs a full search.
+  const u64 full_before = fp.cacheStats().full_lookups;
+  fp.fetch(0x00, FetchFlow::kTakenDirect);
+  fp.fetch(0x20, FetchFlow::kSequential);
+  EXPECT_GT(fp.cacheStats().full_lookups, full_before);
+}
+
+TEST(FetchWayMemoization, PreciseModeKeepsUnrelatedLinks) {
+  FetchPathConfig cfg = configFor(Scheme::kWayMemoization);
+  cfg.wm_precise_invalidation = true;
+  FetchPath fp(cfg);
+  fp.fetch(0x00, FetchFlow::kSequential);
+  fp.fetch(0x20, FetchFlow::kSequential);  // link A->B
+  fp.fetch(0x40, FetchFlow::kSequential);  // miss elsewhere; link survives
+  EXPECT_EQ(fp.linkFlashClears(), 0u);
+  fp.fetch(0x00, FetchFlow::kTakenDirect);
+  const u64 linked_before = fp.cacheStats().linked_accesses;
+  fp.fetch(0x20, FetchFlow::kSequential);
+  EXPECT_EQ(fp.cacheStats().linked_accesses, linked_before + 1);
+}
+
+TEST(FetchPath, IntralineSkipCanBeDisabled) {
+  FetchPathConfig cfg = configFor(Scheme::kWayPlacement);
+  cfg.intraline_skip = false;
+  FetchPath fp(cfg);
+  fp.fetch(0x0, FetchFlow::kSequential);
+  fp.fetch(0x4, FetchFlow::kSequential);
+  EXPECT_EQ(fp.fetchStats().sameline_skips, 0u);
+}
+
+TEST(FetchPath, WayMemoizationAreaFactor) {
+  FetchPath wm(configFor(Scheme::kWayMemoization));
+  EXPECT_NEAR(wm.dataAreaFactor(), 1.21, 0.005);
+  FetchPath base(configFor(Scheme::kBaseline));
+  EXPECT_DOUBLE_EQ(base.dataAreaFactor(), 1.0);
+}
+
+TEST(FetchPath, ResetRestoresInitialState) {
+  FetchPath fp(configFor(Scheme::kWayPlacement));
+  fp.fetch(0x0, FetchFlow::kSequential);
+  fp.fetch(0x4, FetchFlow::kSequential);
+  fp.reset();
+  EXPECT_EQ(fp.fetchStats().fetches, 0u);
+  EXPECT_EQ(fp.cacheStats().accesses, 0u);
+  // WP limit survives the reset.
+  fp.fetch(0x0, FetchFlow::kSequential);
+  fp.fetch(0x20, FetchFlow::kSequential);
+  EXPECT_EQ(fp.fetchStats().wp_single_way, 1u);
+}
+
+TEST(FetchPath, RejectsUnalignedFetch) {
+  FetchPath fp(configFor(Scheme::kBaseline));
+  EXPECT_THROW(fp.fetch(0x2, FetchFlow::kSequential), SimError);
+}
+
+TEST(FetchPath, SchemeNames) {
+  EXPECT_STREQ(schemeName(Scheme::kBaseline), "baseline");
+  EXPECT_STREQ(schemeName(Scheme::kWayPlacement), "way-placement");
+  EXPECT_STREQ(schemeName(Scheme::kWayMemoization), "way-memoization");
+}
+
+}  // namespace
+}  // namespace wp::cache

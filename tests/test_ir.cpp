@@ -1,0 +1,119 @@
+// Direct IR-level validation tests: structures the builder can never
+// produce must still be rejected (the linker trusts validate()).
+#include <gtest/gtest.h>
+
+#include "ir/module.hpp"
+
+namespace wp::ir {
+namespace {
+
+Inst nop() {
+  Inst i;
+  i.raw = isa::Instruction{isa::Opcode::kNop, 0, 0, 0, 0};
+  return i;
+}
+
+Inst haltInst() {
+  Inst i;
+  i.raw = isa::Instruction{isa::Opcode::kHalt, 0, 0, 0, 0};
+  return i;
+}
+
+Module minimalModule() {
+  Module m;
+  BasicBlock b;
+  b.id = 0;
+  b.label = "_start.bb0";
+  b.insts = {haltInst()};
+  m.blocks.push_back(b);
+  Function f;
+  f.name = "_start";
+  f.block_ids = {0};
+  m.functions.push_back(f);
+  return m;
+}
+
+TEST(IrValidate, MinimalModulePasses) {
+  EXPECT_NO_THROW(minimalModule().validate());
+}
+
+TEST(IrValidate, NonDenseIdsRejected) {
+  Module m = minimalModule();
+  m.blocks[0].id = 5;
+  EXPECT_THROW(m.validate(), SimError);
+}
+
+TEST(IrValidate, FallthroughMustTargetNextBlock) {
+  Module m = minimalModule();
+  BasicBlock b1;
+  b1.id = 1;
+  b1.label = "_start.bb1";
+  b1.insts = {haltInst()};
+  m.blocks[0].insts = {nop()};
+  m.blocks[0].fallthrough = 7;  // nonsense target
+  m.blocks.push_back(b1);
+  m.functions[0].block_ids = {0, 1};
+  EXPECT_THROW(m.validate(), SimError);
+  m.blocks[0].fallthrough = 1;
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(IrValidate, FinalBlockMustNotFallThrough) {
+  Module m = minimalModule();
+  m.blocks[0].fallthrough = 0;
+  EXPECT_THROW(m.validate(), SimError);
+}
+
+TEST(IrValidate, OrphanBlocksRejected) {
+  Module m = minimalModule();
+  BasicBlock orphan;
+  orphan.id = 1;
+  orphan.insts = {haltInst()};
+  m.blocks.push_back(orphan);  // not in any function
+  EXPECT_THROW(m.validate(), SimError);
+}
+
+TEST(IrValidate, SharedBlockRejected) {
+  Module m = minimalModule();
+  Function f2;
+  f2.name = "other";
+  f2.block_ids = {0};  // same block as _start
+  m.functions.push_back(f2);
+  EXPECT_THROW(m.validate(), SimError);
+}
+
+TEST(IrValidate, BranchTargetMustExist) {
+  Module m = minimalModule();
+  Inst br;
+  br.raw = isa::Instruction{isa::Opcode::kB, 0, 0, 0, 0};
+  br.reloc = Reloc::kBlockBranch;
+  br.target_block = 99;
+  m.blocks[0].insts = {br};
+  EXPECT_THROW(m.validate(), SimError);
+}
+
+TEST(IrValidate, MissingEntryFunctionRejected) {
+  Module m = minimalModule();
+  m.entry_function = "nonexistent";
+  EXPECT_THROW(m.validate(), SimError);
+}
+
+TEST(IrValidate, EmptyFunctionRejected) {
+  Module m = minimalModule();
+  Function f2;
+  f2.name = "empty";
+  m.functions.push_back(f2);
+  EXPECT_THROW(m.validate(), SimError);
+}
+
+TEST(IrQueries, FindFunctionAndSymbol) {
+  Module m = minimalModule();
+  m.data_symbols.push_back({"buf", 0, 16});
+  EXPECT_NE(m.findFunction("_start"), nullptr);
+  EXPECT_EQ(m.findFunction("nope"), nullptr);
+  EXPECT_NE(m.findSymbol("buf"), nullptr);
+  EXPECT_EQ(m.findSymbol("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace wp::ir

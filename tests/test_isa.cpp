@@ -1,0 +1,139 @@
+// ISA tests: encode/decode round trips for every opcode and operand
+// pattern, field-range validation, classification predicates and the
+// disassembler.
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+#include "support/rng.hpp"
+
+namespace wp::isa {
+namespace {
+
+std::vector<Opcode> allOpcodes() {
+  std::vector<Opcode> ops;
+  for (u32 i = 0; i < kOpcodeCount; ++i) ops.push_back(static_cast<Opcode>(i));
+  return ops;
+}
+
+class RoundTrip : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(RoundTrip, RandomOperandsSurviveEncodeDecode) {
+  const Opcode op = GetParam();
+  Rng rng(static_cast<u64>(op) * 7919 + 3);
+  for (int trial = 0; trial < 50; ++trial) {
+    Instruction inst;
+    inst.op = op;
+    switch (formatOf(op)) {
+      case Format::kRType:
+        inst.rd = static_cast<u8>(rng.below(16));
+        inst.rn = static_cast<u8>(rng.below(16));
+        inst.rm = static_cast<u8>(rng.below(16));
+        break;
+      case Format::kIType:
+        inst.rd = static_cast<u8>(rng.below(16));
+        inst.rn = static_cast<u8>(rng.below(16));
+        inst.imm = static_cast<i32>(rng.range(-32768, 32767));
+        break;
+      case Format::kBType:
+        inst.imm = static_cast<i32>(rng.range(-(1 << 23), (1 << 23) - 1));
+        break;
+      case Format::kJType:
+        inst.rn = static_cast<u8>(rng.below(16));
+        break;
+      case Format::kNone:
+        break;
+    }
+    const Instruction back = decode(encode(inst));
+    EXPECT_EQ(back, inst) << mnemonic(op) << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, RoundTrip,
+                         ::testing::ValuesIn(allOpcodes()),
+                         [](const ::testing::TestParamInfo<Opcode>& info) {
+                           return mnemonic(info.param);
+                         });
+
+TEST(IsaEncode, RejectsOutOfRangeFields) {
+  Instruction inst;
+  inst.op = Opcode::kAdd;
+  inst.rd = 16;
+  EXPECT_THROW(encode(inst), SimError);
+
+  inst = Instruction{Opcode::kAddi, 0, 0, 0, 70000};
+  EXPECT_THROW(encode(inst), SimError);
+
+  inst = Instruction{Opcode::kB, 0, 0, 0, 1 << 23};
+  EXPECT_THROW(encode(inst), SimError);
+}
+
+TEST(IsaEncode, ITypeAcceptsUnsigned16) {
+  // Logical immediates are written as 0..65535 by the builder.
+  const Instruction inst{Opcode::kAndi, 1, 2, 0, 0xff00};
+  const Instruction back = decode(encode(inst));
+  // Decoded as sign-extended; the executor re-masks for logical ops.
+  EXPECT_EQ(back.imm, signExtend(0xff00, 16));
+}
+
+TEST(IsaDecode, RejectsUnknownOpcode) {
+  EXPECT_THROW(decode(0xff000000u), SimError);
+}
+
+TEST(IsaClassify, ControlTransfers) {
+  EXPECT_TRUE(isControlTransfer(Opcode::kB));
+  EXPECT_TRUE(isControlTransfer(Opcode::kBeq));
+  EXPECT_TRUE(isControlTransfer(Opcode::kBl));
+  EXPECT_TRUE(isControlTransfer(Opcode::kJr));
+  EXPECT_FALSE(isControlTransfer(Opcode::kAdd));
+  EXPECT_FALSE(isControlTransfer(Opcode::kLdr));
+  EXPECT_FALSE(isControlTransfer(Opcode::kHalt));
+}
+
+TEST(IsaClassify, ConditionalBranches) {
+  EXPECT_TRUE(isConditionalBranch(Opcode::kBeq));
+  EXPECT_TRUE(isConditionalBranch(Opcode::kBgeu));
+  EXPECT_FALSE(isConditionalBranch(Opcode::kB));
+  EXPECT_FALSE(isConditionalBranch(Opcode::kBl));
+  EXPECT_FALSE(isConditionalBranch(Opcode::kJr));
+}
+
+TEST(IsaClassify, LoadsAndStores) {
+  for (const Opcode op :
+       {Opcode::kLdr, Opcode::kLdrb, Opcode::kLdrx, Opcode::kLdrbx}) {
+    EXPECT_TRUE(isLoad(op));
+    EXPECT_FALSE(isStore(op));
+  }
+  for (const Opcode op :
+       {Opcode::kStr, Opcode::kStrb, Opcode::kStrx, Opcode::kStrbx}) {
+    EXPECT_TRUE(isStore(op));
+    EXPECT_FALSE(isLoad(op));
+  }
+}
+
+TEST(IsaClassify, Multiplies) {
+  EXPECT_TRUE(isMultiply(Opcode::kMul));
+  EXPECT_TRUE(isMultiply(Opcode::kMla));
+  EXPECT_TRUE(isMultiply(Opcode::kMuli));
+  EXPECT_FALSE(isMultiply(Opcode::kAdd));
+}
+
+TEST(IsaDisassemble, SpotChecks) {
+  EXPECT_EQ(disassemble({Opcode::kAdd, 1, 2, 3, 0}), "add r1, r2, r3");
+  EXPECT_EQ(disassemble({Opcode::kAddi, 1, 2, 0, -4}), "addi r1, r2, #-4");
+  EXPECT_EQ(disassemble({Opcode::kLdr, 5, 13, 0, 8}), "ldr r5, [r13, #8]");
+  EXPECT_EQ(disassemble({Opcode::kCmp, 0, 1, 2, 0}), "cmp r1, r2");
+  EXPECT_EQ(disassemble({Opcode::kMov, 3, 0, 7, 0}), "mov r3, r7");
+  EXPECT_EQ(disassemble({Opcode::kJr, 0, 14, 0, 0}), "jr r14");
+  EXPECT_EQ(disassemble({Opcode::kHalt, 0, 0, 0, 0}), "halt");
+  EXPECT_EQ(disassemble({Opcode::kB, 0, 0, 0, -2}), "b pc-4");
+}
+
+TEST(IsaFormat, EveryOpcodeHasFormatAndMnemonic) {
+  for (const Opcode op : allOpcodes()) {
+    EXPECT_NE(mnemonic(op), nullptr);
+    EXPECT_NO_THROW(formatOf(op));
+  }
+}
+
+}  // namespace
+}  // namespace wp::isa

@@ -1,0 +1,321 @@
+// Layout and linker tests: chain formation per paper §3, heaviest-first
+// ordering, fall-through repair, relocation resolution — plus a
+// property test that randomly generated programs compute identical
+// results under every layout policy.
+#include <gtest/gtest.h>
+
+#include "asmkit/builder.hpp"
+#include "layout/layout.hpp"
+#include "profile/profiler.hpp"
+#include "sim/core.hpp"
+#include "sim/processor.hpp"
+#include "support/rng.hpp"
+
+namespace wp {
+namespace {
+
+using namespace asmkit;
+
+ir::Module twoFunctionModule() {
+  ModuleBuilder mb;
+  mb.bss("out", 8);
+  auto& hot = mb.func("hot");
+  const auto loop = hot.label();
+  hot.movi(r0, 0);
+  hot.movi(r1, 0);
+  hot.bind(loop);
+  hot.add(r0, r0, r1);
+  hot.addi(r1, r1, 1);
+  hot.cmpiBr(r1, 1000, Cond::kLt, loop);
+  hot.la(r2, "out");
+  hot.str(r0, r2);
+  hot.ret();
+
+  auto& cold = mb.func("cold");
+  cold.movi(r0, 7);
+  cold.la(r2, "out", 4);
+  cold.str(r0, r2);
+  cold.ret();
+
+  auto& f = mb.func("main");
+  f.prologue();
+  f.call("hot");
+  f.call("cold");
+  f.epilogue();
+  return mb.build();
+}
+
+TEST(Chains, RespectFallthroughAndCalls) {
+  const ir::Module m = twoFunctionModule();
+  const auto chains = layout::formChains(m);
+  // Every fall-through pair must be in the same chain, adjacent.
+  for (const auto& chain : chains) {
+    for (std::size_t i = 0; i < chain.blocks.size(); ++i) {
+      const ir::BasicBlock& b = m.blocks[chain.blocks[i]];
+      if (b.fallthrough.has_value()) {
+        ASSERT_LT(i + 1, chain.blocks.size())
+            << "fall-through block ends a chain";
+        EXPECT_EQ(chain.blocks[i + 1], *b.fallthrough);
+      }
+    }
+  }
+  // Chains partition the blocks.
+  std::size_t total = 0;
+  for (const auto& c : chains) total += c.blocks.size();
+  EXPECT_EQ(total, m.blocks.size());
+}
+
+TEST(Chains, WeightIsDynamicInstructionCount) {
+  ir::Module m = twoFunctionModule();
+  for (ir::BasicBlock& b : m.blocks) b.exec_count = 2;
+  const auto chains = layout::formChains(m);
+  for (const auto& c : chains) {
+    u64 expect = 0;
+    for (const u32 id : c.blocks) expect += 2 * m.blocks[id].insts.size();
+    EXPECT_EQ(c.weight, expect);
+  }
+}
+
+TEST(Order, HeaviestChainFirst) {
+  ir::Module m = twoFunctionModule();
+  // Profile: make "hot" hot.
+  const mem::Image orig = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  mem::Memory memory;
+  orig.loadInto(memory);
+  profile::annotate(m, profile::profileImage(orig, memory));
+
+  const auto order = layout::orderBlocks(m, layout::Policy::kWayPlacement);
+  // The first placed block must belong to the hot loop's chain.
+  const ir::Function* hot = m.findFunction("hot");
+  EXPECT_EQ(order[0], hot->block_ids[0]);
+
+  const mem::Image img = layout::link(m, order);
+  EXPECT_EQ(img.function_addr.at("hot"), mem::kCodeBase);
+}
+
+TEST(Order, OriginalKeepsAuthoredOrder) {
+  const ir::Module m = twoFunctionModule();
+  const auto order = layout::orderBlocks(m, layout::Policy::kOriginal);
+  u32 expect = 0;
+  for (const ir::Function& fn : m.functions) {
+    for (const u32 id : fn.block_ids) EXPECT_EQ(order[expect++], id);
+  }
+}
+
+TEST(Order, RandomIsAPermutationAndSeedStable) {
+  const ir::Module m = twoFunctionModule();
+  const auto a = layout::orderBlocks(m, layout::Policy::kRandom, 3);
+  const auto b = layout::orderBlocks(m, layout::Policy::kRandom, 3);
+  const auto c = layout::orderBlocks(m, layout::Policy::kRandom, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  std::vector<u32> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  for (u32 i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Linker, NoRepairsWhenFallthroughsIntact) {
+  const ir::Module m = twoFunctionModule();
+  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  EXPECT_EQ(img.code.size(), m.staticInstructions() * 4);
+}
+
+TEST(Linker, RepairsInsertedForBrokenFallthroughs) {
+  const ir::Module m = twoFunctionModule();
+  // A reversed order breaks most fall-throughs.
+  auto order = layout::orderBlocks(m, layout::Policy::kOriginal);
+  std::reverse(order.begin(), order.end());
+  const mem::Image img = layout::link(m, order);
+  EXPECT_GT(img.code.size(), m.staticInstructions() * 4);
+}
+
+TEST(Linker, BlockAddressesCoverCode) {
+  const ir::Module m = twoFunctionModule();
+  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  EXPECT_EQ(img.block_addr.size(), m.blocks.size());
+  for (const auto& [id, addr] : img.block_addr) {
+    EXPECT_LE(mem::kCodeBase, addr);
+    EXPECT_LT(addr, img.codeEnd());
+    EXPECT_LE(addr, img.block_end.at(id));
+  }
+}
+
+TEST(Linker, RejectsIncompleteOrder) {
+  const ir::Module m = twoFunctionModule();
+  std::vector<u32> order = {0};
+  EXPECT_THROW(layout::link(m, order), SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random CFG programs behave identically under any layout.
+// ---------------------------------------------------------------------------
+
+// Generates a random reducible program: a chain of "segments", each a
+// small diamond/loop/call/memory pattern over a running checksum in
+// r4..r6, plus a scratch buffer for load/store segments.
+ir::Module randomProgram(u64 seed) {
+  Rng rng(seed);
+  ModuleBuilder mb;
+  mb.bss("out", 4);
+  mb.bss("scratch", 256);
+
+  const int nfuncs = 1 + static_cast<int>(rng.below(3));
+  for (int fi = 0; fi < nfuncs; ++fi) {
+    auto& g = mb.func("leaf" + std::to_string(fi));
+    // r0 = mix(r0)
+    g.muli(r0, r0, static_cast<i32>(3 + rng.below(97)));
+    g.eori(r0, r0, static_cast<u32>(rng.below(0x10000)));
+    const auto skip = g.label();
+    g.cmpiBr(r0, 0, Cond::kGe, skip);
+    g.mvn(r0, r0);
+    g.bind(skip);
+    g.ret();
+  }
+  // A two-level callee exercising nested calls under layout changes.
+  {
+    auto& g = mb.func("mid");
+    g.prologue();
+    g.call("leaf0");
+    g.addi(r0, r0, 17);
+    g.call("leaf0");
+    g.epilogue();
+  }
+
+  auto& f = mb.func("main");
+  f.prologue({r4, r5, r6});
+  f.movi32(r4, static_cast<u32>(seed & 0xffff) | 1u);
+  f.movi(r5, 0);
+
+  const int segments = 3 + static_cast<int>(rng.below(6));
+  for (int s = 0; s < segments; ++s) {
+    switch (rng.below(5)) {
+      case 0: {  // diamond
+        const auto a = f.label();
+        const auto join = f.label();
+        f.andi(r6, r4, 1);
+        f.cmpiBr(r6, 0, Cond::kEq, a);
+        f.muli(r4, r4, 17);
+        f.jmp(join);
+        f.bind(a);
+        f.addi(r4, r4, 1234);
+        f.bind(join);
+        break;
+      }
+      case 1: {  // counted loop
+        const auto loop = f.label();
+        f.movi(r6, static_cast<i32>(1 + rng.below(20)));
+        f.bind(loop);
+        f.add(r4, r4, r6);
+        f.lsli(r12, r4, 1);
+        f.eor(r4, r4, r12);
+        f.subi(r6, r6, 1);
+        f.cmpiBr(r6, 0, Cond::kGt, loop);
+        break;
+      }
+      case 2: {  // call
+        f.mov(r0, r4);
+        f.call("leaf" + std::to_string(rng.below(nfuncs)));
+        f.add(r4, r4, r0);
+        break;
+      }
+      case 3: {  // nested call
+        f.mov(r0, r4);
+        f.call("mid");
+        f.eor(r4, r4, r0);
+        break;
+      }
+      default: {  // memory round-trip through the scratch buffer
+        const i32 slot = static_cast<i32>(rng.below(60)) * 4;
+        f.la(r12, "scratch", slot);
+        f.str(r4, r12);
+        f.lsli(r6, r4, 3);
+        f.ldr(r12, r12);
+        f.add(r4, r12, r6);
+        f.la(r12, "scratch", slot);
+        f.ldrb(r6, r12, static_cast<i32>(rng.below(4)));
+        f.add(r4, r4, r6);
+        break;
+      }
+    }
+    f.add(r5, r5, r4);
+  }
+  f.la(r0, "out");
+  f.str(r5, r0);
+  f.epilogue({r4, r5, r6});
+  return mb.build();
+}
+
+u32 runAndReadOut(const ir::Module& m, layout::Policy policy, u64 seed) {
+  const mem::Image img = layout::linkWithPolicy(m, policy, seed);
+  mem::Memory memory;
+  img.loadInto(memory);
+  sim::Core core(img, memory);
+  sim::CoreState st = core.initialState();
+  u64 steps = 0;
+  while (!st.halted) {
+    EXPECT_LT(steps++, 2'000'000u);
+    core.step(st);
+  }
+  return memory.load32(mem::kDataBase);
+}
+
+class LayoutEquivalence : public ::testing::TestWithParam<u64> {};
+
+TEST_P(LayoutEquivalence, AllPoliciesComputeSameResult) {
+  ir::Module m = randomProgram(GetParam());
+  const u32 original = runAndReadOut(m, layout::Policy::kOriginal, 0);
+
+  // Annotate with a profile so the WP order is meaningful.
+  const mem::Image orig = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  mem::Memory memory;
+  orig.loadInto(memory);
+  profile::annotate(m, profile::profileImage(orig, memory));
+
+  EXPECT_EQ(runAndReadOut(m, layout::Policy::kWayPlacement, 0), original);
+  for (u64 shuffle = 1; shuffle <= 3; ++shuffle) {
+    EXPECT_EQ(runAndReadOut(m, layout::Policy::kRandom, shuffle), original)
+        << "shuffle seed " << shuffle;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, LayoutEquivalence,
+                         ::testing::Range<u64>(1, 41));
+
+// The fetch scheme must never affect semantics either: run random
+// programs on the full processor under every scheme and compare the
+// architectural result and instruction counts.
+class SchemeEquivalence : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SchemeEquivalence, AllSchemesComputeSameResult) {
+  ir::Module m = randomProgram(GetParam() * 1000003ULL);
+  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+
+  std::optional<u32> expected;
+  std::optional<u64> expected_insts;
+  for (const cache::Scheme scheme :
+       {cache::Scheme::kBaseline, cache::Scheme::kWayPlacement,
+        cache::Scheme::kWayMemoization, cache::Scheme::kWayPrediction}) {
+    sim::MachineConfig cfg = sim::baselineMachine(
+        scheme, scheme == cache::Scheme::kWayPlacement ? 1024 : 0);
+    cfg.fetch.icache = cache::CacheGeometry{2048, 32, 8};  // tiny: misses!
+    mem::Memory memory;
+    img.loadInto(memory);
+    sim::Processor proc(cfg, img, memory);
+    const sim::RunStats stats = proc.run();
+    const u32 result = memory.load32(mem::kDataBase);
+    if (!expected.has_value()) {
+      expected = result;
+      expected_insts = stats.instructions;
+    } else {
+      EXPECT_EQ(result, *expected) << cache::schemeName(scheme);
+      EXPECT_EQ(stats.instructions, *expected_insts)
+          << cache::schemeName(scheme);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, SchemeEquivalence,
+                         ::testing::Range<u64>(1, 13));
+
+}  // namespace
+}  // namespace wp

@@ -1,0 +1,133 @@
+// Whole-processor tests: fetch/execute integration, cache statistics on
+// controlled programs, timing of misses, and energy pricing plumbing.
+#include <gtest/gtest.h>
+
+#include "asmkit/builder.hpp"
+#include "layout/layout.hpp"
+#include "sim/processor.hpp"
+
+namespace wp {
+namespace {
+
+using namespace asmkit;
+
+// A program whose behaviour is easy to count: a loop of `iters`
+// iterations touching `array_bytes` of data.
+ir::Module loopProgram(i32 iters, i32 stride_elems) {
+  ModuleBuilder mb;
+  mb.bss("array", 64 * 1024);
+  mb.bss("out", 4);
+  auto& f = mb.func("main");
+  f.prologue({r4, r5, r6});
+  f.la(r4, "array");
+  f.movi(r5, 0);           // index (bytes)
+  f.movi32(r6, iters);
+  const auto loop = f.label();
+  f.bind(loop);
+  f.ldrx(r0, r4, r5);
+  f.addi(r0, r0, 1);
+  f.strx(r0, r4, r5);
+  f.addi(r5, r5, stride_elems * 4);
+  f.andi(r5, r5, 0xFFFC);  // wrap within 64 KB
+  f.subi(r6, r6, 1);
+  f.cmpiBr(r6, 0, Cond::kNe, loop);
+  f.la(r0, "out");
+  f.str(r6, r0);
+  f.epilogue({r4, r5, r6});
+  return mb.build();
+}
+
+sim::RunStats runProgram(const ir::Module& m, const sim::MachineConfig& cfg) {
+  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  mem::Memory memory;
+  img.loadInto(memory);
+  sim::Processor proc(cfg, img, memory);
+  return proc.run();
+}
+
+TEST(Processor, InstructionCountMatchesProgram) {
+  const ir::Module m = loopProgram(1000, 1);
+  const sim::RunStats s = runProgram(m, sim::baselineMachine());
+  // 8 loop instructions x 1000 (cmpiBr is cmp + branch) + prologue,
+  // epilogue, setup and _start.
+  EXPECT_GT(s.instructions, 8000u);
+  EXPECT_LT(s.instructions, 8100u);
+  EXPECT_EQ(s.fetch.fetches, s.instructions);
+}
+
+TEST(Processor, TinyLoopHitsInICache) {
+  const ir::Module m = loopProgram(5000, 1);
+  const sim::RunStats s = runProgram(m, sim::baselineMachine());
+  const double hit_rate = static_cast<double>(s.icache.hits) /
+                          static_cast<double>(s.icache.accesses);
+  EXPECT_GT(hit_rate, 0.999);
+}
+
+TEST(Processor, StridedDataMissesInDCache) {
+  // Stride of one cache line over 64 KB wraps through 2048 lines with a
+  // 32 KB D-cache: every access misses in steady state.
+  const ir::Module m = loopProgram(4000, 8);
+  const sim::RunStats s = runProgram(m, sim::baselineMachine());
+  const double miss_rate = static_cast<double>(s.dcache.misses) /
+                           static_cast<double>(s.dcache.accesses);
+  EXPECT_GT(miss_rate, 0.45);  // ld + st pairs: second access hits
+  EXPECT_GT(s.dcache.writebacks, 1000u);
+  EXPECT_GT(s.memLineTransfers(), 2000u);
+}
+
+TEST(Processor, MissesCostCycles) {
+  const ir::Module seq = loopProgram(4000, 1);
+  const ir::Module strided = loopProgram(4000, 8);
+  const sim::RunStats fast = runProgram(seq, sim::baselineMachine());
+  const sim::RunStats slow = runProgram(strided, sim::baselineMachine());
+  const double fast_cpi = static_cast<double>(fast.cycles) /
+                          static_cast<double>(fast.instructions);
+  const double slow_cpi = static_cast<double>(slow.cycles) /
+                          static_cast<double>(slow.instructions);
+  EXPECT_GT(slow_cpi, 2.0 * fast_cpi);
+}
+
+TEST(Processor, RunawayGuestIsCaught) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  const auto loop = f.label();
+  f.bind(loop);
+  f.jmp(loop);
+  const ir::Module m = mb.build();
+  sim::MachineConfig cfg = sim::baselineMachine();
+  cfg.max_instructions = 10000;
+  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  mem::Memory memory;
+  img.loadInto(memory);
+  sim::Processor proc(cfg, img, memory);
+  EXPECT_THROW(proc.run(), SimError);
+}
+
+TEST(Processor, PricingUsesAllComponents) {
+  const ir::Module m = loopProgram(2000, 8);
+  const sim::MachineConfig cfg = sim::baselineMachine();
+  const sim::RunStats s = runProgram(m, cfg);
+  const energy::EnergyModel model;
+  const energy::RunEnergy e = sim::Processor::price(model, cfg, s);
+  EXPECT_GT(e.icache.total(), 0.0);
+  EXPECT_GT(e.dcache.total(), 0.0);
+  EXPECT_GT(e.itlb, 0.0);
+  EXPECT_GT(e.core, 0.0);
+  EXPECT_GT(e.memory, 0.0);
+  EXPECT_EQ(e.hint, 0.0);  // baseline has no way-hint bit
+  const sim::MachineConfig wp_cfg =
+      sim::baselineMachine(cache::Scheme::kWayPlacement, 1024);
+  const energy::RunEnergy ewp = sim::Processor::price(model, wp_cfg, s);
+  EXPECT_GT(ewp.hint, 0.0);
+}
+
+TEST(Processor, BranchStatsPopulated) {
+  const ir::Module m = loopProgram(3000, 1);
+  const sim::RunStats s = runProgram(m, sim::baselineMachine());
+  EXPECT_GT(s.branches.branches, 3000u);
+  // A steady loop branch predicts almost perfectly.
+  EXPECT_LT(s.branches.mispredicts * 50, s.branches.branches);
+}
+
+}  // namespace
+}  // namespace wp

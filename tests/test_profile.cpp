@@ -1,0 +1,89 @@
+// Profiler tests: block execution counts match loop trip counts, and
+// annotation round-trips into the module.
+#include <gtest/gtest.h>
+
+#include "asmkit/builder.hpp"
+#include "layout/layout.hpp"
+#include "profile/profiler.hpp"
+
+namespace wp {
+namespace {
+
+using namespace asmkit;
+
+TEST(Profiler, LoopCountsAreExact) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  const auto loop = f.label();
+  const auto after = f.label();
+  f.movi(r0, 0);                     // block A (entry)
+  f.bind(loop);                      // block B (loop body)
+  f.addi(r0, r0, 1);
+  f.cmpiBr(r0, 37, Cond::kLt, loop);
+  f.bind(after);                     // block C
+  f.ret();
+  ir::Module m = mb.build();
+
+  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  mem::Memory memory;
+  img.loadInto(memory);
+  const profile::ProfileResult res = profile::profileImage(img, memory);
+
+  const ir::Function* main_fn = m.findFunction("main");
+  ASSERT_EQ(main_fn->block_ids.size(), 3u);
+  EXPECT_EQ(res.block_counts.at(main_fn->block_ids[0]), 1u);
+  EXPECT_EQ(res.block_counts.at(main_fn->block_ids[1]), 37u);
+  EXPECT_EQ(res.block_counts.at(main_fn->block_ids[2]), 1u);
+
+  profile::annotate(m, res);
+  EXPECT_EQ(m.blocks[main_fn->block_ids[1]].exec_count, 37u);
+}
+
+TEST(Profiler, UnreachedBlocksGetZero) {
+  ModuleBuilder mb;
+  auto& g = mb.func("never");
+  g.ret();
+  auto& f = mb.func("main");
+  f.ret();
+  ir::Module m = mb.build();
+  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  mem::Memory memory;
+  img.loadInto(memory);
+  profile::annotate(m, profile::profileImage(img, memory));
+  const ir::Function* never = m.findFunction("never");
+  EXPECT_EQ(m.blocks[never->block_ids[0]].exec_count, 0u);
+  const ir::Function* main_fn = m.findFunction("main");
+  EXPECT_EQ(m.blocks[main_fn->block_ids[0]].exec_count, 1u);
+}
+
+TEST(Profiler, InstructionCountMatches) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  f.movi(r0, 1);
+  f.movi(r1, 2);
+  f.add(r0, r0, r1);
+  f.ret();
+  const ir::Module m = mb.build();
+  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  mem::Memory memory;
+  img.loadInto(memory);
+  const profile::ProfileResult res = profile::profileImage(img, memory);
+  // main (4) + _start (bl + halt = 2).
+  EXPECT_EQ(res.instructions, 6u);
+}
+
+TEST(Profiler, BudgetGuardsAgainstRunaway) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  const auto loop = f.label();
+  f.bind(loop);
+  f.jmp(loop);  // infinite
+  const ir::Module m = mb.build();
+  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  mem::Memory memory;
+  img.loadInto(memory);
+  EXPECT_THROW(profile::profileImage(img, memory, /*max=*/1000), SimError);
+}
+
+}  // namespace
+}  // namespace wp

@@ -1,0 +1,72 @@
+// End-to-end smoke test: the crc workload runs correctly under every
+// layout/scheme combination and way-placement saves I-cache energy.
+#include <gtest/gtest.h>
+
+#include "driver/runner.hpp"
+
+namespace wp {
+namespace {
+
+using workloads::InputSize;
+
+TEST(Smoke, CrcEndToEnd) {
+  driver::Runner runner;
+  const driver::PreparedWorkload prepared = runner.prepare("crc");
+  EXPECT_GT(prepared.profile_instructions, 10000u);
+
+  const cache::CacheGeometry icache{32 * 1024, 32, 32};
+
+  const driver::RunResult base =
+      runner.run(prepared, icache, driver::SchemeSpec::baseline());
+  const driver::RunResult wp =
+      runner.run(prepared, icache, driver::SchemeSpec::wayPlacement(16 * 1024));
+  const driver::RunResult wm =
+      runner.run(prepared, icache, driver::SchemeSpec::wayMemoization());
+
+  // Functional correctness under every scheme.
+  for (const auto* r : {&base, &wp, &wm}) {
+    EXPECT_GT(r->stats.instructions, 100000u);
+  }
+
+  // Same program, same input: both layouts execute the same work modulo
+  // linker repair branches (none here for baseline, few for WP).
+  const double inst_ratio = static_cast<double>(wp.stats.instructions) /
+                            static_cast<double>(base.stats.instructions);
+  EXPECT_NEAR(inst_ratio, 1.0, 0.02);
+
+  const driver::Normalized nwp = driver::normalize(wp, base);
+  const driver::Normalized nwm = driver::normalize(wm, base);
+
+  // The paper's headline shape: way-placement saves substantial I-cache
+  // energy and beats way-memoization; performance is essentially flat.
+  EXPECT_LT(nwp.icache_energy, 0.70);
+  EXPECT_LT(nwp.icache_energy, nwm.icache_energy);
+  EXPECT_NEAR(nwp.delay, 1.0, 0.05);
+  EXPECT_LT(nwp.ed_product, 1.0);
+}
+
+TEST(Smoke, CrcOutputMatchesReferenceUnderAllSchemes) {
+  driver::Runner runner;
+  driver::PreparedWorkload prepared = runner.prepare("crc");
+  const cache::CacheGeometry icache{32 * 1024, 32, 32};
+
+  for (const auto& spec :
+       {driver::SchemeSpec::baseline(),
+        driver::SchemeSpec::wayPlacement(4 * 1024),
+        driver::SchemeSpec::wayMemoization()}) {
+    const mem::Image& image = spec.layout == layout::Policy::kWayPlacement
+                                  ? prepared.wayplaced
+                                  : prepared.original;
+    mem::Memory memory;
+    image.loadInto(memory);
+    prepared.workload->prepare(memory, InputSize::kLarge);
+    sim::Processor proc(runner.machineFor(icache, spec), image, memory);
+    (void)proc.run();
+    EXPECT_EQ(prepared.workload->output(memory),
+              prepared.workload->expected(InputSize::kLarge))
+        << "scheme=" << cache::schemeName(spec.scheme);
+  }
+}
+
+}  // namespace
+}  // namespace wp

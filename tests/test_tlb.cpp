@@ -1,0 +1,76 @@
+// I-TLB tests: hit/miss behaviour, FIFO replacement, the way-placement
+// bit, and the OS area-limit policy.
+#include <gtest/gtest.h>
+
+#include "cache/tlb.hpp"
+
+namespace wp::cache {
+namespace {
+
+TEST(Tlb, MissThenHit) {
+  Tlb tlb(4);
+  EXPECT_FALSE(tlb.access(0x1000).hit);
+  EXPECT_TRUE(tlb.access(0x1000).hit);
+  EXPECT_TRUE(tlb.access(0x1004).hit);  // same page
+  EXPECT_EQ(tlb.stats().accesses, 3u);
+  EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, FifoReplacement) {
+  Tlb tlb(2);
+  tlb.access(0 * mem::kPageBytes);
+  tlb.access(1 * mem::kPageBytes);
+  tlb.access(2 * mem::kPageBytes);  // evicts page 0
+  EXPECT_FALSE(tlb.access(0 * mem::kPageBytes).hit);
+}
+
+TEST(Tlb, WayPlacementBitFollowsLimit) {
+  Tlb tlb(8);
+  tlb.setWayPlacementLimit(2 * mem::kPageBytes);
+  EXPECT_TRUE(tlb.access(0).way_placement_page);
+  EXPECT_TRUE(tlb.access(mem::kPageBytes).way_placement_page);
+  EXPECT_FALSE(tlb.access(2 * mem::kPageBytes).way_placement_page);
+  EXPECT_FALSE(tlb.access(100 * mem::kPageBytes).way_placement_page);
+}
+
+TEST(Tlb, BitIsStoredInEntryNotRecomputed) {
+  Tlb tlb(8);
+  tlb.setWayPlacementLimit(mem::kPageBytes);
+  EXPECT_TRUE(tlb.access(0).way_placement_page);   // installs entry
+  EXPECT_TRUE(tlb.access(4).way_placement_page);   // hit, bit from entry
+}
+
+TEST(Tlb, ChangingLimitFlushes) {
+  Tlb tlb(8);
+  tlb.setWayPlacementLimit(mem::kPageBytes);
+  tlb.access(0);
+  tlb.setWayPlacementLimit(0);
+  const Tlb::Result r = tlb.access(0);
+  EXPECT_FALSE(r.hit);  // flushed
+  EXPECT_FALSE(r.way_placement_page);
+}
+
+TEST(Tlb, LimitMustBePageAligned) {
+  Tlb tlb(8);
+  EXPECT_THROW(tlb.setWayPlacementLimit(100), SimError);
+  EXPECT_NO_THROW(tlb.setWayPlacementLimit(4 * mem::kPageBytes));
+}
+
+TEST(Tlb, InWayPlacementAreaIsOsView) {
+  Tlb tlb(8);
+  tlb.setWayPlacementLimit(3 * mem::kPageBytes);
+  EXPECT_TRUE(tlb.inWayPlacementArea(0));
+  EXPECT_TRUE(tlb.inWayPlacementArea(3 * mem::kPageBytes - 1));
+  EXPECT_FALSE(tlb.inWayPlacementArea(3 * mem::kPageBytes));
+}
+
+TEST(Tlb, ResetClearsStatsAndEntries) {
+  Tlb tlb(4);
+  tlb.access(0x1000);
+  tlb.reset();
+  EXPECT_EQ(tlb.stats().accesses, 0u);
+  EXPECT_FALSE(tlb.access(0x1000).hit);
+}
+
+}  // namespace
+}  // namespace wp::cache

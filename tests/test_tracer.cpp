@@ -1,0 +1,110 @@
+// Tracer tests: ring-buffer depth, disassembly in the records, and the
+// fault-path trace attachment.
+#include <gtest/gtest.h>
+
+#include "asmkit/builder.hpp"
+#include "layout/layout.hpp"
+#include "sim/tracer.hpp"
+
+namespace wp {
+namespace {
+
+using namespace asmkit;
+
+mem::Image linkSimple(const std::function<void(FunctionBuilder&)>& body) {
+  ModuleBuilder mb;
+  mb.bss("buf", 64);
+  auto& f = mb.func("main");
+  body(f);
+  return layout::linkWithPolicy(mb.build(), layout::Policy::kOriginal);
+}
+
+TEST(Tracer, RecordsDisassemblyAndRegisters) {
+  const mem::Image img = linkSimple([](FunctionBuilder& f) {
+    f.movi(r0, 42);
+    f.addi(r1, r0, 1);
+    f.ret();
+  });
+  mem::Memory memory;
+  img.loadInto(memory);
+  sim::Core core(img, memory);
+  sim::CoreState st = core.initialState();
+  sim::Tracer tracer(16);
+  while (!st.halted) {
+    tracer.record(core, st, img);
+    core.step(st);
+  }
+  const auto lines = tracer.lines();
+  ASSERT_GE(lines.size(), 5u);  // _start: bl, main 3, halt
+  bool found_movi = false;
+  for (const auto& l : lines) {
+    if (l.find("movi r0, #42") != std::string::npos) found_movi = true;
+  }
+  EXPECT_TRUE(found_movi);
+  EXPECT_NE(lines.back().find("halt"), std::string::npos);
+}
+
+TEST(Tracer, RingBufferKeepsOnlyTail) {
+  const mem::Image img = linkSimple([](FunctionBuilder& f) {
+    const auto loop = f.label();
+    f.movi(r0, 100);
+    f.bind(loop);
+    f.subi(r0, r0, 1);
+    f.cmpiBr(r0, 0, Cond::kNe, loop);
+    f.ret();
+  });
+  mem::Memory memory;
+  img.loadInto(memory);
+  sim::Core core(img, memory);
+  sim::CoreState st = core.initialState();
+  sim::Tracer tracer(8);
+  while (!st.halted) {
+    tracer.record(core, st, img);
+    core.step(st);
+  }
+  EXPECT_EQ(tracer.size(), 8u);
+}
+
+TEST(Tracer, RunTracedCompletesCleanPrograms) {
+  const mem::Image img = linkSimple([](FunctionBuilder& f) {
+    f.movi(r0, 7);
+    f.ret();
+  });
+  mem::Memory memory;
+  img.loadInto(memory);
+  EXPECT_EQ(sim::runTraced(img, memory), 4u);  // bl, movi, ret, halt
+}
+
+TEST(Tracer, FaultCarriesTraceTail) {
+  const mem::Image img = linkSimple([](FunctionBuilder& f) {
+    f.la(r0, "buf");
+    f.addi(r0, r0, 2);
+    f.ldr(r1, r0);  // unaligned
+    f.ret();
+  });
+  mem::Memory memory;
+  img.loadInto(memory);
+  try {
+    sim::runTraced(img, memory);
+    FAIL() << "expected a SimError";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unaligned"), std::string::npos);
+    EXPECT_NE(what.find("last instructions"), std::string::npos);
+    EXPECT_NE(what.find("ldr"), std::string::npos);
+  }
+}
+
+TEST(Tracer, BudgetFaultAlsoTraced) {
+  const mem::Image img = linkSimple([](FunctionBuilder& f) {
+    const auto loop = f.label();
+    f.bind(loop);
+    f.jmp(loop);
+  });
+  mem::Memory memory;
+  img.loadInto(memory);
+  EXPECT_THROW(sim::runTraced(img, memory, /*max=*/500), SimError);
+}
+
+}  // namespace
+}  // namespace wp

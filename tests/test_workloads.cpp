@@ -1,0 +1,104 @@
+// Workload correctness: every guest program must reproduce its host
+// reference bit-for-bit, on both input sizes, and under both layouts
+// (original order and way-placement chains) — layout must never change
+// program semantics.
+#include <gtest/gtest.h>
+
+#include "layout/layout.hpp"
+#include "profile/profiler.hpp"
+#include "sim/core.hpp"
+#include "workloads/workload.hpp"
+
+namespace wp {
+namespace {
+
+using workloads::InputSize;
+
+class WorkloadCorrectness
+    : public ::testing::TestWithParam<std::string> {};
+
+// Runs the image functionally until HALT.
+void runToHalt(const mem::Image& image, mem::Memory& memory) {
+  sim::Core core(image, memory);
+  sim::CoreState state = core.initialState();
+  u64 steps = 0;
+  while (!state.halted) {
+    ASSERT_LT(steps++, 80'000'000ULL) << "guest did not halt";
+    core.step(state);
+  }
+}
+
+TEST_P(WorkloadCorrectness, SmallInputOriginalLayout) {
+  auto w = workloads::makeWorkload(GetParam());
+  const ir::Module module = w->build();
+  const mem::Image image =
+      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+  mem::Memory memory;
+  image.loadInto(memory);
+  w->prepare(memory, InputSize::kSmall);
+  runToHalt(image, memory);
+  EXPECT_EQ(w->output(memory), w->expected(InputSize::kSmall));
+}
+
+TEST_P(WorkloadCorrectness, LargeInputOriginalLayout) {
+  auto w = workloads::makeWorkload(GetParam());
+  const ir::Module module = w->build();
+  const mem::Image image =
+      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+  mem::Memory memory;
+  image.loadInto(memory);
+  w->prepare(memory, InputSize::kLarge);
+  runToHalt(image, memory);
+  EXPECT_EQ(w->output(memory), w->expected(InputSize::kLarge));
+}
+
+TEST_P(WorkloadCorrectness, LargeInputWayPlacementLayout) {
+  auto w = workloads::makeWorkload(GetParam());
+  ir::Module module = w->build();
+
+  // Profile on the small input, as the real flow does.
+  const mem::Image orig =
+      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+  mem::Memory pmem;
+  orig.loadInto(pmem);
+  w->prepare(pmem, InputSize::kSmall);
+  profile::annotate(module, profile::profileImage(orig, pmem));
+
+  const mem::Image image =
+      layout::linkWithPolicy(module, layout::Policy::kWayPlacement);
+  mem::Memory memory;
+  image.loadInto(memory);
+  w->prepare(memory, InputSize::kLarge);
+  runToHalt(image, memory);
+  EXPECT_EQ(w->output(memory), w->expected(InputSize::kLarge));
+}
+
+TEST_P(WorkloadCorrectness, LargeInputRandomLayout) {
+  auto w = workloads::makeWorkload(GetParam());
+  const ir::Module module = w->build();
+  const mem::Image image =
+      layout::linkWithPolicy(module, layout::Policy::kRandom, /*seed=*/7);
+  mem::Memory memory;
+  image.loadInto(memory);
+  w->prepare(memory, InputSize::kLarge);
+  runToHalt(image, memory);
+  EXPECT_EQ(w->output(memory), w->expected(InputSize::kLarge));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadCorrectness,
+    ::testing::ValuesIn(workloads::suiteNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(WorkloadRegistry, SuiteHas23Benchmarks) {
+  EXPECT_EQ(workloads::suiteNames().size(), 23u);
+}
+
+TEST(WorkloadRegistry, UnknownNameThrows) {
+  EXPECT_THROW(workloads::makeWorkload("nope"), SimError);
+}
+
+}  // namespace
+}  // namespace wp
