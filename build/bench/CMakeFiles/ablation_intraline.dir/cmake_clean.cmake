@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_intraline.dir/ablation_intraline.cpp.o"
+  "CMakeFiles/ablation_intraline.dir/ablation_intraline.cpp.o.d"
+  "ablation_intraline"
+  "ablation_intraline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_intraline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

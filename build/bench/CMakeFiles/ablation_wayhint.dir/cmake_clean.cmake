@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wayhint.dir/ablation_wayhint.cpp.o"
+  "CMakeFiles/ablation_wayhint.dir/ablation_wayhint.cpp.o.d"
+  "ablation_wayhint"
+  "ablation_wayhint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wayhint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wm_invalidation.dir/ablation_wm_invalidation.cpp.o"
+  "CMakeFiles/ablation_wm_invalidation.dir/ablation_wm_invalidation.cpp.o.d"
+  "ablation_wm_invalidation"
+  "ablation_wm_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wm_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

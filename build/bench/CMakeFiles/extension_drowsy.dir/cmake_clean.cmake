@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_drowsy.dir/extension_drowsy.cpp.o"
+  "CMakeFiles/extension_drowsy.dir/extension_drowsy.cpp.o.d"
+  "extension_drowsy"
+  "extension_drowsy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_drowsy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_ram_cache.dir/extension_ram_cache.cpp.o"
+  "CMakeFiles/extension_ram_cache.dir/extension_ram_cache.cpp.o.d"
+  "extension_ram_cache"
+  "extension_ram_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_ram_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

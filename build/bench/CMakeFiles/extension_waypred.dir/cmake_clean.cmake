@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_waypred.dir/extension_waypred.cpp.o"
+  "CMakeFiles/extension_waypred.dir/extension_waypred.cpp.o.d"
+  "extension_waypred"
+  "extension_waypred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_waypred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_initial_eval.dir/fig4_initial_eval.cpp.o"
+  "CMakeFiles/fig4_initial_eval.dir/fig4_initial_eval.cpp.o.d"
+  "fig4_initial_eval"
+  "fig4_initial_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_initial_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_wp_area_sweep.cpp" "bench/CMakeFiles/fig5_wp_area_sweep.dir/fig5_wp_area_sweep.cpp.o" "gcc" "bench/CMakeFiles/fig5_wp_area_sweep.dir/fig5_wp_area_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/wp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/wp_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/wp_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/wp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/wp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/wp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/wp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/wp_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/wp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cache_configs.dir/fig6_cache_configs.cpp.o"
+  "CMakeFiles/fig6_cache_configs.dir/fig6_cache_configs.cpp.o.d"
+  "fig6_cache_configs"
+  "fig6_cache_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cache_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/wp_bench_common.dir/bench_common.cpp.o.d"
+  "libwp_bench_common.a"
+  "libwp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

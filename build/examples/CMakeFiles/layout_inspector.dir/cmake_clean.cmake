@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_inspector.dir/layout_inspector.cpp.o"
+  "CMakeFiles/layout_inspector.dir/layout_inspector.cpp.o.d"
+  "layout_inspector"
+  "layout_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("mem")
+subdirs("cache")
+subdirs("energy")
+subdirs("pipeline")
+subdirs("sim")
+subdirs("ir")
+subdirs("asmkit")
+subdirs("layout")
+subdirs("profile")
+subdirs("workloads")
+subdirs("driver")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_asmkit.dir/builder.cpp.o"
+  "CMakeFiles/wp_asmkit.dir/builder.cpp.o.d"
+  "libwp_asmkit.a"
+  "libwp_asmkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_asmkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cam_cache.cpp" "src/cache/CMakeFiles/wp_cache.dir/cam_cache.cpp.o" "gcc" "src/cache/CMakeFiles/wp_cache.dir/cam_cache.cpp.o.d"
+  "/root/repo/src/cache/data_cache.cpp" "src/cache/CMakeFiles/wp_cache.dir/data_cache.cpp.o" "gcc" "src/cache/CMakeFiles/wp_cache.dir/data_cache.cpp.o.d"
+  "/root/repo/src/cache/drowsy.cpp" "src/cache/CMakeFiles/wp_cache.dir/drowsy.cpp.o" "gcc" "src/cache/CMakeFiles/wp_cache.dir/drowsy.cpp.o.d"
+  "/root/repo/src/cache/fetch_path.cpp" "src/cache/CMakeFiles/wp_cache.dir/fetch_path.cpp.o" "gcc" "src/cache/CMakeFiles/wp_cache.dir/fetch_path.cpp.o.d"
+  "/root/repo/src/cache/tlb.cpp" "src/cache/CMakeFiles/wp_cache.dir/tlb.cpp.o" "gcc" "src/cache/CMakeFiles/wp_cache.dir/tlb.cpp.o.d"
+  "/root/repo/src/cache/way_memo.cpp" "src/cache/CMakeFiles/wp_cache.dir/way_memo.cpp.o" "gcc" "src/cache/CMakeFiles/wp_cache.dir/way_memo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

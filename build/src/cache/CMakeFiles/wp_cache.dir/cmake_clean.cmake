@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_cache.dir/cam_cache.cpp.o"
+  "CMakeFiles/wp_cache.dir/cam_cache.cpp.o.d"
+  "CMakeFiles/wp_cache.dir/data_cache.cpp.o"
+  "CMakeFiles/wp_cache.dir/data_cache.cpp.o.d"
+  "CMakeFiles/wp_cache.dir/drowsy.cpp.o"
+  "CMakeFiles/wp_cache.dir/drowsy.cpp.o.d"
+  "CMakeFiles/wp_cache.dir/fetch_path.cpp.o"
+  "CMakeFiles/wp_cache.dir/fetch_path.cpp.o.d"
+  "CMakeFiles/wp_cache.dir/tlb.cpp.o"
+  "CMakeFiles/wp_cache.dir/tlb.cpp.o.d"
+  "CMakeFiles/wp_cache.dir/way_memo.cpp.o"
+  "CMakeFiles/wp_cache.dir/way_memo.cpp.o.d"
+  "libwp_cache.a"
+  "libwp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_driver.dir/runner.cpp.o"
+  "CMakeFiles/wp_driver.dir/runner.cpp.o.d"
+  "libwp_driver.a"
+  "libwp_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/energy_model.cpp" "src/energy/CMakeFiles/wp_energy.dir/energy_model.cpp.o" "gcc" "src/energy/CMakeFiles/wp_energy.dir/energy_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/wp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

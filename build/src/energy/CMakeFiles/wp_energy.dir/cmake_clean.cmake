@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/wp_energy.dir/energy_model.cpp.o.d"
+  "libwp_energy.a"
+  "libwp_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_ir.dir/module.cpp.o"
+  "CMakeFiles/wp_ir.dir/module.cpp.o.d"
+  "libwp_ir.a"
+  "libwp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_isa.dir/isa.cpp.o"
+  "CMakeFiles/wp_isa.dir/isa.cpp.o.d"
+  "libwp_isa.a"
+  "libwp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/layout.cpp" "src/layout/CMakeFiles/wp_layout.dir/layout.cpp.o" "gcc" "src/layout/CMakeFiles/wp_layout.dir/layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/wp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_layout.dir/layout.cpp.o"
+  "CMakeFiles/wp_layout.dir/layout.cpp.o.d"
+  "libwp_layout.a"
+  "libwp_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_mem.dir/image.cpp.o"
+  "CMakeFiles/wp_mem.dir/image.cpp.o.d"
+  "CMakeFiles/wp_mem.dir/memory.cpp.o"
+  "CMakeFiles/wp_mem.dir/memory.cpp.o.d"
+  "libwp_mem.a"
+  "libwp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

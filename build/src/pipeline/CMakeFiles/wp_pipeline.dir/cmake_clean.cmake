@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_pipeline.dir/timing.cpp.o"
+  "CMakeFiles/wp_pipeline.dir/timing.cpp.o.d"
+  "libwp_pipeline.a"
+  "libwp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

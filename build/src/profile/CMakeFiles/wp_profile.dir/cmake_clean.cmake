@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_profile.dir/profiler.cpp.o"
+  "CMakeFiles/wp_profile.dir/profiler.cpp.o.d"
+  "libwp_profile.a"
+  "libwp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

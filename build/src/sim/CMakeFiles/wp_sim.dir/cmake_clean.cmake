@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_sim.dir/core.cpp.o"
+  "CMakeFiles/wp_sim.dir/core.cpp.o.d"
+  "CMakeFiles/wp_sim.dir/processor.cpp.o"
+  "CMakeFiles/wp_sim.dir/processor.cpp.o.d"
+  "CMakeFiles/wp_sim.dir/tracer.cpp.o"
+  "CMakeFiles/wp_sim.dir/tracer.cpp.o.d"
+  "libwp_sim.a"
+  "libwp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_support.dir/ensure.cpp.o"
+  "CMakeFiles/wp_support.dir/ensure.cpp.o.d"
+  "CMakeFiles/wp_support.dir/stats.cpp.o"
+  "CMakeFiles/wp_support.dir/stats.cpp.o.d"
+  "CMakeFiles/wp_support.dir/table.cpp.o"
+  "CMakeFiles/wp_support.dir/table.cpp.o.d"
+  "libwp_support.a"
+  "libwp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

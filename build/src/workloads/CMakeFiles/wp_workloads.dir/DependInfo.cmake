@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/common.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/common.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/common.cpp.o.d"
+  "/root/repo/src/workloads/guestlib.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/guestlib.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/guestlib.cpp.o.d"
+  "/root/repo/src/workloads/references.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/references.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/references.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/wl_adpcm.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_adpcm.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_adpcm.cpp.o.d"
+  "/root/repo/src/workloads/wl_bitcount.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_bitcount.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_bitcount.cpp.o.d"
+  "/root/repo/src/workloads/wl_blowfish.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_blowfish.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_blowfish.cpp.o.d"
+  "/root/repo/src/workloads/wl_crc.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_crc.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_crc.cpp.o.d"
+  "/root/repo/src/workloads/wl_fft.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_fft.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_fft.cpp.o.d"
+  "/root/repo/src/workloads/wl_ispell.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_ispell.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_ispell.cpp.o.d"
+  "/root/repo/src/workloads/wl_jpeg.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_jpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_jpeg.cpp.o.d"
+  "/root/repo/src/workloads/wl_patricia.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_patricia.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_patricia.cpp.o.d"
+  "/root/repo/src/workloads/wl_rijndael.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_rijndael.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_rijndael.cpp.o.d"
+  "/root/repo/src/workloads/wl_rsynth.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_rsynth.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_rsynth.cpp.o.d"
+  "/root/repo/src/workloads/wl_sha.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_sha.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_sha.cpp.o.d"
+  "/root/repo/src/workloads/wl_susan.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_susan.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_susan.cpp.o.d"
+  "/root/repo/src/workloads/wl_tiff.cpp" "src/workloads/CMakeFiles/wp_workloads.dir/wl_tiff.cpp.o" "gcc" "src/workloads/CMakeFiles/wp_workloads.dir/wl_tiff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/wp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/wp_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asmkit.dir/test_asmkit.cpp.o"
+  "CMakeFiles/test_asmkit.dir/test_asmkit.cpp.o.d"
+  "test_asmkit"
+  "test_asmkit.pdb"
+  "test_asmkit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asmkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

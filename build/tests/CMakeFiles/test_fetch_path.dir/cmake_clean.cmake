@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fetch_path.dir/test_fetch_path.cpp.o"
+  "CMakeFiles/test_fetch_path.dir/test_fetch_path.cpp.o.d"
+  "test_fetch_path"
+  "test_fetch_path.pdb"
+  "test_fetch_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fetch_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

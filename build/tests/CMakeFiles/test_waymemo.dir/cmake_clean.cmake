@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waymemo.dir/test_waymemo.cpp.o"
+  "CMakeFiles/test_waymemo.dir/test_waymemo.cpp.o.d"
+  "test_waymemo"
+  "test_waymemo.pdb"
+  "test_waymemo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waymemo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
