@@ -20,7 +20,13 @@ std::vector<std::string> selectedWorkloads() {
   return names;
 }
 
-SuiteRunner::SuiteRunner() {
+u64 experimentSeed() {
+  const char* env = std::getenv("WP_SEED");
+  if (env == nullptr || *env == '\0') return 0;
+  return std::strtoull(env, nullptr, 0);
+}
+
+SuiteRunner::SuiteRunner() : runner_(energy::EnergyParams{}, experimentSeed()) {
   const auto names = selectedWorkloads();
   std::cerr << "preparing " << names.size()
             << " workloads (profile + layout)...\n";
@@ -38,6 +44,12 @@ std::string SuiteRunner::keyOf(const std::string& workload,
      << s.wp_area_bytes << '/' << s.intraline_skip << '/'
      << s.wm_precise_invalidation << '/' << s.drowsy_window << '/'
      << static_cast<int>(s.layout);
+  if (s.fault.runtimeEnabled()) {
+    os << "/f" << s.fault.period << ':' << s.fault.seed << ':'
+       << s.fault.flip_way_hint << s.fault.flip_tlb_wp_bit
+       << s.fault.clear_tlb_wp_bits << s.fault.scramble_memo_links
+       << s.fault.scramble_mru << s.fault.resize_storm;
+  }
   return os.str();
 }
 
@@ -68,6 +80,8 @@ void printHeader(const std::string& title, const std::string& paper_ref) {
             << title << "\n"
             << "(reproduces " << paper_ref
             << " of Jones et al., DATE 2008)\n"
+            << "experiment seed: " << experimentSeed()
+            << " (set WP_SEED to change)\n"
             << "==============================================================\n\n";
 }
 

@@ -4,6 +4,8 @@
 //
 // Environment knobs:
 //   WP_BENCH_WORKLOADS  comma-separated subset (default: all 23)
+//   WP_SEED             experiment-wide RNG seed (default: 0, the
+//                       historical fixed inputs)
 #pragma once
 
 #include <functional>
@@ -19,6 +21,10 @@ namespace wp::bench {
 
 /// Workload names selected by WP_BENCH_WORKLOADS (default: full suite).
 [[nodiscard]] std::vector<std::string> selectedWorkloads();
+
+/// Experiment-wide RNG seed from WP_SEED (default 0); every bench
+/// prints it in its header so any figure replays from the logged value.
+[[nodiscard]] u64 experimentSeed();
 
 class SuiteRunner {
  public:

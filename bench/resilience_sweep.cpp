@@ -1,0 +1,107 @@
+// Resilience sweep: injects every fault class into every fault-bearing
+// scheme and checks the architectural-equivalence invariant — the
+// retired instruction stream, data flow and workload output of a
+// faulted run must be bit-identical to the fault-free run, while energy
+// and delay may degrade boundedly. Exits non-zero on any violation, so
+// this doubles as a long-form resilience regression test.
+//
+// Environment knobs: WP_BENCH_WORKLOADS, WP_SEED (see bench_common.hpp).
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace wp;
+
+struct ClassSpec {
+  const char* name;
+  fault::FaultSpec spec;
+};
+
+fault::FaultSpec one(bool fault::FaultSpec::* flag, u64 period) {
+  fault::FaultSpec s;
+  s.period = period;
+  s.*flag = true;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "Resilience sweep: fault injection vs architectural equivalence",
+      "the safety argument of section 4.1");
+
+  const u64 kPeriod = 101;  // prime, so injections drift across loops
+  const ClassSpec kClasses[] = {
+      {"hint-flip", one(&fault::FaultSpec::flip_way_hint, kPeriod)},
+      {"tlb-bit-flip", one(&fault::FaultSpec::flip_tlb_wp_bit, kPeriod)},
+      {"tlb-bit-clear", one(&fault::FaultSpec::clear_tlb_wp_bits, kPeriod)},
+      {"link-scramble", one(&fault::FaultSpec::scramble_memo_links, kPeriod)},
+      {"mru-scramble", one(&fault::FaultSpec::scramble_mru, kPeriod)},
+      {"resize-storm", one(&fault::FaultSpec::resize_storm, kPeriod)},
+      {"all-classes", fault::FaultSpec::allClasses(kPeriod)},
+  };
+
+  const struct {
+    const char* name;
+    driver::SchemeSpec spec;
+  } kSchemes[] = {
+      {"way-placement", driver::SchemeSpec::wayPlacement(16 * 1024)},
+      {"way-memoization", driver::SchemeSpec::wayMemoization()},
+      {"way-prediction", driver::SchemeSpec::wayPrediction()},
+  };
+
+  // A fast, branchy subset; the full suite works but takes minutes.
+  const std::vector<std::string> kDefault = {"crc", "sha", "bitcount"};
+
+  driver::Runner runner(energy::EnergyParams{}, bench::experimentSeed());
+  const cache::CacheGeometry geom = bench::initialICache();
+
+  TextTable t;
+  t.header({"workload", "scheme", "fault class", "events", "d-energy",
+            "d-delay", "equivalent"});
+
+  bool all_ok = true;
+  const char* env = std::getenv("WP_BENCH_WORKLOADS");
+  const auto names = (env != nullptr && *env != '\0')
+                         ? bench::selectedWorkloads()
+                         : kDefault;
+  for (const std::string& name : names) {
+    const driver::PreparedWorkload p = runner.prepare(name);
+    for (const auto& sch : kSchemes) {
+      const driver::RunResult clean = runner.run(p, geom, sch.spec);
+      for (const ClassSpec& cls : kClasses) {
+        driver::SchemeSpec spec = sch.spec;
+        spec.fault = cls.spec;
+        const driver::RunResult faulted = runner.run(p, geom, spec);
+        if (faulted.injected.events == 0) continue;  // class not applicable
+
+        const bool ok =
+            faulted.stats.retired_pc_hash == clean.stats.retired_pc_hash &&
+            faulted.stats.dataflow_hash == clean.stats.dataflow_hash &&
+            faulted.stats.instructions == clean.stats.instructions &&
+            faulted.output == clean.output &&
+            faulted.output == p.workload->expected(workloads::InputSize::kLarge);
+        all_ok = all_ok && ok;
+
+        const double de = faulted.energy.total() / clean.energy.total() - 1.0;
+        const double dd = static_cast<double>(faulted.stats.cycles) /
+                              static_cast<double>(clean.stats.cycles) -
+                          1.0;
+        t.row({name, sch.name, cls.name,
+               std::to_string(faulted.injected.events), fmtPct(de, 2),
+               fmtPct(dd, 2), ok ? "yes" : "NO"});
+      }
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\ninvariant: faulted retired stream, data flow and outputs "
+            << (all_ok ? "bit-identical to fault-free runs\n"
+                       : "DIVERGED — way-placement state leaked into "
+                         "correctness\n");
+  return all_ok ? 0 : 1;
+}

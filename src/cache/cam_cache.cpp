@@ -6,8 +6,15 @@
 
 namespace wp::cache {
 
+namespace {
+const CacheGeometry& validated(const CacheGeometry& g) {
+  g.validate();
+  return g;
+}
+}  // namespace
+
 CamCache::CamCache(const CacheGeometry& geometry)
-    : geom_(geometry),
+    : geom_(validated(geometry)),
       num_sets_(geometry.sets()),
       lines_(static_cast<std::size_t>(num_sets_) * geometry.ways),
       round_robin_(num_sets_, 0) {}
@@ -126,12 +133,26 @@ std::optional<u32> CamCache::probe(u32 addr) const {
 u32 CamCache::fill(u32 addr, bool way_placed) {
   const u32 set = geom_.setOf(addr);
   const u32 tag = geom_.tagOf(addr);
-  WP_ENSURE(!probe(addr).has_value(), "fill of an already-resident line");
+  const std::optional<u32> dup = probe(addr);
 
   u32 victim;
   if (way_placed) {
     victim = geom_.wayPlacedWayOf(addr);
+    WP_ENSURE(!dup.has_value() || *dup != victim,
+              "fill of an already-resident line");
+    // A copy filled under a different placement decision (possible only
+    // after way-placement-bit corruption or a mid-run area change) would
+    // leave the CAM with two matching tags; the way-placed refill
+    // invalidates the stale copy so lookups stay unambiguous.
+    if (dup.has_value()) {
+      Line& stale = at(set, *dup);
+      if (stale.dirty) ++stats_.writebacks;
+      if (listener_ != nullptr) listener_->onEvict({set, *dup});
+      stale = Line{};
+      ++stats_.duplicate_invalidations;
+    }
   } else {
+    WP_ENSURE(!dup.has_value(), "fill of an already-resident line");
     victim = round_robin_[set];
     round_robin_[set] = (round_robin_[set] + 1) % geom_.ways;
   }

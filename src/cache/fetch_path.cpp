@@ -18,8 +18,27 @@ const char* schemeName(Scheme s) {
   WP_UNREACHABLE("bad scheme");
 }
 
+void FetchPathConfig::validate() const {
+  icache.validate();
+  WP_ENSURE(tlb_entries > 0, "FetchPathConfig.tlb_entries must be at least 1");
+  WP_ENSURE(wp_area_bytes % mem::kPageBytes == 0,
+            "FetchPathConfig.wp_area_bytes (" + std::to_string(wp_area_bytes) +
+                ") must be a multiple of the " +
+                std::to_string(mem::kPageBytes) + " B page size");
+  WP_ENSURE(scheme == Scheme::kWayPlacement || wp_area_bytes == 0,
+            "FetchPathConfig.wp_area_bytes set but FetchPathConfig.scheme is " +
+                std::string(schemeName(scheme)) + ", not way-placement");
+}
+
+namespace {
+const FetchPathConfig& validated(const FetchPathConfig& c) {
+  c.validate();
+  return c;
+}
+}  // namespace
+
 FetchPath::FetchPath(const FetchPathConfig& config)
-    : config_(config),
+    : config_(validated(config)),
       icache_(config.icache),
       itlb_(config.tlb_entries),
       drowsy_(config.icache.sets(), config.icache.ways,
@@ -37,7 +56,13 @@ FetchPath::FetchPath(const FetchPathConfig& config)
 
 void FetchPath::resizeWayPlacementArea(u32 bytes) {
   WP_ENSURE(config_.scheme == Scheme::kWayPlacement,
-            "area resize only applies to way-placement");
+            "resizeWayPlacementArea on scheme '" +
+                std::string(schemeName(config_.scheme)) +
+                "' — only way-placement has a WP area");
+  WP_ENSURE(bytes % mem::kPageBytes == 0,
+            "resizeWayPlacementArea: " + std::to_string(bytes) +
+                " is not a multiple of the " +
+                std::to_string(mem::kPageBytes) + " B page size");
   config_.wp_area_bytes = bytes;
   itlb_.setWayPlacementLimit(bytes);
   // Lines filled under the old policy may sit in ways the new policy's
@@ -58,6 +83,7 @@ u32 FetchPath::missPenalty() const {
 
 u32 FetchPath::fetch(u32 addr, FetchFlow flow) {
   WP_ENSURE((addr & 3u) == 0, "unaligned instruction fetch");
+  if (fault_hook_ != nullptr) fault_hook_->onFetch(*this);
   ++fetch_stats_.fetches;
 
   const bool same_line =
@@ -178,7 +204,20 @@ u32 FetchPath::fetchWayMemoization(u32 addr, FetchFlow flow, bool same_line) {
                                           : WayMemoizer::CrossKind::kBranchTaken;
 
   if (linkable) {
-    const std::optional<u32> way = memo_->followLink(last_addr_, kind);
+    std::optional<u32> way = memo_->followLink(last_addr_, kind);
+    if (way.has_value() && fault_hook_ != nullptr) {
+      // Under fault injection the links are parity-protected: a link
+      // whose pointer rotted is detected and dropped, degrading this
+      // fetch to a full search instead of reading the wrong way. This is
+      // the defence silicon needs because — unlike the advisory
+      // way-placement state — a blindly-followed bad link executes
+      // wrong instructions.
+      const std::optional<u32> actual = icache_.probe(addr);
+      if (!actual.has_value() || *actual != *way) {
+        ++fetch_stats_.link_faults_dropped;
+        way.reset();
+      }
+    }
     if (way.has_value()) {
       // Linked access: no tag search at all. Real hardware fetches from
       // *way* blindly, so the invalidation machinery must guarantee the

@@ -65,6 +65,23 @@ struct FetchPathConfig {
   u32 drowsy_window = 0;
   u32 mem_latency_cycles = 50;
   u32 tlb_walk_cycles = 20;
+
+  /// Validates every field (geometry legality, TLB capacity, WP-area
+  /// alignment and scheme consistency), naming the offending field in
+  /// the thrown SimError. FetchPath calls this at construction.
+  void validate() const;
+};
+
+class FetchPath;
+
+/// Observer invoked at the top of every fetch. The fault-injection layer
+/// implements this to corrupt advisory state between fetches; attaching
+/// a hook also arms the defensive paths (e.g. the way-memoization link
+/// parity check) that silicon would need against real soft errors.
+class FetchFaultHook {
+ public:
+  virtual ~FetchFaultHook() = default;
+  virtual void onFetch(FetchPath& path) = 0;
 };
 
 class FetchPath {
@@ -109,6 +126,25 @@ class FetchPath {
   }
   [[nodiscard]] u32 icacheLines() const { return drowsy_.totalLines(); }
 
+  /// Registers @p hook to run before every fetch (nullptr detaches).
+  void attachFaultHook(FetchFaultHook* hook) { fault_hook_ = hook; }
+  [[nodiscard]] bool faultInjectionArmed() const {
+    return fault_hook_ != nullptr;
+  }
+
+  /// Mutable handles to the advisory state a fault injector may corrupt.
+  /// Everything reachable from here is a hint: flipping, clearing or
+  /// scrambling it must never change the retired instruction stream.
+  struct FaultSurface {
+    WayHint& hint;
+    Tlb& itlb;
+    WayMemoizer* memo;      ///< null unless kWayMemoization
+    std::vector<u32>& mru;  ///< empty unless kWayPrediction
+  };
+  [[nodiscard]] FaultSurface faultSurface() {
+    return {hint_, itlb_, memo_.has_value() ? &*memo_ : nullptr, mru_way_};
+  }
+
  private:
   [[nodiscard]] u32 missPenalty() const;
   u32 fetchBaseline(u32 addr);
@@ -125,6 +161,7 @@ class FetchPath {
   std::vector<u32> mru_way_;  ///< per-set MRU, way prediction only
   FetchStats fetch_stats_;
   u64 squashed_probes_ = 0;
+  FetchFaultHook* fault_hook_ = nullptr;
 
   bool last_valid_ = false;
   u32 last_addr_ = 0;

@@ -10,6 +10,8 @@
 // full length (the way-selection bits are also part of it).
 #pragma once
 
+#include <string>
+
 #include "support/bitops.hpp"
 
 namespace wp::cache {
@@ -18,6 +20,25 @@ struct CacheGeometry {
   u32 size_bytes = 32 * 1024;
   u32 line_bytes = 32;
   u32 ways = 32;
+
+  /// Full-field validation with the offending field named in the error;
+  /// the cache models call this at construction so a bad geometry fails
+  /// loudly instead of producing nonsense counters.
+  void validate() const {
+    WP_ENSURE(size_bytes > 0 && isPow2(size_bytes),
+              "CacheGeometry.size_bytes (" + std::to_string(size_bytes) +
+                  ") must be a non-zero power of two");
+    WP_ENSURE(line_bytes >= 4 && isPow2(line_bytes),
+              "CacheGeometry.line_bytes (" + std::to_string(line_bytes) +
+                  ") must be a power of two >= one 4-byte instruction");
+    WP_ENSURE(ways > 0 && isPow2(ways),
+              "CacheGeometry.ways (" + std::to_string(ways) +
+                  ") must be a non-zero power of two");
+    WP_ENSURE(size_bytes / line_bytes >= ways,
+              "CacheGeometry.size_bytes (" + std::to_string(size_bytes) +
+                  ") holds fewer lines than CacheGeometry.ways (" +
+                  std::to_string(ways) + ")");
+  }
 
   [[nodiscard]] u32 sets() const {
     WP_ENSURE(isPow2(size_bytes) && isPow2(line_bytes) && isPow2(ways),

@@ -33,6 +33,11 @@ struct CacheStats {
   u64 link_invalidations = 0;
   u64 linked_accesses = 0;  ///< lookups satisfied by a valid link
 
+  // Robustness accounting: stale same-line copies invalidated by a
+  // way-placed refill. Zero in fault-free runs — duplicates can only
+  // arise after way-placement-bit corruption or mid-run area changes.
+  u64 duplicate_invalidations = 0;
+
   void reset() { *this = CacheStats{}; }
 
   CacheStats& operator+=(const CacheStats& o) {
@@ -53,6 +58,7 @@ struct CacheStats {
     link_writes += o.link_writes;
     link_invalidations += o.link_invalidations;
     linked_accesses += o.linked_accesses;
+    duplicate_invalidations += o.duplicate_invalidations;
     return *this;
   }
 };
@@ -74,6 +80,10 @@ struct FetchStats {
   u64 waypred_correct = 0;     ///< way prediction: MRU way hit
   u64 waypred_mispredict = 0;  ///< way prediction: second access needed
   u64 extra_cycles = 0;       ///< cycle penalty from second accesses
+  /// Way-memoization links whose parity check caught a corrupted way
+  /// pointer; the fetch degraded to a full search. Only non-zero under
+  /// fault injection.
+  u64 link_faults_dropped = 0;
   void reset() { *this = FetchStats{}; }
 };
 

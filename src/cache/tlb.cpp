@@ -46,6 +46,25 @@ void Tlb::setWayPlacementLimit(u32 bytes) {
   fifo_next_ = 0;
 }
 
+bool Tlb::faultFlipWpBit(u32 index) {
+  WP_ENSURE(index < entries_.size(), "faultFlipWpBit: index out of range");
+  Entry& e = entries_[index];
+  if (!e.valid) return false;
+  e.wp_bit = !e.wp_bit;
+  return true;
+}
+
+u32 Tlb::faultClearWpBits() {
+  u32 cleared = 0;
+  for (Entry& e : entries_) {
+    if (e.valid && e.wp_bit) {
+      e.wp_bit = false;
+      ++cleared;
+    }
+  }
+  return cleared;
+}
+
 void Tlb::reset() {
   for (Entry& e : entries_) e = Entry{};
   fifo_next_ = 0;

@@ -47,6 +47,21 @@ class Tlb {
 
   [[nodiscard]] const TlbStats& stats() const { return stats_; }
 
+  /// Number of entry slots (the fault-injection surface).
+  [[nodiscard]] u32 entryCount() const {
+    return static_cast<u32>(entries_.size());
+  }
+
+  /// Soft-error hook: inverts the cached way-placement bit of entry
+  /// @p index. Returns false when the slot holds no valid translation.
+  /// The OS page table keeps the truth, so the next re-walk of the page
+  /// heals the entry.
+  bool faultFlipWpBit(u32 index);
+
+  /// Soft-error hook: clears every cached way-placement bit (a burst
+  /// upset). Returns the number of bits that were set.
+  u32 faultClearWpBits();
+
  private:
   struct Entry {
     bool valid = false;

@@ -17,6 +17,11 @@ class WayHint {
   /// Records the resolved way-placement bit of the access just made.
   void update(bool actual_wp) { last_was_wp_ = actual_wp; }
 
+  /// Soft-error hook: inverts the stored bit. The hint is advisory, so a
+  /// flip can only cost a lost saving or a squashed probe, never a wrong
+  /// instruction — exactly what the fault suite demonstrates.
+  void flip() { last_was_wp_ = !last_was_wp_; }
+
   void reset() { last_was_wp_ = false; }
 
  private:

@@ -84,6 +84,30 @@ void WayMemoizer::flashClearLinks() {
   cache_.mutableStats().link_invalidations += cleared;
 }
 
+u32 WayMemoizer::faultScrambleLinks(Rng& rng, u32 events) {
+  const u32 ways = cache_.geometry().ways;
+  u32 touched = 0;
+  for (u32 i = 0; i < events; ++i) {
+    LineLinks& l = links_[rng.below(links_.size())];
+    const u64 slot = rng.below(1 + l.branch.size());
+    Link& link = slot == 0 ? l.sequential : l.branch[slot - 1];
+    if (link.valid) {
+      link.way = static_cast<u32>(rng.below(ways));
+    } else {
+      // A spuriously-raised valid bit with a random target; pin the
+      // generation to the target's current one so the rotten link passes
+      // the generation check and only the parity check can catch it.
+      link.valid = true;
+      link.way = static_cast<u32>(rng.below(ways));
+      link.target = {static_cast<u32>(rng.below(num_sets_)),
+                     static_cast<u32>(rng.below(ways))};
+      link.target_generation = generationOf(link.target);
+    }
+    ++touched;
+  }
+  return touched;
+}
+
 u32 WayMemoizer::linkBitsPerLine() const {
   const u32 links = cache_.geometry().wordsPerLine() + 1;
   const u32 bits_per_link = cache_.geometry().wayBits() + 1;  // way + valid

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cache/cam_cache.hpp"
+#include "support/rng.hpp"
 
 namespace wp::cache {
 
@@ -56,6 +57,15 @@ class WayMemoizer final : public CamCache::EvictionListener {
   /// Conservative invalidation: clears every link valid bit in the cache
   /// (called on each refill unless precise invalidation is selected).
   void flashClearLinks();
+
+  /// Soft-error hook: corrupts up to @p events random links — rotting a
+  /// valid link's way pointer or raising a dead link's valid bit with a
+  /// random target. Unlike the advisory way-placement state, a followed
+  /// bad link would fetch the wrong way, so the fetch path pairs this
+  /// with a parity check that drops detected-corrupt links (counted in
+  /// FetchStats::link_faults_dropped). Returns the number of links
+  /// touched.
+  u32 faultScrambleLinks(Rng& rng, u32 events);
 
   [[nodiscard]] u64 flashClears() const { return flash_clears_; }
 

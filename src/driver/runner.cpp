@@ -1,6 +1,10 @@
 #include "driver/runner.hpp"
 
+#include <cstdio>
+
+#include "mem/memory.hpp"
 #include "support/ensure.hpp"
+#include "workloads/common.hpp"
 
 namespace wp::driver {
 
@@ -15,10 +19,14 @@ Normalized normalize(const RunResult& scheme, const RunResult& baseline) {
   return n;
 }
 
-Runner::Runner(energy::EnergyParams params) : model_(params) {}
+Runner::Runner(energy::EnergyParams params, u64 seed)
+    : model_(params), seed_(seed) {}
 
 PreparedWorkload Runner::prepare(const std::string& name,
-                                 workloads::InputSize profile_input) const {
+                                 workloads::InputSize profile_input,
+                                 fault::ProfileFault profile_fault) const {
+  workloads::setExperimentSeed(seed_);
+
   PreparedWorkload p;
   p.name = name;
   p.workload = workloads::makeWorkload(name);
@@ -29,8 +37,29 @@ PreparedWorkload Runner::prepare(const std::string& name,
   mem::Memory memory;
   p.original.loadInto(memory);
   p.workload->prepare(memory, profile_input);
-  const profile::ProfileResult prof = profile::profileImage(p.original, memory);
+  profile::ProfileResult prof = profile::profileImage(p.original, memory);
+
+  if (profile_fault != fault::ProfileFault::kNone) {
+    Rng rng(seed_ ^ 0x9e3779b97f4a7c15ULL ^
+            static_cast<u64>(profile_fault) * 0xbf58476d1ce4e5b9ULL);
+    fault::corruptProfile(prof, profile_fault, rng);
+  }
+
   p.profile_instructions = prof.instructions;
+
+  // A damaged (or just bad) profile must cost at most energy, never the
+  // sweep: diagnose it and fall back to the original block order.
+  if (const auto problem = profile::validate(p.module, prof)) {
+    p.profile_ok = false;
+    p.profile_warning = *problem;
+    std::fprintf(stderr,
+                 "[wayplace] warning: workload '%s': training profile "
+                 "unusable (%s); falling back to original layout\n",
+                 name.c_str(), problem->c_str());
+    p.wayplaced = layout::linkWithPolicy(p.module, layout::Policy::kOriginal);
+    return p;
+  }
+
   profile::annotate(p.module, prof);
 
   // The way-placement layout (heaviest chains first).
@@ -55,20 +84,49 @@ RunResult Runner::run(const PreparedWorkload& prepared,
   const mem::Image& image = spec.layout == layout::Policy::kWayPlacement
                                 ? prepared.wayplaced
                                 : prepared.original;
-  WP_ENSURE(spec.scheme != cache::Scheme::kWayPlacement ||
-                spec.wp_area_bytes > 0,
-            "way-placement needs a non-empty area");
+  if (spec.scheme == cache::Scheme::kWayPlacement) {
+    WP_ENSURE(spec.wp_area_bytes > 0,
+              "SchemeSpec.wp_area_bytes must be non-zero for the "
+              "way-placement scheme");
+    WP_ENSURE(spec.wp_area_bytes % mem::kPageBytes == 0,
+              "SchemeSpec.wp_area_bytes (" +
+                  std::to_string(spec.wp_area_bytes) +
+                  ") must be a multiple of the " +
+                  std::to_string(mem::kPageBytes) + "-byte page size");
+  }
+
+  workloads::setExperimentSeed(seed_);
 
   mem::Memory memory;
   image.loadInto(memory);
   prepared.workload->prepare(memory, input);
 
-  const sim::MachineConfig machine = machineFor(icache, spec);
+  sim::MachineConfig machine = machineFor(icache, spec);
+  if (machine.fetch.scheme == cache::Scheme::kWayPlacement) {
+    // Clamp the WP area to the image: pages past the end of code are
+    // never fetched, so this is behavior-neutral, but it keeps resize
+    // storms (which restore the configured area) inside the image too.
+    const u32 code_pages = static_cast<u32>(
+        (image.code.size() + mem::kPageBytes - 1) / mem::kPageBytes);
+    const u32 code_bytes = code_pages * mem::kPageBytes;
+    if (machine.fetch.wp_area_bytes > code_bytes) {
+      machine.fetch.wp_area_bytes = code_bytes;
+    }
+  }
+
   sim::Processor proc(machine, image, memory);
+
+  std::optional<fault::FaultInjector> injector;
+  if (spec.fault.runtimeEnabled()) {
+    injector.emplace(spec.fault, seed_);
+    injector->attach(proc.fetchPath());
+  }
 
   RunResult result;
   result.stats = proc.run();
   result.energy = sim::Processor::price(model_, machine, result.stats);
+  result.output = prepared.workload->output(memory);
+  if (injector.has_value()) result.injected = injector->stats();
   return result;
 }
 

@@ -16,6 +16,7 @@
 
 #include "cache/fetch_path.hpp"
 #include "energy/energy_model.hpp"
+#include "fault/fault.hpp"
 #include "layout/layout.hpp"
 #include "profile/profiler.hpp"
 #include "sim/processor.hpp"
@@ -31,6 +32,8 @@ struct SchemeSpec {
   bool wm_precise_invalidation = false;  ///< ablation knob (way-memo)
   u32 drowsy_window = 0;        ///< drowsy-line window (extension E4)
   layout::Policy layout = layout::Policy::kOriginal;  ///< code layout
+  /// Runtime fault injection (resilience studies); inert by default.
+  fault::FaultSpec fault;
 
   [[nodiscard]] static SchemeSpec baseline() { return {}; }
   [[nodiscard]] static SchemeSpec wayPlacement(u32 area_bytes) {
@@ -56,6 +59,12 @@ struct SchemeSpec {
 struct RunResult {
   sim::RunStats stats;
   energy::RunEnergy energy;
+  /// Workload result bytes read back after the run — compared against
+  /// Workload::expected and across fault classes by the resilience
+  /// harness.
+  std::vector<u8> output;
+  /// What the fault injector did (all zero without an active FaultSpec).
+  fault::InjectionStats injected;
 };
 
 /// A workload made ready to simulate: profiled and laid out.
@@ -66,6 +75,11 @@ struct PreparedWorkload {
   mem::Image original;      ///< original-order binary
   mem::Image wayplaced;     ///< heaviest-first chained binary
   u64 profile_instructions = 0;
+  /// False when the training profile failed validation; the way-placed
+  /// image then silently falls back to the original layout (a bad
+  /// profile costs energy, never correctness or the whole sweep).
+  bool profile_ok = true;
+  std::string profile_warning;  ///< why, when !profile_ok
 };
 
 /// Normalized headline metrics of a scheme run against its baseline.
@@ -81,16 +95,27 @@ struct Normalized {
 
 class Runner {
  public:
-  explicit Runner(energy::EnergyParams params = energy::EnergyParams{});
+  /// @p seed is the experiment-wide RNG seed: it reaches workload input
+  /// generation, profile corruption and every fault schedule, so a whole
+  /// experiment replays from one logged number. Seed 0 reproduces the
+  /// historical fixed inputs bit-for-bit.
+  explicit Runner(energy::EnergyParams params = energy::EnergyParams{},
+                  u64 seed = 0);
+
+  [[nodiscard]] u64 seed() const { return seed_; }
 
   /// Steps 1-3 above. Profiling is cache-independent, so one prepared
   /// workload serves every geometry. @p profile_input selects the
   /// training input: the paper's methodology trains on kSmall; passing
   /// kLarge gives the oracle (self-profiled) layout for robustness
-  /// studies.
+  /// studies. @p profile_fault optionally damages the collected profile
+  /// before the layout pass sees it; an unusable profile is diagnosed
+  /// (profile_ok/profile_warning) and the way-placed image falls back to
+  /// the original layout instead of aborting.
   [[nodiscard]] PreparedWorkload prepare(
       const std::string& name,
-      workloads::InputSize profile_input = workloads::InputSize::kSmall) const;
+      workloads::InputSize profile_input = workloads::InputSize::kSmall,
+      fault::ProfileFault profile_fault = fault::ProfileFault::kNone) const;
 
   /// Step 4-5 for one scheme on one I-cache geometry.
   [[nodiscard]] RunResult run(const PreparedWorkload& prepared,
@@ -110,6 +135,7 @@ class Runner {
 
  private:
   energy::EnergyModel model_;
+  u64 seed_ = 0;
 };
 
 }  // namespace wp::driver

@@ -1,0 +1,106 @@
+// Fault injection & resilience: demonstrates that every piece of
+// way-placement state is a *hint*, never a correctness dependency.
+//
+// The paper's safety argument (§4.1) is that a wrong way-hint bit or a
+// wrong per-I-TLB-entry way-placement bit costs at most a cycle or a
+// lost energy saving — the architectural result is untouched. The
+// FaultInjector makes that claim testable: on a seeded, deterministic
+// schedule it flips the way-hint bit, flips/clears I-TLB way-placement
+// bits, scrambles way-memoization links and per-set MRU state, forces
+// spurious way-placement-area resizes, and damages training profiles.
+// The resilience harness (tests/test_fault.cpp, bench/resilience_sweep)
+// then asserts the *architectural-equivalence invariant*: the retired
+// instruction stream and the workload outputs of a faulted run are
+// bit-identical to the fault-free run of the same scheme, while energy
+// and delay degrade boundedly.
+#pragma once
+
+#include "cache/fetch_path.hpp"
+#include "profile/profiler.hpp"
+#include "support/rng.hpp"
+
+namespace wp::fault {
+
+/// Damage applied to a freshly collected training profile before the
+/// layout pass consumes it.
+enum class ProfileFault : u8 {
+  kNone,
+  kTruncated,  ///< second half of the block counts dropped (partial dump)
+  kScrambled,  ///< counts permuted across blocks (stale/mismatched dump)
+  kEmpty,      ///< no counts at all (missing dump)
+  kBogusIds,   ///< counts for block ids the module does not contain
+};
+
+[[nodiscard]] const char* profileFaultName(ProfileFault f);
+
+/// What to inject, and how often. Classes that do not apply to the
+/// running scheme (e.g. link scrambling without a memoizer) are skipped
+/// automatically, so one spec can be swept across every scheme.
+struct FaultSpec {
+  u64 period = 0;  ///< fetches between injected events (0 = injector off)
+  u64 seed = 0;    ///< mixed with the experiment seed for the schedule
+
+  bool flip_way_hint = false;       ///< invert the global way-hint bit
+  bool flip_tlb_wp_bit = false;     ///< invert one I-TLB entry's WP bit
+  bool clear_tlb_wp_bits = false;   ///< burst-clear every cached WP bit
+  bool scramble_memo_links = false; ///< rot way-memoization links
+  bool scramble_mru = false;        ///< corrupt per-set MRU state
+  bool resize_storm = false;        ///< spurious WP-area resize storms
+
+  u32 storm_resizes = 3;     ///< resizes per storm event
+  u32 links_per_event = 4;   ///< links rotted per scramble event
+
+  ProfileFault profile_fault = ProfileFault::kNone;
+
+  [[nodiscard]] bool runtimeEnabled() const {
+    return period != 0 &&
+           (flip_way_hint || flip_tlb_wp_bit || clear_tlb_wp_bits ||
+            scramble_memo_links || scramble_mru || resize_storm);
+  }
+
+  /// Every runtime fault class at once — the adversarial default.
+  [[nodiscard]] static FaultSpec allClasses(u64 period, u64 seed = 0);
+};
+
+/// Counts of what the injector actually did (per class).
+struct InjectionStats {
+  u64 events = 0;           ///< scheduled injection points that fired
+  u64 hint_flips = 0;
+  u64 tlb_bit_flips = 0;
+  u64 tlb_bits_cleared = 0;
+  u64 links_scrambled = 0;
+  u64 mru_scrambles = 0;
+  u64 resizes = 0;
+};
+
+/// Deterministic fault injector: attaches to a FetchPath as its fault
+/// hook and, every FaultSpec::period fetches, injects one randomly
+/// chosen enabled-and-applicable fault class.
+class FaultInjector final : public cache::FetchFaultHook {
+ public:
+  FaultInjector(const FaultSpec& spec, u64 experiment_seed);
+
+  /// Registers on @p path and records the configured WP area so resize
+  /// storms can restore it.
+  void attach(cache::FetchPath& path);
+
+  void onFetch(cache::FetchPath& path) override;
+
+  [[nodiscard]] const InjectionStats& stats() const { return stats_; }
+
+ private:
+  void injectOne(cache::FetchPath& path);
+
+  FaultSpec spec_;
+  Rng rng_;
+  u64 fetches_ = 0;
+  u32 original_area_ = 0;
+  InjectionStats stats_;
+};
+
+/// Applies @p kind damage to @p prof, deterministically under @p rng.
+/// Pair with profile::validate + the driver's original-layout fallback
+/// to show corrupt profiles degrade energy, never correctness.
+void corruptProfile(profile::ProfileResult& prof, ProfileFault kind, Rng& rng);
+
+}  // namespace wp::fault

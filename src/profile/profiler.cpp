@@ -1,5 +1,6 @@
 #include "profile/profiler.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "support/ensure.hpp"
@@ -49,6 +50,39 @@ void annotate(ir::Module& module, const ProfileResult& result) {
     const auto it = result.block_counts.find(b.id);
     b.exec_count = it == result.block_counts.end() ? 0 : it->second;
   }
+}
+
+std::optional<std::string> validate(const ir::Module& module,
+                                    const ProfileResult& result) {
+  if (result.instructions == 0) {
+    return "profile executed zero instructions";
+  }
+  if (result.block_counts.empty()) {
+    return "profile contains no block counts";
+  }
+  if (module.blocks.empty()) {
+    return "module has no blocks to lay out";
+  }
+  u32 max_id = 0;
+  for (const ir::BasicBlock& b : module.blocks) {
+    max_id = std::max(max_id, b.id);
+  }
+  u64 entries = 0;
+  for (const auto& [id, count] : result.block_counts) {
+    if (id > max_id) {
+      return "profile names unknown block id " + std::to_string(id) +
+             " (module has ids up to " + std::to_string(max_id) + ")";
+    }
+    entries += count;
+  }
+  // Each block entry retires at least the block's first instruction, so
+  // the entry total can never exceed the executed instruction count.
+  if (entries > result.instructions) {
+    return "profile records " + std::to_string(entries) +
+           " block entries but only " + std::to_string(result.instructions) +
+           " executed instructions";
+  }
+  return std::nullopt;
 }
 
 }  // namespace wp::profile

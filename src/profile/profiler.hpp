@@ -5,6 +5,8 @@
 #pragma once
 
 #include <map>
+#include <optional>
+#include <string>
 
 #include "ir/module.hpp"
 #include "mem/image.hpp"
@@ -26,5 +28,16 @@ struct ProfileResult {
 /// Copies @p result's counts into the module's blocks (zeroing blocks the
 /// profile never reached).
 void annotate(ir::Module& module, const ProfileResult& result);
+
+/// Sanity-checks @p result against @p module before the layout pass
+/// consumes it: the profile must have executed something, recorded at
+/// least one block entry, name only block ids the module contains, and
+/// be internally consistent (a block entry retires at least one
+/// instruction). Returns a description of the first problem found, or
+/// nullopt when the profile is usable. Callers are expected to fall back
+/// to the original layout on a bad profile instead of aborting — a bad
+/// profile may cost energy, never correctness.
+[[nodiscard]] std::optional<std::string> validate(const ir::Module& module,
+                                                  const ProfileResult& result);
 
 }  // namespace wp::profile

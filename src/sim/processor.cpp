@@ -22,6 +22,16 @@ Processor::Processor(const MachineConfig& config, const mem::Image& image,
       dcache_(config.dcache),
       timing_(config.timing) {}
 
+namespace {
+
+constexpr u64 fnv1a(u64 h, u64 v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace
+
 RunStats Processor::run() {
   CoreState state = core_.initialState();
   RunStats stats;
@@ -38,11 +48,16 @@ RunStats Processor::run() {
 
     const StepInfo info = core_.step(state);
     ++stats.instructions;
+    stats.retired_pc_hash = fnv1a(stats.retired_pc_hash, pc);
 
     u32 mem_cycles = 0;
     if (info.mem_addr.has_value()) {
-      mem_cycles = isa::isStore(info.inst.op) ? dcache_.store(*info.mem_addr)
-                                              : dcache_.load(*info.mem_addr);
+      const bool is_store = isa::isStore(info.inst.op);
+      stats.dataflow_hash = fnv1a(
+          stats.dataflow_hash,
+          (static_cast<u64>(*info.mem_addr) << 1) | (is_store ? 1u : 0u));
+      mem_cycles = is_store ? dcache_.store(*info.mem_addr)
+                            : dcache_.load(*info.mem_addr);
     }
 
     timing_.onInstruction(info.inst, pc, fetch_cycles, mem_cycles,

@@ -27,6 +27,18 @@ struct MachineConfig {
 struct RunStats {
   u64 instructions = 0;
   u64 cycles = 0;
+  /// FNV-1a over every retired pc, in order — the fingerprint of the
+  /// retired instruction stream. The fault suite's architectural-
+  /// equivalence invariant: any run of the same binary and inputs must
+  /// reproduce this hash exactly, no matter what advisory fetch state
+  /// was corrupted along the way.
+  u64 retired_pc_hash = 0xcbf29ce484222325ULL;
+  /// FNV-1a over every data access (effective address + load/store
+  /// kind), in order. Unlike retired_pc_hash this is layout-invariant:
+  /// relinking under a different (even corrupt) profile legitimately
+  /// changes pc values but must never change the data the program
+  /// touches or produces.
+  u64 dataflow_hash = 0xcbf29ce484222325ULL;
   cache::CacheStats icache;
   cache::CacheStats dcache;
   cache::TlbStats itlb;
@@ -58,6 +70,10 @@ class Processor {
       const RunStats& stats);
 
   [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+  /// The fetch path, exposed so the driver can attach a fault injector
+  /// (and tests can poke the fault surface directly).
+  [[nodiscard]] cache::FetchPath& fetchPath() { return fetch_; }
 
  private:
   MachineConfig config_;

@@ -6,17 +6,25 @@ namespace wp::workloads {
 
 namespace {
 
+u64 g_experiment_seed = 0;
+
 u64 seedFor(const std::string& workload, InputSize size) {
-  // FNV-1a over the name, salted by the input size.
+  // FNV-1a over the name, salted by the input size and the experiment
+  // seed (seed 0 leaves the hash — and thus the inputs — unchanged).
   u64 h = 0xcbf29ce484222325ULL;
   for (const char c : workload) {
     h ^= static_cast<u8>(c);
     h *= 0x100000001b3ULL;
   }
-  return h ^ (size == InputSize::kSmall ? 0x5eedULL : 0x1a56eULL);
+  return h ^ (size == InputSize::kSmall ? 0x5eedULL : 0x1a56eULL) ^
+         (g_experiment_seed * 0x9e3779b97f4a7c15ULL);
 }
 
 }  // namespace
+
+void setExperimentSeed(u64 seed) { g_experiment_seed = seed; }
+
+u64 experimentSeed() { return g_experiment_seed; }
 
 std::vector<u8> randomBytes(const std::string& workload, InputSize size,
                             std::size_t count) {

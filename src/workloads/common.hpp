@@ -55,6 +55,15 @@ inline void writeBytes(mem::Memory& m, u32 addr, std::span<const u8> bytes) {
           static_cast<u8>(v >> 24)};
 }
 
+/// Experiment-wide seed mixed into every input generator below. The
+/// default of 0 reproduces the historical fixed inputs bit-for-bit; the
+/// driver sets it from the Runner's seed so a whole experiment (inputs,
+/// profiles and fault schedules) replays from one logged number. The
+/// host-side expected() references use the same generators, so results
+/// stay verifiable under any seed.
+void setExperimentSeed(u64 seed);
+[[nodiscard]] u64 experimentSeed();
+
 /// Deterministic per-workload, per-input-size random bytes.
 [[nodiscard]] std::vector<u8> randomBytes(const std::string& workload,
                                           InputSize size, std::size_t count);

@@ -171,6 +171,28 @@ TEST(FetchPath, ResetRestoresInitialState) {
   EXPECT_EQ(fp.fetchStats().wp_single_way, 1u);
 }
 
+TEST(FetchWayPlacement, SquashedProbeCountedOncePerMispredict) {
+  // Area of one page: 0x0 is way-placed, 0x8000 is not.
+  FetchPath fp(configFor(Scheme::kWayPlacement, mem::kPageBytes));
+
+  fp.fetch(0x0, FetchFlow::kSequential);  // hint learns "way-placement"
+  EXPECT_EQ(fp.squashedProbes(), 0u);
+
+  // hint=WP but the page is normal: mispredict case 2 — exactly one
+  // squashed probe and one extra cycle, then a full re-access.
+  fp.fetch(0x8000, FetchFlow::kTakenDirect);
+  EXPECT_EQ(fp.squashedProbes(), 1u);
+  EXPECT_EQ(fp.fetchStats().hint_miss_second_access, 1u);
+  EXPECT_EQ(fp.fetchStats().extra_cycles, 1u);
+
+  // The hint has learned "normal": later non-WP fetches on other lines
+  // are plain full searches, not new squashes.
+  fp.fetch(0x8040, FetchFlow::kTakenDirect);
+  fp.fetch(0x8080, FetchFlow::kTakenDirect);
+  EXPECT_EQ(fp.squashedProbes(), 1u);
+  EXPECT_EQ(fp.fetchStats().hint_miss_second_access, fp.squashedProbes());
+}
+
 TEST(FetchPath, RejectsUnalignedFetch) {
   FetchPath fp(configFor(Scheme::kBaseline));
   EXPECT_THROW(fp.fetch(0x2, FetchFlow::kSequential), SimError);

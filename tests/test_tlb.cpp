@@ -72,5 +72,43 @@ TEST(Tlb, ResetClearsStatsAndEntries) {
   EXPECT_FALSE(tlb.access(0x1000).hit);
 }
 
+TEST(Tlb, EvictionAndRefillRestoreWpBit) {
+  Tlb tlb(2);
+  tlb.setWayPlacementLimit(mem::kPageBytes);  // page 0 is way-placement
+  const Tlb::Result first = tlb.access(0x0);
+  EXPECT_FALSE(first.hit);
+  EXPECT_TRUE(first.way_placement_page);
+
+  // Two other pages roll the FIFO over page 0's entry.
+  tlb.access(mem::kPageBytes);
+  tlb.access(2 * mem::kPageBytes);
+
+  // The re-walk reinstalls the translation with the WP bit intact: the
+  // bit lives in the page tables, the TLB only caches it.
+  const Tlb::Result again = tlb.access(0x0);
+  EXPECT_FALSE(again.hit);
+  EXPECT_TRUE(again.way_placement_page);
+}
+
+TEST(Tlb, FaultFlippedWpBitHealsOnRefill) {
+  Tlb tlb(2);
+  tlb.setWayPlacementLimit(mem::kPageBytes);
+  tlb.access(0x0);  // installs into slot 0 (FIFO from 0)
+  ASSERT_TRUE(tlb.faultFlipWpBit(0));
+  EXPECT_FALSE(tlb.access(0x40).way_placement_page)
+      << "the corrupted cached bit must be visible until refill";
+
+  tlb.access(mem::kPageBytes);
+  tlb.access(2 * mem::kPageBytes);       // evict the corrupted entry
+  EXPECT_TRUE(tlb.access(0x0).way_placement_page) << "re-walk heals it";
+}
+
+TEST(Tlb, FaultHooksOnEmptySlotsReportNothing) {
+  Tlb tlb(4);
+  EXPECT_FALSE(tlb.faultFlipWpBit(2)) << "no valid translation there";
+  EXPECT_EQ(tlb.faultClearWpBits(), 0u);
+  EXPECT_EQ(tlb.entryCount(), 4u);
+}
+
 }  // namespace
 }  // namespace wp::cache
