@@ -12,8 +12,19 @@ int main() {
       "32KB 32-way I-cache, 16KB way-placement area, suite average",
       "the Section 4.2 design note");
 
-  bench::SuiteRunner suite;
+  auto suite = bench::makeSuite();
   const cache::CacheGeometry icache = bench::initialICache();
+
+  std::vector<driver::SweepExecutor::Cell> grid;
+  for (const bool skip : {true, false}) {
+    for (const bool memo : {false, true}) {
+      driver::SchemeSpec s = memo ? driver::SchemeSpec::wayMemoization()
+                                  : driver::SchemeSpec::wayPlacement(16 * 1024);
+      s.intraline_skip = skip;
+      grid.push_back({icache, s});
+    }
+  }
+  suite.runAll(grid);
 
   TextTable t;
   t.header({"scheme", "intra-line skip", "I$ energy (avg)", "ED (avg)"});
@@ -35,5 +46,6 @@ int main() {
   std::cout << "\nway-placement keeps most of its saving without the skip\n"
                "(single-way search already removes W-1 of W tag checks);\n"
                "way-memoization depends on it much more heavily.\n";
+  suite.emitJsonIfRequested();
   return 0;
 }

@@ -14,7 +14,7 @@ int main() {
       "32KB 32-way I-cache, 1KB way-placement area, suite average",
       "the design choice behind Section 3");
 
-  bench::SuiteRunner suite;
+  auto suite = bench::makeSuite();
   const cache::CacheGeometry icache = bench::initialICache();
 
   // A 1KB area makes placement quality matter: the kernels with multi-KB
@@ -28,6 +28,16 @@ int main() {
     s.intraline_skip = skip;
     return s;
   };
+
+  std::vector<driver::SweepExecutor::Cell> grid;
+  for (const bool skip : {true, false}) {
+    for (const layout::Policy policy :
+         {layout::Policy::kWayPlacement, layout::Policy::kOriginal,
+          layout::Policy::kRandom}) {
+      grid.push_back({icache, specFor(policy, skip)});
+    }
+  }
+  suite.runAll(grid);
 
   TextTable t;
   t.header({"layout", "intra-line skip", "I$ energy (avg)", "ED (avg)"});
@@ -59,5 +69,6 @@ int main() {
                "same-line\nfetches are free either way and placement only "
                "governs the\nline-crossing residue (as in the paper's "
                "Figure 5 sensitivity).\n";
+  suite.emitJsonIfRequested();
   return 0;
 }

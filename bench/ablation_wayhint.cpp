@@ -12,9 +12,10 @@ int main() {
       "region of the larger kernels straddles the boundary)",
       "the Section 4.1 accuracy claim");
 
-  bench::SuiteRunner suite;
+  auto suite = bench::makeSuite();
   const cache::CacheGeometry icache = bench::initialICache();
   const driver::SchemeSpec wp = driver::SchemeSpec::wayPlacement(2 * 1024);
+  suite.runAll({{icache, wp}});
 
   TextTable t;
   t.header({"benchmark", "hint accuracy", "lost-saving", "second-access",
@@ -43,5 +44,6 @@ int main() {
   std::cout << "\npaper: \"using the way-hint bit to predict a "
                "way-placement access is very accurate\" — measured "
             << fmtPct(acc.mean(), 2) << " average accuracy\n";
+  suite.emitJsonIfRequested();
   return 0;
 }

@@ -14,8 +14,17 @@ int main() {
       "32KB 32-way I-cache, suite average",
       "the competitor model of Section 5 / [12]");
 
-  bench::SuiteRunner suite;
+  auto suite = bench::makeSuite();
   const cache::CacheGeometry icache = bench::initialICache();
+
+  std::vector<driver::SweepExecutor::Cell> grid;
+  for (const bool precise : {false, true}) {
+    driver::SchemeSpec s = driver::SchemeSpec::wayMemoization();
+    s.wm_precise_invalidation = precise;
+    grid.push_back({icache, s});
+  }
+  grid.push_back({icache, driver::SchemeSpec::wayPlacement(16 * 1024)});
+  suite.runAll(grid);
 
   TextTable t;
   t.header({"scheme", "I$ energy (avg)", "ED (avg)"});
@@ -41,5 +50,6 @@ int main() {
   std::cout << "\neven idealized invalidation cannot remove the 21% link\n"
                "storage overhead on every data access, so way-placement\n"
                "stays ahead.\n";
+  suite.emitJsonIfRequested();
   return 0;
 }

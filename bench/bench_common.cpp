@@ -1,5 +1,8 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -9,13 +12,24 @@
 namespace wp::bench {
 
 std::vector<std::string> selectedWorkloads() {
+  const std::vector<std::string> all = workloads::suiteNames();
   const char* env = std::getenv("WP_BENCH_WORKLOADS");
-  if (env == nullptr || *env == '\0') return workloads::suiteNames();
+  if (env == nullptr || *env == '\0') return all;
   std::vector<std::string> names;
   std::stringstream ss(env);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) names.push_back(item);
+    if (item.empty()) continue;
+    if (std::find(all.begin(), all.end(), item) == all.end()) {
+      std::fprintf(stderr,
+                   "error: WP_BENCH_WORKLOADS names unknown workload "
+                   "'%s'; valid names are:\n ",
+                   item.c_str());
+      for (const std::string& n : all) std::fprintf(stderr, " %s", n.c_str());
+      std::fprintf(stderr, "\n");
+      std::exit(1);
+    }
+    names.push_back(item);
   }
   return names;
 }
@@ -23,56 +37,22 @@ std::vector<std::string> selectedWorkloads() {
 u64 experimentSeed() {
   const char* env = std::getenv("WP_SEED");
   if (env == nullptr || *env == '\0') return 0;
-  return std::strtoull(env, nullptr, 0);
-}
-
-SuiteRunner::SuiteRunner() : runner_(energy::EnergyParams{}, experimentSeed()) {
-  const auto names = selectedWorkloads();
-  std::cerr << "preparing " << names.size()
-            << " workloads (profile + layout)...\n";
-  for (const std::string& name : names) {
-    prepared_.push_back(runner_.prepare(name));
+  errno = 0;
+  char* end = nullptr;
+  const u64 seed = std::strtoull(env, &end, 0);
+  if (end == env || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "error: WP_SEED='%s' is not a valid seed (expected an "
+                 "unsigned 64-bit integer, decimal or 0x-hex)\n",
+                 env);
+    std::exit(1);
   }
+  return seed;
 }
 
-std::string SuiteRunner::keyOf(const std::string& workload,
-                               const cache::CacheGeometry& g,
-                               const driver::SchemeSpec& s) {
-  std::ostringstream os;
-  os << workload << '/' << g.size_bytes << '/' << g.ways << '/'
-     << g.line_bytes << '/' << static_cast<int>(s.scheme) << '/'
-     << s.wp_area_bytes << '/' << s.intraline_skip << '/'
-     << s.wm_precise_invalidation << '/' << s.drowsy_window << '/'
-     << static_cast<int>(s.layout);
-  if (s.fault.runtimeEnabled()) {
-    os << "/f" << s.fault.period << ':' << s.fault.seed << ':'
-       << s.fault.flip_way_hint << s.fault.flip_tlb_wp_bit
-       << s.fault.clear_tlb_wp_bits << s.fault.scramble_memo_links
-       << s.fault.scramble_mru << s.fault.resize_storm;
-  }
-  return os.str();
-}
-
-const driver::RunResult& SuiteRunner::run(const driver::PreparedWorkload& p,
-                                          const cache::CacheGeometry& icache,
-                                          const driver::SchemeSpec& spec) {
-  const std::string key = keyOf(p.name, icache, spec);
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  return cache_.emplace(key, runner_.run(p, icache, spec)).first->second;
-}
-
-double SuiteRunner::averageNormalized(
-    const cache::CacheGeometry& icache, const driver::SchemeSpec& spec,
-    const std::function<double(const driver::Normalized&)>& metric) {
-  Accumulator acc;
-  for (const auto& p : prepared_) {
-    const driver::RunResult& base =
-        run(p, icache, driver::SchemeSpec::baseline());
-    const driver::RunResult& r = run(p, icache, spec);
-    acc.add(metric(driver::normalize(r, base)));
-  }
-  return acc.mean();
+driver::SweepExecutor makeSuite() {
+  return driver::SweepExecutor(selectedWorkloads(), energy::EnergyParams{},
+                               experimentSeed());
 }
 
 void printHeader(const std::string& title, const std::string& paper_ref) {
@@ -81,7 +61,8 @@ void printHeader(const std::string& title, const std::string& paper_ref) {
             << "(reproduces " << paper_ref
             << " of Jones et al., DATE 2008)\n"
             << "experiment seed: " << experimentSeed()
-            << " (set WP_SEED to change)\n"
+            << " (set WP_SEED to change), jobs: " << driver::jobsFromEnv()
+            << " (set WP_JOBS to change)\n"
             << "==============================================================\n\n";
 }
 

@@ -1,67 +1,49 @@
-// Shared harness for the figure/table benches: prepares the benchmark
-// suite once (profile on small input + way-placement layout) and runs
-// priced simulations for arbitrary (geometry, scheme) combinations.
+// Shared harness for the figure/table benches, on top of the parallel
+// sweep executor in src/driver/sweep.hpp: prepares the benchmark suite
+// once (profile on small input + way-placement layout) and prices
+// arbitrary (geometry, scheme) combinations across a thread pool.
 //
 // Environment knobs:
-//   WP_BENCH_WORKLOADS  comma-separated subset (default: all 23)
+//   WP_BENCH_WORKLOADS  comma-separated subset (default: all 23);
+//                       unknown names are a startup error
 //   WP_SEED             experiment-wide RNG seed (default: 0, the
 //                       historical fixed inputs)
+//   WP_JOBS             worker threads (default: hardware threads)
+//   WP_JSON             path for the machine-readable cell report
 #pragma once
 
-#include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "driver/runner.hpp"
+#include "driver/sweep.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
 namespace wp::bench {
 
 /// Workload names selected by WP_BENCH_WORKLOADS (default: full suite).
+/// Every name is validated against workloads::suiteNames(); a typo
+/// exits with the bad name and the valid list instead of failing deep
+/// inside workload construction.
 [[nodiscard]] std::vector<std::string> selectedWorkloads();
 
 /// Experiment-wide RNG seed from WP_SEED (default 0); every bench
 /// prints it in its header so any figure replays from the logged value.
+/// Strictly parsed — `WP_SEED=abc` is a startup error, not seed 0.
 [[nodiscard]] u64 experimentSeed();
 
-class SuiteRunner {
- public:
-  SuiteRunner();
-
-  [[nodiscard]] const std::vector<driver::PreparedWorkload>& prepared() const {
-    return prepared_;
-  }
-  [[nodiscard]] const driver::Runner& runner() const { return runner_; }
-
-  /// Runs one scheme for one workload (results are memoized per
-  /// (workload, geometry, scheme-key) so baselines are shared).
-  const driver::RunResult& run(const driver::PreparedWorkload& p,
-                               const cache::CacheGeometry& icache,
-                               const driver::SchemeSpec& spec);
-
-  /// Average of `metric(normalize(scheme, baseline))` across the suite.
-  double averageNormalized(
-      const cache::CacheGeometry& icache, const driver::SchemeSpec& spec,
-      const std::function<double(const driver::Normalized&)>& metric);
-
- private:
-  [[nodiscard]] static std::string keyOf(const std::string& workload,
-                                         const cache::CacheGeometry& g,
-                                         const driver::SchemeSpec& s);
-
-  driver::Runner runner_;
-  std::vector<driver::PreparedWorkload> prepared_;
-  std::map<std::string, driver::RunResult> cache_;
-};
+/// The suite executor every bench runs on: selected workloads, default
+/// energy parameters, WP_SEED, WP_JOBS. Call emitJsonIfRequested() on
+/// it after the tables are printed.
+[[nodiscard]] driver::SweepExecutor makeSuite();
 
 /// The paper's initial configuration: 32 KB, 32-way, 32 B lines.
 [[nodiscard]] inline cache::CacheGeometry initialICache() {
   return {32 * 1024, 32, 32};
 }
 
-/// Prints a standard bench header naming the figure being regenerated.
+/// Prints a standard bench header naming the figure being regenerated,
+/// the experiment seed and the worker-thread count.
 void printHeader(const std::string& title, const std::string& paper_ref);
 
 }  // namespace wp::bench

@@ -15,7 +15,7 @@ int main() {
       "suite average of dynamic + leakage I-cache energy",
       "the orthogonality claim of Section 7");
 
-  bench::SuiteRunner suite;
+  auto suite = bench::makeSuite();
   const cache::CacheGeometry icache = bench::initialICache();
   const energy::EnergyModel& model = suite.runner().energyModel();
   constexpr u32 kWindow = 2048;
@@ -27,6 +27,14 @@ int main() {
     s.drowsy_window = drowsy ? kWindow : 0;
     return s;
   };
+
+  std::vector<driver::SweepExecutor::Cell> grid;
+  for (const bool wayplace : {false, true}) {
+    for (const bool drowsy : {false, true}) {
+      grid.push_back({icache, specFor(wayplace, drowsy)});
+    }
+  }
+  suite.runAll(grid);
 
   // Total I-cache energy (dynamic + leakage), normalized to the plain
   // baseline (always awake).
@@ -79,5 +87,6 @@ int main() {
   std::cout << "\nthe savings compose: way-placement removes tag-side\n"
                "dynamic energy, drowsy lines remove leakage, and the\n"
                "combination beats either alone — as the paper claims.\n";
+  suite.emitJsonIfRequested();
   return 0;
 }

@@ -14,11 +14,12 @@ int main() {
       "32KB 32-way I-cache, 16KB way-placement area, suite average",
       "the Section 4.2 portability claim");
 
-  bench::SuiteRunner suite;
+  auto suite = bench::makeSuite();
   const cache::CacheGeometry icache = bench::initialICache();
   const energy::EnergyModel& model = suite.runner().energyModel();
   const driver::SchemeSpec wp = driver::SchemeSpec::wayPlacement(16 * 1024);
   const driver::SchemeSpec wm = driver::SchemeSpec::wayMemoization();
+  suite.runAll({{icache, wp}, {icache, wm}});
 
   Accumulator cam_wp, cam_wm, ram_wp, ram_wm;
   for (const auto& p : suite.prepared()) {
@@ -55,5 +56,6 @@ int main() {
             << fmtPct(1.0 - ram_wp.mean(), 1)
             << " of I-cache energy — way-placement ports as §4.2 claims,\n"
                "with an even larger payoff than on the XScale's CAM.\n";
+  suite.emitJsonIfRequested();
   return 0;
 }

@@ -13,7 +13,7 @@ int main() {
       "32KB 32-way I-cache, 16KB way-placement area, suite average",
       "the related-work comparison of Section 7");
 
-  bench::SuiteRunner suite;
+  auto suite = bench::makeSuite();
   const cache::CacheGeometry icache = bench::initialICache();
 
   struct Row {
@@ -26,6 +26,11 @@ int main() {
       {"way-placement 16KB (ours)",
        driver::SchemeSpec::wayPlacement(16 * 1024)},
   };
+  {
+    std::vector<driver::SweepExecutor::Cell> grid;
+    for (const Row& row : rows) grid.push_back({icache, row.spec});
+    suite.runAll(grid);
+  }
 
   TextTable t;
   t.header({"scheme", "I$ energy (avg)", "delay (avg)", "ED (avg)"});
@@ -46,5 +51,6 @@ int main() {
                "way-memoization remembers but stores links in the data\n"
                "array; way-placement *knows* (the compiler fixed the way)\n"
                "and pays neither cost.\n";
+  suite.emitJsonIfRequested();
   return 0;
 }

@@ -14,10 +14,11 @@ int main() {
       "32KB 32-way I-cache, 16KB way-placement area",
       "Figure 4 (a) and (b) and Section 6.1");
 
-  bench::SuiteRunner suite;
+  auto suite = bench::makeSuite();
   const cache::CacheGeometry icache = bench::initialICache();
   const driver::SchemeSpec wm = driver::SchemeSpec::wayMemoization();
   const driver::SchemeSpec wp = driver::SchemeSpec::wayPlacement(16 * 1024);
+  suite.runAll({{icache, wm}, {icache, wp}});
 
   TextTable ta, tb;
   ta.header({"benchmark", "way-memo I$ energy", "way-place I$ energy"});
@@ -29,9 +30,9 @@ int main() {
     const driver::RunResult& base =
         suite.run(p, icache, driver::SchemeSpec::baseline());
     const driver::Normalized nwm =
-        driver::normalize(suite.run(p, icache, wm), base);
+        driver::normalize(suite.run(p, icache, wm), base, p.name);
     const driver::Normalized nwp =
-        driver::normalize(suite.run(p, icache, wp), base);
+        driver::normalize(suite.run(p, icache, wp), base, p.name);
     ta.row({p.name, fmtPct(nwm.icache_energy, 1), fmtPct(nwp.icache_energy, 1)});
     tb.row({p.name, fmt(nwm.ed_product, 3), fmt(nwp.ed_product, 3)});
     ewm.add(nwm.icache_energy);
@@ -58,5 +59,6 @@ int main() {
             << "  way-placement average ED " << fmt(edwp.mean(), 2)
             << " (paper: 0.93), benchmarks below 0.9: " << wp_ed_below_090
             << " (paper: 2)\n";
+  suite.emitJsonIfRequested();
   return 0;
 }

@@ -13,8 +13,17 @@ int main() {
       "32KB 32-way I-cache, areas 16KB..1KB, suite average",
       "Figure 5 (a) and (b) and Section 6.2");
 
-  bench::SuiteRunner suite;
+  auto suite = bench::makeSuite();
   const cache::CacheGeometry icache = bench::initialICache();
+
+  // Fan the whole grid out before reading any cell, so the pool works
+  // on every area size at once instead of draining per table row.
+  std::vector<driver::SweepExecutor::Cell> grid;
+  grid.push_back({icache, driver::SchemeSpec::wayMemoization()});
+  for (const u32 kb : {16u, 8u, 4u, 2u, 1u}) {
+    grid.push_back({icache, driver::SchemeSpec::wayPlacement(kb * 1024)});
+  }
+  suite.runAll(grid);
 
   TextTable t;
   t.header({"scheme", "I$ energy (avg)", "ED product (avg)"});
@@ -50,5 +59,6 @@ int main() {
             << " (paper: 0.94)\n"
             << "  way-memoization only reaches " << fmtPct(wm_e, 1)
             << " (paper: 68%)\n";
+  suite.emitJsonIfRequested();
   return 0;
 }

@@ -8,7 +8,16 @@
 
 namespace wp::driver {
 
-Normalized normalize(const RunResult& scheme, const RunResult& baseline) {
+Normalized normalize(const RunResult& scheme, const RunResult& baseline,
+                     const std::string& workload) {
+  const std::string who = workload.empty() ? "<unnamed>" : workload;
+  WP_ENSURE(baseline.stats.cycles > 0,
+            "normalize: baseline run of workload '" + who +
+                "' retired zero cycles — the baseline must actually run "
+                "before schemes can be normalized against it");
+  WP_ENSURE(baseline.energy.icacheTotal() > 0.0 && baseline.energy.total() > 0.0,
+            "normalize: baseline run of workload '" + who +
+                "' priced to zero energy — check the EnergyParams");
   Normalized n;
   n.icache_energy =
       scheme.energy.icacheTotal() / baseline.energy.icacheTotal();
@@ -25,11 +34,12 @@ Runner::Runner(energy::EnergyParams params, u64 seed)
 PreparedWorkload Runner::prepare(const std::string& name,
                                  workloads::InputSize profile_input,
                                  fault::ProfileFault profile_fault) const {
-  workloads::setExperimentSeed(seed_);
-
   PreparedWorkload p;
   p.name = name;
-  p.workload = workloads::makeWorkload(name);
+  // The seed is threaded into the workload instance itself (inputs, key
+  // material, references) — there is no process-wide seed, so Runners
+  // with different seeds can interleave or run on different threads.
+  p.workload = workloads::makeWorkload(name, seed_);
   p.module = p.workload->build();
 
   // Profile the original-order binary on the training input.
@@ -94,8 +104,6 @@ RunResult Runner::run(const PreparedWorkload& prepared,
                   ") must be a multiple of the " +
                   std::to_string(mem::kPageBytes) + "-byte page size");
   }
-
-  workloads::setExperimentSeed(seed_);
 
   mem::Memory memory;
   image.loadInto(memory);

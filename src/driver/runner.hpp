@@ -90,8 +90,13 @@ struct Normalized {
   double ed_product = 1.0;     ///< total_energy * delay
 };
 
+/// Normalizes @p scheme against @p baseline. A baseline with zero cycles
+/// or zero priced energy is a harness bug, not a result — it fails a
+/// WP_ENSURE naming @p workload (pass the workload name whenever you
+/// have it so the message can say which run was broken).
 [[nodiscard]] Normalized normalize(const RunResult& scheme,
-                                   const RunResult& baseline);
+                                   const RunResult& baseline,
+                                   const std::string& workload = {});
 
 class Runner {
  public:

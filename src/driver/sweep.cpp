@@ -1,0 +1,231 @@
+#include "driver/sweep.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/ensure.hpp"
+#include "support/stats.hpp"
+
+namespace wp::driver {
+
+unsigned jobsFromEnv() {
+  const char* env = std::getenv("WP_JOBS");
+  if (env == nullptr || *env == '\0') return ThreadPool::hardwareThreads();
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 0);
+  if (end == env || *end != '\0' || errno == ERANGE || v > 4096) {
+    std::fprintf(stderr,
+                 "error: WP_JOBS='%s' is not a valid worker count "
+                 "(expected an integer in [0, 4096]; 0 = one per "
+                 "hardware thread)\n",
+                 env);
+    std::exit(1);
+  }
+  return v == 0 ? ThreadPool::hardwareThreads() : static_cast<unsigned>(v);
+}
+
+struct SweepExecutor::CellEntry {
+  std::string workload;
+  cache::CacheGeometry icache;
+  SchemeSpec spec;
+  std::once_flag once;
+  /// Set after the once-body succeeds; writeJsonReport skips entries
+  /// whose simulation never completed (e.g. it threw).
+  std::atomic<bool> ready{false};
+  RunResult result;
+};
+
+SweepExecutor::SweepExecutor(std::vector<std::string> workload_names,
+                             energy::EnergyParams params, u64 seed,
+                             unsigned jobs)
+    : runner_(params, seed),
+      pool_(jobs == 0 ? jobsFromEnv() : jobs),
+      start_(std::chrono::steady_clock::now()) {
+  std::fprintf(stderr,
+               "preparing %zu workloads (profile + layout) on %u "
+               "thread(s)...\n",
+               workload_names.size(), pool_.threadCount());
+  prepared_.resize(workload_names.size());
+  for (std::size_t i = 0; i < workload_names.size(); ++i) {
+    pool_.submit([this, &workload_names, i] {
+      prepared_[i] = runner_.prepare(workload_names[i]);
+    });
+  }
+  pool_.wait();
+}
+
+SweepExecutor::~SweepExecutor() = default;
+
+std::string SweepExecutor::keyOf(const std::string& workload,
+                                 const cache::CacheGeometry& g,
+                                 const SchemeSpec& s) {
+  std::ostringstream os;
+  os << workload << '/' << g.size_bytes << '/' << g.ways << '/'
+     << g.line_bytes << '/' << static_cast<int>(s.scheme) << '/'
+     << s.wp_area_bytes << '/' << s.intraline_skip << '/'
+     << s.wm_precise_invalidation << '/' << s.drowsy_window << '/'
+     << static_cast<int>(s.layout);
+  if (s.fault.runtimeEnabled()) {
+    os << "/f" << s.fault.period << ':' << s.fault.seed << ':'
+       << s.fault.flip_way_hint << s.fault.flip_tlb_wp_bit
+       << s.fault.clear_tlb_wp_bits << s.fault.scramble_memo_links
+       << s.fault.scramble_mru << s.fault.resize_storm;
+  }
+  return os.str();
+}
+
+SweepExecutor::CellEntry& SweepExecutor::ensureCell(
+    const PreparedWorkload& p, const cache::CacheGeometry& icache,
+    const SchemeSpec& spec) {
+  const std::string key = keyOf(p.name, icache, spec);
+  CellEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    std::unique_ptr<CellEntry>& slot = memo_[key];
+    if (!slot) {
+      slot = std::make_unique<CellEntry>();
+      slot->workload = p.name;
+      slot->icache = icache;
+      slot->spec = spec;
+    }
+    entry = slot.get();
+  }
+  // Exactly-once compute; a second thread asking for the same cell
+  // blocks here until the first finishes. On a throw the flag stays
+  // unset, so a later call retries instead of returning garbage.
+  std::call_once(entry->once, [&] {
+    entry->result = runner_.run(p, icache, spec);
+    entry->ready.store(true, std::memory_order_release);
+  });
+  return *entry;
+}
+
+void SweepExecutor::runAll(const std::vector<Cell>& cells) {
+  for (const PreparedWorkload& p : prepared_) {
+    for (const Cell& cell : cells) {
+      pool_.submit([this, &p, cell] {
+        // The baseline first: normalize() needs it for every cell of
+        // this geometry, and ensureCell dedups it across schemes.
+        ensureCell(p, cell.icache, SchemeSpec::baseline());
+        ensureCell(p, cell.icache, cell.spec);
+      });
+    }
+  }
+  pool_.wait();
+}
+
+const RunResult& SweepExecutor::run(const PreparedWorkload& p,
+                                    const cache::CacheGeometry& icache,
+                                    const SchemeSpec& spec) {
+  return ensureCell(p, icache, spec).result;
+}
+
+double SweepExecutor::averageNormalized(
+    const cache::CacheGeometry& icache, const SchemeSpec& spec,
+    const std::function<double(const Normalized&)>& metric) {
+  runAll({Cell{icache, spec}});
+  // Aggregate serially in preparation order: the memo contents are
+  // deterministic per key, so the mean is bit-identical at any job
+  // count even though summation order matters in floating point.
+  Accumulator acc;
+  for (const PreparedWorkload& p : prepared_) {
+    const RunResult& base = run(p, icache, SchemeSpec::baseline());
+    const RunResult& r = run(p, icache, spec);
+    acc.add(metric(normalize(r, base, p.name)));
+  }
+  return acc.mean();
+}
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* jsonBool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+void SweepExecutor::writeJsonReport(std::ostream& os) const {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  os.precision(17);
+  os << "{\n"
+     << "  \"seed\": " << runner_.seed() << ",\n"
+     << "  \"jobs\": " << pool_.threadCount() << ",\n"
+     << "  \"wall_seconds\": " << wall << ",\n"
+     << "  \"workloads\": " << prepared_.size() << ",\n"
+     << "  \"cells\": [";
+  bool first = true;
+  for (const auto& [key, entry] : memo_) {
+    if (!entry->ready.load(std::memory_order_acquire)) continue;
+    const std::string base_key =
+        keyOf(entry->workload, entry->icache, SchemeSpec::baseline());
+    if (key == base_key) continue;  // baselines normalize to 1 by definition
+    const auto base = memo_.find(base_key);
+    if (base == memo_.end() ||
+        !base->second->ready.load(std::memory_order_acquire)) {
+      continue;  // scheme priced without its baseline: nothing to normalize
+    }
+    const Normalized n =
+        normalize(entry->result, base->second->result, entry->workload);
+    os << (first ? "\n" : ",\n") << "    {\"workload\": \""
+       << jsonEscape(entry->workload) << "\""
+       << ", \"icache_size_bytes\": " << entry->icache.size_bytes
+       << ", \"ways\": " << entry->icache.ways
+       << ", \"line_bytes\": " << entry->icache.line_bytes
+       << ", \"scheme\": \"" << cache::schemeName(entry->spec.scheme) << "\""
+       << ", \"wp_area_bytes\": " << entry->spec.wp_area_bytes
+       << ", \"intraline_skip\": " << jsonBool(entry->spec.intraline_skip)
+       << ", \"wm_precise_invalidation\": "
+       << jsonBool(entry->spec.wm_precise_invalidation)
+       << ", \"drowsy_window\": " << entry->spec.drowsy_window
+       << ", \"layout\": \"" << layout::policyName(entry->spec.layout) << "\""
+       << ", \"fault\": " << jsonBool(entry->spec.fault.runtimeEnabled())
+       << ", \"icache_energy\": " << n.icache_energy
+       << ", \"total_energy\": " << n.total_energy
+       << ", \"delay\": " << n.delay
+       << ", \"ed_product\": " << n.ed_product
+       << ", \"cycles\": " << entry->result.stats.cycles << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+}
+
+void SweepExecutor::emitJsonIfRequested() const {
+  const char* path = std::getenv("WP_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path);
+  WP_ENSURE(out.good(), std::string("WP_JSON: cannot open '") + path +
+                            "' for writing");
+  writeJsonReport(out);
+  std::fprintf(stderr, "wrote JSON report to %s\n", path);
+}
+
+}  // namespace wp::driver

@@ -1,0 +1,118 @@
+// Parallel sweep execution over (workload × geometry × scheme) grids.
+//
+// The figure benches all follow the same shape: prepare the suite once,
+// then price many independent simulations and average normalized
+// metrics. SweepExecutor owns that shape. Simulations fan out across a
+// work-stealing thread pool; every result is memoized under a
+// deterministic cell key, and aggregation walks the prepared workloads
+// in suite order reading from the memo — so a table's bytes are
+// identical at any job count, and the baseline for each (workload,
+// geometry) is priced exactly once no matter how many schemes share it.
+//
+// Environment knobs (parsed strictly — garbage is a startup error, not
+// a silent default):
+//   WP_JOBS  worker-thread count; 0 or unset = one per hardware thread
+//   WP_JSON  path to write a machine-readable report of every priced
+//            cell (normalized energy/ED per cell, plus seed, job count
+//            and wall-clock) when the bench finishes
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hpp"
+#include "support/thread_pool.hpp"
+
+namespace wp::driver {
+
+/// Worker count from WP_JOBS. Unset, empty or "0" mean one thread per
+/// hardware thread; anything non-numeric exits with a clear message.
+[[nodiscard]] unsigned jobsFromEnv();
+
+class SweepExecutor {
+ public:
+  /// One point of a sweep grid: a cache geometry plus a scheme to run
+  /// on it (the matching baseline is implied and shared).
+  struct Cell {
+    cache::CacheGeometry icache;
+    SchemeSpec spec;
+  };
+
+  /// Prepares @p workload_names (profile + layout) in parallel, kept in
+  /// the given order for all later aggregation. @p jobs of 0 means
+  /// WP_JOBS (which itself defaults to the hardware thread count).
+  explicit SweepExecutor(std::vector<std::string> workload_names,
+                         energy::EnergyParams params = energy::EnergyParams{},
+                         u64 seed = 0, unsigned jobs = 0);
+
+  /// Out of line: the memo map holds unique_ptrs to the private
+  /// CellEntry, which is incomplete outside sweep.cpp.
+  ~SweepExecutor();
+
+  [[nodiscard]] const std::vector<PreparedWorkload>& prepared() const {
+    return prepared_;
+  }
+  [[nodiscard]] const Runner& runner() const { return runner_; }
+  [[nodiscard]] unsigned jobs() const { return pool_.threadCount(); }
+
+  /// Prices every (prepared workload × cell) plus the implied baselines
+  /// across the pool. Already-memoized cells cost nothing; benches call
+  /// this up front with their whole grid so the pool stays saturated
+  /// instead of draining at each table cell.
+  void runAll(const std::vector<Cell>& cells);
+
+  /// Memoized result of one simulation; computed on the calling thread
+  /// on a miss. The reference stays valid for the executor's lifetime.
+  const RunResult& run(const PreparedWorkload& p,
+                       const cache::CacheGeometry& icache,
+                       const SchemeSpec& spec);
+
+  /// Average of `metric(normalize(scheme, baseline))` across the suite,
+  /// in preparation order. Missing cells are first priced in parallel,
+  /// so this is also the one-call form of runAll for a single cell.
+  double averageNormalized(
+      const cache::CacheGeometry& icache, const SchemeSpec& spec,
+      const std::function<double(const Normalized&)>& metric);
+
+  /// The memo key: every field of the geometry and spec that can change
+  /// a result appears in it. Exposed for tests.
+  [[nodiscard]] static std::string keyOf(const std::string& workload,
+                                         const cache::CacheGeometry& g,
+                                         const SchemeSpec& s);
+
+  /// Writes the JSON report: seed, job count, wall-clock since
+  /// construction, and one record per memoized non-baseline cell with
+  /// its normalized metrics (cells whose baseline was never priced are
+  /// skipped). Deterministic: records are ordered by memo key.
+  void writeJsonReport(std::ostream& os) const;
+
+  /// writeJsonReport to the WP_JSON path, if that variable is set.
+  /// Benches call this once after printing their tables.
+  void emitJsonIfRequested() const;
+
+ private:
+  struct CellEntry;
+
+  /// Finds-or-creates the memo entry and computes it exactly once
+  /// (concurrent callers for the same key block until it is ready).
+  CellEntry& ensureCell(const PreparedWorkload& p,
+                        const cache::CacheGeometry& icache,
+                        const SchemeSpec& spec);
+
+  Runner runner_;
+  ThreadPool pool_;
+  std::vector<PreparedWorkload> prepared_;
+  mutable std::mutex memo_mutex_;  ///< also guards const report reads
+  /// Keyed by keyOf(); entries hold a once_flag, so they live behind a
+  /// unique_ptr (once_flag is neither movable nor copyable).
+  std::map<std::string, std::unique_ptr<CellEntry>> memo_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wp::driver

@@ -1,0 +1,74 @@
+// Work-stealing thread pool for the sweep executor.
+//
+// Each worker owns a deque: it pushes and pops its own work LIFO (hot in
+// cache) and steals FIFO from the back of a victim's deque when it runs
+// dry — the classic Blumofe/Leiserson discipline. Tasks here are whole
+// priced simulations (tens of milliseconds to seconds each), so the
+// deques share one mutex instead of lock-free CAS loops: contention on
+// coarse tasks is unmeasurable, and the single-lock design is easy to
+// reason about and clean under ThreadSanitizer.
+//
+// Exceptions thrown by a task are captured; wait() rethrows the first
+// one after the queue drains, so a failing simulation aborts the sweep
+// with its original SimError instead of killing a worker thread.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wp {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns @p threads workers; 0 means one per hardware thread.
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains remaining work, joins the workers. Pending exceptions are
+  /// dropped — call wait() first if you care about them.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Callable from any thread, including from inside a
+  /// running task (the task lands on the submitting worker's own deque).
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task threw (if any). The pool stays usable
+  /// afterwards — submit/wait cycles can repeat.
+  void wait();
+
+  [[nodiscard]] unsigned threadCount() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static unsigned hardwareThreads();
+
+ private:
+  void workerLoop(unsigned me);
+  /// Pops the next task for worker @p me (own deque first, then steals);
+  /// returns false when there is nothing to run right now.
+  bool popTask(unsigned me, Task& out);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< wakes idle workers
+  std::condition_variable done_cv_;   ///< wakes wait()
+  std::vector<std::deque<Task>> deques_;  ///< one per worker, under mutex_
+  std::size_t queued_ = 0;     ///< tasks sitting in deques
+  std::size_t running_ = 0;    ///< tasks currently executing
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+  unsigned next_victim_ = 0;   ///< round-robin home for external submits
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wp

@@ -6,9 +6,8 @@ namespace wp::workloads {
 
 namespace {
 
-u64 g_experiment_seed = 0;
-
-u64 seedFor(const std::string& workload, InputSize size) {
+u64 seedFor(const std::string& workload, InputSize size,
+            u64 experiment_seed) {
   // FNV-1a over the name, salted by the input size and the experiment
   // seed (seed 0 leaves the hash — and thus the inputs — unchanged).
   u64 h = 0xcbf29ce484222325ULL;
@@ -16,35 +15,31 @@ u64 seedFor(const std::string& workload, InputSize size) {
     h ^= static_cast<u8>(c);
     h *= 0x100000001b3ULL;
   }
-  return h ^ (size == InputSize::kSmall ? 0x5eedULL : 0x1a56eULL) ^
-         (g_experiment_seed * 0x9e3779b97f4a7c15ULL);
+  return mixSeed(h ^ (size == InputSize::kSmall ? 0x5eedULL : 0x1a56eULL),
+                 experiment_seed);
 }
 
 }  // namespace
 
-void setExperimentSeed(u64 seed) { g_experiment_seed = seed; }
-
-u64 experimentSeed() { return g_experiment_seed; }
-
 std::vector<u8> randomBytes(const std::string& workload, InputSize size,
-                            std::size_t count) {
-  Rng rng(seedFor(workload, size));
+                            std::size_t count, u64 experiment_seed) {
+  Rng rng(seedFor(workload, size, experiment_seed));
   std::vector<u8> out(count);
   for (auto& b : out) b = static_cast<u8>(rng.next());
   return out;
 }
 
 std::vector<u32> randomWords(const std::string& workload, InputSize size,
-                             std::size_t count) {
-  Rng rng(seedFor(workload, size));
+                             std::size_t count, u64 experiment_seed) {
+  Rng rng(seedFor(workload, size, experiment_seed));
   std::vector<u32> out(count);
   for (auto& w : out) w = rng.next32();
   return out;
 }
 
 std::vector<u8> randomText(const std::string& workload, InputSize size,
-                           std::size_t count) {
-  Rng rng(seedFor(workload, size) ^ 0x7e47ULL);
+                           std::size_t count, u64 experiment_seed) {
+  Rng rng(seedFor(workload, size, experiment_seed) ^ 0x7e47ULL);
   std::vector<u8> out;
   out.reserve(count);
   while (out.size() < count) {
@@ -58,8 +53,8 @@ std::vector<u8> randomText(const std::string& workload, InputSize size,
 }
 
 std::vector<u8> syntheticImage(const std::string& workload, InputSize size,
-                               u32 width, u32 height) {
-  Rng rng(seedFor(workload, size) ^ 0x1316eULL);
+                               u32 width, u32 height, u64 experiment_seed) {
+  Rng rng(seedFor(workload, size, experiment_seed) ^ 0x1316eULL);
   std::vector<u8> img(static_cast<std::size_t>(width) * height);
   const double fx = 2.0 * 3.14159265358979 / width * (1 + rng.below(3));
   const double fy = 2.0 * 3.14159265358979 / height * (1 + rng.below(3));
@@ -79,8 +74,8 @@ std::vector<u8> syntheticImage(const std::string& workload, InputSize size,
 }
 
 std::vector<i16> syntheticAudio(const std::string& workload, InputSize size,
-                                std::size_t samples) {
-  Rng rng(seedFor(workload, size) ^ 0xaad10ULL);
+                                std::size_t samples, u64 experiment_seed) {
+  Rng rng(seedFor(workload, size, experiment_seed) ^ 0xaad10ULL);
   std::vector<i16> out(samples);
   double phase1 = rng.unit() * 6.28, phase2 = rng.unit() * 6.28;
   const double f1 = 0.01 + rng.unit() * 0.05;

@@ -55,36 +55,46 @@ inline void writeBytes(mem::Memory& m, u32 addr, std::span<const u8> bytes) {
           static_cast<u8>(v >> 24)};
 }
 
-/// Experiment-wide seed mixed into every input generator below. The
-/// default of 0 reproduces the historical fixed inputs bit-for-bit; the
-/// driver sets it from the Runner's seed so a whole experiment (inputs,
-/// profiles and fault schedules) replays from one logged number. The
-/// host-side expected() references use the same generators, so results
-/// stay verifiable under any seed.
-void setExperimentSeed(u64 seed);
-[[nodiscard]] u64 experimentSeed();
+/// Every generator below takes the experiment-wide seed as an explicit
+/// trailing parameter — there is no ambient global, so two workloads
+/// built with different seeds never see each other's inputs, even when
+/// their prepare()/expected() calls interleave or run on different
+/// threads. Each Workload instance passes its own experimentSeed()
+/// through; seed 0 reproduces the historical fixed inputs bit-for-bit.
+/// The host-side expected() references use the same generators, so
+/// results stay verifiable under any seed.
+
+/// Folds the experiment seed into a generator's fixed base seed (a
+/// splitmix64-style mix; 0 leaves the base seed unchanged).
+[[nodiscard]] constexpr u64 mixSeed(u64 base, u64 experiment_seed) {
+  return base ^ (experiment_seed * 0x9e3779b97f4a7c15ULL);
+}
 
 /// Deterministic per-workload, per-input-size random bytes.
 [[nodiscard]] std::vector<u8> randomBytes(const std::string& workload,
-                                          InputSize size, std::size_t count);
+                                          InputSize size, std::size_t count,
+                                          u64 experiment_seed);
 
 /// Deterministic random words.
 [[nodiscard]] std::vector<u32> randomWords(const std::string& workload,
-                                           InputSize size, std::size_t count);
+                                           InputSize size, std::size_t count,
+                                           u64 experiment_seed);
 
 /// Deterministic pseudo-text (lowercase words separated by spaces).
 [[nodiscard]] std::vector<u8> randomText(const std::string& workload,
-                                         InputSize size, std::size_t count);
+                                         InputSize size, std::size_t count,
+                                         u64 experiment_seed);
 
 /// Deterministic 8-bit "image" with smooth gradients plus noise — gives
 /// the susan/tiff/jpeg kernels realistic, compressible pixel data.
 [[nodiscard]] std::vector<u8> syntheticImage(const std::string& workload,
                                              InputSize size, u32 width,
-                                             u32 height);
+                                             u32 height, u64 experiment_seed);
 
 /// Deterministic 16-bit PCM-like waveform for the audio codecs.
 [[nodiscard]] std::vector<i16> syntheticAudio(const std::string& workload,
                                               InputSize size,
-                                              std::size_t samples);
+                                              std::size_t samples,
+                                              u64 experiment_seed);
 
 }  // namespace wp::workloads

@@ -1,5 +1,8 @@
 // Internal factory declarations — one per benchmark. The public entry
-// points are suiteNames()/makeWorkload() in workload.hpp.
+// points are suiteNames()/makeWorkload() in workload.hpp. Every factory
+// takes the experiment seed so the instance's input generation (and any
+// key material embedded by build()) derives from it; workloads with
+// fixed inputs still mix it in for suite-wide seed coverage.
 #pragma once
 
 #include <memory>
@@ -8,28 +11,28 @@
 
 namespace wp::workloads {
 
-std::unique_ptr<Workload> makeBitcount();
-std::unique_ptr<Workload> makeSusanC();
-std::unique_ptr<Workload> makeSusanE();
-std::unique_ptr<Workload> makeSusanS();
-std::unique_ptr<Workload> makeCjpeg();
-std::unique_ptr<Workload> makeDjpeg();
-std::unique_ptr<Workload> makeTiff2bw();
-std::unique_ptr<Workload> makeTiff2rgba();
-std::unique_ptr<Workload> makeTiffdither();
-std::unique_ptr<Workload> makeTiffmedian();
-std::unique_ptr<Workload> makePatricia();
-std::unique_ptr<Workload> makeIspell();
-std::unique_ptr<Workload> makeRsynth();
-std::unique_ptr<Workload> makeBlowfishD();
-std::unique_ptr<Workload> makeBlowfishE();
-std::unique_ptr<Workload> makeRijndaelD();
-std::unique_ptr<Workload> makeRijndaelE();
-std::unique_ptr<Workload> makeSha();
-std::unique_ptr<Workload> makeRawcaudio();
-std::unique_ptr<Workload> makeRawdaudio();
-std::unique_ptr<Workload> makeCrc();
-std::unique_ptr<Workload> makeFft();
-std::unique_ptr<Workload> makeFftInv();
+std::unique_ptr<Workload> makeBitcount(u64 seed);
+std::unique_ptr<Workload> makeSusanC(u64 seed);
+std::unique_ptr<Workload> makeSusanE(u64 seed);
+std::unique_ptr<Workload> makeSusanS(u64 seed);
+std::unique_ptr<Workload> makeCjpeg(u64 seed);
+std::unique_ptr<Workload> makeDjpeg(u64 seed);
+std::unique_ptr<Workload> makeTiff2bw(u64 seed);
+std::unique_ptr<Workload> makeTiff2rgba(u64 seed);
+std::unique_ptr<Workload> makeTiffdither(u64 seed);
+std::unique_ptr<Workload> makeTiffmedian(u64 seed);
+std::unique_ptr<Workload> makePatricia(u64 seed);
+std::unique_ptr<Workload> makeIspell(u64 seed);
+std::unique_ptr<Workload> makeRsynth(u64 seed);
+std::unique_ptr<Workload> makeBlowfishD(u64 seed);
+std::unique_ptr<Workload> makeBlowfishE(u64 seed);
+std::unique_ptr<Workload> makeRijndaelD(u64 seed);
+std::unique_ptr<Workload> makeRijndaelE(u64 seed);
+std::unique_ptr<Workload> makeSha(u64 seed);
+std::unique_ptr<Workload> makeRawcaudio(u64 seed);
+std::unique_ptr<Workload> makeRawdaudio(u64 seed);
+std::unique_ptr<Workload> makeCrc(u64 seed);
+std::unique_ptr<Workload> makeFft(u64 seed);
+std::unique_ptr<Workload> makeFftInv(u64 seed);
 
 }  // namespace wp::workloads

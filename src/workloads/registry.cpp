@@ -8,7 +8,7 @@ namespace {
 
 struct Entry {
   const char* name;
-  std::unique_ptr<Workload> (*make)();
+  std::unique_ptr<Workload> (*make)(u64 seed);
 };
 
 // Figure 4 order.
@@ -49,9 +49,10 @@ const std::vector<std::string>& suiteNames() {
   return names;
 }
 
-std::unique_ptr<Workload> makeWorkload(const std::string& name) {
+std::unique_ptr<Workload> makeWorkload(const std::string& name,
+                                       u64 experiment_seed) {
   for (const Entry& e : kSuite) {
-    if (name == e.name) return e.make();
+    if (name == e.name) return e.make(experiment_seed);
   }
   throw SimError("unknown workload: " + name);
 }

@@ -16,10 +16,11 @@ namespace {
 constexpr std::size_t kSmallSamples = 12 * 1024;
 constexpr std::size_t kLargeSamples = 72 * 1024;
 
-std::vector<i16> pcm(InputSize size) {
+std::vector<i16> pcm(InputSize size, u64 seed) {
   return syntheticAudio("adpcm", size,
                         size == InputSize::kSmall ? kSmallSamples
-                                                  : kLargeSamples);
+                                                  : kLargeSamples,
+                        seed);
 }
 
 std::vector<u32> stepTableWords() {
@@ -66,7 +67,7 @@ void emitClampIndex(asmkit::FunctionBuilder& f) {
 
 class AdpcmWorkload : public Workload {
  public:
-  explicit AdpcmWorkload(bool decode) : decode_(decode) {}
+  AdpcmWorkload(u64 seed, bool decode) : Workload(seed), decode_(decode) {}
 
   std::string name() const override {
     return decode_ ? "rawdaudio" : "rawcaudio";
@@ -93,7 +94,7 @@ class AdpcmWorkload : public Workload {
   }
 
   void prepare(mem::Memory& memory, InputSize size) const override {
-    const auto samples = pcm(size);
+    const auto samples = pcm(size, experimentSeed());
     memory.store32(guestAddr(nsamples_off_),
                    static_cast<u32>(samples.size()));
     if (decode_) {
@@ -115,7 +116,7 @@ class AdpcmWorkload : public Workload {
   }
 
   std::vector<u8> expected(InputSize size) const override {
-    const auto samples = pcm(size);
+    const auto samples = pcm(size, experimentSeed());
     std::vector<u8> e;
     if (decode_) {
       const auto decoded =
@@ -321,11 +322,11 @@ class AdpcmWorkload : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makeRawcaudio() {
-  return std::make_unique<AdpcmWorkload>(false);
+std::unique_ptr<Workload> makeRawcaudio(u64 seed) {
+  return std::make_unique<AdpcmWorkload>(seed, false);
 }
-std::unique_ptr<Workload> makeRawdaudio() {
-  return std::make_unique<AdpcmWorkload>(true);
+std::unique_ptr<Workload> makeRawdaudio(u64 seed) {
+  return std::make_unique<AdpcmWorkload>(seed, true);
 }
 
 }  // namespace wp::workloads

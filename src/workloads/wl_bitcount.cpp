@@ -14,13 +14,16 @@ constexpr std::size_t kSmallWords = 1200;
 constexpr std::size_t kLargeWords = 10000;
 constexpr int kAlgorithms = 5;
 
-std::vector<u32> inputWords(InputSize size) {
+std::vector<u32> inputWords(InputSize size, u64 seed) {
   return randomWords("bitcount", size,
-                     size == InputSize::kSmall ? kSmallWords : kLargeWords);
+                     size == InputSize::kSmall ? kSmallWords : kLargeWords,
+                     seed);
 }
 
 class BitcountWorkload final : public Workload {
  public:
+  using Workload::Workload;
+
   std::string name() const override { return "bitcount"; }
 
   ir::Module build() override {
@@ -72,7 +75,7 @@ class BitcountWorkload final : public Workload {
   }
 
   void prepare(mem::Memory& memory, InputSize size) const override {
-    const auto words = inputWords(size);
+    const auto words = inputWords(size, experimentSeed());
     writeWords(memory, guestAddr(input_off_), words);
     memory.store32(guestAddr(nwords_off_), static_cast<u32>(words.size()));
   }
@@ -83,7 +86,7 @@ class BitcountWorkload final : public Workload {
 
   std::vector<u8> expected(InputSize size) const override {
     u32 total = 0;
-    for (const u32 w : inputWords(size)) total += popcount(w);
+    for (const u32 w : inputWords(size, experimentSeed())) total += popcount(w);
     std::vector<u32> sums(kAlgorithms, total);
     return toBytes(sums);
   }
@@ -192,8 +195,8 @@ class BitcountWorkload final : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makeBitcount() {
-  return std::make_unique<BitcountWorkload>();
+std::unique_ptr<Workload> makeBitcount(u64 seed) {
+  return std::make_unique<BitcountWorkload>(seed);
 }
 
 }  // namespace wp::workloads

@@ -20,12 +20,15 @@ constexpr u64 kTableSeed = 0xb10f15ULL;
 constexpr std::size_t kSmallBlocks = 192;
 constexpr std::size_t kLargeBlocks = 2048;
 
-std::vector<u8> cipherKey() { return randomBytes("blowfish-key", InputSize::kSmall, 16); }
+std::vector<u8> cipherKey(u64 seed) {
+  return randomBytes("blowfish-key", InputSize::kSmall, 16, seed);
+}
 
-std::vector<u8> plaintext(InputSize size) {
+std::vector<u8> plaintext(InputSize size, u64 seed) {
   return randomBytes("blowfish", size,
                      8 * (size == InputSize::kSmall ? kSmallBlocks
-                                                    : kLargeBlocks));
+                                                    : kLargeBlocks),
+                     seed);
 }
 
 u32 leWord(std::span<const u8> b, std::size_t off) {
@@ -34,9 +37,9 @@ u32 leWord(std::span<const u8> b, std::size_t off) {
          (static_cast<u32>(b[off + 3]) << 24);
 }
 
-std::vector<u8> cipherBytes(InputSize size) {
-  const ref::Blowfish bf(cipherKey(), kTableSeed);
-  const std::vector<u8> pt = plaintext(size);
+std::vector<u8> cipherBytes(InputSize size, u64 seed) {
+  const ref::Blowfish bf(cipherKey(seed), kTableSeed);
+  const std::vector<u8> pt = plaintext(size, seed);
   std::vector<u8> out(pt.size());
   for (std::size_t off = 0; off < pt.size(); off += 8) {
     u32 l = leWord(pt, off);
@@ -52,7 +55,7 @@ std::vector<u8> cipherBytes(InputSize size) {
 
 class BlowfishWorkload : public Workload {
  public:
-  explicit BlowfishWorkload(bool decrypt) : decrypt_(decrypt) {}
+  BlowfishWorkload(u64 seed, bool decrypt) : Workload(seed), decrypt_(decrypt) {}
 
   std::string name() const override {
     return decrypt_ ? "blowfish_d" : "blowfish_e";
@@ -67,7 +70,7 @@ class BlowfishWorkload : public Workload {
     ref::Blowfish::initialTables(kTableSeed, p, s);
     mb.dataWords("bf_p", p);
     mb.dataWords("bf_s", s);
-    const auto key = cipherKey();
+    const auto key = cipherKey(experimentSeed());
     mb.data("bf_key", key);
     mb.dataWords("bf_keylen",
                  std::array<u32, 1>{static_cast<u32>(key.size())});
@@ -107,7 +110,8 @@ class BlowfishWorkload : public Workload {
 
   void prepare(mem::Memory& memory, InputSize size) const override {
     const std::vector<u8> in =
-        decrypt_ ? cipherBytes(size) : plaintext(size);
+        decrypt_ ? cipherBytes(size, experimentSeed())
+                 : plaintext(size, experimentSeed());
     writeBytes(memory, guestAddr(input_off_), in);
     memory.store32(guestAddr(nblocks_off_),
                    static_cast<u32>(in.size() / 8));
@@ -119,7 +123,8 @@ class BlowfishWorkload : public Workload {
 
   std::vector<u8> expected(InputSize size) const override {
     std::vector<u8> e =
-        decrypt_ ? plaintext(size) : cipherBytes(size);
+        decrypt_ ? plaintext(size, experimentSeed())
+                 : cipherBytes(size, experimentSeed());
     e.resize(byteLen(InputSize::kLarge), 0);  // bss tail stays zero
     return e;
   }
@@ -263,11 +268,11 @@ class BlowfishWorkload : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makeBlowfishE() {
-  return std::make_unique<BlowfishWorkload>(false);
+std::unique_ptr<Workload> makeBlowfishE(u64 seed) {
+  return std::make_unique<BlowfishWorkload>(seed, false);
 }
-std::unique_ptr<Workload> makeBlowfishD() {
-  return std::make_unique<BlowfishWorkload>(true);
+std::unique_ptr<Workload> makeBlowfishD(u64 seed) {
+  return std::make_unique<BlowfishWorkload>(seed, true);
 }
 
 }  // namespace wp::workloads

@@ -36,6 +36,8 @@ u32 referenceCrc(std::span<const u8> data) {
 
 class CrcWorkload final : public Workload {
  public:
+  using Workload::Workload;
+
   std::string name() const override { return "crc"; }
 
   ir::Module build() override {
@@ -96,9 +98,10 @@ class CrcWorkload final : public Workload {
   }
 
  private:
-  static std::vector<u8> inputData(InputSize size) {
+  std::vector<u8> inputData(InputSize size) const {
     return randomBytes("crc", size,
-                       size == InputSize::kSmall ? kSmallLen : kLargeLen);
+                       size == InputSize::kSmall ? kSmallLen : kLargeLen,
+                       experimentSeed());
   }
 
   u32 table_off_ = 0;
@@ -109,6 +112,8 @@ class CrcWorkload final : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makeCrc() { return std::make_unique<CrcWorkload>(); }
+std::unique_ptr<Workload> makeCrc(u64 seed) {
+  return std::make_unique<CrcWorkload>(seed);
+}
 
 }  // namespace wp::workloads

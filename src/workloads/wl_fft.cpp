@@ -29,10 +29,10 @@ Params paramsFor(InputSize size) {
 }
 
 // Q15 input waveforms, one per run (real input, zero imaginary).
-std::vector<i32> baseSignal(InputSize size) {
+std::vector<i32> baseSignal(InputSize size, u64 seed) {
   const Params p = paramsFor(size);
-  const auto audio =
-      syntheticAudio("fft", size, static_cast<std::size_t>(p.n) * p.runs);
+  const auto audio = syntheticAudio(
+      "fft", size, static_cast<std::size_t>(p.n) * p.runs, seed);
   std::vector<i32> out(audio.size());
   for (std::size_t i = 0; i < audio.size(); ++i) out[i] = audio[i];
   return out;
@@ -40,7 +40,7 @@ std::vector<i32> baseSignal(InputSize size) {
 
 class FftWorkload : public Workload {
  public:
-  explicit FftWorkload(bool inverse) : inverse_(inverse) {}
+  FftWorkload(u64 seed, bool inverse) : Workload(seed), inverse_(inverse) {}
 
   std::string name() const override { return inverse_ ? "fft_i" : "fft"; }
 
@@ -101,7 +101,7 @@ class FftWorkload : public Workload {
     writeWords(memory, guestAddr(cos_off_), cos_w);
     writeWords(memory, guestAddr(sin_off_), sin_w);
 
-    const auto [re, im] = inputArrays(size, inverse_);
+    const auto [re, im] = inputArrays(size, inverse_, experimentSeed());
     writeWords(memory, guestAddr(re_off_), toWords(re));
     writeWords(memory, guestAddr(im_off_), toWords(im));
   }
@@ -117,7 +117,7 @@ class FftWorkload : public Workload {
 
   std::vector<u8> expected(InputSize size) const override {
     const Params p = paramsFor(size);
-    auto [re, im] = inputArrays(size, inverse_);
+    auto [re, im] = inputArrays(size, inverse_, experimentSeed());
     for (u32 run = 0; run < p.runs; ++run) {
       std::vector<i32> r(re.begin() + run * p.n, re.begin() + (run + 1) * p.n);
       std::vector<i32> i(im.begin() + run * p.n, im.begin() + (run + 1) * p.n);
@@ -144,9 +144,9 @@ class FftWorkload : public Workload {
   /// (re, im) inputs. Forward: the raw signal. Inverse: the forward
   /// transform of the signal (so fft_i undoes what fft produced).
   static std::pair<std::vector<i32>, std::vector<i32>> inputArrays(
-      InputSize size, bool inverse) {
+      InputSize size, bool inverse, u64 seed) {
     const Params p = paramsFor(size);
-    std::vector<i32> re = baseSignal(size);
+    std::vector<i32> re = baseSignal(size, seed);
     std::vector<i32> im(re.size(), 0);
     if (inverse) {
       for (u32 run = 0; run < p.runs; ++run) {
@@ -299,7 +299,11 @@ class FftWorkload : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makeFft() { return std::make_unique<FftWorkload>(false); }
-std::unique_ptr<Workload> makeFftInv() { return std::make_unique<FftWorkload>(true); }
+std::unique_ptr<Workload> makeFft(u64 seed) {
+  return std::make_unique<FftWorkload>(seed, false);
+}
+std::unique_ptr<Workload> makeFftInv(u64 seed) {
+  return std::make_unique<FftWorkload>(seed, true);
+}
 
 }  // namespace wp::workloads

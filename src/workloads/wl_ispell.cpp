@@ -33,9 +33,9 @@ std::string randomWord(Rng& rng, std::size_t min_len, std::size_t max_len) {
   return w;
 }
 
-std::vector<std::string> dictionary(InputSize s) {
+std::vector<std::string> dictionary(InputSize s, u64 seed) {
   const Sizes z = sizesFor(s);
-  Rng rng(s == InputSize::kSmall ? 0xd1c7ULL : 0xd1c8ULL);
+  Rng rng(mixSeed(s == InputSize::kSmall ? 0xd1c7ULL : 0xd1c8ULL, seed));
   std::set<std::string> words;
   while (words.size() < z.dict_words) {
     words.insert(randomWord(rng, 3, 8));
@@ -43,10 +43,10 @@ std::vector<std::string> dictionary(InputSize s) {
   return {words.begin(), words.end()};  // sorted by construction
 }
 
-std::vector<std::string> text(InputSize s) {
+std::vector<std::string> text(InputSize s, u64 seed) {
   const Sizes z = sizesFor(s);
-  const auto dict = dictionary(s);
-  Rng rng(s == InputSize::kSmall ? 0x7e47aULL : 0x7e47bULL);
+  const auto dict = dictionary(s, seed);
+  Rng rng(mixSeed(s == InputSize::kSmall ? 0x7e47aULL : 0x7e47bULL, seed));
   std::vector<std::string> out;
   out.reserve(z.text_words);
   for (std::size_t i = 0; i < z.text_words; ++i) {
@@ -74,9 +74,9 @@ std::vector<u8> packSlots(const std::vector<std::string>& words) {
 
 // Host reference mirroring the guest: binary search over the packed
 // slots, then suffix strip and retry.
-std::pair<u32, u32> refCheck(InputSize s) {
-  const auto dict = dictionary(s);
-  const auto words = text(s);
+std::pair<u32, u32> refCheck(InputSize s, u64 seed) {
+  const auto dict = dictionary(s, seed);
+  const auto words = text(s, seed);
   u32 found = 0, idx_sum = 0;
   const auto lookup = [&dict](const std::string& w) -> i32 {
     const auto it = std::lower_bound(dict.begin(), dict.end(), w);
@@ -106,6 +106,8 @@ std::pair<u32, u32> refCheck(InputSize s) {
 
 class IspellWorkload final : public Workload {
  public:
+  using Workload::Workload;
+
   std::string name() const override { return "ispell"; }
 
   ir::Module build() override {
@@ -138,8 +140,8 @@ class IspellWorkload final : public Workload {
   }
 
   void prepare(mem::Memory& memory, InputSize size) const override {
-    const auto dict = dictionary(size);
-    const auto words = text(size);
+    const auto dict = dictionary(size, experimentSeed());
+    const auto words = text(size, experimentSeed());
     writeBytes(memory, guestAddr(dict_off_), packSlots(dict));
     memory.store32(guestAddr(dictn_off_), static_cast<u32>(dict.size()));
     writeBytes(memory, guestAddr(text_off_), packSlots(words));
@@ -151,7 +153,7 @@ class IspellWorkload final : public Workload {
   }
 
   std::vector<u8> expected(InputSize size) const override {
-    const auto [found, sum] = refCheck(size);
+    const auto [found, sum] = refCheck(size, experimentSeed());
     std::vector<u32> out = {found, sum};
     return toBytes(out);
   }
@@ -330,8 +332,8 @@ class IspellWorkload final : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makeIspell() {
-  return std::make_unique<IspellWorkload>();
+std::unique_ptr<Workload> makeIspell(u64 seed) {
+  return std::make_unique<IspellWorkload>(seed);
 }
 
 }  // namespace wp::workloads

@@ -72,9 +72,9 @@ std::vector<u32> quantTable() {
   return q;
 }
 
-std::vector<u8> sourceImage(InputSize s) {
+std::vector<u8> sourceImage(InputSize s, u64 seed) {
   const Dims d = dimsFor(s);
-  return syntheticImage("jpeg", s, d.w, d.h);
+  return syntheticImage("jpeg", s, d.w, d.h, seed);
 }
 
 // --- host reference pipeline (bit-exact with the guest) -------------------
@@ -126,9 +126,9 @@ void refIdct2d(i32 blk[64]) {
   }
 }
 
-std::vector<u32> refEncode(InputSize s) {
+std::vector<u32> refEncode(InputSize s, u64 seed) {
   const Dims d = dimsFor(s);
-  const auto img = sourceImage(s);
+  const auto img = sourceImage(s, seed);
   const auto zz = zigzagOrder();
   const auto qt = quantTable();
   std::vector<u32> stream;
@@ -163,9 +163,9 @@ std::vector<u32> refEncode(InputSize s) {
   return stream;
 }
 
-std::vector<u8> refDecode(InputSize s) {
+std::vector<u8> refDecode(InputSize s, u64 seed) {
   const Dims d = dimsFor(s);
-  const auto stream = refEncode(s);
+  const auto stream = refEncode(s, seed);
   const auto zz = zigzagOrder();
   const auto qt = quantTable();
   std::vector<u8> img(static_cast<std::size_t>(d.w) * d.h);
@@ -261,7 +261,7 @@ void emitTransformPass(asmkit::ModuleBuilder& mb, const char* fname,
 
 class JpegWorkload : public Workload {
  public:
-  explicit JpegWorkload(bool decode) : decode_(decode) {}
+  JpegWorkload(u64 seed, bool decode) : Workload(seed), decode_(decode) {}
 
   std::string name() const override { return decode_ ? "djpeg" : "cjpeg"; }
 
@@ -297,9 +297,9 @@ class JpegWorkload : public Workload {
     memory.store32(guestAddr(w_off_), d.w);
     memory.store32(guestAddr(h_off_), d.h);
     if (decode_) {
-      writeWords(memory, guestAddr(stream_off_), refEncode(size));
+      writeWords(memory, guestAddr(stream_off_), refEncode(size, experimentSeed()));
     } else {
-      writeBytes(memory, guestAddr(img_off_), sourceImage(size));
+      writeBytes(memory, guestAddr(img_off_), sourceImage(size, experimentSeed()));
     }
   }
 
@@ -312,11 +312,11 @@ class JpegWorkload : public Workload {
 
   std::vector<u8> expected(InputSize size) const override {
     if (decode_) {
-      auto e = refDecode(size);
+      auto e = refDecode(size, experimentSeed());
       e.resize(kMaxPixels, 0);
       return e;
     }
-    std::vector<u32> s = refEncode(size);
+    std::vector<u32> s = refEncode(size, experimentSeed());
     s.resize(kMaxStreamWords, 0);
     return toBytes(s);
   }
@@ -561,11 +561,11 @@ class JpegWorkload : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makeCjpeg() {
-  return std::make_unique<JpegWorkload>(false);
+std::unique_ptr<Workload> makeCjpeg(u64 seed) {
+  return std::make_unique<JpegWorkload>(seed, false);
 }
-std::unique_ptr<Workload> makeDjpeg() {
-  return std::make_unique<JpegWorkload>(true);
+std::unique_ptr<Workload> makeDjpeg(u64 seed) {
+  return std::make_unique<JpegWorkload>(seed, true);
 }
 
 }  // namespace wp::workloads

@@ -22,9 +22,9 @@ Sizes sizesFor(InputSize s) {
 
 // IPv4-flavoured keys: one of 256 shared /16 prefixes + a random host
 // part, so trie paths share long prefixes as in routing tables.
-std::vector<u32> insertKeys(InputSize s) {
+std::vector<u32> insertKeys(InputSize s, u64 seed) {
   const Sizes z = sizesFor(s);
-  Rng rng(s == InputSize::kSmall ? 0x9a717ULL : 0x9a718ULL);
+  Rng rng(mixSeed(s == InputSize::kSmall ? 0x9a717ULL : 0x9a718ULL, seed));
   std::vector<u32> prefixes(256);
   for (auto& p : prefixes) p = rng.next32() & 0xffff0000u;
   std::vector<u32> keys(z.inserts);
@@ -34,10 +34,10 @@ std::vector<u32> insertKeys(InputSize s) {
   return keys;
 }
 
-std::vector<u32> queryKeys(InputSize s) {
+std::vector<u32> queryKeys(InputSize s, u64 seed) {
   const Sizes z = sizesFor(s);
-  const auto keys = insertKeys(s);
-  Rng rng(s == InputSize::kSmall ? 0x2b4dULL : 0x2b4eULL);
+  const auto keys = insertKeys(s, seed);
+  Rng rng(mixSeed(s == InputSize::kSmall ? 0x2b4dULL : 0x2b4eULL, seed));
   std::vector<u32> q(z.queries);
   for (auto& k : q) {
     k = rng.chance(0.5) ? keys[rng.below(keys.size())] : rng.next32();
@@ -47,6 +47,8 @@ std::vector<u32> queryKeys(InputSize s) {
 
 class PatriciaWorkload final : public Workload {
  public:
+  using Workload::Workload;
+
   std::string name() const override { return "patricia"; }
 
   ir::Module build() override {
@@ -114,8 +116,8 @@ class PatriciaWorkload final : public Workload {
   }
 
   void prepare(mem::Memory& memory, InputSize size) const override {
-    const auto ins = insertKeys(size);
-    const auto qs = queryKeys(size);
+    const auto ins = insertKeys(size, experimentSeed());
+    const auto qs = queryKeys(size, experimentSeed());
     writeWords(memory, guestAddr(keys_off_), ins);
     memory.store32(guestAddr(nkeys_off_), static_cast<u32>(ins.size()));
     writeWords(memory, guestAddr(queries_off_), qs);
@@ -127,10 +129,12 @@ class PatriciaWorkload final : public Workload {
   }
 
   std::vector<u8> expected(InputSize size) const override {
-    const auto ins = insertKeys(size);
+    const auto ins = insertKeys(size, experimentSeed());
     const std::set<u32> keyset(ins.begin(), ins.end());
     u32 hits = 0;
-    for (const u32 q : queryKeys(size)) hits += keyset.count(q);
+    for (const u32 q : queryKeys(size, experimentSeed())) {
+      hits += keyset.count(q);
+    }
     std::vector<u32> out = {static_cast<u32>(keyset.size()), hits};
     return toBytes(out);
   }
@@ -315,8 +319,8 @@ class PatriciaWorkload final : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makePatricia() {
-  return std::make_unique<PatriciaWorkload>();
+std::unique_ptr<Workload> makePatricia(u64 seed) {
+  return std::make_unique<PatriciaWorkload>(seed);
 }
 
 }  // namespace wp::workloads

@@ -14,19 +14,20 @@ namespace {
 constexpr std::size_t kSmallBlocks = 72;
 constexpr std::size_t kLargeBlocks = 768;
 
-std::vector<u8> cipherKey() {
-  return randomBytes("rijndael-key", InputSize::kSmall, 16);
+std::vector<u8> cipherKey(u64 seed) {
+  return randomBytes("rijndael-key", InputSize::kSmall, 16, seed);
 }
 
-std::vector<u8> plaintext(InputSize size) {
+std::vector<u8> plaintext(InputSize size, u64 seed) {
   return randomBytes("rijndael", size,
                      16 * (size == InputSize::kSmall ? kSmallBlocks
-                                                     : kLargeBlocks));
+                                                     : kLargeBlocks),
+                     seed);
 }
 
-std::vector<u8> ciphertext(InputSize size) {
-  const ref::Aes128 aes(cipherKey());
-  const std::vector<u8> pt = plaintext(size);
+std::vector<u8> ciphertext(InputSize size, u64 seed) {
+  const ref::Aes128 aes(cipherKey(seed));
+  const std::vector<u8> pt = plaintext(size, seed);
   std::vector<u8> out(pt.size());
   for (std::size_t off = 0; off < pt.size(); off += 16) {
     aes.encryptBlock(pt.data() + off, out.data() + off);
@@ -44,7 +45,7 @@ std::array<u8, 256> gmulTable(u8 factor) {
 
 class RijndaelWorkload : public Workload {
  public:
-  explicit RijndaelWorkload(bool decrypt) : decrypt_(decrypt) {}
+  RijndaelWorkload(u64 seed, bool decrypt) : Workload(seed), decrypt_(decrypt) {}
 
   std::string name() const override {
     return decrypt_ ? "rijndael_d" : "rijndael_e";
@@ -73,7 +74,7 @@ class RijndaelWorkload : public Workload {
     }
     mb.data("shiftmap", shiftmap);
     mb.data("dshiftmap", dshiftmap);
-    mb.data("aes_key", cipherKey());
+    mb.data("aes_key", cipherKey(experimentSeed()));
     mb.bss("rk", 176);
     mb.bss("aes_state", 16);
     mb.bss("aes_tmp", 16);
@@ -113,7 +114,8 @@ class RijndaelWorkload : public Workload {
   }
 
   void prepare(mem::Memory& memory, InputSize size) const override {
-    const std::vector<u8> in = decrypt_ ? ciphertext(size) : plaintext(size);
+    const std::vector<u8> in = decrypt_ ? ciphertext(size, experimentSeed())
+                                        : plaintext(size, experimentSeed());
     writeBytes(memory, guestAddr(input_off_), in);
     memory.store32(guestAddr(nblocks_off_),
                    static_cast<u32>(in.size() / 16));
@@ -124,7 +126,8 @@ class RijndaelWorkload : public Workload {
   }
 
   std::vector<u8> expected(InputSize size) const override {
-    std::vector<u8> e = decrypt_ ? plaintext(size) : ciphertext(size);
+    std::vector<u8> e = decrypt_ ? plaintext(size, experimentSeed())
+                                 : ciphertext(size, experimentSeed());
     e.resize(16 * kLargeBlocks, 0);
     return e;
   }
@@ -407,11 +410,11 @@ class RijndaelWorkload : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makeRijndaelE() {
-  return std::make_unique<RijndaelWorkload>(false);
+std::unique_ptr<Workload> makeRijndaelE(u64 seed) {
+  return std::make_unique<RijndaelWorkload>(seed, false);
 }
-std::unique_ptr<Workload> makeRijndaelD() {
-  return std::make_unique<RijndaelWorkload>(true);
+std::unique_ptr<Workload> makeRijndaelD(u64 seed) {
+  return std::make_unique<RijndaelWorkload>(seed, true);
 }
 
 }  // namespace wp::workloads

@@ -27,15 +27,15 @@ constexpr u8 kSoftG = 61;
 constexpr u8 kDigraphBase = 30;
 constexpr u8 kSingleBase = 1;
 
-std::vector<u8> inputText(InputSize s) {
+std::vector<u8> inputText(InputSize s, u64 seed) {
   return randomText("rsynth", s,
-                    s == InputSize::kSmall ? kSmallLen : kLargeLen);
+                    s == InputSize::kSmall ? kSmallLen : kLargeLen, seed);
 }
 
 bool softensNext(u8 c) { return c == 'e' || c == 'i' || c == 'y'; }
 
-std::vector<u8> refPhonemes(InputSize s) {
-  const auto text = inputText(s);
+std::vector<u8> refPhonemes(InputSize s, u64 seed) {
+  const auto text = inputText(s, seed);
   std::vector<u8> out;
   std::size_t i = 0;
   while (i < text.size()) {
@@ -77,6 +77,8 @@ std::vector<u8> refPhonemes(InputSize s) {
 
 class RsynthWorkload final : public Workload {
  public:
+  using Workload::Workload;
+
   std::string name() const override { return "rsynth"; }
 
   ir::Module build() override {
@@ -196,7 +198,7 @@ class RsynthWorkload final : public Workload {
   }
 
   void prepare(mem::Memory& memory, InputSize size) const override {
-    const auto text = inputText(size);
+    const auto text = inputText(size, experimentSeed());
     writeBytes(memory, guestAddr(text_off_), text);
     memory.store32(guestAddr(textn_off_), static_cast<u32>(text.size()));
   }
@@ -209,7 +211,7 @@ class RsynthWorkload final : public Workload {
   }
 
   std::vector<u8> expected(InputSize size) const override {
-    std::vector<u8> ph = refPhonemes(size);
+    std::vector<u8> ph = refPhonemes(size, experimentSeed());
     std::vector<u8> out = u32ToBytes(static_cast<u32>(ph.size()));
     ph.resize(kLargeLen, 0);
     out.insert(out.end(), ph.begin(), ph.end());
@@ -225,8 +227,8 @@ class RsynthWorkload final : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makeRsynth() {
-  return std::make_unique<RsynthWorkload>();
+std::unique_ptr<Workload> makeRsynth(u64 seed) {
+  return std::make_unique<RsynthWorkload>(seed);
 }
 
 }  // namespace wp::workloads

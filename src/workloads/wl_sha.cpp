@@ -16,6 +16,8 @@ constexpr std::size_t kLargeLen = 56 * 1024;
 
 class ShaWorkload final : public Workload {
  public:
+  using Workload::Workload;
+
   std::string name() const override { return "sha"; }
 
   ir::Module build() override {
@@ -65,7 +67,7 @@ class ShaWorkload final : public Workload {
   }
 
   void prepare(mem::Memory& memory, InputSize size) const override {
-    const auto padded = ref::sha1Pad(message(size));
+    const auto padded = ref::sha1Pad(message(size, experimentSeed()));
     writeBytes(memory, guestAddr(input_off_), padded);
     memory.store32(guestAddr(nblocks_off_),
                    static_cast<u32>(padded.size() / 64));
@@ -76,14 +78,15 @@ class ShaWorkload final : public Workload {
   }
 
   std::vector<u8> expected(InputSize size) const override {
-    const auto h = ref::sha1(message(size));
+    const auto h = ref::sha1(message(size, experimentSeed()));
     return toBytes(std::span<const u32>(h.data(), h.size()));
   }
 
  private:
-  static std::vector<u8> message(InputSize size) {
+  static std::vector<u8> message(InputSize size, u64 seed) {
     return randomBytes("sha", size,
-                       size == InputSize::kSmall ? kSmallLen : kLargeLen);
+                       size == InputSize::kSmall ? kSmallLen : kLargeLen,
+                       seed);
   }
 
   // sha_block(r0 = 64-byte block): one SHA-1 compression.
@@ -228,6 +231,8 @@ class ShaWorkload final : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makeSha() { return std::make_unique<ShaWorkload>(); }
+std::unique_ptr<Workload> makeSha(u64 seed) {
+  return std::make_unique<ShaWorkload>(seed);
+}
 
 }  // namespace wp::workloads

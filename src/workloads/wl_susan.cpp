@@ -51,17 +51,17 @@ constexpr double kCornerT = 20.0;
 constexpr i32 kEdgeG = 600;    // of 800 max
 constexpr i32 kCornerG = 1200; // of 2400 max
 
-std::vector<u8> image(Variant v, InputSize s) {
+std::vector<u8> image(Variant v, InputSize s, u64 seed) {
   const Dims d = dimsFor(v, s);
   const char* salt = v == Variant::kSmooth  ? "susan_s"
                      : v == Variant::kEdge ? "susan_e"
                                            : "susan_c";
-  return syntheticImage(salt, s, d.w, d.h);
+  return syntheticImage(salt, s, d.w, d.h, seed);
 }
 
-std::vector<u8> referenceOutput(Variant v, InputSize s) {
+std::vector<u8> referenceOutput(Variant v, InputSize s, u64 seed) {
   const Dims d = dimsFor(v, s);
-  const std::vector<u8> img = image(v, s);
+  const std::vector<u8> img = image(v, s, seed);
   std::vector<u8> out = img;  // borders pass through
 
   const auto lut = brightnessLut(v == Variant::kSmooth  ? kSmoothT
@@ -103,7 +103,7 @@ std::vector<u8> referenceOutput(Variant v, InputSize s) {
 
 class SusanWorkload : public Workload {
  public:
-  explicit SusanWorkload(Variant v) : variant_(v) {}
+  SusanWorkload(u64 seed, Variant v) : Workload(seed), variant_(v) {}
 
   std::string name() const override {
     switch (variant_) {
@@ -212,7 +212,8 @@ class SusanWorkload : public Workload {
 
   void prepare(mem::Memory& memory, InputSize size) const override {
     const Dims d = dimsFor(variant_, size);
-    writeBytes(memory, guestAddr(img_off_), image(variant_, size));
+    writeBytes(memory, guestAddr(img_off_),
+               image(variant_, size, experimentSeed()));
     memory.store32(guestAddr(w_off_), d.w);
     memory.store32(guestAddr(h_off_), d.h);
   }
@@ -222,7 +223,7 @@ class SusanWorkload : public Workload {
   }
 
   std::vector<u8> expected(InputSize size) const override {
-    std::vector<u8> e = referenceOutput(variant_, size);
+    std::vector<u8> e = referenceOutput(variant_, size, experimentSeed());
     e.resize(kMaxPixels, 0);
     return e;
   }
@@ -294,14 +295,14 @@ class SusanWorkload : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makeSusanS() {
-  return std::make_unique<SusanWorkload>(Variant::kSmooth);
+std::unique_ptr<Workload> makeSusanS(u64 seed) {
+  return std::make_unique<SusanWorkload>(seed, Variant::kSmooth);
 }
-std::unique_ptr<Workload> makeSusanE() {
-  return std::make_unique<SusanWorkload>(Variant::kEdge);
+std::unique_ptr<Workload> makeSusanE(u64 seed) {
+  return std::make_unique<SusanWorkload>(seed, Variant::kEdge);
 }
-std::unique_ptr<Workload> makeSusanC() {
-  return std::make_unique<SusanWorkload>(Variant::kCorner);
+std::unique_ptr<Workload> makeSusanC(u64 seed) {
+  return std::make_unique<SusanWorkload>(seed, Variant::kCorner);
 }
 
 }  // namespace

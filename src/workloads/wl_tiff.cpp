@@ -45,12 +45,12 @@ const char* variantName(Variant v) {
   WP_UNREACHABLE("bad variant");
 }
 
-std::vector<u8> rgbImage(Variant v, InputSize s) {
+std::vector<u8> rgbImage(Variant v, InputSize s, u64 seed) {
   const Dims d = dimsFor(v, s);
   const std::string base = variantName(v);
-  const auto r = syntheticImage(base + "-r", s, d.w, d.h);
-  const auto g = syntheticImage(base + "-g", s, d.w, d.h);
-  const auto b = syntheticImage(base + "-b", s, d.w, d.h);
+  const auto r = syntheticImage(base + "-r", s, d.w, d.h, seed);
+  const auto g = syntheticImage(base + "-g", s, d.w, d.h, seed);
+  const auto b = syntheticImage(base + "-b", s, d.w, d.h, seed);
   std::vector<u8> out;
   out.reserve(r.size() * 3);
   for (std::size_t i = 0; i < r.size(); ++i) {
@@ -61,14 +61,14 @@ std::vector<u8> rgbImage(Variant v, InputSize s) {
   return out;
 }
 
-std::vector<u8> grayImage(Variant v, InputSize s) {
+std::vector<u8> grayImage(Variant v, InputSize s, u64 seed) {
   const Dims d = dimsFor(v, s);
-  return syntheticImage(variantName(v), s, d.w, d.h);
+  return syntheticImage(variantName(v), s, d.w, d.h, seed);
 }
 
-std::vector<u32> rgbaPalette() {
+std::vector<u32> rgbaPalette(u64 seed) {
   const auto bytes = randomBytes("tiff2rgba-palette", InputSize::kSmall,
-                                 256 * 4);
+                                 256 * 4, seed);
   std::vector<u32> pal(256);
   for (u32 i = 0; i < 256; ++i) {
     pal[i] = static_cast<u32>(bytes[i * 4]) |
@@ -83,8 +83,8 @@ std::vector<u32> rgbaPalette() {
 // Host references
 // ---------------------------------------------------------------------------
 
-std::vector<u8> refBw(InputSize s) {
-  const auto rgb = rgbImage(Variant::kBw, s);
+std::vector<u8> refBw(InputSize s, u64 seed) {
+  const auto rgb = rgbImage(Variant::kBw, s, seed);
   std::vector<u8> out(rgb.size() / 3);
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = static_cast<u8>(
@@ -94,17 +94,17 @@ std::vector<u8> refBw(InputSize s) {
   return out;
 }
 
-std::vector<u8> refRgba(InputSize s) {
-  const auto idx = grayImage(Variant::kRgba, s);
-  const auto pal = rgbaPalette();
+std::vector<u8> refRgba(InputSize s, u64 seed) {
+  const auto idx = grayImage(Variant::kRgba, s, seed);
+  const auto pal = rgbaPalette(seed);
   std::vector<u32> out(idx.size());
   for (std::size_t i = 0; i < idx.size(); ++i) out[i] = pal[idx[i]];
   return toBytes(out);
 }
 
-std::vector<u8> refDither(InputSize s) {
+std::vector<u8> refDither(InputSize s, u64 seed) {
   const Dims d = dimsFor(Variant::kDither, s);
-  const auto img = grayImage(Variant::kDither, s);
+  const auto img = grayImage(Variant::kDither, s, seed);
   std::vector<u8> out(img.size());
   std::vector<i32> cur(d.w + 2, 0), next(d.w + 2, 0);
   for (u32 y = 0; y < d.h; ++y) {
@@ -129,8 +129,8 @@ struct MedianResult {
   std::vector<u8> indices;
 };
 
-MedianResult refMedian(InputSize s) {
-  const auto rgb = rgbImage(Variant::kMedian, s);
+MedianResult refMedian(InputSize s, u64 seed) {
+  const auto rgb = rgbImage(Variant::kMedian, s, seed);
   const std::size_t npix = rgb.size() / 3;
 
   std::vector<u32> hist(256, 0);
@@ -181,7 +181,7 @@ MedianResult refMedian(InputSize s) {
 
 class TiffWorkload : public Workload {
  public:
-  explicit TiffWorkload(Variant v) : variant_(v) {}
+  TiffWorkload(u64 seed, Variant v) : Workload(seed), variant_(v) {}
 
   std::string name() const override { return variantName(variant_); }
 
@@ -202,9 +202,11 @@ class TiffWorkload : public Workload {
     memory.store32(guestAddr(h_off_), d.h);
     memory.store32(guestAddr(npix_off_), d.w * d.h);
     if (variant_ == Variant::kBw || variant_ == Variant::kMedian) {
-      writeBytes(memory, guestAddr(in_off_), rgbImage(variant_, size));
+      writeBytes(memory, guestAddr(in_off_),
+                 rgbImage(variant_, size, experimentSeed()));
     } else {
-      writeBytes(memory, guestAddr(in_off_), grayImage(variant_, size));
+      writeBytes(memory, guestAddr(in_off_),
+                 grayImage(variant_, size, experimentSeed()));
     }
   }
 
@@ -229,22 +231,22 @@ class TiffWorkload : public Workload {
   std::vector<u8> expected(InputSize size) const override {
     switch (variant_) {
       case Variant::kBw: {
-        auto e = refBw(size);
+        auto e = refBw(size, experimentSeed());
         e.resize(kMaxPixels, 0);
         return e;
       }
       case Variant::kRgba: {
-        auto e = refRgba(size);
+        auto e = refRgba(size, experimentSeed());
         e.resize(kMaxPixels * 4, 0);
         return e;
       }
       case Variant::kDither: {
-        auto e = refDither(size);
+        auto e = refDither(size, experimentSeed());
         e.resize(kMaxPixels, 0);
         return e;
       }
       case Variant::kMedian: {
-        const MedianResult r = refMedian(size);
+        const MedianResult r = refMedian(size, experimentSeed());
         std::vector<u8> e = r.palette;
         std::vector<u8> idx = r.indices;
         idx.resize(kMaxPixels, 0);
@@ -297,7 +299,7 @@ class TiffWorkload : public Workload {
 
   void buildRgba(asmkit::ModuleBuilder& mb) {
     using namespace asmkit;
-    mb.dataWords("palette", rgbaPalette());
+    mb.dataWords("palette", rgbaPalette(experimentSeed()));
     commonSymbols(mb, kMaxPixels, kMaxPixels * 4);
     auto& f = mb.func("main");
     f.prologue({r4, r5, r6, r7});
@@ -565,17 +567,17 @@ class TiffWorkload : public Workload {
 
 }  // namespace
 
-std::unique_ptr<Workload> makeTiff2bw() {
-  return std::make_unique<TiffWorkload>(Variant::kBw);
+std::unique_ptr<Workload> makeTiff2bw(u64 seed) {
+  return std::make_unique<TiffWorkload>(seed, Variant::kBw);
 }
-std::unique_ptr<Workload> makeTiff2rgba() {
-  return std::make_unique<TiffWorkload>(Variant::kRgba);
+std::unique_ptr<Workload> makeTiff2rgba(u64 seed) {
+  return std::make_unique<TiffWorkload>(seed, Variant::kRgba);
 }
-std::unique_ptr<Workload> makeTiffdither() {
-  return std::make_unique<TiffWorkload>(Variant::kDither);
+std::unique_ptr<Workload> makeTiffdither(u64 seed) {
+  return std::make_unique<TiffWorkload>(seed, Variant::kDither);
 }
-std::unique_ptr<Workload> makeTiffmedian() {
-  return std::make_unique<TiffWorkload>(Variant::kMedian);
+std::unique_ptr<Workload> makeTiffmedian(u64 seed) {
+  return std::make_unique<TiffWorkload>(seed, Variant::kMedian);
 }
 
 }  // namespace wp::workloads

@@ -116,6 +116,52 @@ TEST(Driver, WayMemoizationRunsOriginalLayout) {
   EXPECT_EQ(wp.layout, layout::Policy::kWayPlacement);
 }
 
+// Regression for the former process-wide experiment seed: when two
+// Runners with different seeds interleaved their prepare/run/expected
+// calls, whichever ran last silently re-installed its own seed for
+// everyone, so the other runner's expected() was computed from the
+// wrong inputs. The seed now lives in each Workload instance, so the
+// interleaved results must be byte-identical to running each runner
+// alone.
+TEST(Driver, InterleavedRunnersWithDifferentSeedsDoNotClobber) {
+  const driver::SchemeSpec spec = driver::SchemeSpec::baseline();
+
+  // Solo references: one runner at a time, nothing to interfere with.
+  std::vector<u8> solo_out1, solo_exp1, solo_out2, solo_exp2;
+  {
+    driver::Runner solo(energy::EnergyParams{}, 1);
+    const driver::PreparedWorkload p = solo.prepare("crc");
+    solo_out1 = solo.run(p, kXScale, spec).output;
+    solo_exp1 = p.workload->expected(workloads::InputSize::kLarge);
+  }
+  {
+    driver::Runner solo(energy::EnergyParams{}, 2);
+    const driver::PreparedWorkload p = solo.prepare("crc");
+    solo_out2 = solo.run(p, kXScale, spec).output;
+    solo_exp2 = p.workload->expected(workloads::InputSize::kLarge);
+  }
+  EXPECT_EQ(solo_out1, solo_exp1);
+  EXPECT_EQ(solo_out2, solo_exp2);
+  ASSERT_NE(solo_out1, solo_out2)
+      << "different seeds must generate different inputs";
+
+  // Fully interleaved: every call on `a` is followed by a call on `b`
+  // before a's results are read back.
+  driver::Runner a(energy::EnergyParams{}, 1);
+  driver::Runner b(energy::EnergyParams{}, 2);
+  const driver::PreparedWorkload pa = a.prepare("crc");
+  const driver::PreparedWorkload pb = b.prepare("crc");
+  const std::vector<u8> out_a = a.run(pa, kXScale, spec).output;
+  const std::vector<u8> out_b = b.run(pb, kXScale, spec).output;
+  const auto exp_a = pa.workload->expected(workloads::InputSize::kLarge);
+  const auto exp_b = pb.workload->expected(workloads::InputSize::kLarge);
+
+  EXPECT_EQ(out_a, solo_out1);
+  EXPECT_EQ(out_b, solo_out2);
+  EXPECT_EQ(exp_a, solo_exp1);
+  EXPECT_EQ(exp_b, solo_exp2);
+}
+
 TEST(Driver, MachineMatchesTable1) {
   driver::Runner runner;
   const sim::MachineConfig m =

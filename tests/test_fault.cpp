@@ -390,8 +390,8 @@ TEST(Seed, DifferentSeedsChangeInputsButStayCorrect) {
   const driver::PreparedWorkload pa = a.prepare("crc");
   const driver::RunResult ra =
       a.run(pa, kXScale, driver::SchemeSpec::baseline());
-  // expected() uses the experiment seed too, so read it while a's seed
-  // is installed (run() re-installs it).
+  // expected() derives from the workload instance's own seed, so it can
+  // be read at any point — no ambient state to re-install.
   const auto ea = pa.workload->expected(workloads::InputSize::kLarge);
   EXPECT_EQ(ra.output, ea);
 

@@ -1,13 +1,16 @@
-// Unit tests for the support library: bit utilities, PRNG, statistics
-// and the table printer.
+// Unit tests for the support library: bit utilities, PRNG, statistics,
+// the table printer and the thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
 
 #include "support/bitops.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace wp {
 namespace {
@@ -138,6 +141,62 @@ TEST(Table, RendersAligned) {
 TEST(Table, Fmt) {
   EXPECT_EQ(fmt(1.23456, 2), "1.23");
   EXPECT_EQ(fmtPct(0.503, 1), "50.3%");
+}
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, TasksCanSubmitTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&pool, &done] {
+      done.fetch_add(1, std::memory_order_relaxed);
+      for (int j = 0; j < 4; ++j) {
+        pool.submit(
+            [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), 20 * 5);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is consumed: the pool is reusable afterwards.
+  std::atomic<int> done{0};
+  pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossWaitCycles) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threadCount(), ThreadPool::hardwareThreads());
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,197 @@
+// Tests for the parallel sweep executor: memo-key uniqueness,
+// deterministic aggregation independent of the worker-thread count, and
+// the WP_JSON cell report.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/sweep.hpp"
+
+namespace wp {
+namespace {
+
+const cache::CacheGeometry kXScale{32 * 1024, 32, 32};
+
+std::vector<std::string> fastSubset() { return {"crc", "bitcount"}; }
+
+// ---------------------------------------------------------------------
+// keyOf: every field that can change a result must change the key.
+
+TEST(SweepKey, DistinctSpecsGetDistinctKeys) {
+  std::vector<driver::SchemeSpec> specs;
+  specs.push_back(driver::SchemeSpec::baseline());
+  specs.push_back(driver::SchemeSpec::wayMemoization());
+  specs.push_back(driver::SchemeSpec::wayPrediction());
+  specs.push_back(driver::SchemeSpec::wayPlacement(1024));
+  specs.push_back(driver::SchemeSpec::wayPlacement(2048));
+
+  {  // each ablation/extension knob on its own
+    driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
+    s.intraline_skip = false;
+    specs.push_back(s);
+  }
+  {
+    driver::SchemeSpec s = driver::SchemeSpec::wayMemoization();
+    s.wm_precise_invalidation = true;
+    specs.push_back(s);
+  }
+  {
+    driver::SchemeSpec s = driver::SchemeSpec::baseline();
+    s.drowsy_window = 2048;
+    specs.push_back(s);
+  }
+  {
+    driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
+    s.layout = layout::Policy::kRandom;
+    specs.push_back(s);
+  }
+
+  // Fault schedules: period, seed and each class flag are key material.
+  {
+    driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
+    s.fault = fault::FaultSpec::allClasses(101);
+    specs.push_back(s);
+  }
+  {
+    driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
+    s.fault = fault::FaultSpec::allClasses(202);
+    specs.push_back(s);
+  }
+  {
+    driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
+    s.fault = fault::FaultSpec::allClasses(101, 7);
+    specs.push_back(s);
+  }
+  {
+    driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
+    s.fault.period = 101;
+    s.fault.flip_way_hint = true;
+    specs.push_back(s);
+  }
+  {
+    driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
+    s.fault.period = 101;
+    s.fault.resize_storm = true;
+    specs.push_back(s);
+  }
+
+  std::set<std::string> keys;
+  for (const driver::SchemeSpec& s : specs) {
+    keys.insert(driver::SweepExecutor::keyOf("crc", kXScale, s));
+  }
+  EXPECT_EQ(keys.size(), specs.size())
+      << "two distinct SchemeSpecs collided on one memo key";
+
+  // Workload and geometry are key material too.
+  const driver::SchemeSpec base = driver::SchemeSpec::baseline();
+  keys.insert(driver::SweepExecutor::keyOf("sha", kXScale, base));
+  keys.insert(driver::SweepExecutor::keyOf(
+      "crc", cache::CacheGeometry{16 * 1024, 32, 32}, base));
+  keys.insert(driver::SweepExecutor::keyOf(
+      "crc", cache::CacheGeometry{32 * 1024, 16, 32}, base));
+  keys.insert(driver::SweepExecutor::keyOf(
+      "crc", cache::CacheGeometry{32 * 1024, 32, 16}, base));
+  EXPECT_EQ(keys.size(), specs.size() + 4);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: the same grid aggregated on 1 and on 4 threads must give
+// bit-identical numbers (memoized cells + fixed aggregation order).
+
+TEST(SweepExecutor, AggregationIsBitIdenticalAcrossJobCounts) {
+  const driver::SchemeSpec wp = driver::SchemeSpec::wayPlacement(16 * 1024);
+  const driver::SchemeSpec wm = driver::SchemeSpec::wayMemoization();
+  const auto energy = [](const driver::Normalized& n) {
+    return n.icache_energy;
+  };
+  const auto ed = [](const driver::Normalized& n) { return n.ed_product; };
+
+  driver::SweepExecutor serial(fastSubset(), energy::EnergyParams{}, 0, 1);
+  driver::SweepExecutor parallel(fastSubset(), energy::EnergyParams{}, 0, 4);
+  EXPECT_EQ(serial.jobs(), 1u);
+  EXPECT_EQ(parallel.jobs(), 4u);
+
+  parallel.runAll({{kXScale, wp}, {kXScale, wm}});
+
+  EXPECT_EQ(serial.averageNormalized(kXScale, wp, energy),
+            parallel.averageNormalized(kXScale, wp, energy));
+  EXPECT_EQ(serial.averageNormalized(kXScale, wm, energy),
+            parallel.averageNormalized(kXScale, wm, energy));
+  EXPECT_EQ(serial.averageNormalized(kXScale, wp, ed),
+            parallel.averageNormalized(kXScale, wp, ed));
+
+  // The memoized raw results are identical too, not just the averages.
+  for (std::size_t i = 0; i < serial.prepared().size(); ++i) {
+    const auto& ps = serial.prepared()[i];
+    const auto& pp = parallel.prepared()[i];
+    ASSERT_EQ(ps.name, pp.name) << "preparation order must be stable";
+    const driver::RunResult& rs = serial.run(ps, kXScale, wp);
+    const driver::RunResult& rp = parallel.run(pp, kXScale, wp);
+    EXPECT_EQ(rs.stats.cycles, rp.stats.cycles);
+    EXPECT_EQ(rs.stats.dataflow_hash, rp.stats.dataflow_hash);
+    EXPECT_EQ(rs.output, rp.output);
+  }
+}
+
+TEST(SweepExecutor, RunMemoizesAndReturnsStableReferences) {
+  driver::SweepExecutor suite({"crc"}, energy::EnergyParams{}, 0, 2);
+  const auto& p = suite.prepared().at(0);
+  const driver::RunResult& a =
+      suite.run(p, kXScale, driver::SchemeSpec::baseline());
+  const driver::RunResult& b =
+      suite.run(p, kXScale, driver::SchemeSpec::baseline());
+  EXPECT_EQ(&a, &b) << "second request must hit the memo";
+}
+
+// ---------------------------------------------------------------------
+// JSON report round-trip.
+
+// Minimal extraction of `"key": <number>` at/after `from`.
+double jsonNumber(const std::string& json, const std::string& key,
+                  std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = json.find(needle, from);
+  EXPECT_NE(at, std::string::npos) << "missing JSON key " << key;
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+TEST(SweepExecutor, JsonReportRoundTripsCellMetrics) {
+  driver::SweepExecutor suite(fastSubset(), energy::EnergyParams{}, 0, 2);
+  const driver::SchemeSpec wp = driver::SchemeSpec::wayPlacement(16 * 1024);
+  suite.runAll({{kXScale, wp}});
+
+  std::ostringstream os;
+  suite.writeJsonReport(os);
+  const std::string json = os.str();
+
+  EXPECT_EQ(jsonNumber(json, "seed"), 0.0);
+  EXPECT_EQ(jsonNumber(json, "jobs"), 2.0);
+  EXPECT_GT(jsonNumber(json, "wall_seconds"), 0.0);
+  EXPECT_EQ(jsonNumber(json, "workloads"), 2.0);
+
+  // Each workload's cell carries exactly the normalized metrics the
+  // tables are built from, at full precision.
+  for (const auto& p : suite.prepared()) {
+    const driver::Normalized n = driver::normalize(
+        suite.run(p, kXScale, wp),
+        suite.run(p, kXScale, driver::SchemeSpec::baseline()), p.name);
+    const std::size_t cell = json.find("\"workload\": \"" + p.name + "\"");
+    ASSERT_NE(cell, std::string::npos) << "no JSON cell for " << p.name;
+    EXPECT_EQ(jsonNumber(json, "icache_energy", cell), n.icache_energy);
+    EXPECT_EQ(jsonNumber(json, "total_energy", cell), n.total_energy);
+    EXPECT_EQ(jsonNumber(json, "delay", cell), n.delay);
+    EXPECT_EQ(jsonNumber(json, "ed_product", cell), n.ed_product);
+    EXPECT_EQ(jsonNumber(json, "wp_area_bytes", cell), 16384.0);
+  }
+
+  // Baseline cells are not reported (they normalize to 1 by definition).
+  EXPECT_EQ(json.find("\"scheme\": \"baseline\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wp
