@@ -46,6 +46,6 @@ int main() {
   std::cout << "\nway-placement keeps most of its saving without the skip\n"
                "(single-way search already removes W-1 of W tag checks);\n"
                "way-memoization depends on it much more heavily.\n";
-  suite.emitJsonIfRequested();
+  bench::finish(suite);
   return 0;
 }

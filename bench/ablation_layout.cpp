@@ -69,6 +69,6 @@ int main() {
                "same-line\nfetches are free either way and placement only "
                "governs the\nline-crossing residue (as in the paper's "
                "Figure 5 sensitivity).\n";
-  suite.emitJsonIfRequested();
+  bench::finish(suite);
   return 0;
 }

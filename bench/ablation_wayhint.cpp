@@ -44,6 +44,6 @@ int main() {
   std::cout << "\npaper: \"using the way-hint bit to predict a "
                "way-placement access is very accurate\" — measured "
             << fmtPct(acc.mean(), 2) << " average accuracy\n";
-  suite.emitJsonIfRequested();
+  bench::finish(suite);
   return 0;
 }

@@ -50,6 +50,6 @@ int main() {
   std::cout << "\neven idealized invalidation cannot remove the 21% link\n"
                "storage overhead on every data access, so way-placement\n"
                "stays ahead.\n";
-  suite.emitJsonIfRequested();
+  bench::finish(suite);
   return 0;
 }

@@ -10,6 +10,7 @@
 //                       historical fixed inputs)
 //   WP_JOBS             worker threads (default: hardware threads)
 //   WP_JSON             path for the machine-readable cell report
+//   WP_TRACE            path for the JSONL sweep event log
 #pragma once
 
 #include <string>
@@ -45,5 +46,16 @@ namespace wp::bench {
 /// Prints a standard bench header naming the figure being regenerated,
 /// the experiment seed and the worker-thread count.
 void printHeader(const std::string& title, const std::string& paper_ref);
+
+/// Standard bench epilogue: prints the one-line throughput/progress
+/// summary to stderr (stderr so stdout tables stay byte-identical at
+/// any WP_JOBS) and emits the WP_JSON report if requested. Every
+/// fig/ablation/extension bench calls this after its tables.
+void finish(const driver::SweepExecutor& suite);
+
+/// Throughput summary for benches that drive a bare Runner (no sweep
+/// executor, so no memo/JSON): guest instructions, host simulate time
+/// and MIPS from the runner's phase metrics. Printed to stderr.
+void printRunnerSummary(const driver::Runner& runner);
 
 }  // namespace wp::bench

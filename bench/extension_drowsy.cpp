@@ -87,6 +87,6 @@ int main() {
   std::cout << "\nthe savings compose: way-placement removes tag-side\n"
                "dynamic energy, drowsy lines remove leakage, and the\n"
                "combination beats either alone — as the paper claims.\n";
-  suite.emitJsonIfRequested();
+  bench::finish(suite);
   return 0;
 }

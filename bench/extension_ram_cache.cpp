@@ -56,6 +56,6 @@ int main() {
             << fmtPct(1.0 - ram_wp.mean(), 1)
             << " of I-cache energy — way-placement ports as §4.2 claims,\n"
                "with an even larger payoff than on the XScale's CAM.\n";
-  suite.emitJsonIfRequested();
+  bench::finish(suite);
   return 0;
 }

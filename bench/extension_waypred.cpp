@@ -51,6 +51,6 @@ int main() {
                "way-memoization remembers but stores links in the data\n"
                "array; way-placement *knows* (the compiler fixed the way)\n"
                "and pays neither cost.\n";
-  suite.emitJsonIfRequested();
+  bench::finish(suite);
   return 0;
 }

@@ -59,6 +59,6 @@ int main() {
             << "  way-placement average ED " << fmt(edwp.mean(), 2)
             << " (paper: 0.93), benchmarks below 0.9: " << wp_ed_below_090
             << " (paper: 2)\n";
-  suite.emitJsonIfRequested();
+  bench::finish(suite);
   return 0;
 }

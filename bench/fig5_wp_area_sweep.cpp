@@ -59,6 +59,6 @@ int main() {
             << " (paper: 0.94)\n"
             << "  way-memoization only reaches " << fmtPct(wm_e, 1)
             << " (paper: 68%)\n";
-  suite.emitJsonIfRequested();
+  bench::finish(suite);
   return 0;
 }

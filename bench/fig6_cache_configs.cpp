@@ -101,6 +101,6 @@ int main() {
             << "  minimum savings on the 64KB/32-way cache: "
             << fmtPct(min_savings_64_32, 1)
             << " (paper: at least 59% on its largest config)\n";
-  suite.emitJsonIfRequested();
+  bench::finish(suite);
   return 0;
 }

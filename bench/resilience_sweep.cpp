@@ -103,5 +103,6 @@ int main() {
             << (all_ok ? "bit-identical to fault-free runs\n"
                        : "DIVERGED — way-placement state leaked into "
                          "correctness\n");
+  bench::printRunnerSummary(runner);
   return all_ok ? 0 : 1;
 }

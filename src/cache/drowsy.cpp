@@ -38,6 +38,18 @@ bool DrowsyCache::access(u32 set, u32 way) {
   return woke;
 }
 
+void DrowsyCache::onCacheFlush() {
+  // Internal consistency first: the cached count must agree with the
+  // bitmap it summarizes, or the leakage integrals above were wrong.
+  WP_ENSURE(static_cast<u32>(
+                std::count(awake_.begin(), awake_.end(), true)) == awake_count_,
+            "drowsy awake-line count disagrees with the per-line bitmap");
+  std::fill(awake_.begin(), awake_.end(), false);
+  awake_count_ = 0;
+  // The global drowse sweep is a free-running wired countdown; a cache
+  // flush does not reset it. Stats intentionally survive.
+}
+
 void DrowsyCache::reset() {
   std::fill(awake_.begin(), awake_.end(), false);
   awake_count_ = 0;

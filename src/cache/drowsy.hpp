@@ -37,7 +37,16 @@ class DrowsyCache {
   [[nodiscard]] u32 totalLines() const {
     return static_cast<u32>(awake_.size());
   }
+  [[nodiscard]] u32 awakeLines() const { return awake_count_; }
   [[nodiscard]] const DrowsyStats& stats() const { return stats_; }
+
+  /// Models the drowsy side of a whole-cache invalidation (e.g. the
+  /// flush an OS WP-area resize performs): every tracked line is
+  /// invalid afterwards, so none may be tracked awake. Unlike reset(),
+  /// the accumulated statistics survive — a flush changes which lines
+  /// exist, not what the run already spent on wakeups and leakage.
+  /// Postcondition (checked): awakeLines() == 0.
+  void onCacheFlush();
 
   void reset();
 

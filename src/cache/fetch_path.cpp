@@ -71,13 +71,25 @@ void FetchPath::resizeWayPlacementArea(u32 bytes) {
   // invalidates the I-cache as part of the attribute change.
   icache_.flush();
   hint_.reset();
+  // The flush invalidated every line, so per-line drowsy state now
+  // describes lines that no longer exist; carrying it across the
+  // resize would skip wake penalties on fresh fills and mis-price
+  // leakage. Drop the line state (statistics survive) and assert the
+  // invariant: a flushed cache tracks no awake line.
+  drowsy_.onCacheFlush();
+  WP_ENSURE(drowsy_.awakeLines() == 0,
+            "I-cache flushed but the drowsy controller still tracks "
+            "awake lines");
   last_valid_ = false;
 }
 
 u32 FetchPath::missPenalty() const {
-  // 50-cycle memory latency plus one bus cycle per remaining word of the
-  // line over the 32-bit memory bus (Table 1); the fill buffer forwards
-  // the critical word first, so execution resumes after latency + 1.
+  // 50-cycle memory latency plus one bus cycle per word of the line
+  // over the 32-bit memory bus (Table 1). No critical-word-first
+  // forwarding: the in-order model stalls the fetch until the whole
+  // line has arrived, exactly like the D-cache's missPenalty(), so a
+  // miss costs latency + wordsPerLine cycles. (DESIGN.md §5 records
+  // why this is the Table-1-faithful choice.)
   return config_.mem_latency_cycles + config_.icache.wordsPerLine();
 }
 

@@ -125,6 +125,9 @@ class FetchPath {
     return drowsy_.stats();
   }
   [[nodiscard]] u32 icacheLines() const { return drowsy_.totalLines(); }
+  /// Lines the drowsy controller currently tracks awake (0 after any
+  /// whole-cache invalidation, e.g. a WP-area resize).
+  [[nodiscard]] u32 awakeDrowsyLines() const { return drowsy_.awakeLines(); }
 
   /// Registers @p hook to run before every fetch (nullptr detaches).
   void attachFaultHook(FetchFaultHook* hook) { fault_hook_ = hook; }

@@ -39,10 +39,15 @@ PreparedWorkload Runner::prepare(const std::string& name,
   // The seed is threaded into the workload instance itself (inputs, key
   // material, references) — there is no process-wide seed, so Runners
   // with different seeds can interleave or run on different threads.
-  p.workload = workloads::makeWorkload(name, seed_);
-  p.module = p.workload->build();
+  {
+    ScopedTimer span(metrics_.timer("phase.build"));
+    p.workload = workloads::makeWorkload(name, seed_);
+    p.module = p.workload->build();
+    p.phases.build_seconds = span.stop();
+  }
 
   // Profile the original-order binary on the training input.
+  ScopedTimer profile_span(metrics_.timer("phase.profile"));
   p.original = layout::linkWithPolicy(p.module, layout::Policy::kOriginal);
   mem::Memory memory;
   p.original.loadInto(memory);
@@ -62,18 +67,24 @@ PreparedWorkload Runner::prepare(const std::string& name,
   if (const auto problem = profile::validate(p.module, prof)) {
     p.profile_ok = false;
     p.profile_warning = *problem;
+    p.phases.profile_seconds = profile_span.stop();
     std::fprintf(stderr,
                  "[wayplace] warning: workload '%s': training profile "
                  "unusable (%s); falling back to original layout\n",
                  name.c_str(), problem->c_str());
+    ScopedTimer layout_span(metrics_.timer("phase.layout"));
     p.wayplaced = layout::linkWithPolicy(p.module, layout::Policy::kOriginal);
+    p.phases.layout_seconds = layout_span.stop();
     return p;
   }
 
   profile::annotate(p.module, prof);
+  p.phases.profile_seconds = profile_span.stop();
 
   // The way-placement layout (heaviest chains first).
+  ScopedTimer layout_span(metrics_.timer("phase.layout"));
   p.wayplaced = layout::linkWithPolicy(p.module, layout::Policy::kWayPlacement);
+  p.phases.layout_seconds = layout_span.stop();
   return p;
 }
 
@@ -105,6 +116,7 @@ RunResult Runner::run(const PreparedWorkload& prepared,
                   std::to_string(mem::kPageBytes) + "-byte page size");
   }
 
+  ScopedTimer simulate_span(metrics_.timer("phase.simulate"));
   mem::Memory memory;
   image.loadInto(memory);
   prepared.workload->prepare(memory, input);
@@ -132,8 +144,13 @@ RunResult Runner::run(const PreparedWorkload& prepared,
 
   RunResult result;
   result.stats = proc.run();
+  result.simulate_seconds = simulate_span.stop();
+  metrics_.counter("guest.instructions").add(result.stats.instructions);
+
+  ScopedTimer price_span(metrics_.timer("phase.price"));
   result.energy = sim::Processor::price(model_, machine, result.stats);
   result.output = prepared.workload->output(memory);
+  result.price_seconds = price_span.stop();
   if (injector.has_value()) result.injected = injector->stats();
   return result;
 }

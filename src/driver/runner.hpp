@@ -20,6 +20,7 @@
 #include "layout/layout.hpp"
 #include "profile/profiler.hpp"
 #include "sim/processor.hpp"
+#include "support/metrics.hpp"
 #include "workloads/workload.hpp"
 
 namespace wp::driver {
@@ -55,10 +56,34 @@ struct SchemeSpec {
   }
 };
 
+/// Host wall-clock spent in the preparation phases of one workload.
+/// Pure observability: none of these values feed back into a result.
+struct PreparePhases {
+  double build_seconds = 0.0;    ///< workload construction + IR build
+  double profile_seconds = 0.0;  ///< original link + training run
+  double layout_seconds = 0.0;   ///< way-placement chain layout + link
+  [[nodiscard]] double total() const {
+    return build_seconds + profile_seconds + layout_seconds;
+  }
+};
+
 /// One priced simulation.
 struct RunResult {
   sim::RunStats stats;
   energy::RunEnergy energy;
+  /// Host wall-clock of the simulate (machine setup + run) and price
+  /// phases for this cell. Observability only — never fed back into
+  /// the simulated machine, so results are identical with or without
+  /// anyone reading them.
+  double simulate_seconds = 0.0;
+  double price_seconds = 0.0;
+  /// Guest-instruction throughput of the simulation in millions of
+  /// instructions per host second (0 when the span was unmeasurably
+  /// short).
+  [[nodiscard]] double guestMips() const {
+    if (simulate_seconds <= 0.0) return 0.0;
+    return static_cast<double>(stats.instructions) / simulate_seconds / 1e6;
+  }
   /// Workload result bytes read back after the run — compared against
   /// Workload::expected and across fault classes by the resilience
   /// harness.
@@ -80,6 +105,7 @@ struct PreparedWorkload {
   /// profile costs energy, never correctness or the whole sweep).
   bool profile_ok = true;
   std::string profile_warning;  ///< why, when !profile_ok
+  PreparePhases phases;         ///< host wall-clock per prepare phase
 };
 
 /// Normalized headline metrics of a scheme run against its baseline.
@@ -138,9 +164,18 @@ class Runner {
     return model_;
   }
 
+  /// Aggregated host-side observability: phase timers ("phase.build",
+  /// "phase.profile", "phase.layout", "phase.simulate", "phase.price")
+  /// and the "guest.instructions" counter, accumulated across every
+  /// prepare()/run() on this Runner from any thread. Mutable through a
+  /// const Runner by design — recording a timing span must not force
+  /// the experiment API non-const.
+  [[nodiscard]] MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   energy::EnergyModel model_;
   u64 seed_ = 0;
+  mutable MetricsRegistry metrics_;
 };
 
 }  // namespace wp::driver

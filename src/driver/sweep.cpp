@@ -39,6 +39,10 @@ struct SweepExecutor::CellEntry {
   /// whose simulation never completed (e.g. it threw).
   std::atomic<bool> ready{false};
   RunResult result;
+  /// Host wall-clock of the whole cell compute (simulate + price) and
+  /// the pool worker that ran it (-1: computed on an external thread).
+  double wall_seconds = 0.0;
+  int worker = -1;
 };
 
 SweepExecutor::SweepExecutor(std::vector<std::string> workload_names,
@@ -47,6 +51,15 @@ SweepExecutor::SweepExecutor(std::vector<std::string> workload_names,
     : runner_(params, seed),
       pool_(jobs == 0 ? jobsFromEnv() : jobs),
       start_(std::chrono::steady_clock::now()) {
+  if (const char* trace_path = std::getenv("WP_TRACE");
+      trace_path != nullptr && *trace_path != '\0') {
+    trace_ = std::make_unique<TraceWriter>(trace_path);
+    trace_->write(TraceEvent("sweep_start")
+                      .num("seed", runner_.seed())
+                      .num("jobs", pool_.threadCount())
+                      .num("workloads",
+                           static_cast<u64>(workload_names.size())));
+  }
   std::fprintf(stderr,
                "preparing %zu workloads (profile + layout) on %u "
                "thread(s)...\n",
@@ -55,12 +68,34 @@ SweepExecutor::SweepExecutor(std::vector<std::string> workload_names,
   for (std::size_t i = 0; i < workload_names.size(); ++i) {
     pool_.submit([this, &workload_names, i] {
       prepared_[i] = runner_.prepare(workload_names[i]);
+      if (trace_) {
+        const PreparedWorkload& p = prepared_[i];
+        trace_->write(TraceEvent("prepare")
+                          .str("workload", p.name)
+                          .num("worker", ThreadPool::currentWorkerIndex())
+                          .num("build_seconds", p.phases.build_seconds)
+                          .num("profile_seconds", p.phases.profile_seconds)
+                          .num("layout_seconds", p.phases.layout_seconds)
+                          .boolean("profile_ok", p.profile_ok));
+      }
     });
   }
   pool_.wait();
 }
 
-SweepExecutor::~SweepExecutor() = default;
+SweepExecutor::~SweepExecutor() {
+  if (trace_) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    trace_->write(
+        TraceEvent("sweep_end")
+            .num("cells_computed", metrics_.counter("cells.computed").value())
+            .num("memo_hits", metrics_.counter("memo.hits").value())
+            .num("wall_seconds", wall));
+  }
+}
 
 std::string SweepExecutor::keyOf(const std::string& workload,
                                  const cache::CacheGeometry& g,
@@ -99,10 +134,43 @@ SweepExecutor::CellEntry& SweepExecutor::ensureCell(
   // Exactly-once compute; a second thread asking for the same cell
   // blocks here until the first finishes. On a throw the flag stays
   // unset, so a later call retries instead of returning garbage.
+  bool computed_here = false;
   std::call_once(entry->once, [&] {
+    const int worker = ThreadPool::currentWorkerIndex();
+    if (trace_) {
+      trace_->write(
+          TraceEvent("cell_start").str("key", key).num("worker", worker));
+    }
+    ScopedTimer span(metrics_.timer("cell.wall"));
     entry->result = runner_.run(p, icache, spec);
+    entry->wall_seconds = span.stop();
+    entry->worker = worker;
+    metrics_.counter("cells.computed").add();
+    if (trace_) {
+      trace_->write(TraceEvent("cell_end")
+                        .str("key", key)
+                        .num("worker", worker)
+                        .num("wall_seconds", entry->wall_seconds)
+                        .num("simulate_seconds",
+                             entry->result.simulate_seconds)
+                        .num("price_seconds", entry->result.price_seconds)
+                        .num("guest_mips", entry->result.guestMips())
+                        .num("instructions",
+                             entry->result.stats.instructions)
+                        .num("cycles", entry->result.stats.cycles));
+    }
     entry->ready.store(true, std::memory_order_release);
+    computed_here = true;
   });
+  if (!computed_here) {
+    // Either a true memo hit or a wait on another thread's compute —
+    // both mean this request cost (almost) nothing.
+    metrics_.counter("memo.hits").add();
+    if (trace_) {
+      trace_->write(TraceEvent("memo_hit").str("key", key).num(
+          "worker", ThreadPool::currentWorkerIndex()));
+    }
+  }
   return *entry;
 }
 
@@ -144,28 +212,7 @@ double SweepExecutor::averageNormalized(
 
 namespace {
 
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
+// jsonEscape comes from support/metrics.hpp.
 const char* jsonBool(bool b) { return b ? "true" : "false"; }
 
 }  // namespace
@@ -174,6 +221,9 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
+  MetricsRegistry& rm = runner_.metrics();
+  const double simulate_total = rm.timer("phase.simulate").seconds();
+  const u64 guest_insts = rm.counter("guest.instructions").value();
   std::lock_guard<std::mutex> lock(memo_mutex_);
   os.precision(17);
   os << "{\n"
@@ -181,6 +231,30 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
      << "  \"jobs\": " << pool_.threadCount() << ",\n"
      << "  \"wall_seconds\": " << wall << ",\n"
      << "  \"workloads\": " << prepared_.size() << ",\n"
+     << "  \"host\": {\"guest_instructions\": " << guest_insts
+     << ", \"simulate_seconds\": " << simulate_total << ", \"guest_mips\": "
+     << (simulate_total > 0.0
+             ? static_cast<double>(guest_insts) / simulate_total / 1e6
+             : 0.0)
+     << ", \"cells_computed\": " << metrics_.counter("cells.computed").value()
+     << ", \"memo_hits\": " << metrics_.counter("memo.hits").value()
+     << ", \"phase_seconds\": {\"build\": " << rm.timer("phase.build").seconds()
+     << ", \"profile\": " << rm.timer("phase.profile").seconds()
+     << ", \"layout\": " << rm.timer("phase.layout").seconds()
+     << ", \"simulate\": " << simulate_total
+     << ", \"price\": " << rm.timer("phase.price").seconds() << "}},\n"
+     << "  \"prepare\": [";
+  for (std::size_t i = 0; i < prepared_.size(); ++i) {
+    const PreparedWorkload& p = prepared_[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"workload\": \""
+       << jsonEscape(p.name) << "\""
+       << ", \"build_seconds\": " << p.phases.build_seconds
+       << ", \"profile_seconds\": " << p.phases.profile_seconds
+       << ", \"layout_seconds\": " << p.phases.layout_seconds
+       << ", \"profile_instructions\": " << p.profile_instructions
+       << ", \"profile_ok\": " << jsonBool(p.profile_ok) << "}";
+  }
+  os << "\n  ],\n"
      << "  \"cells\": [";
   bool first = true;
   for (const auto& [key, entry] : memo_) {
@@ -212,7 +286,13 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
        << ", \"total_energy\": " << n.total_energy
        << ", \"delay\": " << n.delay
        << ", \"ed_product\": " << n.ed_product
-       << ", \"cycles\": " << entry->result.stats.cycles << "}";
+       << ", \"cycles\": " << entry->result.stats.cycles
+       << ", \"instructions\": " << entry->result.stats.instructions
+       << ", \"wall_seconds\": " << entry->wall_seconds
+       << ", \"simulate_seconds\": " << entry->result.simulate_seconds
+       << ", \"price_seconds\": " << entry->result.price_seconds
+       << ", \"guest_mips\": " << entry->result.guestMips()
+       << ", \"worker\": " << entry->worker << "}";
     first = false;
   }
   os << "\n  ]\n}\n";
@@ -221,11 +301,43 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
 void SweepExecutor::emitJsonIfRequested() const {
   const char* path = std::getenv("WP_JSON");
   if (path == nullptr || *path == '\0') return;
+  // A requested report that silently vanishes is a harness correctness
+  // bug: fail loudly on open *and* on write/close, matching the strict
+  // WP_* environment parsing policy (exit 1 with a message, no partial
+  // artifact pretending to be a result).
+  errno = 0;
   std::ofstream out(path);
-  WP_ENSURE(out.good(), std::string("WP_JSON: cannot open '") + path +
-                            "' for writing");
+  if (!out.good()) dieOnIoError("WP_JSON", path, "cannot open report file");
   writeJsonReport(out);
+  out.flush();
+  if (!out.good()) dieOnIoError("WP_JSON", path, "write failed on");
+  if (trace_) trace_->write(TraceEvent("json_report").str("path", path));
   std::fprintf(stderr, "wrote JSON report to %s\n", path);
+}
+
+void SweepExecutor::printSummary(std::ostream& os) const {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  MetricsRegistry& rm = runner_.metrics();
+  const double simulate = rm.timer("phase.simulate").seconds();
+  const u64 insts = rm.counter("guest.instructions").value();
+  const double mips =
+      simulate > 0.0 ? static_cast<double>(insts) / simulate / 1e6 : 0.0;
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "[wayplace] sweep: %zu workloads, %llu cells priced "
+                "(+%llu memo hits), %.1fM guest insts, simulate %.2fs host "
+                "(%.1f MIPS), wall %.2fs, jobs %u%s\n",
+                prepared_.size(),
+                static_cast<unsigned long long>(
+                    metrics_.counter("cells.computed").value()),
+                static_cast<unsigned long long>(
+                    metrics_.counter("memo.hits").value()),
+                static_cast<double>(insts) / 1e6, simulate, mips, wall,
+                pool_.threadCount(),
+                trace_ ? (", trace: " + trace_->path()).c_str() : "");
+  os << line;
 }
 
 }  // namespace wp::driver

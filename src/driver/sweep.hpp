@@ -11,10 +11,19 @@
 //
 // Environment knobs (parsed strictly — garbage is a startup error, not
 // a silent default):
-//   WP_JOBS  worker-thread count; 0 or unset = one per hardware thread
-//   WP_JSON  path to write a machine-readable report of every priced
-//            cell (normalized energy/ED per cell, plus seed, job count
-//            and wall-clock) when the bench finishes
+//   WP_JOBS   worker-thread count; 0 or unset = one per hardware thread
+//   WP_JSON   path to write a machine-readable report of every priced
+//             cell (normalized energy/ED plus per-cell wall-clock,
+//             phase breakdown and guest MIPS) when the bench finishes
+//   WP_TRACE  path for a JSONL event log of the sweep as it executes:
+//             per-workload prepare phases, cell start/end with worker
+//             thread and durations, memo hits, report emission. Both
+//             report paths fail loudly (exit 1) when they cannot be
+//             opened or written — a requested artifact never silently
+//             vanishes.
+//
+// Instrumentation is host-side only: with or without WP_TRACE/WP_JSON,
+// at any WP_JOBS, the printed tables are byte-identical.
 #pragma once
 
 #include <chrono>
@@ -27,6 +36,7 @@
 #include <vector>
 
 #include "driver/runner.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 
 namespace wp::driver {
@@ -93,8 +103,21 @@ class SweepExecutor {
   void writeJsonReport(std::ostream& os) const;
 
   /// writeJsonReport to the WP_JSON path, if that variable is set.
-  /// Benches call this once after printing their tables.
+  /// Benches call this once after printing their tables. An unwritable
+  /// path is a fatal error (exit 1), not a silent omission.
   void emitJsonIfRequested() const;
+
+  /// One-line human summary of the sweep so far — cells priced, memo
+  /// hits, guest instructions, host throughput (MIPS), wall-clock and
+  /// job count. Benches print this to stderr (stderr, so the stdout
+  /// tables stay byte-identical across job counts).
+  void printSummary(std::ostream& os) const;
+
+  /// Host-side counters/timers: this executor's "cells.computed" /
+  /// "memo.hits" plus the shared Runner phase timers.
+  [[nodiscard]] MetricsRegistry& metrics() const { return metrics_; }
+  /// True when WP_TRACE requested a JSONL event log.
+  [[nodiscard]] bool tracing() const { return trace_ != nullptr; }
 
  private:
   struct CellEntry;
@@ -106,6 +129,10 @@ class SweepExecutor {
                         const SchemeSpec& spec);
 
   Runner runner_;
+  mutable MetricsRegistry metrics_;
+  /// Created before (and so destroyed after) the pool whose workers
+  /// write to it. Null unless WP_TRACE is set.
+  std::unique_ptr<TraceWriter> trace_;
   ThreadPool pool_;
   std::vector<PreparedWorkload> prepared_;
   mutable std::mutex memo_mutex_;  ///< also guards const report reads

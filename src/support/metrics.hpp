@@ -1,0 +1,189 @@
+// Observability primitives for the experiment harness: a thread-safe
+// counter/timer registry, RAII timing spans, and a JSONL trace writer.
+//
+// The registry aggregates *host-side* activity (phase wall-clock, memo
+// hits, guest instructions simulated); nothing here feeds back into the
+// simulated machine, so instrumentation can never perturb a result —
+// tables stay byte-identical whether or not a trace is being recorded.
+//
+// The trace writer emits one JSON object per line (JSONL), append-only
+// and flushed per event so a crashed sweep still leaves a readable
+// prefix. File errors follow the harness's strict-environment policy:
+// a requested trace that cannot be opened or written is a startup/run
+// error (exit 1 with a message naming the path), never a silent no-op.
+#pragma once
+
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/bitops.hpp"
+
+namespace wp {
+
+/// Escapes @p s for inclusion inside a double-quoted JSON string.
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+/// Reports an unusable metrics/report output file and exits with status
+/// 1 (the strict-environment policy: a requested artifact that cannot
+/// be produced is an error, not a silent omission). @p what names the
+/// knob (e.g. "WP_JSON"), @p detail the failing operation.
+[[noreturn]] void dieOnIoError(const std::string& what,
+                               const std::string& path,
+                               const std::string& detail);
+
+/// Monotonic u64 event counter; add() is safe from any thread.
+class Counter {
+ public:
+  void add(u64 n = 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ += n;
+  }
+  [[nodiscard]] u64 value() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  u64 value_ = 0;
+};
+
+/// Accumulated duration + span count; record() is safe from any thread.
+class Timer {
+ public:
+  void record(std::chrono::nanoseconds d) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ns_ += static_cast<u64>(d.count());
+    ++count_;
+  }
+  [[nodiscard]] u64 totalNanoseconds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_ns_;
+  }
+  [[nodiscard]] u64 count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(totalNanoseconds()) * 1e-9;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  u64 total_ns_ = 0;
+  u64 count_ = 0;
+};
+
+/// Named counters and timers, created on first use. Lookup returns a
+/// reference that stays valid for the registry's lifetime, so hot paths
+/// can cache it and pay only the atomic add per event.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  struct TimerSnapshot {
+    u64 total_ns = 0;
+    u64 count = 0;
+  };
+  /// A consistent copy for reporting (names sorted by map order).
+  [[nodiscard]] std::map<std::string, u64> counterValues() const;
+  [[nodiscard]] std::map<std::string, TimerSnapshot> timerValues() const;
+
+  /// Writes `"counters": {...}, "timers": {...}` (no surrounding
+  /// braces) so callers can embed the registry in a larger report.
+  void writeJsonFields(std::ostream& os, const std::string& indent) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/// RAII span: records the elapsed time into @p timer on destruction (or
+/// at an explicit stop(), which also returns the elapsed seconds).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer)
+      : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (timer_ != nullptr) stop();
+  }
+
+  /// Ends the span now; returns elapsed seconds. Idempotent.
+  double stop() {
+    if (timer_ == nullptr) return last_seconds_;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_->record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed));
+    last_seconds_ = std::chrono::duration<double>(elapsed).count();
+    timer_ = nullptr;
+    return last_seconds_;
+  }
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+  double last_seconds_ = 0.0;
+};
+
+/// One trace event: an ordered field list rendered as a JSON object.
+/// The event name becomes the leading `"ev"` field; the writer injects
+/// `"ts"` (seconds since trace start) right after it.
+class TraceEvent {
+ public:
+  explicit TraceEvent(std::string name) : name_(std::move(name)) {}
+
+  TraceEvent& str(const std::string& key, const std::string& value);
+  TraceEvent& num(const std::string& key, u64 value);
+  TraceEvent& num(const std::string& key, unsigned value) {
+    return num(key, static_cast<u64>(value));
+  }
+  TraceEvent& num(const std::string& key, int value);
+  TraceEvent& num(const std::string& key, double value);
+  TraceEvent& boolean(const std::string& key, bool value);
+
+  /// `{"ev": "<name>", "ts": <ts>, <fields...>}` — no trailing newline.
+  [[nodiscard]] std::string render(double ts_seconds) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Append-only JSONL event log. Thread-safe; every line is flushed so a
+/// crash loses at most the in-flight event. Both construction and every
+/// write fail loudly (exit 1) on I/O errors — see dieOnIoError().
+class TraceWriter {
+ public:
+  /// @p knob names the environment variable requesting the trace; it
+  /// appears in error messages ("WP_TRACE: cannot open ...").
+  TraceWriter(std::string path, std::string knob = "WP_TRACE");
+
+  void write(const TraceEvent& event);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] u64 eventsWritten() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+ private:
+  std::string path_;
+  std::string knob_;
+  std::ofstream out_;
+  mutable std::mutex mutex_;
+  u64 events_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wp

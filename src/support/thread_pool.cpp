@@ -33,6 +33,8 @@ namespace {
 thread_local int t_worker_index = -1;
 }  // namespace
 
+int ThreadPool::currentWorkerIndex() { return t_worker_index; }
+
 void ThreadPool::submit(Task task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);

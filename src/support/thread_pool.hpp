@@ -53,6 +53,11 @@ class ThreadPool {
   /// std::thread::hardware_concurrency with a floor of 1.
   [[nodiscard]] static unsigned hardwareThreads();
 
+  /// Dense index of the pool worker running the calling thread, or -1
+  /// when called from a thread no pool owns (e.g. main). Used by the
+  /// sweep trace to attribute events to workers.
+  [[nodiscard]] static int currentWorkerIndex();
+
  private:
   void workerLoop(unsigned me);
   /// Pops the next task for worker @p me (own deque first, then steals);

@@ -94,6 +94,23 @@ TEST(Equivalence, ResizeStorm) {
                    one(&fault::FaultSpec::resize_storm, 499));
 }
 
+TEST(Equivalence, ResizeStormWithDrowsyLines) {
+  // E3 x E4: a storm of WP-area resizes while the drowsy controller is
+  // live. Every resize flushes the I-cache, so the controller must drop
+  // all awake-line tracking (the stale-state bug this suite guards
+  // against) — and the composition must stay architecturally invisible.
+  driver::SchemeSpec scheme = driver::SchemeSpec::wayPlacement(16 * 1024);
+  scheme.drowsy_window = 2048;
+  expectEquivalent("crc", scheme,
+                   one(&fault::FaultSpec::resize_storm, 499));
+}
+
+TEST(Equivalence, AllClassesWithDrowsyLines) {
+  driver::SchemeSpec scheme = driver::SchemeSpec::wayPlacement(16 * 1024);
+  scheme.drowsy_window = 2048;
+  expectEquivalent("sha", scheme, fault::FaultSpec::allClasses(101));
+}
+
 TEST(Equivalence, AllClassesCombined) {
   expectEquivalent("sha", driver::SchemeSpec::wayPlacement(16 * 1024),
                    fault::FaultSpec::allClasses(101));
@@ -197,6 +214,41 @@ TEST(Defenses, ScrambledMemoLinkIsDroppedNotFollowed) {
     fp.fetch(0x020, cache::FetchFlow::kSequential);
   }
   EXPECT_GE(fp.fetchStats().link_faults_dropped, 1u);
+}
+
+// A WP-area resize flushes the whole I-cache, so the drowsy controller
+// must restart from zero awake lines — stale awake tracking would make
+// the leakage integral lie about lines that no longer exist. The
+// accumulated leakage statistics, by contrast, must survive: the run's
+// energy history did happen.
+TEST(Defenses, ResizeRestartsDrowsyTrackingFromZeroAwakeLines) {
+  cache::FetchPathConfig cfg;
+  cfg.icache = cache::CacheGeometry{1024, 32, 4};
+  cfg.scheme = cache::Scheme::kWayPlacement;
+  cfg.wp_area_bytes = mem::kPageBytes;
+  cfg.drowsy_window = 256;  // larger than the fetch count below, so the
+                            // global drowse sweep never fires mid-test
+  cache::FetchPath fp(cfg);
+
+  for (u32 addr = 0; addr < 0x200; addr += 0x20) {
+    fp.fetch(addr, cache::FetchFlow::kSequential);
+  }
+  ASSERT_GT(fp.awakeDrowsyLines(), 0u);
+  const u64 ticks_before = fp.drowsyStats().awake_line_ticks +
+                           fp.drowsyStats().drowsy_line_ticks;
+  ASSERT_GT(ticks_before, 0u);
+
+  fp.resizeWayPlacementArea(2 * mem::kPageBytes);
+  EXPECT_EQ(fp.awakeDrowsyLines(), 0u)
+      << "flushed cache must not track awake lines";
+  EXPECT_EQ(fp.drowsyStats().awake_line_ticks +
+                fp.drowsyStats().drowsy_line_ticks,
+            ticks_before)
+      << "leakage history must survive the resize";
+
+  // Tracking restarts cleanly: the next fetch wakes exactly one line.
+  fp.fetch(0x000, cache::FetchFlow::kSequential);
+  EXPECT_EQ(fp.awakeDrowsyLines(), 1u);
 }
 
 // ---------------------------------------------------------------------

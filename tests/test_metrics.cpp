@@ -1,0 +1,164 @@
+// Tests for the observability primitives: counter/timer registry,
+// scoped spans, JSONL trace events/writer, and the fail-loud I/O
+// policy for requested artifacts.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace wp {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+TEST(Metrics, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, TimerAccumulatesDurationsAndCounts) {
+  Timer t;
+  t.record(std::chrono::nanoseconds(1'500'000'000));
+  t.record(std::chrono::nanoseconds(500'000'000));
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_EQ(t.totalNanoseconds(), 2'000'000'000u);
+  EXPECT_DOUBLE_EQ(t.seconds(), 2.0);
+}
+
+TEST(Metrics, RegistryReturnsStableReferences) {
+  MetricsRegistry r;
+  Counter& a = r.counter("x");
+  a.add(7);
+  EXPECT_EQ(&r.counter("x"), &a) << "same name must be the same counter";
+  EXPECT_EQ(r.counter("x").value(), 7u);
+  EXPECT_EQ(r.counter("y").value(), 0u) << "fresh counter starts at zero";
+  Timer& t = r.timer("t");
+  EXPECT_EQ(&r.timer("t"), &t);
+}
+
+TEST(Metrics, RegistryIsThreadSafeUnderConcurrentAdds) {
+  MetricsRegistry r;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10'000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&r] {
+      for (int k = 0; k < kAdds; ++k) {
+        r.counter("shared").add();
+        r.timer("shared").record(std::chrono::nanoseconds(1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(r.counter("shared").value(),
+            static_cast<u64>(kThreads) * kAdds);
+  EXPECT_EQ(r.timer("shared").count(), static_cast<u64>(kThreads) * kAdds);
+}
+
+TEST(Metrics, ScopedTimerRecordsOnceAndReturnsSeconds) {
+  Timer t;
+  {
+    ScopedTimer span(t);
+    const double s = span.stop();
+    EXPECT_GE(s, 0.0);
+    EXPECT_DOUBLE_EQ(span.stop(), s) << "stop() must be idempotent";
+  }
+  EXPECT_EQ(t.count(), 1u) << "destructor must not double-record";
+
+  { ScopedTimer span(t); }  // destructor path
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST(Metrics, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("n\nl\tt"), "n\\nl\\tt");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Metrics, RegistryJsonFieldsRoundTrip) {
+  MetricsRegistry r;
+  r.counter("hits").add(3);
+  r.timer("phase").record(std::chrono::nanoseconds(2'000'000'000));
+  std::ostringstream os;
+  r.writeJsonFields(os, "");
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"hits\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"phase\": {\"seconds\": 2"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+}
+
+TEST(Trace, EventRendersOrderedFields) {
+  TraceEvent ev("cell_end");
+  ev.str("key", "crc/32768").num("worker", 3).num("mips", 1.5).boolean(
+      "ok", true);
+  const std::string line = ev.render(0.25);
+  EXPECT_EQ(line.find("{\"ev\": \"cell_end\", \"ts\": 0.25"), 0u) << line;
+  EXPECT_NE(line.find("\"key\": \"crc/32768\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"worker\": 3"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"ok\": true"), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '}');
+}
+
+TEST(Trace, WriterEmitsOneJsonObjectPerLine) {
+  const std::string path = tempPath("trace_writer_test.jsonl");
+  {
+    TraceWriter w(path);
+    w.write(TraceEvent("a").num("n", u64{1}));
+    w.write(TraceEvent("b").str("s", "x"));
+    EXPECT_EQ(w.eventsWritten(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"ts\": "), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(TraceDeathTest, UnopenablePathFailsLoudlyNamingTheKnob) {
+  EXPECT_EXIT(TraceWriter("/nonexistent-dir-zzz/trace.jsonl"),
+              testing::ExitedWithCode(1), "WP_TRACE.*cannot open");
+}
+
+TEST(ThreadPoolWorkerIndex, ExternalThreadIsMinusOne) {
+  EXPECT_EQ(ThreadPool::currentWorkerIndex(), -1);
+}
+
+TEST(ThreadPoolWorkerIndex, WorkersSeeTheirDenseIndex) {
+  ThreadPool pool(3);
+  MetricsRegistry r;
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&r] {
+      const int me = ThreadPool::currentWorkerIndex();
+      ASSERT_GE(me, 0);
+      ASSERT_LT(me, 3);
+      r.counter("seen." + std::to_string(me)).add();
+    });
+  }
+  pool.wait();
+  u64 total = 0;
+  for (const auto& [name, value] : r.counterValues()) total += value;
+  EXPECT_EQ(total, 64u);
+}
+
+}  // namespace
+}  // namespace wp

@@ -1,9 +1,13 @@
 // Tests for the parallel sweep executor: memo-key uniqueness,
-// deterministic aggregation independent of the worker-thread count, and
-// the WP_JSON cell report.
+// deterministic aggregation independent of the worker-thread count, the
+// WP_JSON cell report, the WP_TRACE event log, and the fail-loud policy
+// for unwritable report paths.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
@@ -17,6 +21,30 @@ namespace {
 const cache::CacheGeometry kXScale{32 * 1024, 32, 32};
 
 std::vector<std::string> fastSubset() { return {"crc", "bitcount"}; }
+
+/// Sets an environment variable for the enclosing scope; restores the
+/// previous value (or unsets) on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_old_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_old_ = false;
+};
 
 // ---------------------------------------------------------------------
 // keyOf: every field that can change a result must change the key.
@@ -175,12 +203,16 @@ TEST(SweepExecutor, JsonReportRoundTripsCellMetrics) {
   EXPECT_EQ(jsonNumber(json, "workloads"), 2.0);
 
   // Each workload's cell carries exactly the normalized metrics the
-  // tables are built from, at full precision.
+  // tables are built from, at full precision. Search inside the cells
+  // array — the prepare section also names every workload.
+  const std::size_t cells_at = json.find("\"cells\": [");
+  ASSERT_NE(cells_at, std::string::npos);
   for (const auto& p : suite.prepared()) {
     const driver::Normalized n = driver::normalize(
         suite.run(p, kXScale, wp),
         suite.run(p, kXScale, driver::SchemeSpec::baseline()), p.name);
-    const std::size_t cell = json.find("\"workload\": \"" + p.name + "\"");
+    const std::size_t cell =
+        json.find("\"workload\": \"" + p.name + "\"", cells_at);
     ASSERT_NE(cell, std::string::npos) << "no JSON cell for " << p.name;
     EXPECT_EQ(jsonNumber(json, "icache_energy", cell), n.icache_energy);
     EXPECT_EQ(jsonNumber(json, "total_energy", cell), n.total_energy);
@@ -191,6 +223,118 @@ TEST(SweepExecutor, JsonReportRoundTripsCellMetrics) {
 
   // Baseline cells are not reported (they normalize to 1 by definition).
   EXPECT_EQ(json.find("\"scheme\": \"baseline\""), std::string::npos);
+}
+
+TEST(SweepExecutor, JsonReportCarriesObservabilityFields) {
+  driver::SweepExecutor suite(fastSubset(), energy::EnergyParams{}, 0, 2);
+  const driver::SchemeSpec wp = driver::SchemeSpec::wayPlacement(16 * 1024);
+  suite.runAll({{kXScale, wp}});
+
+  std::ostringstream os;
+  suite.writeJsonReport(os);
+  const std::string json = os.str();
+
+  // Host aggregate: guest instructions, simulate time, MIPS, memo stats
+  // and the build→price phase breakdown.
+  EXPECT_GT(jsonNumber(json, "guest_instructions"), 0.0);
+  EXPECT_GT(jsonNumber(json, "simulate_seconds"), 0.0);
+  EXPECT_GT(jsonNumber(json, "guest_mips"), 0.0);
+  EXPECT_EQ(jsonNumber(json, "cells_computed"), 4.0)
+      << "2 workloads x (baseline + way-placement)";
+  const std::size_t phases = json.find("\"phase_seconds\"");
+  ASSERT_NE(phases, std::string::npos);
+  EXPECT_GE(jsonNumber(json, "build", phases), 0.0);
+  EXPECT_GT(jsonNumber(json, "profile", phases), 0.0);
+  EXPECT_GE(jsonNumber(json, "layout", phases), 0.0);
+  EXPECT_GE(jsonNumber(json, "price", phases), 0.0);
+
+  // Per-workload prepare records.
+  const std::size_t prep = json.find("\"prepare\": [");
+  ASSERT_NE(prep, std::string::npos);
+  EXPECT_GT(jsonNumber(json, "profile_seconds", prep), 0.0);
+  EXPECT_GT(jsonNumber(json, "profile_instructions", prep), 0.0);
+
+  // Per-cell wall-clock, phase breakdown and guest throughput.
+  const std::size_t cell = json.find("\"scheme\": \"way-placement\"");
+  ASSERT_NE(cell, std::string::npos);
+  EXPECT_GT(jsonNumber(json, "wall_seconds", cell), 0.0);
+  EXPECT_GT(jsonNumber(json, "simulate_seconds", cell), 0.0);
+  EXPECT_GE(jsonNumber(json, "price_seconds", cell), 0.0);
+  EXPECT_GT(jsonNumber(json, "guest_mips", cell), 0.0);
+  EXPECT_GT(jsonNumber(json, "instructions", cell), 0.0);
+  // Two pool workers: the computing worker is 0 or 1.
+  EXPECT_GE(jsonNumber(json, "worker", cell), 0.0);
+  EXPECT_LE(jsonNumber(json, "worker", cell), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// WP_TRACE: the JSONL event log records the sweep without changing it.
+
+TEST(SweepTrace, WritesEventsAndDoesNotPerturbResults) {
+  const std::string path = testing::TempDir() + "sweep_trace_test.jsonl";
+  const driver::SchemeSpec wp = driver::SchemeSpec::wayPlacement(16 * 1024);
+
+  u64 traced_cycles = 0;
+  {
+    ScopedEnv env("WP_TRACE", path.c_str());
+    driver::SweepExecutor suite({"crc"}, energy::EnergyParams{}, 0, 2);
+    EXPECT_TRUE(suite.tracing());
+    suite.runAll({{kXScale, wp}});
+    traced_cycles = suite.run(suite.prepared().at(0), kXScale, wp)
+                        .stats.cycles;
+  }  // destructor writes sweep_end
+
+  driver::SweepExecutor plain({"crc"}, energy::EnergyParams{}, 0, 2);
+  EXPECT_FALSE(plain.tracing());
+  plain.runAll({{kXScale, wp}});
+  EXPECT_EQ(plain.run(plain.prepared().at(0), kXScale, wp).stats.cycles,
+            traced_cycles)
+      << "tracing must not perturb the simulated machine";
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace file missing: " << path;
+  std::string line;
+  std::vector<std::string> events;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    const std::size_t ev = line.find("\"ev\": \"");
+    ASSERT_NE(ev, std::string::npos) << line;
+    events.push_back(line.substr(ev + 7, line.find('"', ev + 7) - (ev + 7)));
+  }
+  std::remove(path.c_str());
+
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front(), "sweep_start");
+  EXPECT_EQ(events.back(), "sweep_end");
+  const auto count = [&events](const std::string& name) {
+    return std::count(events.begin(), events.end(), name);
+  };
+  EXPECT_EQ(count("prepare"), 1);
+  EXPECT_EQ(count("cell_start"), 2) << "baseline + way-placement";
+  EXPECT_EQ(count("cell_end"), 2);
+  EXPECT_GE(count("memo_hit"), 1) << "the explicit run() re-read a cell";
+}
+
+// ---------------------------------------------------------------------
+// Fail-loud report paths: a requested artifact that cannot be produced
+// exits with a message naming the knob, instead of silently vanishing.
+
+using SweepReportDeathTest = ::testing::Test;
+
+TEST(SweepReportDeathTest, UnwritableJsonPathExitsNamingWpJson) {
+  driver::SweepExecutor suite({"crc"}, energy::EnergyParams{}, 0, 1);
+  ScopedEnv env("WP_JSON", "/nonexistent-dir-zzz/report.json");
+  EXPECT_EXIT(suite.emitJsonIfRequested(), testing::ExitedWithCode(1),
+              "WP_JSON.*cannot open");
+}
+
+TEST(SweepReportDeathTest, UnwritableTracePathExitsNamingWpTrace) {
+  ScopedEnv env("WP_TRACE", "/nonexistent-dir-zzz/trace.jsonl");
+  EXPECT_EXIT(
+      driver::SweepExecutor({"crc"}, energy::EnergyParams{}, 0, 1),
+      testing::ExitedWithCode(1), "WP_TRACE.*cannot open");
 }
 
 }  // namespace
