@@ -9,6 +9,9 @@
 //   WP_SEED             experiment-wide RNG seed (default: 0, the
 //                       historical fixed inputs)
 //   WP_JOBS             worker threads (default: hardware threads)
+//   WP_LAYOUT           code-layout strategy for way-placement cells
+//                       (default: way_placement; unknown names are a
+//                       startup error listing the registry)
 //   WP_JSON             path for the machine-readable cell report
 //   WP_TRACE            path for the JSONL sweep event log
 #pragma once

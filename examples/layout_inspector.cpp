@@ -25,9 +25,10 @@ int main(int argc, char** argv) {
                      return a.weight > b.weight;
                    });
 
+  const layout::LayoutResult& laid = p.layoutFor("way_placement");
   std::cout << "workload '" << name << "': " << p.module.blocks.size()
             << " blocks in " << chains.size() << " chains, code size "
-            << p.wayplaced.code.size() << " B, way-placement area " << area
+            << laid.image.code.size() << " B, way-placement area " << area
             << " B\n\n";
 
   TextTable t;
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
     for (const u32 id : c.blocks) {
       insts += static_cast<u32>(p.module.blocks[id].insts.size());
     }
-    const u32 head_addr = p.wayplaced.block_addr.at(c.blocks.front());
+    const u32 head_addr = laid.image.block_addr.at(c.blocks.front());
     t.row({std::to_string(i + 1), p.module.blocks[c.blocks.front()].label,
            std::to_string(c.blocks.size()), std::to_string(insts),
            std::to_string(c.weight), "0x" + fmt(head_addr, 0),
@@ -51,25 +52,21 @@ int main(int argc, char** argv) {
 
   std::cout << "\nfirst instructions of the way-placed binary "
                "(hottest chain first):\n";
-  for (u32 pc = 0; pc < 48 && pc < p.wayplaced.code.size(); pc += 4) {
+  for (u32 pc = 0; pc < 48 && pc < laid.image.code.size(); pc += 4) {
     u32 word = 0;
     for (int b = 0; b < 4; ++b) {
-      word |= static_cast<u32>(p.wayplaced.code[pc + b]) << (8 * b);
+      word |= static_cast<u32>(laid.image.code[pc + b]) << (8 * b);
     }
     std::cout << "  0x" << std::hex << std::setw(5) << std::setfill('0')
               << pc << std::dec << "  " << isa::disassemble(isa::decode(word))
               << '\n';
   }
 
-  // How much of the dynamic profile does the area capture?
-  u64 covered = 0, total = 0;
-  for (const ir::BasicBlock& b : p.module.blocks) {
-    const u64 dyn = b.exec_count * b.insts.size();
-    total += dyn;
-    if (p.wayplaced.block_addr.at(b.id) < area) covered += dyn;
-  }
+  // How much of the dynamic profile does the area capture? The pass
+  // pipeline's own report answers directly.
   std::cout << "\nway-placement area covers "
-            << fmtPct(double(covered) / double(total ? total : 1), 1)
-            << " of profiled dynamic instructions\n";
+            << fmtPct(laid.report.coverage(area), 1)
+            << " of profiled dynamic instructions ("
+            << laid.report.repairs << " fall-through repairs)\n";
   return 0;
 }

@@ -17,8 +17,8 @@ int main(int argc, char** argv) {
   std::cout << "  profiled " << prepared.profile_instructions
             << " instructions, " << prepared.module.blocks.size()
             << " basic blocks, " << layout::formChains(prepared.module).size()
-            << " chains, code size " << prepared.original.code.size()
-            << " B\n\n";
+            << " chains, code size "
+            << prepared.imageFor("original").code.size() << " B\n\n";
 
   const cache::CacheGeometry icache{32 * 1024, 32, 32};  // XScale I-cache
   const driver::RunResult base =

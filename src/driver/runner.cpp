@@ -31,6 +31,16 @@ Normalized normalize(const RunResult& scheme, const RunResult& baseline,
 Runner::Runner(energy::EnergyParams params, u64 seed)
     : model_(params), seed_(seed) {}
 
+const layout::LayoutResult& PreparedWorkload::layoutFor(
+    std::string_view strategy) const {
+  // parseStrategy both validates the name and canonicalizes aliases.
+  const auto it = layouts.find(layout::parseStrategy(strategy).name);
+  WP_ENSURE(it != layouts.end(),
+            "workload '" + name + "' was prepared without layout '" +
+                std::string(strategy) + "'");
+  return it->second;
+}
+
 PreparedWorkload Runner::prepare(const std::string& name,
                                  workloads::InputSize profile_input,
                                  fault::ProfileFault profile_fault) const {
@@ -48,11 +58,11 @@ PreparedWorkload Runner::prepare(const std::string& name,
 
   // Profile the original-order binary on the training input.
   ScopedTimer profile_span(metrics_.timer("phase.profile"));
-  p.original = layout::linkWithPolicy(p.module, layout::Policy::kOriginal);
+  mem::Image original = layout::runPipeline(p.module, "original").image;
   mem::Memory memory;
-  p.original.loadInto(memory);
+  original.loadInto(memory);
   p.workload->prepare(memory, profile_input);
-  profile::ProfileResult prof = profile::profileImage(p.original, memory);
+  profile::ProfileResult prof = profile::profileImage(original, memory);
 
   if (profile_fault != fault::ProfileFault::kNone) {
     Rng rng(seed_ ^ 0x9e3779b97f4a7c15ULL ^
@@ -63,27 +73,35 @@ PreparedWorkload Runner::prepare(const std::string& name,
   p.profile_instructions = prof.instructions;
 
   // A damaged (or just bad) profile must cost at most energy, never the
-  // sweep: diagnose it and fall back to the original block order.
-  if (const auto problem = profile::validate(p.module, prof)) {
+  // sweep: diagnose it and fall back to the original block order for
+  // every profile-driven strategy.
+  const auto problem = profile::validate(p.module, prof);
+  if (problem) {
     p.profile_ok = false;
     p.profile_warning = *problem;
-    p.phases.profile_seconds = profile_span.stop();
     std::fprintf(stderr,
                  "[wayplace] warning: workload '%s': training profile "
                  "unusable (%s); falling back to original layout\n",
                  name.c_str(), problem->c_str());
-    ScopedTimer layout_span(metrics_.timer("phase.layout"));
-    p.wayplaced = layout::linkWithPolicy(p.module, layout::Policy::kOriginal);
-    p.phases.layout_seconds = layout_span.stop();
-    return p;
+  } else {
+    profile::annotate(p.module, prof);
   }
-
-  profile::annotate(p.module, prof);
   p.phases.profile_seconds = profile_span.stop();
 
-  // The way-placement layout (heaviest chains first).
+  // Run the pass pipeline once per registered strategy. The original
+  // layout is recomputed after annotation so its report's spans carry
+  // the profile (its image bytes do not depend on the weights).
   ScopedTimer layout_span(metrics_.timer("phase.layout"));
-  p.wayplaced = layout::linkWithPolicy(p.module, layout::Policy::kWayPlacement);
+  for (const layout::LayoutStrategy* s : layout::strategies()) {
+    if (s->needs_profile && !p.profile_ok) continue;
+    p.layouts.emplace(s->name, layout::runPipeline(p.module, *s, seed_));
+  }
+  if (!p.profile_ok) {
+    const layout::LayoutResult& fallback = p.layouts.at("original");
+    for (const layout::LayoutStrategy* s : layout::strategies()) {
+      if (s->needs_profile) p.layouts.emplace(s->name, fallback);
+    }
+  }
   p.phases.layout_seconds = layout_span.stop();
   return p;
 }
@@ -102,9 +120,8 @@ RunResult Runner::run(const PreparedWorkload& prepared,
                       const cache::CacheGeometry& icache,
                       const SchemeSpec& spec,
                       workloads::InputSize input) const {
-  const mem::Image& image = spec.layout == layout::Policy::kWayPlacement
-                                ? prepared.wayplaced
-                                : prepared.original;
+  const layout::LayoutResult& laid = prepared.layoutFor(spec.layout);
+  const mem::Image& image = laid.image;
   if (spec.scheme == cache::Scheme::kWayPlacement) {
     WP_ENSURE(spec.wp_area_bytes > 0,
               "SchemeSpec.wp_area_bytes must be non-zero for the "
@@ -143,6 +160,14 @@ RunResult Runner::run(const PreparedWorkload& prepared,
   }
 
   RunResult result;
+  result.layout_strategy = laid.report.strategy;
+  result.layout_chains = laid.report.chains;
+  result.layout_repairs = laid.report.repairs;
+  if (machine.fetch.scheme == cache::Scheme::kWayPlacement) {
+    // Coverage against the *clamped* area — what the hardware will
+    // actually probe single-way.
+    result.wp_area_coverage = laid.report.coverage(machine.fetch.wp_area_bytes);
+  }
   result.stats = proc.run();
   result.simulate_seconds = simulate_span.stop();
   metrics_.counter("guest.instructions").add(result.stats.instructions);

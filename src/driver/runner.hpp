@@ -3,21 +3,24 @@
 // Per workload (paper §5):
 //   1. build the program,
 //   2. link it in original order and profile it on the *small* input,
-//   3. run the way-placement layout pass on the profile,
+//   3. run the layout pass pipeline on the profile, once per registered
+//      strategy (the paper's ordering plus the ablation/literature ones),
 //   4. simulate the *large* input under each scheme on equally-configured
 //      machines (baseline and way-memoization use the original binary;
-//      way-placement uses the chained binary plus an area size),
+//      way-placement uses its SchemeSpec's layout plus an area size),
 //   5. price each run with the energy model and normalize to baseline.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cache/fetch_path.hpp"
 #include "energy/energy_model.hpp"
 #include "fault/fault.hpp"
-#include "layout/layout.hpp"
+#include "layout/strategy.hpp"
 #include "profile/profiler.hpp"
 #include "sim/processor.hpp"
 #include "support/metrics.hpp"
@@ -32,16 +35,21 @@ struct SchemeSpec {
   bool intraline_skip = true;   ///< ablation knob (optimized schemes)
   bool wm_precise_invalidation = false;  ///< ablation knob (way-memo)
   u32 drowsy_window = 0;        ///< drowsy-line window (extension E4)
-  layout::Policy layout = layout::Policy::kOriginal;  ///< code layout
+  /// Code layout: a registered strategy name (canonical or alias, see
+  /// layout::strategies()). The run simulates that strategy's image.
+  std::string layout = "original";
   /// Runtime fault injection (resilience studies); inert by default.
   fault::FaultSpec fault;
 
   [[nodiscard]] static SchemeSpec baseline() { return {}; }
+  /// Way-placement cells honor WP_LAYOUT, so a sweep can be re-run under
+  /// any registered ordering without recompiling; unset means the
+  /// paper's ordering.
   [[nodiscard]] static SchemeSpec wayPlacement(u32 area_bytes) {
     SchemeSpec s;
     s.scheme = cache::Scheme::kWayPlacement;
     s.wp_area_bytes = area_bytes;
-    s.layout = layout::Policy::kWayPlacement;
+    s.layout = layout::strategyFromEnv();
     return s;
   }
   [[nodiscard]] static SchemeSpec wayMemoization() {
@@ -61,7 +69,7 @@ struct SchemeSpec {
 struct PreparePhases {
   double build_seconds = 0.0;    ///< workload construction + IR build
   double profile_seconds = 0.0;  ///< original link + training run
-  double layout_seconds = 0.0;   ///< way-placement chain layout + link
+  double layout_seconds = 0.0;   ///< pass pipeline over every strategy
   [[nodiscard]] double total() const {
     return build_seconds + profile_seconds + layout_seconds;
   }
@@ -90,22 +98,44 @@ struct RunResult {
   std::vector<u8> output;
   /// What the fault injector did (all zero without an active FaultSpec).
   fault::InjectionStats injected;
+  /// The layout that produced the simulated image (from its
+  /// LayoutReport): canonical strategy name, chains formed, fall-through
+  /// repairs the linker inserted.
+  std::string layout_strategy;
+  u64 layout_chains = 0;
+  u64 layout_repairs = 0;
+  /// Fraction of profiled dynamic instructions placed inside the
+  /// (clamped) way-placement area. 0 for non-way-placement schemes and
+  /// for unprofiled layouts.
+  double wp_area_coverage = 0.0;
 };
 
-/// A workload made ready to simulate: profiled and laid out.
+/// A workload made ready to simulate: profiled and laid out under every
+/// registered strategy. Profiling is layout-independent, so one
+/// prepared workload serves any (strategy, geometry, scheme) cell.
 struct PreparedWorkload {
   std::string name;
   std::unique_ptr<workloads::Workload> workload;
   ir::Module module;        ///< profile-annotated
-  mem::Image original;      ///< original-order binary
-  mem::Image wayplaced;     ///< heaviest-first chained binary
+  /// Pipeline output per registered strategy, keyed by canonical name.
+  /// Strategies that need a profile hold the original layout's result
+  /// when the training profile was unusable.
+  std::map<std::string, layout::LayoutResult, std::less<>> layouts;
   u64 profile_instructions = 0;
-  /// False when the training profile failed validation; the way-placed
-  /// image then silently falls back to the original layout (a bad
+  /// False when the training profile failed validation; profile-driven
+  /// layouts then silently fall back to the original block order (a bad
   /// profile costs energy, never correctness or the whole sweep).
   bool profile_ok = true;
   std::string profile_warning;  ///< why, when !profile_ok
   PreparePhases phases;         ///< host wall-clock per prepare phase
+
+  /// Pipeline result / image for @p strategy (canonical name or alias).
+  /// Throws SimError on an unregistered name.
+  [[nodiscard]] const layout::LayoutResult& layoutFor(
+      std::string_view strategy) const;
+  [[nodiscard]] const mem::Image& imageFor(std::string_view strategy) const {
+    return layoutFor(strategy).image;
+  }
 };
 
 /// Normalized headline metrics of a scheme run against its baseline.

@@ -105,7 +105,8 @@ std::string SweepExecutor::keyOf(const std::string& workload,
      << g.line_bytes << '/' << static_cast<int>(s.scheme) << '/'
      << s.wp_area_bytes << '/' << s.intraline_skip << '/'
      << s.wm_precise_invalidation << '/' << s.drowsy_window << '/'
-     << static_cast<int>(s.layout);
+     // Canonicalized so an alias spelling memoizes to the same cell.
+     << layout::parseStrategy(s.layout).name;
   if (s.fault.runtimeEnabled()) {
     os << "/f" << s.fault.period << ':' << s.fault.seed << ':'
        << s.fault.flip_way_hint << s.fault.flip_tlb_wp_bit
@@ -157,7 +158,12 @@ SweepExecutor::CellEntry& SweepExecutor::ensureCell(
                         .num("guest_mips", entry->result.guestMips())
                         .num("instructions",
                              entry->result.stats.instructions)
-                        .num("cycles", entry->result.stats.cycles));
+                        .num("cycles", entry->result.stats.cycles)
+                        .str("layout", entry->result.layout_strategy)
+                        .num("layout_chains", entry->result.layout_chains)
+                        .num("layout_repairs", entry->result.layout_repairs)
+                        .num("wp_area_coverage",
+                             entry->result.wp_area_coverage));
     }
     entry->ready.store(true, std::memory_order_release);
     computed_here = true;
@@ -280,7 +286,13 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
        << ", \"wm_precise_invalidation\": "
        << jsonBool(entry->spec.wm_precise_invalidation)
        << ", \"drowsy_window\": " << entry->spec.drowsy_window
-       << ", \"layout\": \"" << layout::policyName(entry->spec.layout) << "\""
+       // The layout that actually ran (profile fallback makes this
+       // "original" even when the spec asked for a profile-driven one).
+       << ", \"layout\": \"" << jsonEscape(entry->result.layout_strategy)
+       << "\""
+       << ", \"layout_chains\": " << entry->result.layout_chains
+       << ", \"layout_repairs\": " << entry->result.layout_repairs
+       << ", \"wp_area_coverage\": " << entry->result.wp_area_coverage
        << ", \"fault\": " << jsonBool(entry->spec.fault.runtimeEnabled())
        << ", \"icache_energy\": " << n.icache_energy
        << ", \"total_energy\": " << n.total_energy

@@ -26,6 +26,35 @@ u64 Module::staticInstructions() const {
   return n;
 }
 
+void Module::forEachCallSite(
+    const std::function<void(const BasicBlock&, const Function&, u32)>& fn)
+    const {
+  for (const BasicBlock& b : blocks) {
+    for (u32 i = 0; i < b.insts.size(); ++i) {
+      const Inst& inst = b.insts[i];
+      if (inst.reloc != Reloc::kFuncCall) continue;
+      const Function* callee = findFunction(inst.target_func);
+      WP_ENSURE(callee != nullptr,
+                "call to unknown function '" + inst.target_func + "' in " +
+                    b.label);
+      fn(b, *callee, i);
+    }
+  }
+}
+
+void Module::forEachBranchEdge(
+    const std::function<void(const BasicBlock&, u32, u32)>& fn) const {
+  for (const BasicBlock& b : blocks) {
+    for (u32 i = 0; i < b.insts.size(); ++i) {
+      const Inst& inst = b.insts[i];
+      if (inst.reloc != Reloc::kBlockBranch) continue;
+      WP_ENSURE(inst.target_block < blocks.size(),
+                "branch to unknown block in " + b.label);
+      fn(b, inst.target_block, i);
+    }
+  }
+}
+
 void Module::validate() const {
   for (u32 i = 0; i < blocks.size(); ++i) {
     WP_ENSURE(blocks[i].id == i, "block ids must be dense and ordered");

@@ -12,6 +12,7 @@
 // of a conditional branch, or a call's return site).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -70,6 +71,22 @@ struct Module {
 
   /// Total static instruction count (before linker-inserted repairs).
   [[nodiscard]] u64 staticInstructions() const;
+
+  /// Read-only CFG queries for the layout passes. Both iterate blocks in
+  /// id order and instructions in program order, so callers observe a
+  /// deterministic edge sequence.
+  ///
+  /// Call edges: every kFuncCall instruction, as (caller block, callee
+  /// function, instruction index within the caller).
+  void forEachCallSite(
+      const std::function<void(const BasicBlock& caller,
+                               const Function& callee, u32 inst_index)>& fn)
+      const;
+  /// Branch edges: every kBlockBranch instruction, as (source block,
+  /// target block id, instruction index within the source).
+  void forEachBranchEdge(
+      const std::function<void(const BasicBlock& src, u32 target_block,
+                               u32 inst_index)>& fn) const;
 
   /// Checks structural invariants:
   ///  - block ids are dense and match their index,

@@ -1,10 +1,15 @@
+// Legacy layout API, now a shim over the pass pipeline. The enum-based
+// Policy interface predates the strategy registry; it is kept so older
+// call sites (and the round-trip guarantee policyName -> parseStrategy)
+// continue to work. Implementation lives in:
+//   passes/chain_formation.cpp   formChains
+//   passes/order_*.cpp           the ChainOrdering stage
+//   passes/emission.cpp          link / emit
+//   strategy.cpp                 the registry and runPipeline
 #include "layout/layout.hpp"
 
-#include <algorithm>
-#include <unordered_map>
-
+#include "layout/strategy.hpp"
 #include "support/ensure.hpp"
-#include "support/rng.hpp"
 
 namespace wp::layout {
 
@@ -17,163 +22,15 @@ const char* policyName(Policy p) {
   WP_UNREACHABLE("bad policy");
 }
 
-std::vector<Chain> formChains(const ir::Module& module) {
-  std::vector<Chain> chains;
-  for (const ir::Function& f : module.functions) {
-    Chain* open = nullptr;
-    for (const u32 id : f.block_ids) {
-      const ir::BasicBlock& b = module.blocks[id];
-      if (open == nullptr) {
-        chains.emplace_back();
-        open = &chains.back();
-      }
-      open->blocks.push_back(id);
-      open->weight += b.exec_count * b.insts.size();
-      if (!b.fallthrough.has_value()) {
-        open = nullptr;  // chain ends at an unconditional transfer
-      }
-    }
-    WP_ENSURE(open == nullptr, "function ended inside an open chain");
-  }
-  return chains;
-}
-
 std::vector<u32> orderBlocks(const ir::Module& module, Policy policy,
                              u64 seed) {
-  std::vector<u32> order;
-  order.reserve(module.blocks.size());
-
-  switch (policy) {
-    case Policy::kOriginal:
-      for (const ir::Function& f : module.functions) {
-        order.insert(order.end(), f.block_ids.begin(), f.block_ids.end());
-      }
-      break;
-
-    case Policy::kWayPlacement: {
-      std::vector<Chain> chains = formChains(module);
-      // Heaviest first; ties keep formation order for determinism.
-      std::stable_sort(chains.begin(), chains.end(),
-                       [](const Chain& a, const Chain& b) {
-                         return a.weight > b.weight;
-                       });
-      for (const Chain& c : chains) {
-        order.insert(order.end(), c.blocks.begin(), c.blocks.end());
-      }
-      break;
-    }
-
-    case Policy::kRandom: {
-      for (u32 id = 0; id < module.blocks.size(); ++id) order.push_back(id);
-      Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
-      for (std::size_t i = order.size(); i > 1; --i) {
-        std::swap(order[i - 1], order[rng.below(i)]);
-      }
-      break;
-    }
-  }
-
+  // policyName's "way-placement" spelling resolves via the registered
+  // alias; the other two names are canonical.
+  const LayoutStrategy& strategy = parseStrategy(policyName(policy));
+  std::vector<u32> order = strategy.order(module, formChains(module), seed);
   WP_ENSURE(order.size() == module.blocks.size(),
             "placement order must cover every block");
   return order;
-}
-
-mem::Image link(const ir::Module& module, std::span<const u32> block_order) {
-  module.validate();
-  WP_ENSURE(block_order.size() == module.blocks.size(),
-            "placement order must cover every block");
-
-  // Pass 1: decide repairs and assign addresses.
-  // A block whose fall-through successor is not placed immediately after
-  // it gets a synthetic `b successor` appended.
-  std::vector<bool> needs_repair(module.blocks.size(), false);
-  for (std::size_t i = 0; i < block_order.size(); ++i) {
-    const ir::BasicBlock& b = module.blocks[block_order[i]];
-    if (!b.fallthrough.has_value()) continue;
-    const bool next_is_ft =
-        i + 1 < block_order.size() && block_order[i + 1] == *b.fallthrough;
-    needs_repair[b.id] = !next_is_ft;
-  }
-
-  std::vector<u32> addr(module.blocks.size(), 0);
-  u32 pc = mem::kCodeBase;
-  for (const u32 id : block_order) {
-    addr[id] = pc;
-    const ir::BasicBlock& b = module.blocks[id];
-    pc += static_cast<u32>(b.insts.size()) * 4;
-    if (needs_repair[id]) pc += 4;
-  }
-  const u32 code_size = pc - mem::kCodeBase;
-  WP_ENSURE(mem::kCodeBase + code_size <= mem::kDataBase,
-            "program too large for the code segment");
-
-  // Function entry addresses.
-  std::map<std::string, u32> function_addr;
-  for (const ir::Function& f : module.functions) {
-    function_addr[f.name] = addr[f.block_ids[0]];
-  }
-
-  // Pass 2: resolve and encode.
-  mem::Image image;
-  image.code.reserve(code_size);
-  const auto emitWord = [&image](u32 word) {
-    image.code.push_back(static_cast<u8>(word));
-    image.code.push_back(static_cast<u8>(word >> 8));
-    image.code.push_back(static_cast<u8>(word >> 16));
-    image.code.push_back(static_cast<u8>(word >> 24));
-  };
-  const auto branchOffset = [](u32 from_pc, u32 to_addr) {
-    const i64 delta = static_cast<i64>(to_addr) - (static_cast<i64>(from_pc) + 4);
-    WP_ENSURE(delta % 4 == 0, "misaligned branch target");
-    return static_cast<i32>(delta / 4);
-  };
-
-  for (const u32 id : block_order) {
-    const ir::BasicBlock& b = module.blocks[id];
-    u32 inst_pc = addr[id];
-    image.block_addr[id] = inst_pc;
-
-    for (const ir::Inst& inst : b.insts) {
-      isa::Instruction raw = inst.raw;
-      switch (inst.reloc) {
-        case ir::Reloc::kNone:
-          break;
-        case ir::Reloc::kBlockBranch:
-          raw.imm = branchOffset(inst_pc, addr[inst.target_block]);
-          break;
-        case ir::Reloc::kFuncCall:
-          raw.imm = branchOffset(inst_pc, function_addr.at(inst.target_func));
-          break;
-        case ir::Reloc::kDataLo:
-        case ir::Reloc::kDataHi: {
-          const ir::DataSymbol* sym = module.findSymbol(inst.data_symbol);
-          const u32 value = mem::kDataBase + sym->offset +
-                            static_cast<u32>(inst.data_addend);
-          raw.imm = inst.reloc == ir::Reloc::kDataLo
-                        ? static_cast<i32>(value & 0xffffu)
-                        : static_cast<i32>((value >> 16) & 0xffffu);
-          break;
-        }
-      }
-      emitWord(isa::encode(raw));
-      inst_pc += 4;
-    }
-
-    if (needs_repair[id]) {
-      isa::Instruction repair{isa::Opcode::kB, 0, 0, 0,
-                              branchOffset(inst_pc, addr[*b.fallthrough])};
-      emitWord(isa::encode(repair));
-      inst_pc += 4;
-    }
-    image.block_end[id] = inst_pc;
-  }
-
-  WP_ENSURE(image.code.size() == code_size, "linker size accounting broke");
-
-  image.data = module.data_init;
-  image.function_addr = function_addr;
-  image.entry = function_addr.at(module.entry_function);
-  return image;
 }
 
 mem::Image linkWithPolicy(const ir::Module& module, Policy policy, u64 seed) {

@@ -9,13 +9,19 @@
 // chains are then concatenated heaviest-first, so the hottest code lands
 // at the start of the binary where the way-placement area lives.
 //
-// Three policies are provided:
+// The placement machinery is a three-stage pass pipeline —
+// ChainFormation → ChainOrdering → Emission — with the ordering stage
+// pluggable through the strategy registry (see strategy.hpp). This
+// header keeps the original enum-based Policy API as a thin shim over
+// that registry:
 //   kOriginal      — authored order (the baseline binary; also used for
 //                    the way-memoization runs, which keep the original
 //                    program untouched),
 //   kWayPlacement  — the paper's heaviest-first chain order,
 //   kRandom        — a layout ablation that shuffles blocks arbitrarily,
 //                    exercising the linker's fall-through repair.
+// The registry adds further orderings (call_distance, exttsp) that have
+// no Policy enumerator; use strategy.hpp to reach them.
 #pragma once
 
 #include <span>

@@ -1,0 +1,45 @@
+// ChainFormation: the first pipeline stage (paper §3). Basic blocks are
+// linked into chains wherever a predefined ordering must be respected —
+// fall-through edges (including the not-taken side of conditional
+// branches) and call/return-site pairs (a call block's return site is
+// its fall-through in this IR). Remaining blocks are singleton chains.
+#include "layout/layout.hpp"
+
+#include "support/ensure.hpp"
+
+namespace wp::layout {
+
+std::vector<Chain> formChains(const ir::Module& module) {
+  std::vector<Chain> chains;
+  for (const ir::Function& f : module.functions) {
+    Chain* open = nullptr;
+    for (const u32 id : f.block_ids) {
+      const ir::BasicBlock& b = module.blocks[id];
+      if (open == nullptr) {
+        chains.emplace_back();
+        open = &chains.back();
+      }
+      open->blocks.push_back(id);
+      // Chain weight = Σ(exec count × block length). A pathological or
+      // corrupted profile can push this past 64 bits, which would
+      // silently reorder chains — overflow is a loud error instead.
+      u64 dynamic = 0;
+      WP_ENSURE(!__builtin_mul_overflow(b.exec_count,
+                                        static_cast<u64>(b.insts.size()),
+                                        &dynamic),
+                "chain weight overflow: block '" + b.label +
+                    "' exec count x instruction count exceeds 64 bits — "
+                    "the profile is not usable");
+      WP_ENSURE(!__builtin_add_overflow(open->weight, dynamic, &open->weight),
+                "chain weight overflow accumulating block '" + b.label +
+                    "' — the profile is not usable");
+      if (!b.fallthrough.has_value()) {
+        open = nullptr;  // chain ends at an unconditional transfer
+      }
+    }
+    WP_ENSURE(open == nullptr, "function ended inside an open chain");
+  }
+  return chains;
+}
+
+}  // namespace wp::layout

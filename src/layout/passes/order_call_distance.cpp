@@ -1,0 +1,138 @@
+// ChainOrdering `call_distance`: Codestitcher-style distance-bounded
+// inter-procedural collocation (Lavaee, Criswell & Ding, "Codestitcher:
+// inter-procedural basic block layout").
+//
+// Must-respect chains stay intact; the pass merges the chain holding a
+// callee's entry behind the chain holding its hottest call site, so a
+// hot call and its target share the front of the binary (and, for this
+// paper's purposes, the same way-placement pages). A merge is accepted
+// only while the merged cluster stays within a byte budget — the
+// distance bound that keeps every collocated call short-reach instead of
+// greedily gluing the whole program into one cluster. Clusters are then
+// concatenated heaviest-first like the paper's ordering, so the
+// way-placement area still sees the hottest code first.
+#include <algorithm>
+#include <map>
+
+#include "layout/passes/passes.hpp"
+#include "layout/strategy.hpp"
+#include "support/ensure.hpp"
+
+namespace wp::layout {
+
+std::vector<u32> orderCallDistanceWithReach(const ir::Module& module,
+                                            std::vector<Chain>&& chains,
+                                            u32 reach_bytes) {
+  const std::size_t n = chains.size();
+
+  // Block id -> owning chain, and per-chain byte size (repairs excluded:
+  // the bound is a budget, not an address promise).
+  std::vector<u32> chain_of(module.blocks.size(), 0);
+  std::vector<u64> chain_bytes(n, 0);
+  for (u32 ci = 0; ci < n; ++ci) {
+    for (const u32 id : chains[ci].blocks) {
+      chain_of[id] = ci;
+      chain_bytes[ci] += module.blocks[id].insts.size() * 4;
+    }
+  }
+
+  // Aggregate call edges between chains, weighted by the caller block's
+  // execution count. first_seen keeps ties deterministic.
+  struct Edge {
+    u64 weight = 0;
+    u32 from = 0, to = 0;
+    u32 first_seen = 0;
+  };
+  std::map<std::pair<u32, u32>, Edge> edge_map;
+  u32 seq = 0;
+  module.forEachCallSite([&](const ir::BasicBlock& caller,
+                             const ir::Function& callee, u32 /*inst*/) {
+    const u32 from = chain_of[caller.id];
+    const u32 to = chain_of[callee.block_ids.front()];
+    ++seq;
+    if (from == to) return;
+    auto [it, inserted] = edge_map.try_emplace(std::pair{from, to});
+    Edge& e = it->second;
+    if (inserted) {
+      e.from = from;
+      e.to = to;
+      e.first_seen = seq;
+    }
+    e.weight += caller.exec_count;
+  });
+  std::vector<Edge> edges;
+  edges.reserve(edge_map.size());
+  for (const auto& [key, e] : edge_map) {
+    if (e.weight > 0) edges.push_back(e);  // cold calls never merge
+  }
+  std::stable_sort(edges.begin(), edges.end(), [](const Edge& a,
+                                                  const Edge& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.first_seen < b.first_seen;
+  });
+
+  // Merge clusters along the heaviest call edges while the merged
+  // cluster fits the reach budget. A cluster is an ordered list of
+  // chains; merging appends the callee's cluster behind the caller's.
+  std::vector<u32> group_of(n);
+  std::vector<std::vector<u32>> members(n);
+  std::vector<u64> group_bytes(n), group_weight(n);
+  std::vector<u32> group_first(n);  ///< formation index of the lead chain
+  for (u32 ci = 0; ci < n; ++ci) {
+    group_of[ci] = ci;
+    members[ci] = {ci};
+    group_bytes[ci] = chain_bytes[ci];
+    group_weight[ci] = chains[ci].weight;
+    group_first[ci] = ci;
+  }
+  for (const Edge& e : edges) {
+    const u32 ga = group_of[e.from];
+    const u32 gb = group_of[e.to];
+    if (ga == gb) continue;
+    if (group_bytes[ga] + group_bytes[gb] > reach_bytes) continue;
+    for (const u32 ci : members[gb]) group_of[ci] = ga;
+    members[ga].insert(members[ga].end(), members[gb].begin(),
+                       members[gb].end());
+    members[gb].clear();
+    group_bytes[ga] += group_bytes[gb];
+    group_weight[ga] += group_weight[gb];
+    group_first[ga] = std::min(group_first[ga], group_first[gb]);
+  }
+
+  // Concatenate clusters heaviest-first (ties: lead chain's formation
+  // order), chains within a cluster in merge order.
+  std::vector<u32> group_ids;
+  for (u32 g = 0; g < n; ++g) {
+    if (!members[g].empty()) group_ids.push_back(g);
+  }
+  std::stable_sort(group_ids.begin(), group_ids.end(),
+                   [&](const u32 a, const u32 b) {
+                     if (group_weight[a] != group_weight[b]) {
+                       return group_weight[a] > group_weight[b];
+                     }
+                     return group_first[a] < group_first[b];
+                   });
+  std::vector<u32> order;
+  order.reserve(module.blocks.size());
+  for (const u32 g : group_ids) {
+    for (const u32 ci : members[g]) {
+      order.insert(order.end(), chains[ci].blocks.begin(),
+                   chains[ci].blocks.end());
+    }
+  }
+  WP_ENSURE(order.size() == module.blocks.size(),
+            "call_distance ordering lost blocks");
+  return order;
+}
+
+namespace passes {
+
+std::vector<u32> orderCallDistance(const ir::Module& module,
+                                   std::vector<Chain>&& chains,
+                                   u64 /*seed*/) {
+  return orderCallDistanceWithReach(module, std::move(chains),
+                                    kCallDistanceReachBytes);
+}
+
+}  // namespace passes
+}  // namespace wp::layout

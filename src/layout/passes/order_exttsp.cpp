@@ -1,0 +1,161 @@
+// ChainOrdering `exttsp`: greedy chain concatenation driven by the
+// Extended-TSP score (Newell & Pupyrev, "Improved basic block reordering").
+//
+// ExtTSP generalises maximising fall-throughs: an edge also earns partial
+// credit when its target lands close enough for a short jump — within
+// 1024 bytes forward or 640 bytes backward, decaying linearly with
+// distance. We score inter-chain branch edges (fall-through edges are
+// intra-chain by construction, so concatenation cannot change their
+// score) with the source block's execution count as the edge weight, and
+// repeatedly merge the ordered chain pair with the highest positive
+// score until no merge helps. Remaining chains concatenate
+// heaviest-first, matching the paper's ordering for whatever the greedy
+// phase left apart.
+#include <algorithm>
+#include <map>
+
+#include "layout/passes/passes.hpp"
+#include "support/ensure.hpp"
+
+namespace wp::layout::passes {
+namespace {
+
+constexpr double kForwardReach = 1024.0;
+constexpr double kBackwardReach = 640.0;
+
+/// ExtTSP credit for one edge: src block ends at `src_end`, dst block
+/// starts at `dst_addr`, both byte offsets in the same (merged) chain.
+double edgeScore(u64 weight, u64 src_end, u64 dst_addr) {
+  const double w = static_cast<double>(weight);
+  if (dst_addr == src_end) return w;
+  if (dst_addr > src_end) {
+    const double d = static_cast<double>(dst_addr - src_end);
+    if (d >= kForwardReach) return 0.0;
+    return w * 0.1 * (1.0 - d / kForwardReach);
+  }
+  const double d = static_cast<double>(src_end - dst_addr);
+  if (d >= kBackwardReach) return 0.0;
+  return w * 0.1 * (1.0 - d / kBackwardReach);
+}
+
+struct BranchEdge {
+  u32 src = 0, dst = 0;
+  u64 weight = 0;
+};
+
+}  // namespace
+
+std::vector<u32> orderExtTsp(const ir::Module& module,
+                             std::vector<Chain>&& chains, u64 /*seed*/) {
+  const std::size_t n = chains.size();
+
+  // Byte offset of every block within its chain, and per-chain sizes.
+  std::vector<u32> chain_of(module.blocks.size(), 0);
+  std::vector<u64> block_off(module.blocks.size(), 0);
+  std::vector<u64> chain_bytes(n, 0);
+  auto reindex = [&](u32 ci) {
+    u64 off = 0;
+    for (const u32 id : chains[ci].blocks) {
+      chain_of[id] = ci;
+      block_off[id] = off;
+      off += module.blocks[id].insts.size() * 4;
+    }
+    chain_bytes[ci] = off;
+  };
+  for (u32 ci = 0; ci < n; ++ci) reindex(ci);
+
+  // Inter-chain branch edges, weighted by the source block's execution
+  // count (we profile blocks, not edges). Intra-chain edges are scored
+  // identically before and after any concatenation, so they drop out of
+  // every gain comparison.
+  std::vector<BranchEdge> edges;
+  module.forEachBranchEdge(
+      [&](const ir::BasicBlock& src, u32 target, u32 /*inst*/) {
+        if (src.exec_count == 0) return;
+        edges.push_back({src.id, target, src.exec_count});
+      });
+
+  // Score of placing chain `a` immediately before chain `b`, counting
+  // only edges that cross between them.
+  auto concatScore = [&](u32 a, u32 b) {
+    double score = 0.0;
+    for (const BranchEdge& e : edges) {
+      const u32 cs = chain_of[e.src];
+      const u32 cd = chain_of[e.dst];
+      u64 src_end = 0, dst_addr = 0;
+      if (cs == a && cd == b) {
+        src_end = block_off[e.src] + module.blocks[e.src].insts.size() * 4;
+        dst_addr = chain_bytes[a] + block_off[e.dst];
+      } else if (cs == b && cd == a) {
+        src_end = chain_bytes[a] + block_off[e.src] +
+                  module.blocks[e.src].insts.size() * 4;
+        dst_addr = block_off[e.dst];
+      } else {
+        continue;
+      }
+      score += edgeScore(e.weight, src_end, dst_addr);
+    }
+    return score;
+  };
+
+  // Greedy merge rounds: pick the ordered pair with the best positive
+  // score, append `b` onto `a`, repeat. Candidate pairs are exactly the
+  // chain pairs connected by at least one live edge.
+  std::vector<bool> alive(n, true);
+  while (true) {
+    std::map<std::pair<u32, u32>, bool> candidates;
+    for (const BranchEdge& e : edges) {
+      const u32 cs = chain_of[e.src];
+      const u32 cd = chain_of[e.dst];
+      if (cs == cd) continue;
+      candidates[{std::min(cs, cd), std::max(cs, cd)}] = true;
+    }
+    double best = 0.0;
+    u32 best_a = 0, best_b = 0;
+    bool found = false;
+    for (const auto& [pair, _] : candidates) {
+      const auto [x, y] = pair;
+      for (const auto& [a, b] : {std::pair{x, y}, std::pair{y, x}}) {
+        const double s = concatScore(a, b);
+        // Strictly-greater keeps the first (lowest chain-index) pair on
+        // ties, so the result is deterministic.
+        if (s > best) {
+          best = s;
+          best_a = a;
+          best_b = b;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    chains[best_a].blocks.insert(chains[best_a].blocks.end(),
+                                 chains[best_b].blocks.begin(),
+                                 chains[best_b].blocks.end());
+    chains[best_a].weight += chains[best_b].weight;
+    chains[best_b].blocks.clear();
+    chains[best_b].weight = 0;
+    alive[best_b] = false;
+    reindex(best_a);
+  }
+
+  // Survivors concatenate heaviest-first (ties: formation order).
+  std::vector<u32> order_chains;
+  for (u32 ci = 0; ci < n; ++ci) {
+    if (alive[ci]) order_chains.push_back(ci);
+  }
+  std::stable_sort(order_chains.begin(), order_chains.end(),
+                   [&](const u32 a, const u32 b) {
+                     return chains[a].weight > chains[b].weight;
+                   });
+  std::vector<u32> order;
+  order.reserve(module.blocks.size());
+  for (const u32 ci : order_chains) {
+    order.insert(order.end(), chains[ci].blocks.begin(),
+                 chains[ci].blocks.end());
+  }
+  WP_ENSURE(order.size() == module.blocks.size(),
+            "exttsp ordering lost blocks");
+  return order;
+}
+
+}  // namespace wp::layout::passes

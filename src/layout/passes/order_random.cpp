@@ -1,0 +1,22 @@
+// ChainOrdering `random`: seeded Fisher–Yates shuffle of every block
+// id, deliberately ignoring the chains — the ablation floor. It
+// maximally exercises Emission's fall-through repair and bounds how bad
+// a layout the way-placement hardware can be handed.
+#include "layout/passes/passes.hpp"
+#include "support/rng.hpp"
+
+namespace wp::layout::passes {
+
+std::vector<u32> orderRandom(const ir::Module& module,
+                             std::vector<Chain>&& /*chains*/, u64 seed) {
+  std::vector<u32> order;
+  order.reserve(module.blocks.size());
+  for (u32 id = 0; id < module.blocks.size(); ++id) order.push_back(id);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  return order;
+}
+
+}  // namespace wp::layout::passes

@@ -1,0 +1,50 @@
+// Internal interface between the pass pipeline's stages. Each ordering
+// lives in its own translation unit under src/layout/passes/; the
+// registry in strategy.cpp binds them to names. Nothing here is part of
+// the public layout API.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace wp::layout::passes {
+
+// --- ChainOrdering stage -------------------------------------------------
+// Contract: consume the must-respect chains of ChainFormation (blocks
+// within a chain are immovable relative to each other, except where an
+// ordering deliberately breaks them and accepts the Emission repairs)
+// and return a permutation of every block id in the module.
+
+/// Chains in formation order — reproduces the authored program order.
+std::vector<u32> orderOriginal(const ir::Module& module,
+                               std::vector<Chain>&& chains, u64 seed);
+
+/// The paper's §3 ordering: heaviest chain first, ties in formation
+/// order.
+std::vector<u32> orderWayPlacement(const ir::Module& module,
+                                   std::vector<Chain>&& chains, u64 seed);
+
+/// Seeded Fisher–Yates shuffle of all block ids, ignoring chains — the
+/// ablation floor that exercises Emission's fall-through repair.
+std::vector<u32> orderRandom(const ir::Module& module,
+                             std::vector<Chain>&& chains, u64 seed);
+
+/// Codestitcher-style distance-bounded call collocation at the default
+/// reach (layout::kCallDistanceReachBytes).
+std::vector<u32> orderCallDistance(const ir::Module& module,
+                                   std::vector<Chain>&& chains, u64 seed);
+
+/// Greedy ExtTSP-scored chain concatenation.
+std::vector<u32> orderExtTsp(const ir::Module& module,
+                             std::vector<Chain>&& chains, u64 seed);
+
+// --- Emission stage ------------------------------------------------------
+
+/// link() plus a count of the synthetic unconditional branches inserted
+/// to repair fall-throughs the order broke. @p repairs may be null.
+mem::Image emit(const ir::Module& module, std::span<const u32> block_order,
+                u64* repairs);
+
+}  // namespace wp::layout::passes

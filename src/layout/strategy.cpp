@@ -1,0 +1,173 @@
+// The LayoutStrategy registry and the pass-pipeline driver.
+//
+// Registration is static and ordered: `original` first (the baseline
+// every experiment compares against), then the paper's ordering, then
+// the ablation floor, then the two literature orderings. Everything
+// that consumes strategies — SchemeSpec, WP_LAYOUT, the ablation bench,
+// the tests — goes through this table, so adding an ordering is one
+// pass file plus one entry here.
+#include "layout/strategy.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "layout/passes/passes.hpp"
+#include "support/ensure.hpp"
+
+namespace wp::layout {
+
+u64 LayoutReport::dynamicInstructions() const {
+  u64 total = 0;
+  for (const Span& s : spans) total += s.exec * s.insts;
+  return total;
+}
+
+double LayoutReport::coverage(u32 area_bytes) const {
+  const u64 total = dynamicInstructions();
+  if (total == 0) return 0.0;
+  const u64 limit = static_cast<u64>(mem::kCodeBase) + area_bytes;
+  u64 covered = 0;
+  for (const Span& s : spans) {
+    if (s.exec == 0 || s.insts == 0) continue;
+    u64 inside = 0;
+    if (s.addr + static_cast<u64>(s.insts) * 4 <= limit) {
+      inside = s.insts;
+    } else if (s.addr < limit) {
+      inside = (limit - s.addr) / 4;  // straddlers count per instruction
+    }
+    covered += s.exec * inside;
+  }
+  return static_cast<double>(covered) / static_cast<double>(total);
+}
+
+const std::vector<const LayoutStrategy*>& strategies() {
+  static const LayoutStrategy kOriginalStrategy{
+      "original",
+      "",
+      "authored block order; the baseline binary",
+      "baseline",
+      /*needs_profile=*/false,
+      &passes::orderOriginal,
+  };
+  static const LayoutStrategy kWayPlacementStrategy{
+      "way_placement",
+      "way-placement",  // the spelling policyName() has always printed
+      "heaviest-first chain concatenation (the paper's ordering)",
+      "Jones et al., DATE 2008",
+      /*needs_profile=*/true,
+      &passes::orderWayPlacement,
+  };
+  static const LayoutStrategy kRandomStrategy{
+      "random",
+      "",
+      "seeded shuffle of all blocks; the ablation floor",
+      "ablation control",
+      /*needs_profile=*/false,
+      &passes::orderRandom,
+  };
+  static const LayoutStrategy kCallDistanceStrategy{
+      "call_distance",
+      "",
+      "distance-bounded collocation of callees behind hot call sites",
+      "Lavaee et al., Codestitcher",
+      /*needs_profile=*/true,
+      &passes::orderCallDistance,
+  };
+  static const LayoutStrategy kExtTspStrategy{
+      "exttsp",
+      "",
+      "greedy chain concatenation maximizing the ExtTSP score",
+      "Newell & Pupyrev, ExtTSP",
+      /*needs_profile=*/true,
+      &passes::orderExtTsp,
+  };
+  static const std::vector<const LayoutStrategy*> kRegistry{
+      &kOriginalStrategy, &kWayPlacementStrategy, &kRandomStrategy,
+      &kCallDistanceStrategy, &kExtTspStrategy,
+  };
+  return kRegistry;
+}
+
+std::vector<std::string> strategyNames() {
+  std::vector<std::string> names;
+  names.reserve(strategies().size());
+  for (const LayoutStrategy* s : strategies()) names.push_back(s->name);
+  return names;
+}
+
+const LayoutStrategy* findStrategy(std::string_view name) {
+  for (const LayoutStrategy* s : strategies()) {
+    if (name == s->name) return s;
+    if (!s->alias.empty() && name == s->alias) return s;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string joinedStrategyNames() {
+  std::string joined;
+  for (const LayoutStrategy* s : strategies()) {
+    if (!joined.empty()) joined += ", ";
+    joined += s->name;
+  }
+  return joined;
+}
+
+}  // namespace
+
+const LayoutStrategy& parseStrategy(std::string_view name) {
+  const LayoutStrategy* s = findStrategy(name);
+  if (s == nullptr) {
+    throw SimError("unknown layout strategy '" + std::string(name) +
+                   "' (valid: " + joinedStrategyNames() + ")");
+  }
+  return *s;
+}
+
+const std::string& defaultStrategyName() {
+  static const std::string kDefault = "way_placement";
+  return kDefault;
+}
+
+std::string strategyFromEnv() {
+  const char* raw = std::getenv("WP_LAYOUT");
+  if (raw == nullptr || raw[0] == '\0') return defaultStrategyName();
+  const LayoutStrategy* s = findStrategy(raw);
+  if (s == nullptr) {
+    std::fprintf(stderr, "WP_LAYOUT: unknown layout strategy '%s' (valid: %s)\n",
+                 raw, joinedStrategyNames().c_str());
+    std::exit(1);
+  }
+  return s->name;
+}
+
+LayoutResult runPipeline(const ir::Module& module,
+                         const LayoutStrategy& strategy, u64 seed) {
+  std::vector<Chain> chains = formChains(module);
+  const u64 chain_count = chains.size();
+
+  const std::vector<u32> order =
+      strategy.order(module, std::move(chains), seed);
+
+  LayoutResult result;
+  result.report.strategy = strategy.name;
+  result.report.chains = chain_count;
+  result.image = passes::emit(module, order, &result.report.repairs);
+
+  result.report.spans.resize(module.blocks.size());
+  for (const ir::BasicBlock& b : module.blocks) {
+    LayoutReport::Span& s = result.report.spans[b.id];
+    s.addr = result.image.block_addr.at(b.id);
+    s.insts = static_cast<u32>(b.insts.size());
+    s.exec = b.exec_count;
+  }
+  return result;
+}
+
+LayoutResult runPipeline(const ir::Module& module, std::string_view name,
+                         u64 seed) {
+  return runPipeline(module, parseStrategy(name), seed);
+}
+
+}  // namespace wp::layout

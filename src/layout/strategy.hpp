@@ -1,0 +1,128 @@
+// Layout strategies: the pluggable ChainOrdering stage of the layout
+// pass pipeline (ChainFormation → ChainOrdering → Emission).
+//
+// The paper's compiler contribution (§3) is one ordering — concatenate
+// the must-respect chains heaviest-first — but the interesting
+// scientific question for this reproduction is how much of the energy
+// saving depends on the *quality* of the hot-code ordering feeding the
+// way-placement area. So orderings are first-class, registered by name
+// and selectable per run (`SchemeSpec::layout`, `WP_LAYOUT=<name>`):
+//
+//   original       authored block order (the baseline binary),
+//   way_placement  the paper's heaviest-first chain concatenation,
+//   random         seeded shuffle of all blocks (layout ablation floor),
+//   call_distance  Codestitcher-style distance-bounded collocation:
+//                  merges a callee's hot chain behind its heaviest call
+//                  site whenever the merged cluster stays within a
+//                  configurable reach (Lavaee et al.),
+//   exttsp         greedy chain concatenation maximizing the ExtTSP
+//                  score, which values short forward jumps above raw
+//                  fall-through count (Newell & Pupyrev).
+//
+// Every pipeline run emits a LayoutReport — chains formed, fall-through
+// repairs the linker had to insert, and the placed dynamic-instruction
+// profile — so sweeps can explain *why* a layout wins, not just that it
+// does. Reports flow through RunResult into WP_JSON / WP_TRACE.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace wp::layout {
+
+/// What one pass-pipeline run did to a module. Host-side observability:
+/// nothing here feeds back into the simulated machine.
+struct LayoutReport {
+  std::string strategy;  ///< canonical name of the ordering that ran
+  u64 chains = 0;        ///< must-respect chains formed (stage 1)
+  u64 repairs = 0;       ///< fall-through branches link() materialized
+
+  /// Placement of every block: where it landed and how hot it is.
+  struct Span {
+    u32 addr = 0;   ///< placed address of the block's first instruction
+    u32 insts = 0;  ///< authored instructions (repairs excluded)
+    u64 exec = 0;   ///< profiled entry count of the block
+  };
+  std::vector<Span> spans;  ///< indexed by block id
+
+  /// Profiled dynamic instructions over all spans (exec × insts).
+  [[nodiscard]] u64 dynamicInstructions() const;
+
+  /// Fraction of profiled dynamic instructions whose placed address
+  /// falls within the first @p area_bytes of the code segment — i.e.
+  /// inside a way-placement area of that size. Blocks straddling the
+  /// boundary count instruction-by-instruction. 0 when the module
+  /// carries no profile.
+  [[nodiscard]] double coverage(u32 area_bytes) const;
+};
+
+/// A linked image plus the report of the pipeline run that produced it.
+struct LayoutResult {
+  mem::Image image;
+  LayoutReport report;
+};
+
+/// One registered ChainOrdering. `order` consumes the must-respect
+/// chains of stage 1 and returns a permutation of all block ids; the
+/// Emission stage repairs whatever fall-throughs the order breaks, so
+/// any permutation is architecturally sound (property-tested).
+struct LayoutStrategy {
+  std::string name;     ///< canonical registry name (the WP_LAYOUT value)
+  std::string alias;    ///< accepted legacy spelling ("" = none)
+  std::string summary;  ///< one-line description for --help style output
+  std::string source;   ///< the paper the ordering comes from
+  /// True for orderings that are meaningless without block exec counts;
+  /// on an unusable training profile these fall back to the original
+  /// layout (a bad profile costs energy, never correctness).
+  bool needs_profile = false;
+  std::vector<u32> (*order)(const ir::Module&, std::vector<Chain>&&,
+                            u64 seed) = nullptr;
+};
+
+/// All registered strategies, in registration order (stable across runs;
+/// `original` is always first).
+[[nodiscard]] const std::vector<const LayoutStrategy*>& strategies();
+
+/// Canonical names, in registration order.
+[[nodiscard]] std::vector<std::string> strategyNames();
+
+/// Looks @p name up by canonical name or alias; nullptr when unknown.
+[[nodiscard]] const LayoutStrategy* findStrategy(std::string_view name);
+
+/// findStrategy or a SimError naming the valid strategies.
+[[nodiscard]] const LayoutStrategy& parseStrategy(std::string_view name);
+
+/// The strategy way-placement runs use when WP_LAYOUT is unset.
+[[nodiscard]] const std::string& defaultStrategyName();
+
+/// Strategy name from WP_LAYOUT, strictly parsed in the WP_SEED/WP_JOBS
+/// style: unset or empty means defaultStrategyName(); an unknown name
+/// prints the valid list and exits with status 1 instead of silently
+/// running the wrong experiment.
+[[nodiscard]] std::string strategyFromEnv();
+
+/// Runs the full pass pipeline: ChainFormation over @p module, the
+/// strategy's ChainOrdering, then Emission (fall-through repair +
+/// relocation + image encode). @p seed only affects seeded orderings.
+[[nodiscard]] LayoutResult runPipeline(const ir::Module& module,
+                                       const LayoutStrategy& strategy,
+                                       u64 seed = 0);
+
+/// runPipeline after parseStrategy(@p name).
+[[nodiscard]] LayoutResult runPipeline(const ir::Module& module,
+                                       std::string_view name, u64 seed = 0);
+
+/// The call_distance collocation bound: a callee chain is merged behind
+/// its call site only while the merged cluster stays within this many
+/// bytes, keeping every collocated call short-reach (Codestitcher's
+/// distance budget). The registered strategy uses the default; the
+/// parameterized ordering is exposed for reach sweeps.
+inline constexpr u32 kCallDistanceReachBytes = 4096;
+
+[[nodiscard]] std::vector<u32> orderCallDistanceWithReach(
+    const ir::Module& module, std::vector<Chain>&& chains, u32 reach_bytes);
+
+}  // namespace wp::layout

@@ -2,6 +2,8 @@
 // representative workloads, checking the headline result *shapes*.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "driver/runner.hpp"
 
 namespace wp {
@@ -111,9 +113,39 @@ TEST(Driver, EnergyBreakdownIsConsistent) {
 
 TEST(Driver, WayMemoizationRunsOriginalLayout) {
   const driver::SchemeSpec wm = driver::SchemeSpec::wayMemoization();
-  EXPECT_EQ(wm.layout, layout::Policy::kOriginal);
+  EXPECT_EQ(wm.layout, "original");
   const driver::SchemeSpec wp = driver::SchemeSpec::wayPlacement(1024);
-  EXPECT_EQ(wp.layout, layout::Policy::kWayPlacement);
+  EXPECT_EQ(wp.layout, "way_placement");
+}
+
+TEST(Driver, WpLayoutEnvRetargetsWayPlacementSpecs) {
+  setenv("WP_LAYOUT", "call_distance", 1);
+  EXPECT_EQ(driver::SchemeSpec::wayPlacement(1024).layout, "call_distance");
+  unsetenv("WP_LAYOUT");
+  EXPECT_EQ(driver::SchemeSpec::wayPlacement(1024).layout, "way_placement");
+}
+
+TEST(Driver, RunCarriesTheLayoutReport) {
+  driver::Runner runner;
+  const driver::PreparedWorkload p = runner.prepare("crc");
+  // Every registered strategy was laid out at prepare() time.
+  for (const layout::LayoutStrategy* s : layout::strategies()) {
+    EXPECT_EQ(p.layoutFor(s->name).report.strategy, s->name);
+  }
+
+  driver::SchemeSpec spec = driver::SchemeSpec::wayPlacement(2048);
+  spec.layout = "way_placement";
+  const driver::RunResult r = runner.run(p, kXScale, spec);
+  EXPECT_EQ(r.layout_strategy, "way_placement");
+  EXPECT_GT(r.layout_chains, 0u);
+  EXPECT_GT(r.wp_area_coverage, 0.0);
+  EXPECT_LE(r.wp_area_coverage, 1.0);
+
+  // Non-way-placement schemes have no WP area to cover.
+  const driver::RunResult base =
+      runner.run(p, kXScale, driver::SchemeSpec::baseline());
+  EXPECT_EQ(base.layout_strategy, "original");
+  EXPECT_EQ(base.wp_area_coverage, 0.0);
 }
 
 // Regression for the former process-wide experiment seed: when two

@@ -248,12 +248,13 @@ TEST(AreaResize, MidRunResizePreservesProgramResults) {
   const driver::PreparedWorkload p = runner.prepare("crc");
 
   mem::Memory memory;
-  p.wayplaced.loadInto(memory);
+  const mem::Image& image = p.imageFor("way_placement");
+  image.loadInto(memory);
   p.workload->prepare(memory, workloads::InputSize::kLarge);
 
   sim::MachineConfig machine = runner.machineFor(
       kXScale, driver::SchemeSpec::wayPlacement(16 * 1024));
-  sim::Processor proc(machine, p.wayplaced, memory);
+  sim::Processor proc(machine, image, memory);
   (void)proc.run();
   EXPECT_EQ(p.workload->output(memory),
             p.workload->expected(workloads::InputSize::kLarge));

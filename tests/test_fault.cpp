@@ -295,7 +295,8 @@ TEST(ProfileFaults, EmptyProfileFallsBackToOriginalLayout) {
   EXPECT_NE(hurt.profile_warning.find("no block counts"), std::string::npos)
       << hurt.profile_warning;
   // The fallback reuses the original block order.
-  EXPECT_EQ(hurt.wayplaced.code, hurt.original.code);
+  EXPECT_EQ(hurt.imageFor("way_placement").code,
+            hurt.imageFor("original").code);
 
   const driver::RunResult r = runner.run(
       hurt, kXScale, driver::SchemeSpec::wayPlacement(16 * 1024));
@@ -309,7 +310,8 @@ TEST(ProfileFaults, BogusBlockIdsFallBackToOriginalLayout) {
   EXPECT_FALSE(hurt.profile_ok);
   EXPECT_NE(hurt.profile_warning.find("unknown block id"), std::string::npos)
       << hurt.profile_warning;
-  EXPECT_EQ(hurt.wayplaced.code, hurt.original.code);
+  EXPECT_EQ(hurt.imageFor("way_placement").code,
+            hurt.imageFor("original").code);
 
   const driver::RunResult r = runner.run(
       hurt, kXScale, driver::SchemeSpec::wayPlacement(16 * 1024));

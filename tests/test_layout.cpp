@@ -4,8 +4,12 @@
 // results under every layout policy.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
+
 #include "asmkit/builder.hpp"
 #include "layout/layout.hpp"
+#include "layout/strategy.hpp"
 #include "profile/profiler.hpp"
 #include "sim/core.hpp"
 #include "sim/processor.hpp"
@@ -74,6 +78,17 @@ TEST(Chains, WeightIsDynamicInstructionCount) {
     for (const u32 id : c.blocks) expect += 2 * m.blocks[id].insts.size();
     EXPECT_EQ(c.weight, expect);
   }
+}
+
+TEST(Chains, WeightOverflowIsALoudError) {
+  // A corrupt profile can push Σ(exec × insts) past 64 bits; silently
+  // wrapping would reorder chains by garbage weights, so formChains must
+  // refuse the profile instead.
+  ir::Module m = twoFunctionModule();
+  for (ir::BasicBlock& b : m.blocks) {
+    b.exec_count = std::numeric_limits<u64>::max();
+  }
+  EXPECT_THROW(layout::formChains(m), SimError);
 }
 
 TEST(Order, HeaviestChainFirst) {
@@ -276,6 +291,22 @@ TEST_P(LayoutEquivalence, AllPoliciesComputeSameResult) {
     EXPECT_EQ(runAndReadOut(m, layout::Policy::kRandom, shuffle), original)
         << "shuffle seed " << shuffle;
   }
+
+  // Every registered strategy — including the literature orderings with
+  // no Policy enumerator — must preserve semantics too.
+  for (const layout::LayoutStrategy* s : layout::strategies()) {
+    const layout::LayoutResult laid = layout::runPipeline(m, *s);
+    mem::Memory memory;
+    laid.image.loadInto(memory);
+    sim::Core core(laid.image, memory);
+    sim::CoreState st = core.initialState();
+    u64 steps = 0;
+    while (!st.halted) {
+      ASSERT_LT(steps++, 2'000'000u) << s->name;
+      core.step(st);
+    }
+    EXPECT_EQ(memory.load32(mem::kDataBase), original) << s->name;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, LayoutEquivalence,
@@ -316,6 +347,239 @@ TEST_P(SchemeEquivalence, AllSchemesComputeSameResult) {
 
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, SchemeEquivalence,
                          ::testing::Range<u64>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Strategy registry: names, aliases, env knob, and the pipeline report.
+// ---------------------------------------------------------------------------
+
+TEST(Strategy, RegistryListsTheExpectedOrderings) {
+  const std::vector<std::string> names = layout::strategyNames();
+  const std::vector<std::string> expected = {
+      "original", "way_placement", "random", "call_distance", "exttsp"};
+  EXPECT_EQ(names, expected);
+  EXPECT_EQ(layout::defaultStrategyName(), "way_placement");
+  for (const std::string& n : names) {
+    EXPECT_EQ(layout::parseStrategy(n).name, n);
+  }
+}
+
+TEST(Strategy, PolicyNamesRoundTripThroughParseStrategy) {
+  // The legacy Policy spellings (including the hyphenated
+  // "way-placement" that policyName has always printed and that recorded
+  // WP_JSON references carry) must resolve to registered strategies.
+  EXPECT_EQ(layout::parseStrategy(layout::policyName(layout::Policy::kOriginal))
+                .name,
+            "original");
+  EXPECT_EQ(
+      layout::parseStrategy(layout::policyName(layout::Policy::kWayPlacement))
+          .name,
+      "way_placement");
+  EXPECT_EQ(layout::parseStrategy(layout::policyName(layout::Policy::kRandom))
+                .name,
+            "random");
+}
+
+TEST(Strategy, ParseRejectsUnknownNamesListingTheValidOnes) {
+  EXPECT_EQ(layout::findStrategy("ext-tsp"), nullptr);
+  try {
+    (void)layout::parseStrategy("ext-tsp");
+    FAIL() << "parseStrategy accepted an unknown name";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("way_placement"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StrategyDeathTest, UnknownWpLayoutExitsWithStatusOne) {
+  // Same strictness as WP_SEED / WP_JOBS: a typo must kill the
+  // experiment at startup, not silently run the default ordering.
+  EXPECT_EXIT(
+      {
+        setenv("WP_LAYOUT", "heaviest_first", 1);
+        (void)layout::strategyFromEnv();
+      },
+      ::testing::ExitedWithCode(1), "WP_LAYOUT");
+}
+
+TEST(Strategy, EnvKnobSelectsAndCanonicalizes) {
+  setenv("WP_LAYOUT", "exttsp", 1);
+  EXPECT_EQ(layout::strategyFromEnv(), "exttsp");
+  setenv("WP_LAYOUT", "way-placement", 1);  // alias canonicalizes
+  EXPECT_EQ(layout::strategyFromEnv(), "way_placement");
+  unsetenv("WP_LAYOUT");
+  EXPECT_EQ(layout::strategyFromEnv(), layout::defaultStrategyName());
+}
+
+// The refactor from the layout.cpp monolith into the pass pipeline must
+// not move a single byte: way_placement's image is the legacy
+// heaviest-first algorithm's image, reproduced here independently.
+TEST(Strategy, WayPlacementImageMatchesLegacyAlgorithmBitForBit) {
+  for (const u64 seed : {3u, 17u, 42u}) {
+    ir::Module m = randomProgram(seed);
+    const mem::Image orig =
+        layout::linkWithPolicy(m, layout::Policy::kOriginal);
+    mem::Memory memory;
+    orig.loadInto(memory);
+    profile::annotate(m, profile::profileImage(orig, memory));
+
+    // The pre-refactor algorithm, verbatim: stable-sort the chains by
+    // descending weight and concatenate.
+    auto chains = layout::formChains(m);
+    std::stable_sort(chains.begin(), chains.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.weight > b.weight;
+                     });
+    std::vector<u32> legacy_order;
+    for (const auto& c : chains) {
+      legacy_order.insert(legacy_order.end(), c.blocks.begin(),
+                          c.blocks.end());
+    }
+    const mem::Image legacy = layout::link(m, legacy_order);
+
+    const layout::LayoutResult laid = layout::runPipeline(m, "way_placement");
+    EXPECT_EQ(laid.image.code, legacy.code) << "seed " << seed;
+    EXPECT_EQ(laid.image.block_addr, legacy.block_addr) << "seed " << seed;
+    EXPECT_EQ(laid.image.entry, legacy.entry) << "seed " << seed;
+  }
+}
+
+TEST(Strategy, ReportExplainsThePlacement) {
+  ir::Module m = randomProgram(11);
+  const mem::Image orig = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  mem::Memory memory;
+  orig.loadInto(memory);
+  profile::annotate(m, profile::profileImage(orig, memory));
+
+  for (const layout::LayoutStrategy* s : layout::strategies()) {
+    const layout::LayoutResult laid = layout::runPipeline(m, *s, /*seed=*/5);
+    const layout::LayoutReport& r = laid.report;
+    EXPECT_EQ(r.strategy, s->name);
+    EXPECT_EQ(r.chains, layout::formChains(m).size()) << s->name;
+    EXPECT_EQ(r.spans.size(), m.blocks.size()) << s->name;
+    // Image size accounts for exactly the counted repairs.
+    EXPECT_EQ(laid.image.code.size(),
+              (m.staticInstructions() + r.repairs) * 4)
+        << s->name;
+    // Coverage is a CDF over the placed profile: monotone in the area,
+    // complete once the area swallows the whole image.
+    EXPECT_GT(r.dynamicInstructions(), 0u) << s->name;
+    const u32 whole = static_cast<u32>(laid.image.code.size()) + 1024;
+    EXPECT_LE(r.coverage(1024), r.coverage(4096)) << s->name;
+    EXPECT_DOUBLE_EQ(r.coverage(whole), 1.0) << s->name;
+  }
+
+  // Keeping every fall-through intact means zero repairs for original.
+  EXPECT_EQ(layout::runPipeline(m, "original").report.repairs, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The literature orderings: structural properties.
+// ---------------------------------------------------------------------------
+
+void expectChainsIntact(const ir::Module& m, const std::vector<u32>& order,
+                        const std::string& label) {
+  // A permutation of all blocks...
+  std::vector<u32> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (u32 i = 0; i < sorted.size(); ++i) {
+    ASSERT_EQ(sorted[i], i) << label;
+  }
+  // ...that keeps every must-respect chain contiguous and in chain
+  // order (both new strategies move whole chains, never blocks).
+  std::vector<u32> pos(order.size());
+  for (u32 i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const auto& c : layout::formChains(m)) {
+    for (std::size_t i = 1; i < c.blocks.size(); ++i) {
+      EXPECT_EQ(pos[c.blocks[i]], pos[c.blocks[i - 1]] + 1)
+          << label << ": chain split at block " << c.blocks[i];
+    }
+  }
+}
+
+TEST(Strategy, NewOrderingsKeepChainsIntact) {
+  for (const u64 seed : {2u, 9u, 23u}) {
+    ir::Module m = randomProgram(seed);
+    const mem::Image orig =
+        layout::linkWithPolicy(m, layout::Policy::kOriginal);
+    mem::Memory memory;
+    orig.loadInto(memory);
+    profile::annotate(m, profile::profileImage(orig, memory));
+
+    for (const char* name : {"call_distance", "exttsp"}) {
+      const layout::LayoutStrategy& s = layout::parseStrategy(name);
+      const std::vector<u32> order =
+          s.order(m, layout::formChains(m), /*seed=*/0);
+      expectChainsIntact(m, order, name);
+    }
+  }
+}
+
+TEST(Strategy, CallDistanceWithZeroReachIsPlainWayPlacement) {
+  // With no byte budget nothing merges, and the heaviest-first group
+  // concatenation degenerates to the paper's ordering exactly.
+  ir::Module m = randomProgram(5);
+  const mem::Image orig = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  mem::Memory memory;
+  orig.loadInto(memory);
+  profile::annotate(m, profile::profileImage(orig, memory));
+
+  EXPECT_EQ(layout::orderCallDistanceWithReach(m, layout::formChains(m), 0),
+            layout::orderBlocks(m, layout::Policy::kWayPlacement));
+}
+
+// ---------------------------------------------------------------------------
+// Property test: ANY permutation of the blocks is architecturally
+// equivalent to the original layout. The Emission stage's fall-through
+// repair is what makes every ordering advisory-only, so this is the
+// invariant that lets a strategy be wrong about performance but never
+// about results. Cross-layout equality is asserted on dataflow_hash and
+// the program output — retired_pc_hash hashes *placed* PCs and is
+// layout-dependent by design (see sim::RunStats), so for it we assert
+// same-permutation reproducibility instead.
+// ---------------------------------------------------------------------------
+
+struct ProcRun {
+  sim::RunStats stats;
+  u32 out = 0;
+};
+
+ProcRun runOnProcessor(const mem::Image& img) {
+  sim::MachineConfig cfg =
+      sim::baselineMachine(cache::Scheme::kBaseline, 0);
+  mem::Memory memory;
+  img.loadInto(memory);
+  sim::Processor proc(cfg, img, memory);
+  ProcRun r;
+  r.stats = proc.run();
+  r.out = memory.load32(mem::kDataBase);
+  return r;
+}
+
+class PermutationEquivalence : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PermutationEquivalence, AnyBlockPermutationPreservesDataflow) {
+  ir::Module m = randomProgram(GetParam() * 7919ULL + 1);
+  const ProcRun original = runOnProcessor(
+      layout::linkWithPolicy(m, layout::Policy::kOriginal));
+
+  for (u64 shuffle = 1; shuffle <= 4; ++shuffle) {
+    const auto order = layout::orderBlocks(m, layout::Policy::kRandom,
+                                           shuffle);
+    const mem::Image img = layout::link(m, order);
+    const ProcRun permuted = runOnProcessor(img);
+    EXPECT_EQ(permuted.out, original.out) << "shuffle " << shuffle;
+    EXPECT_EQ(permuted.stats.dataflow_hash, original.stats.dataflow_hash)
+        << "shuffle " << shuffle;
+    // The layout-dependent retired-PC stream is still deterministic for
+    // a fixed permutation.
+    EXPECT_EQ(runOnProcessor(img).stats.retired_pc_hash,
+              permuted.stats.retired_pc_hash)
+        << "shuffle " << shuffle;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, PermutationEquivalence,
+                         ::testing::Range<u64>(1, 11));
 
 }  // namespace
 }  // namespace wp

@@ -54,9 +54,7 @@ TEST(Smoke, CrcOutputMatchesReferenceUnderAllSchemes) {
        {driver::SchemeSpec::baseline(),
         driver::SchemeSpec::wayPlacement(4 * 1024),
         driver::SchemeSpec::wayMemoization()}) {
-    const mem::Image& image = spec.layout == layout::Policy::kWayPlacement
-                                  ? prepared.wayplaced
-                                  : prepared.original;
+    const mem::Image& image = prepared.imageFor(spec.layout);
     mem::Memory memory;
     image.loadInto(memory);
     prepared.workload->prepare(memory, InputSize::kLarge);

@@ -74,7 +74,7 @@ TEST(SweepKey, DistinctSpecsGetDistinctKeys) {
   }
   {
     driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
-    s.layout = layout::Policy::kRandom;
+    s.layout = "random";
     specs.push_back(s);
   }
 
@@ -265,6 +265,34 @@ TEST(SweepExecutor, JsonReportCarriesObservabilityFields) {
   // Two pool workers: the computing worker is 0 or 1.
   EXPECT_GE(jsonNumber(json, "worker", cell), 0.0);
   EXPECT_LE(jsonNumber(json, "worker", cell), 1.0);
+
+  // The LayoutReport ride-alongs: canonical strategy name, chains,
+  // repairs, and the WP-area dynamic-instruction coverage.
+  EXPECT_NE(json.find("\"layout\": \"way_placement\"", cell),
+            std::string::npos);
+  EXPECT_GT(jsonNumber(json, "layout_chains", cell), 0.0);
+  EXPECT_GE(jsonNumber(json, "layout_repairs", cell), 0.0);
+  EXPECT_GT(jsonNumber(json, "wp_area_coverage", cell), 0.0);
+  EXPECT_LE(jsonNumber(json, "wp_area_coverage", cell), 1.0);
+}
+
+TEST(SweepKey, LayoutStrategiesAreKeyMaterialAndAliasesCanonicalize) {
+  driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
+  std::set<std::string> keys;
+  for (const layout::LayoutStrategy* strategy : layout::strategies()) {
+    s.layout = strategy->name;
+    keys.insert(driver::SweepExecutor::keyOf("crc", kXScale, s));
+  }
+  EXPECT_EQ(keys.size(), layout::strategies().size())
+      << "two layout strategies collided on one memo key";
+
+  // The legacy alias spelling memoizes to the same cell as the
+  // canonical name — same image, same result, one simulation.
+  s.layout = "way_placement";
+  const std::string canonical =
+      driver::SweepExecutor::keyOf("crc", kXScale, s);
+  s.layout = "way-placement";
+  EXPECT_EQ(driver::SweepExecutor::keyOf("crc", kXScale, s), canonical);
 }
 
 // ---------------------------------------------------------------------

@@ -4,7 +4,7 @@
 // program semantics.
 #include <gtest/gtest.h>
 
-#include "layout/layout.hpp"
+#include "layout/strategy.hpp"
 #include "profile/profiler.hpp"
 #include "sim/core.hpp"
 #include "workloads/workload.hpp"
@@ -71,6 +71,30 @@ TEST_P(WorkloadCorrectness, LargeInputWayPlacementLayout) {
   w->prepare(memory, InputSize::kLarge);
   runToHalt(image, memory);
   EXPECT_EQ(w->output(memory), w->expected(InputSize::kLarge));
+}
+
+TEST_P(WorkloadCorrectness, SmallInputLiteratureStrategyLayouts) {
+  // The registry's literature orderings (Codestitcher-style collocation
+  // and ExtTSP) must be architecturally equivalent on every workload,
+  // exactly like the paper's ordering.
+  auto w = workloads::makeWorkload(GetParam());
+  ir::Module module = w->build();
+
+  const mem::Image orig =
+      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+  mem::Memory pmem;
+  orig.loadInto(pmem);
+  w->prepare(pmem, InputSize::kSmall);
+  profile::annotate(module, profile::profileImage(orig, pmem));
+
+  for (const char* strategy : {"call_distance", "exttsp"}) {
+    const layout::LayoutResult laid = layout::runPipeline(module, strategy);
+    mem::Memory memory;
+    laid.image.loadInto(memory);
+    w->prepare(memory, InputSize::kSmall);
+    runToHalt(laid.image, memory);
+    EXPECT_EQ(w->output(memory), w->expected(InputSize::kSmall)) << strategy;
+  }
 }
 
 TEST_P(WorkloadCorrectness, LargeInputRandomLayout) {
