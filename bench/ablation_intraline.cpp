@@ -33,19 +33,18 @@ int main() {
       driver::SchemeSpec s = memo ? driver::SchemeSpec::wayMemoization()
                                   : driver::SchemeSpec::wayPlacement(16 * 1024);
       s.intraline_skip = skip;
-      const double e = suite.averageNormalized(
+      const auto e = suite.averageNormalizedChecked(
           icache, s,
           [](const driver::Normalized& n) { return n.icache_energy; });
-      const double ed = suite.averageNormalized(
+      const auto ed = suite.averageNormalizedChecked(
           icache, s, [](const driver::Normalized& n) { return n.ed_product; });
       t.row({memo ? "way-memoization" : "way-placement", skip ? "on" : "off",
-             fmtPct(e, 1), fmt(ed, 3)});
+             bench::cellPct(e, 1), bench::cellNum(ed, 3)});
     }
   }
   t.print(std::cout);
   std::cout << "\nway-placement keeps most of its saving without the skip\n"
                "(single-way search already removes W-1 of W tag checks);\n"
                "way-memoization depends on it much more heavily.\n";
-  bench::finish(suite);
-  return 0;
+  return bench::finish(suite);
 }

@@ -22,7 +22,12 @@ int main() {
             "extra cycles (ppm)"});
   Accumulator acc;
   for (const auto& p : suite.prepared()) {
-    const driver::RunResult& r = suite.run(p, icache, wp);
+    const auto view = suite.tryRun(p, icache, wp);
+    if (view.quarantined) {
+      t.row({p.name, "QUAR", "QUAR", "QUAR", "QUAR"});
+      continue;
+    }
+    const driver::RunResult& r = *view.result;
     const auto& f = r.stats.fetch;
     const u64 resolved = f.hint_correct + f.hint_miss_lost_saving +
                          f.hint_miss_second_access;
@@ -38,12 +43,13 @@ int main() {
     acc.add(accuracy);
   }
   t.separator();
-  t.row({"average", fmtPct(acc.mean(), 3), "", "", ""});
+  t.row({"average", acc.count() > 0 ? fmtPct(acc.mean(), 3) : "QUAR", "", "",
+         ""});
   t.print(std::cout);
 
   std::cout << "\npaper: \"using the way-hint bit to predict a "
                "way-placement access is very accurate\" — measured "
-            << fmtPct(acc.mean(), 2) << " average accuracy\n";
-  bench::finish(suite);
-  return 0;
+            << (acc.count() > 0 ? fmtPct(acc.mean(), 2) : "QUAR")
+            << " average accuracy\n";
+  return bench::finish(suite);
 }

@@ -31,25 +31,24 @@ int main() {
   for (const bool precise : {false, true}) {
     driver::SchemeSpec s = driver::SchemeSpec::wayMemoization();
     s.wm_precise_invalidation = precise;
-    const double e = suite.averageNormalized(
+    const auto e = suite.averageNormalizedChecked(
         icache, s,
         [](const driver::Normalized& n) { return n.icache_energy; });
-    const double ed = suite.averageNormalized(
+    const auto ed = suite.averageNormalizedChecked(
         icache, s, [](const driver::Normalized& n) { return n.ed_product; });
     t.row({precise ? "way-memo (precise, idealized)"
                    : "way-memo (flash-clear, hardware)",
-           fmtPct(e, 1), fmt(ed, 3)});
+           bench::cellPct(e, 1), bench::cellNum(ed, 3)});
   }
-  const double wp_e = suite.averageNormalized(
+  const auto wp_e = suite.averageNormalizedChecked(
       icache, driver::SchemeSpec::wayPlacement(16 * 1024),
       [](const driver::Normalized& n) { return n.icache_energy; });
   t.separator();
-  t.row({"way-placement 16KB (reference)", fmtPct(wp_e, 1), ""});
+  t.row({"way-placement 16KB (reference)", bench::cellPct(wp_e, 1), ""});
   t.print(std::cout);
 
   std::cout << "\neven idealized invalidation cannot remove the 21% link\n"
                "storage overhead on every data access, so way-placement\n"
                "stays ahead.\n";
-  bench::finish(suite);
-  return 0;
+  return bench::finish(suite);
 }

@@ -55,9 +55,34 @@ driver::SweepExecutor makeSuite() {
                                experimentSeed());
 }
 
-void finish(const driver::SweepExecutor& suite) {
+int finish(const driver::SweepExecutor& suite) {
+  const auto quarantined = suite.quarantined();
+  if (!quarantined.empty()) {
+    // Part of the bench's result, so it goes to stdout with the tables:
+    // anyone diffing output sees exactly which cells the averages lost.
+    std::cout << "\nDEGRADED RESULTS: " << quarantined.size()
+              << " cell(s) quarantined after exhausting retries; averages "
+                 "marked '*' exclude them, cells marked QUAR have no "
+                 "surviving data.\n";
+    for (const auto& q : quarantined) {
+      std::cout << "  QUAR " << q.error << "\n";
+    }
+  }
   suite.printSummary(std::cerr);
   suite.emitJsonIfRequested();
+  return quarantined.empty() ? 0 : 3;
+}
+
+std::string cellPct(const driver::SweepExecutor::SuiteAverage& a,
+                    int decimals) {
+  if (a.included == 0) return "QUAR";
+  return fmtPct(a.mean, decimals) + (a.degraded() ? "*" : "");
+}
+
+std::string cellNum(const driver::SweepExecutor::SuiteAverage& a,
+                    int decimals) {
+  if (a.included == 0) return "QUAR";
+  return fmt(a.mean, decimals) + (a.degraded() ? "*" : "");
 }
 
 void printRunnerSummary(const driver::Runner& runner) {

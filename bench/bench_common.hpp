@@ -52,9 +52,26 @@ void printHeader(const std::string& title, const std::string& paper_ref);
 
 /// Standard bench epilogue: prints the one-line throughput/progress
 /// summary to stderr (stderr so stdout tables stay byte-identical at
-/// any WP_JOBS) and emits the WP_JSON report if requested. Every
-/// fig/ablation/extension bench calls this after its tables.
-void finish(const driver::SweepExecutor& suite);
+/// any WP_JOBS) and emits the WP_JSON report if requested. When any
+/// cell was quarantined, a degradation footer listing every QUAR cell
+/// goes to stdout (part of the result, not a log line). Returns the
+/// bench exit code — every fig/ablation/extension bench ends with
+/// `return bench::finish(suite);`:
+///   0  clean sweep, every cell priced
+///   3  degraded-but-complete: >=1 cell quarantined, tables rendered
+///      with QUAR markers and the remaining cells are trustworthy
+[[nodiscard]] int finish(const driver::SweepExecutor& suite);
+
+/// Renders a checked suite average as a percentage table cell: "QUAR"
+/// when every contributing cell was quarantined, the value with a '*'
+/// suffix when only some were (the footer printed by finish() explains
+/// the markers).
+[[nodiscard]] std::string cellPct(
+    const driver::SweepExecutor::SuiteAverage& a, int decimals = 1);
+
+/// Same for plain numeric cells (ED products, ratios).
+[[nodiscard]] std::string cellNum(
+    const driver::SweepExecutor::SuiteAverage& a, int decimals = 3);
 
 /// Throughput summary for benches that drive a bare Runner (no sweep
 /// executor, so no memo/JSON): guest instructions, host simulate time

@@ -35,15 +35,16 @@ int main() {
   TextTable t;
   t.header({"scheme", "I$ energy (avg)", "delay (avg)", "ED (avg)"});
   for (const Row& row : rows) {
-    const double e = suite.averageNormalized(
+    const auto e = suite.averageNormalizedChecked(
         icache, row.spec,
         [](const driver::Normalized& n) { return n.icache_energy; });
-    const double d = suite.averageNormalized(
+    const auto d = suite.averageNormalizedChecked(
         icache, row.spec, [](const driver::Normalized& n) { return n.delay; });
-    const double ed = suite.averageNormalized(
+    const auto ed = suite.averageNormalizedChecked(
         icache, row.spec,
         [](const driver::Normalized& n) { return n.ed_product; });
-    t.row({row.name, fmtPct(e, 1), fmt(d, 4), fmt(ed, 3)});
+    t.row({row.name, bench::cellPct(e, 1), bench::cellNum(d, 4),
+           bench::cellNum(ed, 3)});
   }
   t.print(std::cout);
 
@@ -51,6 +52,5 @@ int main() {
                "way-memoization remembers but stores links in the data\n"
                "array; way-placement *knows* (the compiler fixed the way)\n"
                "and pays neither cost.\n";
-  bench::finish(suite);
-  return 0;
+  return bench::finish(suite);
 }

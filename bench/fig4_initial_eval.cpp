@@ -23,28 +23,45 @@ int main() {
   TextTable ta, tb;
   ta.header({"benchmark", "way-memo I$ energy", "way-place I$ energy"});
   tb.header({"benchmark", "way-memo ED", "way-place ED"});
-  Accumulator ewm, ewp, edwm, edwp;
   int wp_ed_below_090 = 0;
 
   for (const auto& p : suite.prepared()) {
-    const driver::RunResult& base =
-        suite.run(p, icache, driver::SchemeSpec::baseline());
-    const driver::Normalized nwm =
-        driver::normalize(suite.run(p, icache, wm), base, p.name);
-    const driver::Normalized nwp =
-        driver::normalize(suite.run(p, icache, wp), base, p.name);
-    ta.row({p.name, fmtPct(nwm.icache_energy, 1), fmtPct(nwp.icache_energy, 1)});
-    tb.row({p.name, fmt(nwm.ed_product, 3), fmt(nwp.ed_product, 3)});
-    ewm.add(nwm.icache_energy);
-    ewp.add(nwp.icache_energy);
-    edwm.add(nwm.ed_product);
-    edwp.add(nwp.ed_product);
-    if (nwp.ed_product < 0.90) ++wp_ed_below_090;
+    const auto vbase = suite.tryRun(p, icache, driver::SchemeSpec::baseline());
+    const auto vwm = suite.tryRun(p, icache, wm);
+    const auto vwp = suite.tryRun(p, icache, wp);
+    // A quarantined baseline takes the whole row with it (nothing to
+    // normalize against); a quarantined scheme loses only its column.
+    std::string wm_e = "QUAR", wp_e = "QUAR", wm_ed = "QUAR", wp_ed = "QUAR";
+    if (!vbase.quarantined && !vwm.quarantined) {
+      const driver::Normalized n =
+          driver::normalize(*vwm.result, *vbase.result, p.name);
+      wm_e = fmtPct(n.icache_energy, 1);
+      wm_ed = fmt(n.ed_product, 3);
+    }
+    if (!vbase.quarantined && !vwp.quarantined) {
+      const driver::Normalized n =
+          driver::normalize(*vwp.result, *vbase.result, p.name);
+      wp_e = fmtPct(n.icache_energy, 1);
+      wp_ed = fmt(n.ed_product, 3);
+      if (n.ed_product < 0.90) ++wp_ed_below_090;
+    }
+    ta.row({p.name, wm_e, wp_e});
+    tb.row({p.name, wm_ed, wp_ed});
   }
+  const auto metricE = [](const driver::Normalized& n) {
+    return n.icache_energy;
+  };
+  const auto metricEd = [](const driver::Normalized& n) {
+    return n.ed_product;
+  };
+  const auto ewm = suite.averageNormalizedChecked(icache, wm, metricE);
+  const auto ewp = suite.averageNormalizedChecked(icache, wp, metricE);
+  const auto edwm = suite.averageNormalizedChecked(icache, wm, metricEd);
+  const auto edwp = suite.averageNormalizedChecked(icache, wp, metricEd);
   ta.separator();
-  ta.row({"average", fmtPct(ewm.mean(), 1), fmtPct(ewp.mean(), 1)});
+  ta.row({"average", bench::cellPct(ewm, 1), bench::cellPct(ewp, 1)});
   tb.separator();
-  tb.row({"average", fmt(edwm.mean(), 3), fmt(edwp.mean(), 3)});
+  tb.row({"average", bench::cellNum(edwm, 3), bench::cellNum(edwp, 3)});
 
   std::cout << "(a) normalized instruction cache energy\n";
   ta.print(std::cout);
@@ -52,13 +69,12 @@ int main() {
   tb.print(std::cout);
 
   std::cout << "\nSummary vs paper Section 6.1:\n"
-            << "  way-placement saves " << fmtPct(1.0 - ewp.mean(), 1)
+            << "  way-placement saves " << fmtPct(1.0 - ewp.mean, 1)
             << " of I-cache energy (paper: ~50%)\n"
-            << "  way-memoization saves " << fmtPct(1.0 - ewm.mean(), 1)
+            << "  way-memoization saves " << fmtPct(1.0 - ewm.mean, 1)
             << " (paper: ~32%)\n"
-            << "  way-placement average ED " << fmt(edwp.mean(), 2)
+            << "  way-placement average ED " << bench::cellNum(edwp, 2)
             << " (paper: 0.93), benchmarks below 0.9: " << wp_ed_below_090
             << " (paper: 2)\n";
-  bench::finish(suite);
-  return 0;
+  return bench::finish(suite);
 }

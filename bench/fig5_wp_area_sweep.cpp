@@ -28,24 +28,24 @@ int main() {
   TextTable t;
   t.header({"scheme", "I$ energy (avg)", "ED product (avg)"});
 
-  const double wm_e = suite.averageNormalized(
+  const auto wm_e = suite.averageNormalizedChecked(
       icache, driver::SchemeSpec::wayMemoization(),
       [](const driver::Normalized& n) { return n.icache_energy; });
-  const double wm_ed = suite.averageNormalized(
+  const auto wm_ed = suite.averageNormalizedChecked(
       icache, driver::SchemeSpec::wayMemoization(),
       [](const driver::Normalized& n) { return n.ed_product; });
-  t.row({"way-memoization", fmtPct(wm_e, 1), fmt(wm_ed, 3)});
+  t.row({"way-memoization", bench::cellPct(wm_e, 1), bench::cellNum(wm_ed, 3)});
   t.separator();
 
-  double e_1k = 0.0, ed_1k = 0.0;
+  driver::SweepExecutor::SuiteAverage e_1k, ed_1k;
   for (const u32 kb : {16u, 8u, 4u, 2u, 1u}) {
     const driver::SchemeSpec wp = driver::SchemeSpec::wayPlacement(kb * 1024);
-    const double e = suite.averageNormalized(
+    const auto e = suite.averageNormalizedChecked(
         icache, wp, [](const driver::Normalized& n) { return n.icache_energy; });
-    const double ed = suite.averageNormalized(
+    const auto ed = suite.averageNormalizedChecked(
         icache, wp, [](const driver::Normalized& n) { return n.ed_product; });
-    t.row({"way-placement " + std::to_string(kb) + "KB", fmtPct(e, 1),
-           fmt(ed, 3)});
+    t.row({"way-placement " + std::to_string(kb) + "KB", bench::cellPct(e, 1),
+           bench::cellNum(ed, 3)});
     if (kb == 1) {
       e_1k = e;
       ed_1k = ed;
@@ -54,11 +54,10 @@ int main() {
   t.print(std::cout);
 
   std::cout << "\nSummary vs paper Section 6.2:\n"
-            << "  1KB area reduces I-cache energy to " << fmtPct(e_1k, 1)
-            << " of baseline (paper: 56%) with ED " << fmt(ed_1k, 2)
+            << "  1KB area reduces I-cache energy to " << bench::cellPct(e_1k, 1)
+            << " of baseline (paper: 56%) with ED " << bench::cellNum(ed_1k, 2)
             << " (paper: 0.94)\n"
-            << "  way-memoization only reaches " << fmtPct(wm_e, 1)
+            << "  way-memoization only reaches " << bench::cellPct(wm_e, 1)
             << " (paper: 68%)\n";
-  bench::finish(suite);
-  return 0;
+  return bench::finish(suite);
 }

@@ -55,32 +55,33 @@ int main() {
           std::to_string(size_kb) + "KB/" + std::to_string(ways) + "w";
 
       std::vector<std::string> rowa = {cfg}, rowb = {cfg};
-      const double wm_e = suite.averageNormalized(
+      const auto wm_e = suite.averageNormalizedChecked(
           g, driver::SchemeSpec::wayMemoization(),
           [](const driver::Normalized& n) { return n.icache_energy; });
-      const double wm_ed = suite.averageNormalized(
+      const auto wm_ed = suite.averageNormalizedChecked(
           g, driver::SchemeSpec::wayMemoization(),
           [](const driver::Normalized& n) { return n.ed_product; });
-      rowa.push_back(fmtPct(wm_e, 1));
-      rowb.push_back(fmt(wm_ed, 3));
+      rowa.push_back(bench::cellPct(wm_e, 1));
+      rowb.push_back(bench::cellNum(wm_ed, 3));
 
       for (const u32 area_kb : areas_kb) {
         const driver::SchemeSpec wp =
             driver::SchemeSpec::wayPlacement(area_kb * 1024);
-        const double e = suite.averageNormalized(
+        const auto e = suite.averageNormalizedChecked(
             g, wp,
             [](const driver::Normalized& n) { return n.icache_energy; });
-        const double ed = suite.averageNormalized(
+        const auto ed = suite.averageNormalizedChecked(
             g, wp, [](const driver::Normalized& n) { return n.ed_product; });
-        rowa.push_back(fmtPct(e, 1));
-        rowb.push_back(fmt(ed, 3));
-        if (ed < best_ed) {
-          best_ed = ed;
+        rowa.push_back(bench::cellPct(e, 1));
+        rowb.push_back(bench::cellNum(ed, 3));
+        // Summary extrema only consider cells with surviving data.
+        if (ed.included > 0 && ed.mean < best_ed) {
+          best_ed = ed.mean;
           best_cfg = cfg + " area " + std::to_string(area_kb) + "KB";
         }
-        worst_wp_ed = std::max(worst_wp_ed, ed);
-        if (size_kb == 64 && ways == 32) {
-          min_savings_64_32 = std::min(min_savings_64_32, 1.0 - e);
+        if (ed.included > 0) worst_wp_ed = std::max(worst_wp_ed, ed.mean);
+        if (size_kb == 64 && ways == 32 && e.included > 0) {
+          min_savings_64_32 = std::min(min_savings_64_32, 1.0 - e.mean);
         }
       }
       ta.row(rowa);
@@ -101,6 +102,5 @@ int main() {
             << "  minimum savings on the 64KB/32-way cache: "
             << fmtPct(min_savings_64_32, 1)
             << " (paper: at least 59% on its largest config)\n";
-  bench::finish(suite);
-  return 0;
+  return bench::finish(suite);
 }

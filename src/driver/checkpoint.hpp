@@ -1,0 +1,82 @@
+// Crash-safe checkpoint journal for sweeps (WP_CHECKPOINT=<path>).
+//
+// Every completed (non-quarantined, freshly computed) cell is appended
+// to the journal as one fsync'd JSONL record carrying the full guest-
+// side RunResult — every stat the tables, the per-workload benches and
+// the WP_JSON report consume — plus two digests:
+//
+//   image_digest  FNV-1a over the code+data bytes of the image the cell
+//                 simulated. On resume it is re-checked against the
+//                 *freshly prepared* image: a journal recorded under
+//                 different code, a different layout pass, or different
+//                 workload inputs is rejected cell-by-cell and those
+//                 cells recompute.
+//   stats_digest  FNV-1a over the record's own guest-side payload,
+//                 catching torn or hand-edited records.
+//
+// On startup the executor replays the journal, seeds its memo with
+// every record that verifies, and recomputes the rest — so a sweep
+// killed mid-run resumes from where it was and prints a byte-identical
+// table (doubles round-trip at 17 significant digits, and aggregation
+// order never depended on compute order in the first place). The
+// journal's header pins the experiment seed; resuming under a
+// different WP_SEED is a startup error, not a silently mixed journal.
+// Quarantined cells are never journaled: a resumed sweep gives them a
+// fresh set of attempts.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hpp"
+#include "mem/image.hpp"
+
+namespace wp::driver {
+
+/// One journaled cell: the memo key, verification digests, the restore
+/// payload (full guest-side RunResult), and the host-side timings of
+/// the original compute (observability only).
+struct CheckpointRecord {
+  std::string key;
+  u64 image_digest = 0;
+  u64 stats_digest = 0;
+  RunResult result;
+  double wall_seconds = 0.0;  ///< of the original compute
+};
+
+/// FNV-1a over an image's code and data bytes (layout identity).
+[[nodiscard]] u64 imageDigest(const mem::Image& image);
+
+/// FNV-1a over a result's guest-side fields (stats, energy, output,
+/// layout ride-alongs) — host-side timings excluded, so a restored
+/// record re-digests to the same value.
+[[nodiscard]] u64 statsDigest(const RunResult& r);
+
+/// Renders one journal record line (no trailing newline).
+[[nodiscard]] std::string renderRecord(const std::string& key,
+                                       u64 image_digest, const RunResult& r,
+                                       double wall_seconds);
+
+/// Renders the journal header line pinning @p seed.
+[[nodiscard]] std::string renderHeader(u64 seed);
+
+/// A parsed journal: records keyed by cell key (last record wins) plus
+/// what the reader skipped.
+struct CheckpointJournal {
+  std::map<std::string, CheckpointRecord> records;
+  u64 lines_skipped = 0;     ///< unparsable lines (torn tail, corruption)
+  u64 records_rejected = 0;  ///< parsed records whose stats digest lied
+  bool had_header = false;
+};
+
+/// Reads @p path (which may not exist — an empty journal) and verifies
+/// its header against @p expected_seed. A seed mismatch or a journal
+/// with records but no header exits 1 (strict WP_* policy: resuming
+/// the wrong experiment must never silently mix results). A torn final
+/// line — the SIGKILL case — is skipped and counted, never fatal.
+[[nodiscard]] CheckpointJournal readJournal(const std::string& path,
+                                            u64 expected_seed);
+
+}  // namespace wp::driver

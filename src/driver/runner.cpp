@@ -118,8 +118,8 @@ sim::MachineConfig Runner::machineFor(const cache::CacheGeometry& icache,
 
 RunResult Runner::run(const PreparedWorkload& prepared,
                       const cache::CacheGeometry& icache,
-                      const SchemeSpec& spec,
-                      workloads::InputSize input) const {
+                      const SchemeSpec& spec, workloads::InputSize input,
+                      const sim::BudgetHook* budget_hook) const {
   const layout::LayoutResult& laid = prepared.layoutFor(spec.layout);
   const mem::Image& image = laid.image;
   if (spec.scheme == cache::Scheme::kWayPlacement) {
@@ -139,6 +139,7 @@ RunResult Runner::run(const PreparedWorkload& prepared,
   prepared.workload->prepare(memory, input);
 
   sim::MachineConfig machine = machineFor(icache, spec);
+  if (budget_hook != nullptr) machine.budget_hook = *budget_hook;
   if (machine.fetch.scheme == cache::Scheme::kWayPlacement) {
     // Clamp the WP area to the image: pages past the end of code are
     // never fetched, so this is behavior-neutral, but it keeps resize

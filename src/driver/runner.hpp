@@ -178,12 +178,17 @@ class Runner {
       workloads::InputSize profile_input = workloads::InputSize::kSmall,
       fault::ProfileFault profile_fault = fault::ProfileFault::kNone) const;
 
-  /// Step 4-5 for one scheme on one I-cache geometry.
+  /// Step 4-5 for one scheme on one I-cache geometry. @p budget_hook,
+  /// when non-null, is installed as the simulation's instruction-budget
+  /// hook (the sweep supervisor's per-cell watchdog rides it); it is
+  /// host-side only and cannot change a completed run's results.
   [[nodiscard]] RunResult run(const PreparedWorkload& prepared,
                               const cache::CacheGeometry& icache,
                               const SchemeSpec& spec,
                               workloads::InputSize input =
-                                  workloads::InputSize::kLarge) const;
+                                  workloads::InputSize::kLarge,
+                              const sim::BudgetHook* budget_hook =
+                                  nullptr) const;
 
   /// Builds the machine configuration used by run() (exposed so benches
   /// can print Table 1 and tests can inspect it).

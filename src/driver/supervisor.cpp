@@ -1,0 +1,148 @@
+#include "driver/supervisor.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "support/ensure.hpp"
+
+namespace wp::driver {
+
+namespace {
+
+/// Strict unsigned parse shared by the numeric supervisor knobs.
+u64 u64FromEnv(const char* name, u64 default_value, u64 max_value,
+               const char* meaning) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return default_value;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 0);
+  if (end == env || *end != '\0' || errno == ERANGE || v > max_value ||
+      std::strchr(env, '-') != nullptr) {
+    std::fprintf(stderr,
+                 "error: %s='%s' is not a valid %s (expected an integer "
+                 "in [0, %llu])\n",
+                 name, env, meaning, static_cast<unsigned long long>(max_value));
+    std::exit(1);
+  }
+  return static_cast<u64>(v);
+}
+
+constexpr u64 kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr u64 kFnvPrime = 0x100000001b3ULL;
+
+u64 fnv1a(std::string_view s) {
+  u64 h = kFnvOffset;
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: decorrelates nearby inputs.
+u64 mix(u64 x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SupervisorConfig SupervisorConfig::fromEnv() {
+  SupervisorConfig c;
+  c.retries = static_cast<unsigned>(u64FromEnv(
+      "WP_RETRIES", c.retries, 100, "retry count"));
+  c.cell_timeout_ms = u64FromEnv("WP_CELL_TIMEOUT_MS", 0,
+                                 24ULL * 60 * 60 * 1000,
+                                 "per-cell timeout in milliseconds");
+
+  const char* fault = std::getenv("WP_CELL_FAULT");
+  if (fault != nullptr && *fault != '\0') {
+    const std::string_view v(fault);
+    const auto colon = v.find(':');
+    const std::string_view kind = v.substr(0, colon);
+    if (kind == "persistent" && colon == std::string_view::npos) {
+      c.cell_fault = fault::CellFault::kPersistent;
+    } else if (kind == "transient") {
+      c.cell_fault = fault::CellFault::kTransient;
+      if (colon != std::string_view::npos) {
+        const std::string n(v.substr(colon + 1));
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long failures = std::strtoul(n.c_str(), &end, 10);
+        if (n.empty() || *end != '\0' || errno == ERANGE || failures == 0 ||
+            failures > 1000) {
+          std::fprintf(stderr,
+                       "error: WP_CELL_FAULT='%s' has a bad failure count "
+                       "(expected transient[:N] with N in [1, 1000])\n",
+                       fault);
+          std::exit(1);
+        }
+        c.cell_fault_failures = static_cast<u32>(failures);
+      }
+    } else {
+      std::fprintf(stderr,
+                   "error: WP_CELL_FAULT='%s' is not a valid cell fault "
+                   "(expected 'transient', 'transient:N' or 'persistent')\n",
+                   fault);
+      std::exit(1);
+    }
+  }
+  return c;
+}
+
+u64 CellSupervisor::backoffSlots(u64 seed, std::string_view cell_key,
+                                 unsigned attempt) {
+  // Exponential-ish growth per attempt, jittered by the cell key so
+  // retries of different cells don't stampede in lockstep — but every
+  // input is replay-stable (seed, key, attempt), never wall-clock.
+  const u64 h = mix(seed ^ fnv1a(cell_key) ^
+                    (static_cast<u64>(attempt) * 0x9e3779b97f4a7c15ULL));
+  const unsigned shift = attempt < 6 ? attempt : 6;
+  return (1ULL + h % 64) << shift;  // [1, 64] .. [64, 4096] slots
+}
+
+u64 CellSupervisor::backoff(std::string_view cell_key,
+                            unsigned attempt) const {
+  const u64 slots = backoffSlots(seed_, cell_key, attempt);
+  // A slot is one cooperative yield: long enough to let a competing
+  // cell's compute proceed, short enough that quarantine of a hopeless
+  // cell costs microseconds, not the sweep's wall-clock.
+  for (u64 i = 0; i < slots; ++i) std::this_thread::yield();
+  return slots;
+}
+
+sim::BudgetHook CellSupervisor::watchdogFor(
+    const std::string& cell_key) const {
+  sim::BudgetHook hook;
+  if (config_.cell_timeout_ms == 0) return hook;  // disabled
+  hook.interval = config_.timeout_check_interval;
+  WP_ENSURE(hook.interval > 0,
+            "SupervisorConfig.timeout_check_interval must be non-zero");
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.cell_timeout_ms);
+  const u64 timeout_ms = config_.cell_timeout_ms;
+  hook.check = [cell_key, deadline, timeout_ms](u64 instructions) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw SimError("cell watchdog: '" + cell_key + "' exceeded "
+                     "WP_CELL_TIMEOUT_MS=" + std::to_string(timeout_ms) +
+                     " after " + std::to_string(instructions) +
+                     " instructions");
+    }
+  };
+  return hook;
+}
+
+void CellSupervisor::injectConfigCellFault(unsigned attempt) const {
+  fault::injectCellFault(config_.cell_fault, config_.cell_fault_failures,
+                         attempt, "WP_CELL_FAULT");
+}
+
+}  // namespace wp::driver

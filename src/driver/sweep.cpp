@@ -35,20 +35,40 @@ struct SweepExecutor::CellEntry {
   cache::CacheGeometry icache;
   SchemeSpec spec;
   std::once_flag once;
-  /// Set after the once-body succeeds; writeJsonReport skips entries
-  /// whose simulation never completed (e.g. it threw).
+  /// Set after the once-body produced a usable result (computed or
+  /// restored); writeJsonReport and aggregation skip entries without
+  /// it. Mutually exclusive with `quarantined`.
   std::atomic<bool> ready{false};
+  /// Set when every supervised attempt failed. The entry then carries
+  /// `failure` instead of `result`, and stays quarantined for the
+  /// executor's lifetime (a resumed sweep gets fresh attempts because
+  /// quarantined cells are never journaled).
+  std::atomic<bool> quarantined{false};
   RunResult result;
+  /// Tagged error of the most recent failed attempt:
+  /// "cell '<key>' (attempt i/n): <what>".
+  std::string failure;
+  /// Attempts spent on this cell (0 = restored from the checkpoint
+  /// journal without running anything).
+  unsigned attempts = 0;
+  bool restored = false;  ///< came from the WP_CHECKPOINT journal
   /// Host wall-clock of the whole cell compute (simulate + price) and
-  /// the pool worker that ran it (-1: computed on an external thread).
+  /// the pool worker that ran it (-1: computed on an external thread;
+  /// -2: restored from the journal — wall_seconds is then the original
+  /// compute's).
   double wall_seconds = 0.0;
   int worker = -1;
 };
 
 SweepExecutor::SweepExecutor(std::vector<std::string> workload_names,
                              energy::EnergyParams params, u64 seed,
-                             unsigned jobs)
+                             unsigned jobs, const SupervisorConfig* supervisor)
     : runner_(params, seed),
+      // Strict WP_* parsing runs before anything expensive: a bad knob
+      // exits 1 here, long before the first workload is prepared.
+      supervisor_(supervisor != nullptr ? *supervisor
+                                        : SupervisorConfig::fromEnv(),
+                  seed),
       pool_(jobs == 0 ? jobsFromEnv() : jobs),
       start_(std::chrono::steady_clock::now()) {
   if (const char* trace_path = std::getenv("WP_TRACE");
@@ -57,8 +77,41 @@ SweepExecutor::SweepExecutor(std::vector<std::string> workload_names,
     trace_->write(TraceEvent("sweep_start")
                       .num("seed", runner_.seed())
                       .num("jobs", pool_.threadCount())
+                      .num("retries", supervisor_.config().retries)
+                      .num("cell_timeout_ms",
+                           supervisor_.config().cell_timeout_ms)
                       .num("workloads",
                            static_cast<u64>(workload_names.size())));
+  }
+  if (const char* ckpt = std::getenv("WP_CHECKPOINT");
+      ckpt != nullptr && *ckpt != '\0') {
+    // Replay before opening for append: verified records seed the memo
+    // (inside ensureCell, against the freshly prepared images); the
+    // writer's open failure is fatal before any work happens.
+    restored_ = readJournal(ckpt, runner_.seed());
+    journal_ = std::make_unique<DurableJsonlWriter>(ckpt, "WP_CHECKPOINT");
+    if (!restored_.had_header) journal_->append(renderHeader(runner_.seed()));
+    if (restored_.lines_skipped > 0) {
+      metrics_.counter("checkpoint.lines_skipped")
+          .add(restored_.lines_skipped);
+    }
+    if (restored_.records_rejected > 0) {
+      metrics_.counter("checkpoint.rejected").add(restored_.records_rejected);
+    }
+    std::fprintf(stderr,
+                 "[wayplace] checkpoint journal '%s': %zu cell record(s) "
+                 "replayed, %llu line(s) skipped, %llu record(s) rejected\n",
+                 ckpt, restored_.records.size(),
+                 static_cast<unsigned long long>(restored_.lines_skipped),
+                 static_cast<unsigned long long>(restored_.records_rejected));
+    if (trace_) {
+      trace_->write(TraceEvent("checkpoint_replay")
+                        .str("path", ckpt)
+                        .num("records",
+                             static_cast<u64>(restored_.records.size()))
+                        .num("lines_skipped", restored_.lines_skipped)
+                        .num("records_rejected", restored_.records_rejected));
+    }
   }
   std::fprintf(stderr,
                "preparing %zu workloads (profile + layout) on %u "
@@ -92,6 +145,9 @@ SweepExecutor::~SweepExecutor() {
     trace_->write(
         TraceEvent("sweep_end")
             .num("cells_computed", metrics_.counter("cells.computed").value())
+            .num("cells_restored", metrics_.counter("cells.restored").value())
+            .num("cells_quarantined",
+                 metrics_.counter("cells.quarantined").value())
             .num("memo_hits", metrics_.counter("memo.hits").value())
             .num("wall_seconds", wall));
   }
@@ -113,7 +169,143 @@ std::string SweepExecutor::keyOf(const std::string& workload,
        << s.fault.clear_tlb_wp_bits << s.fault.scramble_memo_links
        << s.fault.scramble_mru << s.fault.resize_storm;
   }
+  if (s.fault.cellFaultEnabled()) {
+    // Harness-level cell faults change a cell's *fate* (fail, heal,
+    // quarantine), so they are distinct memo cells even though a healed
+    // run's payload matches the clean one.
+    os << "/c" << static_cast<int>(s.fault.cell_fault) << ':'
+       << s.fault.cell_fault_failures;
+  }
   return os.str();
+}
+
+void SweepExecutor::computeCell(CellEntry& entry, const std::string& key,
+                                const PreparedWorkload& p,
+                                const cache::CacheGeometry& icache,
+                                const SchemeSpec& spec) {
+  const int worker = ThreadPool::currentWorkerIndex();
+
+  // Journal restore first: a record that survives both digests stands
+  // in for the compute. The image digest ties the record to the bytes
+  // this sweep would actually simulate — a journal recorded under other
+  // code, another layout pipeline or other inputs recomputes instead.
+  if (!restored_.records.empty()) {
+    const auto it = restored_.records.find(key);
+    if (it != restored_.records.end()) {
+      if (it->second.image_digest == imageDigest(p.imageFor(spec.layout))) {
+        entry.result = it->second.result;
+        entry.wall_seconds = it->second.wall_seconds;
+        entry.worker = -2;
+        entry.restored = true;
+        entry.attempts = 0;
+        metrics_.counter("cells.restored").add();
+        if (trace_) {
+          trace_->write(TraceEvent("cell_restored")
+                            .str("key", key)
+                            .num("worker", worker));
+        }
+        entry.ready.store(true, std::memory_order_release);
+        return;
+      }
+      metrics_.counter("checkpoint.rejected").add();
+      if (trace_) {
+        trace_->write(TraceEvent("checkpoint_image_mismatch")
+                          .str("key", key));
+      }
+    }
+  }
+
+  const unsigned max_attempts = supervisor_.maxAttempts();
+  const bool is_baseline = spec.scheme == cache::Scheme::kBaseline;
+  for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+    entry.attempts = attempt;
+    try {
+      // Harness-level fault injection: spec-scoped first (unit tests
+      // target one cell), then the WP_CELL_FAULT knob, which spares
+      // baselines so a persistent fault degrades cells rather than
+      // erasing every normalization denominator.
+      if (spec.fault.cellFaultEnabled()) {
+        fault::injectCellFault(spec.fault, attempt - 1);  // 0-based attempts
+      }
+      if (!is_baseline) supervisor_.injectConfigCellFault(attempt - 1);
+
+      const sim::BudgetHook watchdog = supervisor_.watchdogFor(key);
+      if (trace_) {
+        trace_->write(TraceEvent("cell_start")
+                          .str("key", key)
+                          .num("attempt", attempt)
+                          .num("worker", worker));
+      }
+      ScopedTimer span(metrics_.timer("cell.wall"));
+      entry.result =
+          runner_.run(p, icache, spec, workloads::InputSize::kLarge,
+                      watchdog.check ? &watchdog : nullptr);
+      entry.wall_seconds = span.stop();
+      entry.worker = worker;
+      metrics_.counter("cells.computed").add();
+      if (attempt > 1) metrics_.counter("cells.healed").add();
+      if (trace_) {
+        trace_->write(TraceEvent("cell_end")
+                          .str("key", key)
+                          .num("attempt", attempt)
+                          .num("worker", worker)
+                          .num("wall_seconds", entry.wall_seconds)
+                          .num("simulate_seconds",
+                               entry.result.simulate_seconds)
+                          .num("price_seconds", entry.result.price_seconds)
+                          .num("guest_mips", entry.result.guestMips())
+                          .num("instructions", entry.result.stats.instructions)
+                          .num("cycles", entry.result.stats.cycles)
+                          .str("layout", entry.result.layout_strategy)
+                          .num("layout_chains", entry.result.layout_chains)
+                          .num("layout_repairs", entry.result.layout_repairs)
+                          .num("wp_area_coverage",
+                               entry.result.wp_area_coverage));
+      }
+      if (journal_) {
+        journal_->append(renderRecord(key,
+                                      imageDigest(p.imageFor(spec.layout)),
+                                      entry.result, entry.wall_seconds));
+      }
+      entry.ready.store(true, std::memory_order_release);
+      return;
+    } catch (const SimError& e) {
+      // Satellite of the supervision layer: no SimError leaves a cell
+      // without its full identity attached.
+      entry.failure = "cell '" + key + "' (attempt " +
+                      std::to_string(attempt) + "/" +
+                      std::to_string(max_attempts) + "): " + e.what();
+      metrics_.counter("cells.failed_attempts").add();
+      if (trace_) {
+        trace_->write(TraceEvent("cell_failure")
+                          .str("key", key)
+                          .num("attempt", attempt)
+                          .num("worker", worker)
+                          .str("error", e.what()));
+      }
+      if (attempt < max_attempts) {
+        const u64 slots = supervisor_.backoff(key, attempt);
+        if (trace_) {
+          trace_->write(TraceEvent("cell_retry")
+                            .str("key", key)
+                            .num("attempt", attempt)
+                            .num("backoff_slots", slots));
+        }
+      }
+    }
+  }
+
+  entry.quarantined.store(true, std::memory_order_release);
+  metrics_.counter("cells.quarantined").add();
+  std::fprintf(stderr,
+               "[wayplace] QUARANTINED cell '%s' after %u attempt(s): %s\n",
+               key.c_str(), entry.attempts, entry.failure.c_str());
+  if (trace_) {
+    trace_->write(TraceEvent("cell_quarantined")
+                      .str("key", key)
+                      .num("attempts", entry.attempts)
+                      .str("error", entry.failure));
+  }
 }
 
 SweepExecutor::CellEntry& SweepExecutor::ensureCell(
@@ -132,43 +324,15 @@ SweepExecutor::CellEntry& SweepExecutor::ensureCell(
     }
     entry = slot.get();
   }
-  // Exactly-once compute; a second thread asking for the same cell
-  // blocks here until the first finishes. On a throw the flag stays
-  // unset, so a later call retries instead of returning garbage.
-  bool computed_here = false;
+  // Exactly-once supervised compute; a second thread asking for the
+  // same cell blocks here until the first settles the cell's fate
+  // (ready or quarantined — the once-body itself never throws).
+  bool settled_here = false;
   std::call_once(entry->once, [&] {
-    const int worker = ThreadPool::currentWorkerIndex();
-    if (trace_) {
-      trace_->write(
-          TraceEvent("cell_start").str("key", key).num("worker", worker));
-    }
-    ScopedTimer span(metrics_.timer("cell.wall"));
-    entry->result = runner_.run(p, icache, spec);
-    entry->wall_seconds = span.stop();
-    entry->worker = worker;
-    metrics_.counter("cells.computed").add();
-    if (trace_) {
-      trace_->write(TraceEvent("cell_end")
-                        .str("key", key)
-                        .num("worker", worker)
-                        .num("wall_seconds", entry->wall_seconds)
-                        .num("simulate_seconds",
-                             entry->result.simulate_seconds)
-                        .num("price_seconds", entry->result.price_seconds)
-                        .num("guest_mips", entry->result.guestMips())
-                        .num("instructions",
-                             entry->result.stats.instructions)
-                        .num("cycles", entry->result.stats.cycles)
-                        .str("layout", entry->result.layout_strategy)
-                        .num("layout_chains", entry->result.layout_chains)
-                        .num("layout_repairs", entry->result.layout_repairs)
-                        .num("wp_area_coverage",
-                             entry->result.wp_area_coverage));
-    }
-    entry->ready.store(true, std::memory_order_release);
-    computed_here = true;
+    computeCell(*entry, key, p, icache, spec);
+    settled_here = true;
   });
-  if (!computed_here) {
+  if (!settled_here) {
     // Either a true memo hit or a wait on another thread's compute —
     // both mean this request cost (almost) nothing.
     metrics_.counter("memo.hits").add();
@@ -197,10 +361,38 @@ void SweepExecutor::runAll(const std::vector<Cell>& cells) {
 const RunResult& SweepExecutor::run(const PreparedWorkload& p,
                                     const cache::CacheGeometry& icache,
                                     const SchemeSpec& spec) {
-  return ensureCell(p, icache, spec).result;
+  CellEntry& entry = ensureCell(p, icache, spec);
+  if (entry.quarantined.load(std::memory_order_acquire)) {
+    // The cell key travels with the error: a caller that cannot handle
+    // degradation at least reports exactly which (workload, geometry,
+    // scheme) died, not a bare simulator message.
+    throw SimError("quarantined " + entry.failure);
+  }
+  return entry.result;
+}
+
+SweepExecutor::CellView SweepExecutor::tryRun(
+    const PreparedWorkload& p, const cache::CacheGeometry& icache,
+    const SchemeSpec& spec) {
+  CellEntry& entry = ensureCell(p, icache, spec);
+  CellView view;
+  view.attempts = entry.attempts;
+  if (entry.quarantined.load(std::memory_order_acquire)) {
+    view.quarantined = true;
+    view.error = &entry.failure;
+  } else {
+    view.result = &entry.result;
+  }
+  return view;
 }
 
 double SweepExecutor::averageNormalized(
+    const cache::CacheGeometry& icache, const SchemeSpec& spec,
+    const std::function<double(const Normalized&)>& metric) {
+  return averageNormalizedChecked(icache, spec, metric).mean;
+}
+
+SweepExecutor::SuiteAverage SweepExecutor::averageNormalizedChecked(
     const cache::CacheGeometry& icache, const SchemeSpec& spec,
     const std::function<double(const Normalized&)>& metric) {
   runAll({Cell{icache, spec}});
@@ -208,12 +400,30 @@ double SweepExecutor::averageNormalized(
   // deterministic per key, so the mean is bit-identical at any job
   // count even though summation order matters in floating point.
   Accumulator acc;
+  SuiteAverage out;
   for (const PreparedWorkload& p : prepared_) {
-    const RunResult& base = run(p, icache, SchemeSpec::baseline());
-    const RunResult& r = run(p, icache, spec);
-    acc.add(metric(normalize(r, base, p.name)));
+    const CellView base = tryRun(p, icache, SchemeSpec::baseline());
+    const CellView r = tryRun(p, icache, spec);
+    if (base.quarantined || r.quarantined) {
+      ++out.excluded;
+      continue;
+    }
+    acc.add(metric(normalize(*r.result, *base.result, p.name)));
+    ++out.included;
   }
-  return acc.mean();
+  if (out.included > 0) out.mean = acc.mean();
+  return out;
+}
+
+std::vector<SweepExecutor::QuarantinedCell> SweepExecutor::quarantined()
+    const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  std::vector<QuarantinedCell> out;
+  for (const auto& [key, entry] : memo_) {
+    if (!entry->quarantined.load(std::memory_order_acquire)) continue;
+    out.push_back(QuarantinedCell{key, entry->failure, entry->attempts});
+  }
+  return out;  // map order: deterministic at any job count
 }
 
 namespace {
@@ -243,6 +453,12 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
              ? static_cast<double>(guest_insts) / simulate_total / 1e6
              : 0.0)
      << ", \"cells_computed\": " << metrics_.counter("cells.computed").value()
+     << ", \"cells_restored\": " << metrics_.counter("cells.restored").value()
+     << ", \"cells_healed\": " << metrics_.counter("cells.healed").value()
+     << ", \"cells_quarantined\": "
+     << metrics_.counter("cells.quarantined").value()
+     << ", \"failed_attempts\": "
+     << metrics_.counter("cells.failed_attempts").value()
      << ", \"memo_hits\": " << metrics_.counter("memo.hits").value()
      << ", \"phase_seconds\": {\"build\": " << rm.timer("phase.build").seconds()
      << ", \"profile\": " << rm.timer("phase.profile").seconds()
@@ -261,8 +477,18 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
        << ", \"profile_ok\": " << jsonBool(p.profile_ok) << "}";
   }
   os << "\n  ],\n"
-     << "  \"cells\": [";
+     << "  \"quarantined\": [";
   bool first = true;
+  for (const auto& [key, entry] : memo_) {
+    if (!entry->quarantined.load(std::memory_order_acquire)) continue;
+    os << (first ? "\n" : ",\n") << "    {\"key\": \"" << jsonEscape(key)
+       << "\", \"attempts\": " << entry->attempts << ", \"error\": \""
+       << jsonEscape(entry->failure) << "\"}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "],\n"
+     << "  \"cells\": [";
+  first = true;
   for (const auto& [key, entry] : memo_) {
     if (!entry->ready.load(std::memory_order_acquire)) continue;
     const std::string base_key =
@@ -300,6 +526,8 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
        << ", \"ed_product\": " << n.ed_product
        << ", \"cycles\": " << entry->result.stats.cycles
        << ", \"instructions\": " << entry->result.stats.instructions
+       << ", \"attempts\": " << entry->attempts
+       << ", \"restored\": " << jsonBool(entry->restored)
        << ", \"wall_seconds\": " << entry->wall_seconds
        << ", \"simulate_seconds\": " << entry->result.simulate_seconds
        << ", \"price_seconds\": " << entry->result.price_seconds
@@ -336,17 +564,26 @@ void SweepExecutor::printSummary(std::ostream& os) const {
   const u64 insts = rm.counter("guest.instructions").value();
   const double mips =
       simulate > 0.0 ? static_cast<double>(insts) / simulate / 1e6 : 0.0;
-  char line[512];
+  const u64 restored = metrics_.counter("cells.restored").value();
+  const u64 quar = metrics_.counter("cells.quarantined").value();
+  char extras[128] = "";
+  if (restored > 0 || quar > 0) {
+    std::snprintf(extras, sizeof extras,
+                  ", %llu restored, %llu quarantined",
+                  static_cast<unsigned long long>(restored),
+                  static_cast<unsigned long long>(quar));
+  }
+  char line[640];
   std::snprintf(line, sizeof line,
                 "[wayplace] sweep: %zu workloads, %llu cells priced "
-                "(+%llu memo hits), %.1fM guest insts, simulate %.2fs host "
+                "(+%llu memo hits%s), %.1fM guest insts, simulate %.2fs host "
                 "(%.1f MIPS), wall %.2fs, jobs %u%s\n",
                 prepared_.size(),
                 static_cast<unsigned long long>(
                     metrics_.counter("cells.computed").value()),
                 static_cast<unsigned long long>(
                     metrics_.counter("memo.hits").value()),
-                static_cast<double>(insts) / 1e6, simulate, mips, wall,
+                extras, static_cast<double>(insts) / 1e6, simulate, mips, wall,
                 pool_.threadCount(),
                 trace_ ? (", trace: " + trace_->path()).c_str() : "");
   os << line;

@@ -9,21 +9,38 @@
 // identical at any job count, and the baseline for each (workload,
 // geometry) is priced exactly once no matter how many schemes share it.
 //
+// Every cell runs *supervised* (see driver/supervisor.hpp): a cell that
+// throws SimError is retried with deterministic seed-derived backoff,
+// and a cell that exhausts its attempts is quarantined — tagged with
+// its full cell key, excluded from aggregation (SuiteAverage reports
+// how many cells an average lost), rendered as QUAR by the benches, and
+// surfaced through quarantined() so a bench can exit 3
+// (degraded-but-complete) instead of aborting the whole figure.
+//
 // Environment knobs (parsed strictly — garbage is a startup error, not
 // a silent default):
-//   WP_JOBS   worker-thread count; 0 or unset = one per hardware thread
-//   WP_JSON   path to write a machine-readable report of every priced
-//             cell (normalized energy/ED plus per-cell wall-clock,
-//             phase breakdown and guest MIPS) when the bench finishes
-//   WP_TRACE  path for a JSONL event log of the sweep as it executes:
-//             per-workload prepare phases, cell start/end with worker
-//             thread and durations, memo hits, report emission. Both
-//             report paths fail loudly (exit 1) when they cannot be
-//             opened or written — a requested artifact never silently
-//             vanishes.
+//   WP_JOBS       worker-thread count; 0 or unset = one per hardware
+//                 thread
+//   WP_JSON       path to write a machine-readable report of every
+//                 priced cell (normalized energy/ED plus per-cell
+//                 wall-clock, phase breakdown and guest MIPS) when the
+//                 bench finishes
+//   WP_TRACE      path for a JSONL event log of the sweep as it
+//                 executes: per-workload prepare phases, cell
+//                 start/end/failure/retry/quarantine with worker thread
+//                 and durations, memo hits, report emission
+//   WP_RETRIES / WP_CELL_TIMEOUT_MS / WP_CELL_FAULT
+//                 cell supervision policy — see driver/supervisor.hpp
+//   WP_CHECKPOINT path of a durable JSONL journal (fsync'd per record):
+//                 every freshly computed cell is appended, and on
+//                 startup the journal is replayed — records whose
+//                 digests verify against the freshly prepared images
+//                 seed the memo, the rest recompute. A killed sweep
+//                 resumed with the same journal prints a byte-identical
+//                 table. See driver/checkpoint.hpp.
 //
-// Instrumentation is host-side only: with or without WP_TRACE/WP_JSON,
-// at any WP_JOBS, the printed tables are byte-identical.
+// Instrumentation is host-side only: with or without WP_TRACE/WP_JSON/
+// WP_CHECKPOINT, at any WP_JOBS, the printed tables are byte-identical.
 #pragma once
 
 #include <chrono>
@@ -35,7 +52,9 @@
 #include <string>
 #include <vector>
 
+#include "driver/checkpoint.hpp"
 #include "driver/runner.hpp"
+#include "driver/supervisor.hpp"
 #include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 
@@ -54,12 +73,45 @@ class SweepExecutor {
     SchemeSpec spec;
   };
 
+  /// Non-owning view of one memoized cell's fate. `result` is null iff
+  /// the cell is quarantined; `error` then carries the tagged failure
+  /// of the final attempt. Pointees live as long as the executor.
+  struct CellView {
+    const RunResult* result = nullptr;
+    bool quarantined = false;
+    unsigned attempts = 0;    ///< attempts spent (0 = restored from journal)
+    const std::string* error = nullptr;
+  };
+
+  /// A suite mean that knows what it lost: `excluded` counts workloads
+  /// whose cell (or baseline) was quarantined and therefore left out.
+  /// Benches render degraded() averages with a marker and a footer.
+  struct SuiteAverage {
+    double mean = 0.0;  ///< 0.0 when included == 0 (render QUAR, not a number)
+    unsigned included = 0;
+    unsigned excluded = 0;
+    [[nodiscard]] bool degraded() const { return excluded > 0; }
+  };
+
+  /// One quarantined cell, for degradation footers and the JSON report.
+  struct QuarantinedCell {
+    std::string key;
+    std::string error;
+    unsigned attempts = 0;
+  };
+
   /// Prepares @p workload_names (profile + layout) in parallel, kept in
   /// the given order for all later aggregation. @p jobs of 0 means
   /// WP_JOBS (which itself defaults to the hardware thread count).
+  /// @p supervisor overrides the WP_RETRIES/WP_CELL_TIMEOUT_MS/
+  /// WP_CELL_FAULT environment policy (tests pin it; benches pass
+  /// nothing). All WP_* parsing and the WP_CHECKPOINT journal open
+  /// happen before any workload is prepared, so a bad environment fails
+  /// in milliseconds.
   explicit SweepExecutor(std::vector<std::string> workload_names,
                          energy::EnergyParams params = energy::EnergyParams{},
-                         u64 seed = 0, unsigned jobs = 0);
+                         u64 seed = 0, unsigned jobs = 0,
+                         const SupervisorConfig* supervisor = nullptr);
 
   /// Out of line: the memo map holds unique_ptrs to the private
   /// CellEntry, which is incomplete outside sweep.cpp.
@@ -70,25 +122,50 @@ class SweepExecutor {
   }
   [[nodiscard]] const Runner& runner() const { return runner_; }
   [[nodiscard]] unsigned jobs() const { return pool_.threadCount(); }
+  [[nodiscard]] const CellSupervisor& supervisor() const {
+    return supervisor_;
+  }
 
   /// Prices every (prepared workload × cell) plus the implied baselines
   /// across the pool. Already-memoized cells cost nothing; benches call
   /// this up front with their whole grid so the pool stays saturated
-  /// instead of draining at each table cell.
+  /// instead of draining at each table cell. Never throws for a failing
+  /// cell: failures retry and then quarantine (inspect via tryRun /
+  /// quarantined()).
   void runAll(const std::vector<Cell>& cells);
 
   /// Memoized result of one simulation; computed on the calling thread
   /// on a miss. The reference stays valid for the executor's lifetime.
+  /// A quarantined cell throws SimError tagged with the full cell key —
+  /// use tryRun() to handle quarantine without exceptions.
   const RunResult& run(const PreparedWorkload& p,
                        const cache::CacheGeometry& icache,
                        const SchemeSpec& spec);
 
+  /// Like run(), but a quarantined cell comes back as a CellView with
+  /// `quarantined` set instead of a throw.
+  [[nodiscard]] CellView tryRun(const PreparedWorkload& p,
+                                const cache::CacheGeometry& icache,
+                                const SchemeSpec& spec);
+
   /// Average of `metric(normalize(scheme, baseline))` across the suite,
   /// in preparation order. Missing cells are first priced in parallel,
   /// so this is also the one-call form of runAll for a single cell.
+  /// Quarantined cells are excluded from the mean; use the Checked form
+  /// when the caller needs to render that degradation.
   double averageNormalized(
       const cache::CacheGeometry& icache, const SchemeSpec& spec,
       const std::function<double(const Normalized&)>& metric);
+
+  /// averageNormalized plus the included/excluded accounting benches
+  /// need to render QUAR markers and degradation footers.
+  SuiteAverage averageNormalizedChecked(
+      const cache::CacheGeometry& icache, const SchemeSpec& spec,
+      const std::function<double(const Normalized&)>& metric);
+
+  /// Every quarantined cell so far, ordered by cell key (deterministic
+  /// at any job count). Empty on a clean sweep.
+  [[nodiscard]] std::vector<QuarantinedCell> quarantined() const;
 
   /// The memo key: every field of the geometry and spec that can change
   /// a result appears in it. Exposed for tests.
@@ -99,7 +176,8 @@ class SweepExecutor {
   /// Writes the JSON report: seed, job count, wall-clock since
   /// construction, and one record per memoized non-baseline cell with
   /// its normalized metrics (cells whose baseline was never priced are
-  /// skipped). Deterministic: records are ordered by memo key.
+  /// skipped), plus a "quarantined" section. Deterministic: records are
+  /// ordered by memo key.
   void writeJsonReport(std::ostream& os) const;
 
   /// writeJsonReport to the WP_JSON path, if that variable is set.
@@ -108,31 +186,50 @@ class SweepExecutor {
   void emitJsonIfRequested() const;
 
   /// One-line human summary of the sweep so far — cells priced, memo
-  /// hits, guest instructions, host throughput (MIPS), wall-clock and
-  /// job count. Benches print this to stderr (stderr, so the stdout
-  /// tables stay byte-identical across job counts).
+  /// hits, restored/quarantined counts, guest instructions, host
+  /// throughput (MIPS), wall-clock and job count. Benches print this to
+  /// stderr (stderr, so the stdout tables stay byte-identical across
+  /// job counts).
   void printSummary(std::ostream& os) const;
 
   /// Host-side counters/timers: this executor's "cells.computed" /
-  /// "memo.hits" plus the shared Runner phase timers.
+  /// "memo.hits" / "cells.restored" / "cells.quarantined" /
+  /// "cells.failed_attempts" plus the shared Runner phase timers.
   [[nodiscard]] MetricsRegistry& metrics() const { return metrics_; }
   /// True when WP_TRACE requested a JSONL event log.
   [[nodiscard]] bool tracing() const { return trace_ != nullptr; }
+  /// True when WP_CHECKPOINT is journaling this sweep.
+  [[nodiscard]] bool checkpointing() const { return journal_ != nullptr; }
 
  private:
   struct CellEntry;
 
   /// Finds-or-creates the memo entry and computes it exactly once
   /// (concurrent callers for the same key block until it is ready).
+  /// The compute is supervised: journal restore first, then up to
+  /// maxAttempts() tries, then quarantine. Never throws for a cell
+  /// failure.
   CellEntry& ensureCell(const PreparedWorkload& p,
                         const cache::CacheGeometry& icache,
                         const SchemeSpec& spec);
 
+  /// The supervised once-body of ensureCell.
+  void computeCell(CellEntry& entry, const std::string& key,
+                   const PreparedWorkload& p,
+                   const cache::CacheGeometry& icache,
+                   const SchemeSpec& spec);
+
   Runner runner_;
   mutable MetricsRegistry metrics_;
+  CellSupervisor supervisor_;
   /// Created before (and so destroyed after) the pool whose workers
   /// write to it. Null unless WP_TRACE is set.
   std::unique_ptr<TraceWriter> trace_;
+  /// WP_CHECKPOINT journal writer (null when not checkpointing) and the
+  /// verified records replayed from it at startup (read-only after the
+  /// constructor).
+  std::unique_ptr<DurableJsonlWriter> journal_;
+  CheckpointJournal restored_;
   ThreadPool pool_;
   std::vector<PreparedWorkload> prepared_;
   mutable std::mutex memo_mutex_;  ///< also guards const report reads

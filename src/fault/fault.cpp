@@ -23,6 +23,44 @@ const char* profileFaultName(ProfileFault f) {
   WP_UNREACHABLE("bad profile fault");
 }
 
+const char* cellFaultName(CellFault f) {
+  switch (f) {
+    case CellFault::kNone:
+      return "none";
+    case CellFault::kTransient:
+      return "transient";
+    case CellFault::kPersistent:
+      return "persistent";
+  }
+  WP_UNREACHABLE("bad cell fault");
+}
+
+void injectCellFault(CellFault kind, u32 failures, unsigned attempt,
+                     const char* origin) {
+  switch (kind) {
+    case CellFault::kNone:
+      return;
+    case CellFault::kTransient:
+      if (attempt < failures) {
+        throw SimError("injected transient cell fault (" +
+                       std::string(origin) + "): attempt " +
+                       std::to_string(attempt + 1) + " of " +
+                       std::to_string(failures) +
+                       " failing attempt(s) — a retry heals this cell");
+      }
+      return;
+    case CellFault::kPersistent:
+      throw SimError("injected persistent cell fault (" +
+                     std::string(origin) +
+                     "): every attempt fails — this cell must quarantine");
+  }
+  WP_UNREACHABLE("bad cell fault");
+}
+
+void injectCellFault(const FaultSpec& spec, unsigned attempt) {
+  injectCellFault(spec.cell_fault, spec.cell_fault_failures, attempt, "spec");
+}
+
 FaultSpec FaultSpec::allClasses(u64 period, u64 seed) {
   FaultSpec s;
   s.period = period;

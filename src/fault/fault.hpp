@@ -33,6 +33,19 @@ enum class ProfileFault : u8 {
 
 [[nodiscard]] const char* profileFaultName(ProfileFault f);
 
+/// Harness-level cell fault: fails whole sweep cells (by throwing
+/// SimError before the simulation starts) to exercise the supervisor's
+/// retry-vs-quarantine paths. Unlike every other fault class this never
+/// touches the simulated machine — a healed attempt's results are
+/// bit-identical to a never-faulted run of the same cell.
+enum class CellFault : u8 {
+  kNone,
+  kTransient,   ///< early attempts fail, a retry heals the cell
+  kPersistent,  ///< every attempt fails — the cell must quarantine
+};
+
+[[nodiscard]] const char* cellFaultName(CellFault f);
+
 /// What to inject, and how often. Classes that do not apply to the
 /// running scheme (e.g. link scrambling without a memoizer) are skipped
 /// automatically, so one spec can be swept across every scheme.
@@ -51,6 +64,15 @@ struct FaultSpec {
   u32 links_per_event = 4;   ///< links rotted per scramble event
 
   ProfileFault profile_fault = ProfileFault::kNone;
+
+  /// Harness-level cell fault (see CellFault). Key material for the
+  /// sweep memo but invisible to the simulated machine.
+  CellFault cell_fault = CellFault::kNone;
+  u32 cell_fault_failures = 1;  ///< failing attempts before kTransient heals
+
+  [[nodiscard]] bool cellFaultEnabled() const {
+    return cell_fault != CellFault::kNone;
+  }
 
   [[nodiscard]] bool runtimeEnabled() const {
     return period != 0 &&
@@ -102,5 +124,17 @@ class FaultInjector final : public cache::FetchFaultHook {
 /// Pair with profile::validate + the driver's original-layout fallback
 /// to show corrupt profiles degrade energy, never correctness.
 void corruptProfile(profile::ProfileResult& prof, ProfileFault kind, Rng& rng);
+
+/// Throws SimError when @p kind says 0-based attempt @p attempt of a
+/// cell should fail (@p failures failing attempts for kTransient;
+/// kPersistent always throws). Deterministic in its arguments — the
+/// supervisor's retry schedule replays identically from the seed.
+/// @p origin names the fault's source ("spec" or "WP_CELL_FAULT") in
+/// the thrown message.
+void injectCellFault(CellFault kind, u32 failures, unsigned attempt,
+                     const char* origin);
+
+/// The FaultSpec-level form: injectCellFault(spec.cell_fault, ...).
+void injectCellFault(const FaultSpec& spec, unsigned attempt);
 
 }  // namespace wp::fault

@@ -36,12 +36,25 @@ RunStats Processor::run() {
   CoreState state = core_.initialState();
   RunStats stats;
 
+  // Watchdog countdown: a decrement per instruction instead of a modulo
+  // keeps the hook's cost out of the hot loop when it is not installed.
+  const bool hooked = static_cast<bool>(config_.budget_hook.check);
+  if (hooked) {
+    WP_ENSURE(config_.budget_hook.interval > 0,
+              "BudgetHook.interval must be non-zero when a check is set");
+  }
+  u64 until_check = hooked ? config_.budget_hook.interval : 0;
+
   // Flow into the *next* fetch, derived from the previous instruction.
   cache::FetchFlow flow = cache::FetchFlow::kSequential;
 
   while (!state.halted) {
     WP_ENSURE(stats.instructions < config_.max_instructions,
               "instruction budget exhausted (runaway guest?)");
+    if (hooked && --until_check == 0) {
+      config_.budget_hook.check(stats.instructions);
+      until_check = config_.budget_hook.interval;
+    }
 
     const u32 pc = state.pc;
     const u32 fetch_cycles = fetch_.fetch(pc, flow);

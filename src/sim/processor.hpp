@@ -3,6 +3,8 @@
 // the experiments run on.
 #pragma once
 
+#include <functional>
+
 #include "cache/data_cache.hpp"
 #include "cache/fetch_path.hpp"
 #include "energy/energy_model.hpp"
@@ -11,11 +13,24 @@
 
 namespace wp::sim {
 
+/// Host-side supervision hook: check(instructions) is invoked every
+/// `interval` retired instructions, riding the same per-instruction
+/// budget check that enforces max_instructions. The hook observes only
+/// — it may throw SimError to abort the run (the sweep supervisor's
+/// watchdog does) but never feeds anything back into the machine, so a
+/// run that completes retires a bit-identical instruction stream with
+/// or without a hook installed.
+struct BudgetHook {
+  u64 interval = 1u << 20;  ///< retired instructions between checks
+  std::function<void(u64 instructions)> check;
+};
+
 struct MachineConfig {
   cache::FetchPathConfig fetch;   ///< I-cache geometry + scheme selection
   cache::DataCacheConfig dcache;
   pipeline::TimingConfig timing;
   u64 max_instructions = 4'000'000'000ULL;
+  BudgetHook budget_hook;         ///< optional watchdog (empty = off)
 };
 
 /// Returns the baseline machine of Table 1 (32 KB 32-way 32 B caches,

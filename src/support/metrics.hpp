@@ -160,6 +160,38 @@ class TraceEvent {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Append-only JSONL writer with per-record *durability*: every line is
+/// written straight to the file descriptor and fsync'd before append()
+/// returns, so even a SIGKILL loses at most the in-flight record. This
+/// is the storage primitive under the sweep checkpoint journal
+/// (WP_CHECKPOINT), where a torn tail must be the worst possible
+/// damage. Thread-safe; construction and every append fail loudly
+/// (exit 1, naming @p knob) on I/O errors — see dieOnIoError().
+class DurableJsonlWriter {
+ public:
+  DurableJsonlWriter(std::string path, std::string knob);
+  ~DurableJsonlWriter();
+  DurableJsonlWriter(const DurableJsonlWriter&) = delete;
+  DurableJsonlWriter& operator=(const DurableJsonlWriter&) = delete;
+
+  /// Appends @p json_line (one JSON object, no trailing newline) and
+  /// fsyncs before returning.
+  void append(const std::string& json_line);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] u64 recordsWritten() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+  }
+
+ private:
+  std::string path_;
+  std::string knob_;
+  int fd_ = -1;
+  mutable std::mutex mutex_;
+  u64 records_ = 0;
+};
+
 /// Append-only JSONL event log. Thread-safe; every line is flushed so a
 /// crash loses at most the in-flight event. Both construction and every
 /// write fail loudly (exit 1) on I/O errors — see dieOnIoError().

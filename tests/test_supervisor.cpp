@@ -1,0 +1,405 @@
+// Tests for the cell supervision layer (driver/supervisor.hpp) and the
+// WP_CHECKPOINT journal (driver/checkpoint.hpp): deterministic backoff,
+// transient faults healing on retry, persistent faults quarantining
+// without polluting the memo, watchdog timeouts, and crash-safe resume
+// reproducing bit-identical results at any job count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "driver/checkpoint.hpp"
+#include "driver/sweep.hpp"
+#include "support/ensure.hpp"
+
+namespace wp {
+namespace {
+
+const cache::CacheGeometry kXScale{32 * 1024, 32, 32};
+
+std::vector<std::string> fastSubset() { return {"crc", "bitcount"}; }
+
+driver::SchemeSpec wpSpec() {
+  return driver::SchemeSpec::wayPlacement(16 * 1024);
+}
+
+/// A way-placement spec whose cell itself fails (spec-level cell fault,
+/// so only this one memo cell is affected — baselines stay healthy).
+driver::SchemeSpec cellFaulted(fault::CellFault kind, u32 failures = 1) {
+  driver::SchemeSpec s = wpSpec();
+  s.fault.cell_fault = kind;
+  s.fault.cell_fault_failures = failures;
+  return s;
+}
+
+double icacheEnergy(const driver::Normalized& n) { return n.icache_energy; }
+
+/// Sets an environment variable for the enclosing scope; restores the
+/// previous value (or unsets) on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_old_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_old_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Backoff: seed-derived, never wall-clock (DESIGN.md §9).
+
+TEST(CellSupervisorBackoff, SlotsAreDeterministicInSeedKeyAttempt) {
+  const u64 a = driver::CellSupervisor::backoffSlots(7, "crc/g32768", 1);
+  EXPECT_EQ(a, driver::CellSupervisor::backoffSlots(7, "crc/g32768", 1))
+      << "backoff must be a pure function of (seed, key, attempt)";
+
+  // Attempt n draws from [1 << min(n,6), 64 << min(n,6)] slots.
+  for (unsigned attempt = 0; attempt < 10; ++attempt) {
+    const unsigned shift = attempt < 6 ? attempt : 6;
+    const u64 slots =
+        driver::CellSupervisor::backoffSlots(0, "some/cell", attempt);
+    EXPECT_GE(slots, 1ULL << shift);
+    EXPECT_LE(slots, 64ULL << shift);
+  }
+}
+
+TEST(CellSupervisorBackoff, ScheduleDecorrelatesAcrossSeedsAndCells) {
+  // Two cells (or two seeds) must not retry in lockstep; these are pure
+  // functions, so the inequalities are stable across runs.
+  EXPECT_NE(driver::CellSupervisor::backoffSlots(0, "cell/a", 3),
+            driver::CellSupervisor::backoffSlots(0, "cell/b", 3));
+  EXPECT_NE(driver::CellSupervisor::backoffSlots(0, "cell/a", 3),
+            driver::CellSupervisor::backoffSlots(1, "cell/a", 3));
+}
+
+// ---------------------------------------------------------------------
+// Transient faults heal on retry with bit-identical results.
+
+TEST(CellSupervision, TransientCellFaultHealsOnRetryBitIdentically) {
+  driver::SupervisorConfig cfg;
+  cfg.retries = 2;
+  driver::SweepExecutor suite({"crc"}, energy::EnergyParams{}, 0, 1, &cfg);
+  const auto& p = suite.prepared().at(0);
+
+  const auto clean = suite.tryRun(p, kXScale, wpSpec());
+  const auto healed =
+      suite.tryRun(p, kXScale, cellFaulted(fault::CellFault::kTransient, 1));
+  ASSERT_FALSE(clean.quarantined);
+  ASSERT_FALSE(healed.quarantined);
+  EXPECT_EQ(clean.attempts, 1u);
+  EXPECT_EQ(healed.attempts, 2u) << "one failing attempt, then the heal";
+
+  // The retry replays the same deterministic simulation: guest-side
+  // stats, energy and output are bit-identical to the clean cell.
+  EXPECT_EQ(driver::statsDigest(*healed.result),
+            driver::statsDigest(*clean.result));
+  EXPECT_EQ(healed.result->output, clean.result->output);
+
+  EXPECT_EQ(suite.metrics().counter("cells.healed").value(), 1u);
+  EXPECT_EQ(suite.metrics().counter("cells.failed_attempts").value(), 1u);
+  EXPECT_TRUE(suite.quarantined().empty());
+}
+
+// ---------------------------------------------------------------------
+// Persistent faults quarantine: tagged error, exclusion, no pollution.
+
+TEST(CellSupervision, PersistentCellFaultQuarantinesWithFullIdentity) {
+  driver::SupervisorConfig cfg;
+  cfg.retries = 1;
+  driver::SweepExecutor suite({"crc"}, energy::EnergyParams{}, 0, 1, &cfg);
+  const auto& p = suite.prepared().at(0);
+  const driver::SchemeSpec bad = cellFaulted(fault::CellFault::kPersistent);
+  const std::string key = driver::SweepExecutor::keyOf(p.name, kXScale, bad);
+
+  const auto view = suite.tryRun(p, kXScale, bad);
+  ASSERT_TRUE(view.quarantined);
+  EXPECT_EQ(view.result, nullptr);
+  EXPECT_EQ(view.attempts, 2u) << "1 + retries attempts before quarantine";
+  ASSERT_NE(view.error, nullptr);
+  EXPECT_NE(view.error->find(key), std::string::npos)
+      << "a failure must carry the full cell key, got: " << *view.error;
+
+  // run() surfaces the same tagged identity through its exception.
+  try {
+    suite.run(p, kXScale, bad);
+    FAIL() << "run() of a quarantined cell must throw";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find(key), std::string::npos);
+  }
+
+  // Aggregation excludes the quarantined cell instead of aborting.
+  const auto avg = suite.averageNormalizedChecked(kXScale, bad, icacheEnergy);
+  EXPECT_EQ(avg.included, 0u);
+  EXPECT_EQ(avg.excluded, 1u);
+  EXPECT_TRUE(avg.degraded());
+  EXPECT_EQ(avg.mean, 0.0);
+
+  const auto q = suite.quarantined();
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q[0].key, key);
+  EXPECT_EQ(q[0].attempts, 2u);
+
+  // The quarantine never pollutes healthy cells: the clean scheme (and
+  // the shared baseline) still price normally on the same executor.
+  const auto good =
+      suite.averageNormalizedChecked(kXScale, wpSpec(), icacheEnergy);
+  EXPECT_EQ(good.included, 1u);
+  EXPECT_EQ(good.excluded, 0u);
+  EXPECT_GT(good.mean, 0.0);
+
+  // Re-requesting the cell re-reads the settled quarantine; it never
+  // silently burns more attempts.
+  const u64 failed = suite.metrics().counter("cells.failed_attempts").value();
+  const auto again = suite.tryRun(p, kXScale, bad);
+  EXPECT_TRUE(again.quarantined);
+  EXPECT_EQ(suite.metrics().counter("cells.failed_attempts").value(), failed);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog: a runaway cell is aborted and treated like any failure.
+
+TEST(CellSupervision, WatchdogQuarantinesRunawayCell) {
+  driver::SupervisorConfig cfg;
+  cfg.retries = 0;
+  cfg.cell_timeout_ms = 1;
+  cfg.timeout_check_interval = 1;  // check every retired instruction
+  driver::SweepExecutor suite({"crc"}, energy::EnergyParams{}, 0, 1, &cfg);
+  const auto& p = suite.prepared().at(0);
+
+  const auto view = suite.tryRun(p, kXScale, wpSpec());
+  ASSERT_TRUE(view.quarantined) << "a 1ms budget cannot fit the simulation";
+  ASSERT_NE(view.error, nullptr);
+  EXPECT_NE(view.error->find("cell watchdog"), std::string::npos);
+  EXPECT_NE(view.error->find("WP_CELL_TIMEOUT_MS=1"), std::string::npos);
+  EXPECT_NE(view.error
+                ->find(driver::SweepExecutor::keyOf(p.name, kXScale, wpSpec())),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint journal: record round-trip and verification.
+
+TEST(Checkpoint, RecordRoundTripsVerifiesAndRejectsTampering) {
+  driver::SweepExecutor suite({"crc"}, energy::EnergyParams{}, 0, 1);
+  const auto& p = suite.prepared().at(0);
+  const driver::RunResult& r = suite.run(p, kXScale, wpSpec());
+  const std::string key =
+      driver::SweepExecutor::keyOf(p.name, kXScale, wpSpec());
+  const std::string record = driver::renderRecord(key, 1234, r, 0.5);
+
+  const std::string path = testing::TempDir() + "ckpt_roundtrip.jsonl";
+  {
+    std::ofstream out(path);
+    out << driver::renderHeader(0) << "\n" << record << "\n";
+  }
+  const auto journal = driver::readJournal(path, 0);
+  EXPECT_TRUE(journal.had_header);
+  EXPECT_EQ(journal.lines_skipped, 0u);
+  EXPECT_EQ(journal.records_rejected, 0u);
+  ASSERT_EQ(journal.records.count(key), 1u);
+  const driver::CheckpointRecord& rec = journal.records.at(key);
+  EXPECT_EQ(rec.image_digest, 1234u);
+  EXPECT_EQ(rec.wall_seconds, 0.5);
+  // The restored payload re-digests to the recorded value: every
+  // guest-side field (u64 stats and %.17g doubles) round-trips exactly.
+  EXPECT_EQ(driver::statsDigest(rec.result), driver::statsDigest(r));
+  EXPECT_EQ(rec.result.output, r.output);
+  EXPECT_EQ(rec.result.stats.cycles, r.stats.cycles);
+  EXPECT_EQ(rec.result.energy.total(), r.energy.total());
+  EXPECT_EQ(rec.result.layout_strategy, r.layout_strategy);
+
+  // Tampering with one digit of the payload trips the stats digest.
+  std::string tampered = record;
+  const std::size_t at = tampered.find("\"instructions\": ");
+  ASSERT_NE(at, std::string::npos);
+  char& digit = tampered[at + 16];
+  digit = digit == '9' ? '8' : '9';
+  {
+    std::ofstream out(path);
+    out << driver::renderHeader(0) << "\n" << tampered << "\n";
+  }
+  const auto bad = driver::readJournal(path, 0);
+  EXPECT_EQ(bad.records.size(), 0u);
+  EXPECT_EQ(bad.records_rejected, 1u);
+
+  // A torn final line — the SIGKILL case — is skipped, never fatal.
+  {
+    std::ofstream out(path);
+    out << driver::renderHeader(0) << "\n"
+        << record << "\n"
+        << record.substr(0, record.size() / 2);
+  }
+  const auto torn = driver::readJournal(path, 0);
+  EXPECT_EQ(torn.records.size(), 1u);
+  EXPECT_EQ(torn.lines_skipped, 1u);
+
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Resume: a journaled sweep restores to byte-identical tables.
+
+TEST(Checkpoint, ResumedSweepIsByteIdenticalAtAnyJobCount) {
+  const std::string path = testing::TempDir() + "ckpt_resume.jsonl";
+  std::remove(path.c_str());
+  ScopedEnv env("WP_CHECKPOINT", path.c_str());
+  const auto ed = [](const driver::Normalized& n) { return n.ed_product; };
+
+  double e_first = 0.0;
+  double ed_first = 0.0;
+  u64 cycles = 0;
+  std::vector<unsigned char> output;
+  {
+    driver::SweepExecutor first(fastSubset(), energy::EnergyParams{}, 0, 8);
+    EXPECT_TRUE(first.checkpointing());
+    first.runAll({{kXScale, wpSpec()}});
+    e_first = first.averageNormalized(kXScale, wpSpec(), icacheEnergy);
+    ed_first = first.averageNormalized(kXScale, wpSpec(), ed);
+    const auto& p = first.prepared().at(0);
+    cycles = first.run(p, kXScale, wpSpec()).stats.cycles;
+    output = first.run(p, kXScale, wpSpec()).output;
+    EXPECT_EQ(first.metrics().counter("cells.restored").value(), 0u);
+    EXPECT_EQ(first.metrics().counter("cells.computed").value(), 4u)
+        << "2 workloads x (baseline + way-placement)";
+  }
+
+  for (const unsigned jobs : {1u, 8u}) {
+    driver::SweepExecutor resumed(fastSubset(), energy::EnergyParams{}, 0,
+                                  jobs);
+    resumed.runAll({{kXScale, wpSpec()}});
+    EXPECT_EQ(resumed.metrics().counter("cells.computed").value(), 0u)
+        << "every cell must restore from the journal at jobs=" << jobs;
+    EXPECT_EQ(resumed.metrics().counter("cells.restored").value(), 4u);
+    EXPECT_EQ(resumed.averageNormalized(kXScale, wpSpec(), icacheEnergy),
+              e_first);
+    EXPECT_EQ(resumed.averageNormalized(kXScale, wpSpec(), ed), ed_first);
+    const auto& p = resumed.prepared().at(0);
+    const auto view = resumed.tryRun(p, kXScale, wpSpec());
+    EXPECT_EQ(view.attempts, 0u) << "0 attempts marks a restored cell";
+    EXPECT_EQ(view.result->stats.cycles, cycles);
+    EXPECT_EQ(view.result->output, output);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, PartialJournalRestoresPrefixAndRecomputesRest) {
+  const std::string path = testing::TempDir() + "ckpt_partial.jsonl";
+  std::remove(path.c_str());
+
+  // Reference numbers from an un-journaled sweep.
+  driver::SweepExecutor fresh(fastSubset(), energy::EnergyParams{}, 0, 2);
+  fresh.runAll({{kXScale, wpSpec()}});
+  const double e_fresh =
+      fresh.averageNormalized(kXScale, wpSpec(), icacheEnergy);
+
+  {  // Journal only crc's two cells (as if killed before bitcount).
+    ScopedEnv env("WP_CHECKPOINT", path.c_str());
+    driver::SweepExecutor first({"crc"}, energy::EnergyParams{}, 0, 2);
+    first.runAll({{kXScale, wpSpec()}});
+  }
+  {  // Fake the SIGKILL torn tail on top of the valid records.
+    std::ofstream out(path, std::ios::app);
+    out << "{\"ev\": \"cell\", \"key\": \"torn-mid-wr";
+  }
+
+  ScopedEnv env("WP_CHECKPOINT", path.c_str());
+  driver::SweepExecutor resumed(fastSubset(), energy::EnergyParams{}, 0, 2);
+  resumed.runAll({{kXScale, wpSpec()}});
+  EXPECT_EQ(resumed.metrics().counter("cells.restored").value(), 2u)
+      << "crc's baseline + way-placement restore";
+  EXPECT_EQ(resumed.metrics().counter("cells.computed").value(), 2u)
+      << "bitcount's cells recompute";
+  EXPECT_EQ(resumed.metrics().counter("checkpoint.lines_skipped").value(), 1u);
+  EXPECT_EQ(resumed.averageNormalized(kXScale, wpSpec(), icacheEnergy),
+            e_fresh)
+      << "a resumed sweep must reproduce the uninterrupted numbers";
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, QuarantinedCellsAreNeverJournaledSoResumeRetries) {
+  const std::string path = testing::TempDir() + "ckpt_quar.jsonl";
+  std::remove(path.c_str());
+  ScopedEnv env("WP_CHECKPOINT", path.c_str());
+  const driver::SchemeSpec bad = cellFaulted(fault::CellFault::kPersistent);
+
+  driver::SupervisorConfig cfg;
+  cfg.retries = 0;
+  {
+    driver::SweepExecutor first({"crc"}, energy::EnergyParams{}, 0, 1, &cfg);
+    const auto& p = first.prepared().at(0);
+    EXPECT_TRUE(first.tryRun(p, kXScale, bad).quarantined);
+    EXPECT_FALSE(first.tryRun(p, kXScale, wpSpec()).quarantined);
+  }
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      EXPECT_EQ(line.find("/c2:"), std::string::npos)
+          << "a quarantined (persistent cell-fault) cell leaked into the "
+             "journal: "
+          << line;
+    }
+  }
+
+  // On resume the quarantined cell gets a fresh set of attempts (and
+  // with the spec-level persistent fault still present, quarantines
+  // again after recomputing — not after restoring).
+  driver::SweepExecutor resumed({"crc"}, energy::EnergyParams{}, 0, 1, &cfg);
+  const auto& p = resumed.prepared().at(0);
+  const auto view = resumed.tryRun(p, kXScale, bad);
+  EXPECT_TRUE(view.quarantined);
+  EXPECT_EQ(view.attempts, 1u) << "the cell was retried, not restored";
+  EXPECT_EQ(resumed.tryRun(p, kXScale, wpSpec()).attempts, 0u)
+      << "the healthy cell restores from the journal";
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Strict journal policy: mixing experiments is fatal, not silent.
+
+using CheckpointDeathTest = ::testing::Test;
+
+TEST(CheckpointDeathTest, SeedMismatchRefusesToResume) {
+  const std::string path = testing::TempDir() + "ckpt_seed.jsonl";
+  {
+    std::ofstream out(path);
+    out << driver::renderHeader(7) << "\n";
+  }
+  EXPECT_EXIT((void)driver::readJournal(path, 8),
+              testing::ExitedWithCode(1), "WP_CHECKPOINT.*seed 7.*seed 8");
+  ScopedEnv env("WP_CHECKPOINT", path.c_str());
+  EXPECT_EXIT(driver::SweepExecutor({"crc"}, energy::EnergyParams{}, 8, 1),
+              testing::ExitedWithCode(1), "silently mix experiments");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, CellRecordsWithoutHeaderAreFatal) {
+  const std::string path = testing::TempDir() + "ckpt_headerless.jsonl";
+  {
+    std::ofstream out(path);
+    out << driver::renderRecord("some/key", 0, driver::RunResult{}, 0.0)
+        << "\n";
+  }
+  EXPECT_EXIT((void)driver::readJournal(path, 0),
+              testing::ExitedWithCode(1), "no sweep header");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wp

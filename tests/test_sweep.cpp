@@ -107,6 +107,26 @@ TEST(SweepKey, DistinctSpecsGetDistinctKeys) {
     specs.push_back(s);
   }
 
+  // Cell-fault schedules (the supervision layer): kind and failure
+  // count are key material, so a faulted cell never aliases the clean
+  // one in the memo or the checkpoint journal.
+  {
+    driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
+    s.fault.cell_fault = fault::CellFault::kTransient;
+    specs.push_back(s);
+  }
+  {
+    driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
+    s.fault.cell_fault = fault::CellFault::kTransient;
+    s.fault.cell_fault_failures = 2;
+    specs.push_back(s);
+  }
+  {
+    driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(1024);
+    s.fault.cell_fault = fault::CellFault::kPersistent;
+    specs.push_back(s);
+  }
+
   std::set<std::string> keys;
   for (const driver::SchemeSpec& s : specs) {
     keys.insert(driver::SweepExecutor::keyOf("crc", kXScale, s));
@@ -363,6 +383,62 @@ TEST(SweepReportDeathTest, UnwritableTracePathExitsNamingWpTrace) {
   EXPECT_EXIT(
       driver::SweepExecutor({"crc"}, energy::EnergyParams{}, 0, 1),
       testing::ExitedWithCode(1), "WP_TRACE.*cannot open");
+}
+
+TEST(SweepReportDeathTest, UnwritableCheckpointPathExitsNamingKnob) {
+  ScopedEnv env("WP_CHECKPOINT", "/nonexistent-dir-zzz/journal.jsonl");
+  EXPECT_EXIT(
+      driver::SweepExecutor({"crc"}, energy::EnergyParams{}, 0, 1),
+      testing::ExitedWithCode(1), "WP_CHECKPOINT.*cannot open");
+}
+
+// ---------------------------------------------------------------------
+// Strict supervision knobs: garbage exits 1 naming the knob, never a
+// silent default (same policy as WP_JOBS/WP_SEED).
+
+using SupervisorEnvDeathTest = ::testing::Test;
+
+TEST(SupervisorEnvDeathTest, GarbageRetriesExits) {
+  ScopedEnv env("WP_RETRIES", "abc");
+  EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+              testing::ExitedWithCode(1), "WP_RETRIES");
+}
+
+TEST(SupervisorEnvDeathTest, OutOfRangeRetriesExits) {
+  ScopedEnv env("WP_RETRIES", "101");
+  EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+              testing::ExitedWithCode(1), "WP_RETRIES");
+}
+
+TEST(SupervisorEnvDeathTest, GarbageTimeoutExits) {
+  ScopedEnv env("WP_CELL_TIMEOUT_MS", "50ms");
+  EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+              testing::ExitedWithCode(1), "WP_CELL_TIMEOUT_MS");
+}
+
+TEST(SupervisorEnvDeathTest, NegativeTimeoutExits) {
+  ScopedEnv env("WP_CELL_TIMEOUT_MS", "-5");
+  EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+              testing::ExitedWithCode(1), "WP_CELL_TIMEOUT_MS");
+}
+
+TEST(SupervisorEnvDeathTest, GarbageCellFaultExits) {
+  ScopedEnv env("WP_CELL_FAULT", "flaky");
+  EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+              testing::ExitedWithCode(1), "WP_CELL_FAULT");
+}
+
+TEST(SupervisorEnvDeathTest, ZeroTransientFailureCountExits) {
+  ScopedEnv env("WP_CELL_FAULT", "transient:0");
+  EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+              testing::ExitedWithCode(1), "WP_CELL_FAULT.*failure count");
+}
+
+TEST(SupervisorEnvDeathTest, ExecutorParsesKnobsBeforePreparing) {
+  // The parse happens in the constructor, before any expensive work.
+  ScopedEnv env("WP_RETRIES", "not-a-number");
+  EXPECT_EXIT(driver::SweepExecutor({"crc"}, energy::EnergyParams{}, 0, 1),
+              testing::ExitedWithCode(1), "WP_RETRIES");
 }
 
 }  // namespace
