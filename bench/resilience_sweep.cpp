@@ -6,6 +6,9 @@
 // this doubles as a long-form resilience regression test.
 //
 // Environment knobs: WP_BENCH_WORKLOADS, WP_SEED (see bench_common.hpp).
+#include <dirent.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <iostream>
 
@@ -156,5 +159,94 @@ int main() {
                        : "DIVERGENCE or a missed quarantine — the\n"
                          "supervision layer is broken\n");
   suite.printSummary(std::cerr);
+
+  // --- Process isolation: crash and hang cell faults kill the attempt
+  // dead (SIGKILL / a loop that never retires an instruction), so only
+  // a forked worker can contain them. A crash:1 cell must heal on the
+  // retry bit-identically to the clean cell; a hung cell must be killed
+  // by the parent-side wall-clock and quarantined — while the rest of
+  // the sweep keeps running in this very process.
+  std::cout << "\nprocess isolation (WP_ISOLATE semantics, retries=2):\n";
+  driver::SupervisorConfig icfg;
+  icfg.retries = 2;
+  icfg.isolate = true;
+  icfg.cell_timeout_ms = 30000;
+  driver::SweepExecutor iso(names, energy::EnergyParams{},
+                            bench::experimentSeed(), 0, &icfg);
+  driver::SchemeSpec wp_crash = wp_clean;
+  wp_crash.fault.cell_fault = fault::CellFault::kCrash;
+  wp_crash.fault.cell_fault_failures = 1;
+  iso.runAll({{geom, wp_clean}, {geom, wp_crash}});
+
+  TextTable it;
+  it.header({"workload", "crash fate", "attempts", "healed == clean"});
+  for (const auto& p : iso.prepared()) {
+    const auto clean = iso.tryRun(p, geom, wp_clean);
+    const auto healed = iso.tryRun(p, geom, wp_crash);
+    const bool healed_ok = !clean.quarantined && !healed.quarantined &&
+                           healed.attempts == 2;
+    const bool equal = healed_ok &&
+                       driver::statsDigest(*healed.result) ==
+                           driver::statsDigest(*clean.result);
+    all_ok = all_ok && equal;
+    it.row({p.name, healed_ok ? "healed" : "NOT HEALED",
+            std::to_string(healed.attempts), equal ? "yes" : "NO"});
+  }
+  it.print(std::cout);
+  std::cout << "\nisolation invariant: a SIGKILLed attempt costs one retry, "
+            << (all_ok ? "never the bench\n" : "BUT THE LADDER BROKE\n");
+  iso.printSummary(std::cerr);
+
+  // --- Result store: a second sweep against the store the first one
+  // populated must serve every cell from disk (zero computes) with
+  // results byte-identical to the computed ones.
+  std::cout << "\nresult store (cold populate, warm serve):\n";
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string store_dir =
+      std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
+      "/wayplace-resilience-store-" +
+      std::to_string(bench::experimentSeed());
+  // Start cold even after a previous bench run left records behind.
+  if (DIR* d = ::opendir(store_dir.c_str())) {
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string n = e->d_name;
+      if (n != "." && n != "..") ::unlink((store_dir + "/" + n).c_str());
+    }
+    ::closedir(d);
+  }
+  ::setenv("WP_STORE", store_dir.c_str(), 1);
+  double cold_e = 0.0;
+  double warm_e = 0.0;
+  u64 warm_computed = 0;
+  u64 warm_hits = 0;
+  {
+    driver::SweepExecutor cold(names, energy::EnergyParams{},
+                               bench::experimentSeed(), 0);
+    cold_e = cold.averageNormalized(
+        geom, wp_clean,
+        [](const driver::Normalized& n) { return n.icache_energy; });
+    cold.printSummary(std::cerr);
+  }
+  {
+    driver::SweepExecutor warm(names, energy::EnergyParams{},
+                               bench::experimentSeed(), 0);
+    warm_e = warm.averageNormalized(
+        geom, wp_clean,
+        [](const driver::Normalized& n) { return n.icache_energy; });
+    warm_computed = warm.metrics().counter("cells.computed").value();
+    warm_hits = warm.metrics().counter("store.hits").value();
+    warm.printSummary(std::cerr);
+  }
+  ::unsetenv("WP_STORE");
+  const bool store_ok =
+      warm_e == cold_e && warm_computed == 0 && warm_hits > 0;
+  all_ok = all_ok && store_ok;
+  std::cout << "cold mean icache energy: " << cold_e
+            << "\nwarm mean icache energy: " << warm_e << " ("
+            << warm_hits << " store hit(s), " << warm_computed
+            << " computed)\n\nstore invariant: a warm store serves "
+            << (store_ok ? "byte-identical results without recomputing\n"
+                         : "WRONG OR RECOMPUTED results — the store is "
+                           "broken\n");
   return all_ok ? 0 : 1;
 }

@@ -154,12 +154,6 @@ void visitGuestFields(R& r, V&& v) {
   v("wp_area_coverage", r.wp_area_coverage);
 }
 
-/// One parsed `"key": value` pair of a flat journal line.
-struct Token {
-  bool is_string = false;
-  std::string text;  ///< unescaped for strings, raw digits otherwise
-};
-
 bool unescapeInto(const std::string& s, std::size_t& i, std::string& out) {
   // i points at the opening quote; leaves i past the closing quote.
   ++i;
@@ -206,11 +200,10 @@ void skipWs(const std::string& s, std::size_t& i) {
   while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
 }
 
-/// Parses one flat JSON object line (the only shape this journal
-/// emits). Returns false on any structural damage — the torn-tail
-/// case — so the reader can skip the line instead of crashing.
-bool parseFlatObject(const std::string& line,
-                     std::map<std::string, Token>& out) {
+}  // namespace
+
+bool parseFlatJsonLine(const std::string& line,
+                       std::map<std::string, JsonToken>& out) {
   std::size_t i = 0;
   skipWs(line, i);
   if (i >= line.size() || line[i] != '{') return false;
@@ -227,7 +220,7 @@ bool parseFlatObject(const std::string& line,
     ++i;
     skipWs(line, i);
     if (i >= line.size()) return false;
-    Token tok;
+    JsonToken tok;
     if (line[i] == '"') {
       tok.is_string = true;
       if (!unescapeInto(line, i, tok.text)) return false;
@@ -249,6 +242,8 @@ bool parseFlatObject(const std::string& line,
     ++i;
   }
 }
+
+namespace {
 
 bool parseU64Text(const std::string& text, u64& out) {
   if (text.empty()) return false;
@@ -278,6 +273,58 @@ bool parseDoubleText(const std::string& text, double& out) {
   std::exit(1);
 }
 
+/// Extracts a CheckpointRecord from a parsed cell line's tokens.
+/// Structural validation only — the caller decides what a stats-digest
+/// mismatch means (journal: rejected; worker pipe: torn result).
+bool tokensToRecord(const std::map<std::string, JsonToken>& tokens,
+                    CheckpointRecord& rec) {
+  bool ok = true;
+  auto getString = [&](const char* name, std::string& out) {
+    const auto it = tokens.find(name);
+    if (it == tokens.end() || !it->second.is_string) {
+      ok = false;
+      return;
+    }
+    out = it->second.text;
+  };
+  auto getU64 = [&](const std::string& name, u64& out) {
+    const auto it = tokens.find(name);
+    if (it == tokens.end() || it->second.is_string ||
+        !parseU64Text(it->second.text, out)) {
+      ok = false;
+    }
+  };
+  auto getDouble = [&](const std::string& name, double& out) {
+    const auto it = tokens.find(name);
+    if (it == tokens.end() || it->second.is_string ||
+        !parseDoubleText(it->second.text, out)) {
+      ok = false;
+    }
+  };
+
+  getString("key", rec.key);
+  getU64("image_digest", rec.image_digest);
+  getU64("stats_digest", rec.stats_digest);
+  getDouble("wall_seconds", rec.wall_seconds);
+  getDouble("simulate_seconds", rec.result.simulate_seconds);
+  getDouble("price_seconds", rec.result.price_seconds);
+  getString("layout_strategy", rec.result.layout_strategy);
+  std::string output_hex;
+  getString("output", output_hex);
+  if (ok && !hexDecode(output_hex, rec.result.output)) ok = false;
+  visitGuestFields(rec.result, [&](const std::string& name, auto& field) {
+    using T = std::decay_t<decltype(field)>;
+    if constexpr (std::is_floating_point_v<T>) {
+      getDouble(name, field);
+    } else {
+      u64 wide = 0;
+      getU64(name, wide);
+      field = static_cast<T>(wide);
+    }
+  });
+  return ok && !rec.key.empty();
+}
+
 }  // namespace
 
 u64 imageDigest(const mem::Image& image) {
@@ -286,6 +333,25 @@ u64 imageDigest(const mem::Image& image) {
   h = fnv1aBytes(h, image.data.data(), image.data.size());
   h = fnv1aBytes(h, &image.entry, sizeof image.entry);
   return h;
+}
+
+u64 stringDigest(std::string_view s) {
+  return fnv1aBytes(kFnvOffset, s.data(), s.size());
+}
+
+RecordParse parseRecordLine(const std::string& line, CheckpointRecord& out) {
+  std::map<std::string, JsonToken> tokens;
+  if (!parseFlatJsonLine(line, tokens)) return RecordParse::kMalformed;
+  const auto ev = tokens.find("ev");
+  if (ev == tokens.end() || !ev->second.is_string ||
+      ev->second.text != "cell") {
+    return RecordParse::kMalformed;
+  }
+  if (!tokensToRecord(tokens, out)) return RecordParse::kMalformed;
+  if (statsDigest(out.result) != out.stats_digest) {
+    return RecordParse::kDigestMismatch;
+  }
+  return RecordParse::kOk;
 }
 
 u64 statsDigest(const RunResult& r) {
@@ -344,8 +410,8 @@ CheckpointJournal readJournal(const std::string& path, u64 expected_seed) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    std::map<std::string, Token> tokens;
-    if (!parseFlatObject(line, tokens)) {
+    std::map<std::string, JsonToken> tokens;
+    if (!parseFlatJsonLine(line, tokens)) {
       ++journal.lines_skipped;
       continue;
     }
@@ -392,52 +458,7 @@ CheckpointJournal readJournal(const std::string& path, u64 expected_seed) {
     }
 
     CheckpointRecord rec;
-    bool ok = true;
-    auto getString = [&](const char* name, std::string& out) {
-      const auto it = tokens.find(name);
-      if (it == tokens.end() || !it->second.is_string) {
-        ok = false;
-        return;
-      }
-      out = it->second.text;
-    };
-    auto getU64 = [&](const std::string& name, u64& out) {
-      const auto it = tokens.find(name);
-      if (it == tokens.end() || it->second.is_string ||
-          !parseU64Text(it->second.text, out)) {
-        ok = false;
-      }
-    };
-    auto getDouble = [&](const std::string& name, double& out) {
-      const auto it = tokens.find(name);
-      if (it == tokens.end() || it->second.is_string ||
-          !parseDoubleText(it->second.text, out)) {
-        ok = false;
-      }
-    };
-
-    getString("key", rec.key);
-    getU64("image_digest", rec.image_digest);
-    getU64("stats_digest", rec.stats_digest);
-    getDouble("wall_seconds", rec.wall_seconds);
-    getDouble("simulate_seconds", rec.result.simulate_seconds);
-    getDouble("price_seconds", rec.result.price_seconds);
-    getString("layout_strategy", rec.result.layout_strategy);
-    std::string output_hex;
-    getString("output", output_hex);
-    if (ok && !hexDecode(output_hex, rec.result.output)) ok = false;
-    visitGuestFields(rec.result,
-                     [&](const std::string& name, auto& field) {
-                       using T = std::decay_t<decltype(field)>;
-                       if constexpr (std::is_floating_point_v<T>) {
-                         getDouble(name, field);
-                       } else {
-                         u64 wide = 0;
-                         getU64(name, wide);
-                         field = static_cast<T>(wide);
-                       }
-                     });
-    if (!ok || rec.key.empty()) {
+    if (!tokensToRecord(tokens, rec)) {
       ++journal.lines_skipped;
       continue;
     }

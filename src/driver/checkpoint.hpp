@@ -28,6 +28,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "driver/runner.hpp"
@@ -49,6 +50,9 @@ struct CheckpointRecord {
 /// FNV-1a over an image's code and data bytes (layout identity).
 [[nodiscard]] u64 imageDigest(const mem::Image& image);
 
+/// FNV-1a over an arbitrary string (cell keys, store file names).
+[[nodiscard]] u64 stringDigest(std::string_view s);
+
 /// FNV-1a over a result's guest-side fields (stats, energy, output,
 /// layout ride-alongs) — host-side timings excluded, so a restored
 /// record re-digests to the same value.
@@ -61,6 +65,34 @@ struct CheckpointRecord {
 
 /// Renders the journal header line pinning @p seed.
 [[nodiscard]] std::string renderHeader(u64 seed);
+
+/// One parsed `"key": value` pair of a flat one-line JSON object (the
+/// only JSON shape the journal, the result store and the worker pipe
+/// protocol ever emit).
+struct JsonToken {
+  bool is_string = false;
+  std::string text;  ///< unescaped for strings, raw digits otherwise
+};
+
+/// Parses one flat JSON object line into tokens. Returns false on any
+/// structural damage — the torn-line case — so callers can skip or
+/// reject the line instead of crashing.
+[[nodiscard]] bool parseFlatJsonLine(const std::string& line,
+                                     std::map<std::string, JsonToken>& out);
+
+/// Fate of one "cell" record line under parseRecordLine.
+enum class RecordParse {
+  kOk,              ///< structurally sound and the stats digest verifies
+  kMalformed,       ///< torn/damaged line or not a cell record at all
+  kDigestMismatch,  ///< parsed, but the payload no longer matches its digest
+};
+
+/// Parses one record line (as produced by renderRecord) and verifies
+/// its stats digest. Shared by the journal reader, the result store and
+/// the isolated-worker pipe protocol, so all three trust records under
+/// exactly the same rules.
+[[nodiscard]] RecordParse parseRecordLine(const std::string& line,
+                                          CheckpointRecord& out);
 
 /// A parsed journal: records keyed by cell key (last record wins) plus
 /// what the reader skipped.

@@ -1,5 +1,7 @@
 #include "driver/sweep.hpp"
 
+#include "driver/worker.hpp"
+
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -51,11 +53,12 @@ struct SweepExecutor::CellEntry {
   /// Attempts spent on this cell (0 = restored from the checkpoint
   /// journal without running anything).
   unsigned attempts = 0;
-  bool restored = false;  ///< came from the WP_CHECKPOINT journal
+  bool restored = false;    ///< came from the WP_CHECKPOINT journal
+  bool from_store = false;  ///< served from the WP_STORE result store
   /// Host wall-clock of the whole cell compute (simulate + price) and
   /// the pool worker that ran it (-1: computed on an external thread;
-  /// -2: restored from the journal — wall_seconds is then the original
-  /// compute's).
+  /// -2: restored from the journal; -3: served from the result store —
+  /// wall_seconds is then the original compute's).
   double wall_seconds = 0.0;
   int worker = -1;
 };
@@ -111,6 +114,24 @@ SweepExecutor::SweepExecutor(std::vector<std::string> workload_names,
                              static_cast<u64>(restored_.records.size()))
                         .num("lines_skipped", restored_.lines_skipped)
                         .num("records_rejected", restored_.records_rejected));
+    }
+  }
+  if (auto store_config = ResultStore::fromEnv()) {
+    store_ = std::make_unique<ResultStore>(*store_config, runner_.seed(),
+                                           metrics_, trace_.get());
+    if (!store_->degraded()) {
+      std::fprintf(stderr, "[wayplace] result store: %s (lease timeout "
+                   "%llu ms)\n",
+                   store_->dir().c_str(),
+                   static_cast<unsigned long long>(
+                       store_config->lease_timeout_ms));
+    }
+    if (trace_) {
+      trace_->write(TraceEvent("store_open")
+                        .str("dir", store_->dir())
+                        .num("lease_timeout_ms",
+                             store_config->lease_timeout_ms)
+                        .boolean("degraded", store_->degraded()));
     }
   }
   std::fprintf(stderr,
@@ -184,15 +205,46 @@ void SweepExecutor::computeCell(CellEntry& entry, const std::string& key,
                                 const cache::CacheGeometry& icache,
                                 const SchemeSpec& spec) {
   const int worker = ThreadPool::currentWorkerIndex();
+  const u64 image_digest = imageDigest(p.imageFor(spec.layout));
 
-  // Journal restore first: a record that survives both digests stands
+  // Result store first: it coordinates across *processes*, so even the
+  // lookup participates in the lease protocol — on a miss this cell now
+  // holds its compute lease (released on every exit path below).
+  ResultStore::Lease lease;
+  if (store_) {
+    ResultStore::Outcome outcome = store_->open(key, image_digest);
+    if (outcome.record) {
+      entry.result = std::move(outcome.record->result);
+      entry.wall_seconds = outcome.record->wall_seconds;
+      entry.worker = -3;
+      entry.from_store = true;
+      entry.attempts = 0;
+      metrics_.counter("cells.from_store").add();
+      if (trace_) {
+        trace_->write(TraceEvent("cell_from_store")
+                          .str("key", key)
+                          .num("worker", worker));
+      }
+      // A store hit still journals: a later resume under WP_CHECKPOINT
+      // alone must not depend on the store staying reachable.
+      if (journal_) {
+        journal_->append(renderRecord(key, image_digest, entry.result,
+                                      entry.wall_seconds));
+      }
+      entry.ready.store(true, std::memory_order_release);
+      return;
+    }
+    lease = std::move(outcome.lease);
+  }
+
+  // Journal restore next: a record that survives both digests stands
   // in for the compute. The image digest ties the record to the bytes
   // this sweep would actually simulate — a journal recorded under other
   // code, another layout pipeline or other inputs recomputes instead.
   if (!restored_.records.empty()) {
     const auto it = restored_.records.find(key);
     if (it != restored_.records.end()) {
-      if (it->second.image_digest == imageDigest(p.imageFor(spec.layout))) {
+      if (it->second.image_digest == image_digest) {
         entry.result = it->second.result;
         entry.wall_seconds = it->second.wall_seconds;
         entry.worker = -2;
@@ -203,6 +255,11 @@ void SweepExecutor::computeCell(CellEntry& entry, const std::string& key,
           trace_->write(TraceEvent("cell_restored")
                             .str("key", key)
                             .num("worker", worker));
+        }
+        // Publish the journal's answer so the next run hits the store.
+        if (store_) {
+          store_->put(lease, key, image_digest, entry.result,
+                      entry.wall_seconds);
         }
         entry.ready.store(true, std::memory_order_release);
         return;
@@ -217,29 +274,59 @@ void SweepExecutor::computeCell(CellEntry& entry, const std::string& key,
 
   const unsigned max_attempts = supervisor_.maxAttempts();
   const bool is_baseline = spec.scheme == cache::Scheme::kBaseline;
+  const bool isolate = supervisor_.config().isolate;
   for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
     entry.attempts = attempt;
     try {
-      // Harness-level fault injection: spec-scoped first (unit tests
-      // target one cell), then the WP_CELL_FAULT knob, which spares
-      // baselines so a persistent fault degrades cells rather than
-      // erasing every normalization denominator.
-      if (spec.fault.cellFaultEnabled()) {
-        fault::injectCellFault(spec.fault, attempt - 1);  // 0-based attempts
-      }
-      if (!is_baseline) supervisor_.injectConfigCellFault(attempt - 1);
-
-      const sim::BudgetHook watchdog = supervisor_.watchdogFor(key);
+      // The whole attempt body — fault injection, watchdog, simulate,
+      // price — so the isolated path runs exactly what the in-process
+      // path runs, just inside a forked worker. Spec-scoped faults
+      // first (unit tests target one cell), then the WP_CELL_FAULT
+      // knob, which spares baselines so a persistent fault degrades
+      // cells rather than erasing every normalization denominator.
+      const auto attemptBody = [&]() -> RunResult {
+        if (spec.fault.cellFaultEnabled()) {
+          fault::injectCellFault(spec.fault, attempt - 1);  // 0-based
+        }
+        if (!is_baseline) supervisor_.injectConfigCellFault(attempt - 1);
+        const sim::BudgetHook watchdog = supervisor_.watchdogFor(key);
+        return runner_.run(p, icache, spec, workloads::InputSize::kLarge,
+                           watchdog.check ? &watchdog : nullptr);
+      };
       if (trace_) {
         trace_->write(TraceEvent("cell_start")
                           .str("key", key)
                           .num("attempt", attempt)
-                          .num("worker", worker));
+                          .num("worker", worker)
+                          .boolean("isolated", isolate));
       }
       ScopedTimer span(metrics_.timer("cell.wall"));
-      entry.result =
-          runner_.run(p, icache, spec, workloads::InputSize::kLarge,
-                      watchdog.check ? &watchdog : nullptr);
+      if (isolate) {
+        // Crash domain = this attempt of this cell. Every way the
+        // worker can die comes back as a WorkerResult error, rethrown
+        // here so crashes, hangs and SimErrors all ride the same
+        // retry/backoff/quarantine ladder below.
+        WorkerResult wr =
+            runCellInWorker(key, image_digest,
+                            supervisor_.config().cell_timeout_ms,
+                            attemptBody);
+        if (!wr.ok) throw SimError(wr.error);
+        entry.result = std::move(wr.result);
+        metrics_.counter("cells.isolated").add();
+        // The child's simulator counters died with the child; fold the
+        // guest-side activity it reported back into the runner registry
+        // so MIPS accounting survives isolation.
+        MetricsRegistry& rm = runner_.metrics();
+        rm.counter("guest.instructions").add(entry.result.stats.instructions);
+        rm.timer("phase.simulate")
+            .record(std::chrono::nanoseconds(static_cast<u64>(
+                entry.result.simulate_seconds * 1e9)));
+        rm.timer("phase.price")
+            .record(std::chrono::nanoseconds(
+                static_cast<u64>(entry.result.price_seconds * 1e9)));
+      } else {
+        entry.result = attemptBody();
+      }
       entry.wall_seconds = span.stop();
       entry.worker = worker;
       metrics_.counter("cells.computed").add();
@@ -263,9 +350,12 @@ void SweepExecutor::computeCell(CellEntry& entry, const std::string& key,
                                entry.result.wp_area_coverage));
       }
       if (journal_) {
-        journal_->append(renderRecord(key,
-                                      imageDigest(p.imageFor(spec.layout)),
-                                      entry.result, entry.wall_seconds));
+        journal_->append(renderRecord(key, image_digest, entry.result,
+                                      entry.wall_seconds));
+      }
+      if (store_) {
+        store_->put(lease, key, image_digest, entry.result,
+                    entry.wall_seconds);
       }
       entry.ready.store(true, std::memory_order_release);
       return;
@@ -295,6 +385,9 @@ void SweepExecutor::computeCell(CellEntry& entry, const std::string& key,
     }
   }
 
+  // Quarantine releases the lease (via Lease's destructor) without
+  // publishing: another process gets a fresh claim at this cell, and a
+  // resumed sweep gets fresh attempts.
   entry.quarantined.store(true, std::memory_order_release);
   metrics_.counter("cells.quarantined").add();
   std::fprintf(stderr,
@@ -454,12 +547,26 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
              : 0.0)
      << ", \"cells_computed\": " << metrics_.counter("cells.computed").value()
      << ", \"cells_restored\": " << metrics_.counter("cells.restored").value()
+     << ", \"cells_from_store\": "
+     << metrics_.counter("cells.from_store").value()
+     << ", \"cells_isolated\": " << metrics_.counter("cells.isolated").value()
      << ", \"cells_healed\": " << metrics_.counter("cells.healed").value()
      << ", \"cells_quarantined\": "
      << metrics_.counter("cells.quarantined").value()
      << ", \"failed_attempts\": "
      << metrics_.counter("cells.failed_attempts").value()
      << ", \"memo_hits\": " << metrics_.counter("memo.hits").value()
+     << ", \"store\": {\"enabled\": " << jsonBool(store_ != nullptr)
+     << ", \"degraded\": "
+     << jsonBool(store_ != nullptr && store_->degraded())
+     << ", \"hits\": " << metrics_.counter("store.hits").value()
+     << ", \"misses\": " << metrics_.counter("store.misses").value()
+     << ", \"rejected\": " << metrics_.counter("store.rejected").value()
+     << ", \"records_written\": "
+     << metrics_.counter("store.records_written").value()
+     << ", \"lease_waits\": " << metrics_.counter("store.lease_waits").value()
+     << ", \"leases_reclaimed\": "
+     << metrics_.counter("store.leases_reclaimed").value() << "}"
      << ", \"phase_seconds\": {\"build\": " << rm.timer("phase.build").seconds()
      << ", \"profile\": " << rm.timer("phase.profile").seconds()
      << ", \"layout\": " << rm.timer("phase.layout").seconds()
@@ -528,6 +635,7 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
        << ", \"instructions\": " << entry->result.stats.instructions
        << ", \"attempts\": " << entry->attempts
        << ", \"restored\": " << jsonBool(entry->restored)
+       << ", \"from_store\": " << jsonBool(entry->from_store)
        << ", \"wall_seconds\": " << entry->wall_seconds
        << ", \"simulate_seconds\": " << entry->result.simulate_seconds
        << ", \"price_seconds\": " << entry->result.price_seconds
@@ -566,12 +674,27 @@ void SweepExecutor::printSummary(std::ostream& os) const {
       simulate > 0.0 ? static_cast<double>(insts) / simulate / 1e6 : 0.0;
   const u64 restored = metrics_.counter("cells.restored").value();
   const u64 quar = metrics_.counter("cells.quarantined").value();
-  char extras[128] = "";
+  char extras[256] = "";
+  std::size_t extras_len = 0;
   if (restored > 0 || quar > 0) {
-    std::snprintf(extras, sizeof extras,
-                  ", %llu restored, %llu quarantined",
-                  static_cast<unsigned long long>(restored),
-                  static_cast<unsigned long long>(quar));
+    extras_len += static_cast<std::size_t>(std::snprintf(
+        extras + extras_len, sizeof extras - extras_len,
+        ", %llu restored, %llu quarantined",
+        static_cast<unsigned long long>(restored),
+        static_cast<unsigned long long>(quar)));
+  }
+  if (store_) {
+    // store.hits/store.misses/store.rejected: the warm-store smoke
+    // greps this summary, so the three counters always print together.
+    std::snprintf(extras + extras_len, sizeof extras - extras_len,
+                  ", store %llu hit(s)/%llu miss(es)/%llu rejected%s",
+                  static_cast<unsigned long long>(
+                      metrics_.counter("store.hits").value()),
+                  static_cast<unsigned long long>(
+                      metrics_.counter("store.misses").value()),
+                  static_cast<unsigned long long>(
+                      metrics_.counter("store.rejected").value()),
+                  store_->degraded() ? " [DEGRADED]" : "");
   }
   char line[640];
   std::snprintf(line, sizeof line,

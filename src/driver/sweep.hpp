@@ -29,8 +29,12 @@
 //                 executes: per-workload prepare phases, cell
 //                 start/end/failure/retry/quarantine with worker thread
 //                 and durations, memo hits, report emission
-//   WP_RETRIES / WP_CELL_TIMEOUT_MS / WP_CELL_FAULT
-//                 cell supervision policy — see driver/supervisor.hpp
+//   WP_RETRIES / WP_CELL_TIMEOUT_MS / WP_CELL_FAULT / WP_ISOLATE
+//                 cell supervision policy — see driver/supervisor.hpp.
+//                 Under WP_ISOLATE=1 every cell attempt runs in a
+//                 forked worker process (driver/worker.hpp), so a
+//                 SIGSEGV or wedged loop costs one attempt of one
+//                 cell, not the bench.
 //   WP_CHECKPOINT path of a durable JSONL journal (fsync'd per record):
 //                 every freshly computed cell is appended, and on
 //                 startup the journal is replayed — records whose
@@ -38,9 +42,18 @@
 //                 seed the memo, the rest recompute. A killed sweep
 //                 resumed with the same journal prints a byte-identical
 //                 table. See driver/checkpoint.hpp.
+//   WP_STORE      directory of a persistent cross-run result store:
+//                 cells whose stored record verifies (image digest +
+//                 stats digest + seed) are served instead of simulated,
+//                 freshly computed cells are published atomically, and
+//                 concurrent sweeps sharing the directory coordinate
+//                 through lock-file leases (WP_LEASE_TIMEOUT_MS) so a
+//                 cell is computed once across processes. See
+//                 driver/result_store.hpp.
 //
 // Instrumentation is host-side only: with or without WP_TRACE/WP_JSON/
-// WP_CHECKPOINT, at any WP_JOBS, the printed tables are byte-identical.
+// WP_CHECKPOINT/WP_STORE, at any WP_JOBS, with or without WP_ISOLATE,
+// the printed tables are byte-identical.
 #pragma once
 
 #include <chrono>
@@ -53,6 +66,7 @@
 #include <vector>
 
 #include "driver/checkpoint.hpp"
+#include "driver/result_store.hpp"
 #include "driver/runner.hpp"
 #include "driver/supervisor.hpp"
 #include "support/metrics.hpp"
@@ -200,6 +214,8 @@ class SweepExecutor {
   [[nodiscard]] bool tracing() const { return trace_ != nullptr; }
   /// True when WP_CHECKPOINT is journaling this sweep.
   [[nodiscard]] bool checkpointing() const { return journal_ != nullptr; }
+  /// The WP_STORE result store, or null when the store is not enabled.
+  [[nodiscard]] const ResultStore* store() const { return store_.get(); }
 
  private:
   struct CellEntry;
@@ -230,6 +246,9 @@ class SweepExecutor {
   /// constructor).
   std::unique_ptr<DurableJsonlWriter> journal_;
   CheckpointJournal restored_;
+  /// WP_STORE cross-run result store (null when not enabled). Created
+  /// before the pool so workers can use it; destroyed after.
+  std::unique_ptr<ResultStore> store_;
   ThreadPool pool_;
   std::vector<PreparedWorkload> prepared_;
   mutable std::mutex memo_mutex_;  ///< also guards const report reads

@@ -1,5 +1,9 @@
 #include "fault/fault.hpp"
 
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 
@@ -31,6 +35,10 @@ const char* cellFaultName(CellFault f) {
       return "transient";
     case CellFault::kPersistent:
       return "persistent";
+    case CellFault::kCrash:
+      return "crash";
+    case CellFault::kHang:
+      return "hang";
   }
   WP_UNREACHABLE("bad cell fault");
 }
@@ -53,6 +61,29 @@ void injectCellFault(CellFault kind, u32 failures, unsigned attempt,
       throw SimError("injected persistent cell fault (" +
                      std::string(origin) +
                      "): every attempt fails — this cell must quarantine");
+    case CellFault::kCrash:
+      if (failures == 0 || attempt < failures) {
+        // A real crash, not an exception: SIGKILL cannot be caught,
+        // blocked or sanitized away, so the attempt dies exactly like a
+        // SIGSEGV'd simulator would. Only a forked worker survives it.
+        std::fprintf(stderr,
+                     "[wayplace] injected crash cell fault (%s): attempt %u "
+                     "dies by SIGKILL\n",
+                     origin, attempt + 1);
+        ::raise(SIGKILL);
+        for (;;) {}  // unreachable; raise cannot fail for SIGKILL
+      }
+      return;
+    case CellFault::kHang:
+      // A wedged attempt: never retires an instruction, so the
+      // in-process instruction-budget watchdog can never fire. Only the
+      // worker parent's wall-clock kill (WP_ISOLATE=1 +
+      // WP_CELL_TIMEOUT_MS) ends it.
+      std::fprintf(stderr,
+                   "[wayplace] injected hang cell fault (%s): attempt %u "
+                   "blocks forever\n",
+                   origin, attempt + 1);
+      for (;;) ::pause();
   }
   WP_UNREACHABLE("bad cell fault");
 }

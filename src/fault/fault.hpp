@@ -33,15 +33,23 @@ enum class ProfileFault : u8 {
 
 [[nodiscard]] const char* profileFaultName(ProfileFault f);
 
-/// Harness-level cell fault: fails whole sweep cells (by throwing
-/// SimError before the simulation starts) to exercise the supervisor's
-/// retry-vs-quarantine paths. Unlike every other fault class this never
-/// touches the simulated machine — a healed attempt's results are
-/// bit-identical to a never-faulted run of the same cell.
+/// Harness-level cell fault: fails whole sweep cells to exercise the
+/// supervisor's retry-vs-quarantine paths. Unlike every other fault
+/// class this never touches the simulated machine — a healed attempt's
+/// results are bit-identical to a never-faulted run of the same cell.
+///
+/// kTransient/kPersistent throw SimError (a failure the in-process
+/// supervisor can catch). kCrash and kHang are *hostile*: the attempt
+/// dies by SIGKILL or wedges forever, exactly like a SIGSEGV'd or
+/// runaway simulator. They are survivable only under WP_ISOLATE=1,
+/// where each attempt runs in a forked worker process — which is the
+/// point: they death-test the process-isolation crash domain.
 enum class CellFault : u8 {
   kNone,
   kTransient,   ///< early attempts fail, a retry heals the cell
   kPersistent,  ///< every attempt fails — the cell must quarantine
+  kCrash,       ///< attempt dies by SIGKILL (failures = 0: every attempt)
+  kHang,        ///< attempt never returns; only a watchdog kill ends it
 };
 
 [[nodiscard]] const char* cellFaultName(CellFault f);
@@ -68,7 +76,9 @@ struct FaultSpec {
   /// Harness-level cell fault (see CellFault). Key material for the
   /// sweep memo but invisible to the simulated machine.
   CellFault cell_fault = CellFault::kNone;
-  u32 cell_fault_failures = 1;  ///< failing attempts before kTransient heals
+  /// Failing attempts before kTransient/kCrash heal; 0 means "every
+  /// attempt" for kCrash (the persistent-crash form). Ignored by kHang.
+  u32 cell_fault_failures = 1;
 
   [[nodiscard]] bool cellFaultEnabled() const {
     return cell_fault != CellFault::kNone;
@@ -125,12 +135,15 @@ class FaultInjector final : public cache::FetchFaultHook {
 /// to show corrupt profiles degrade energy, never correctness.
 void corruptProfile(profile::ProfileResult& prof, ProfileFault kind, Rng& rng);
 
-/// Throws SimError when @p kind says 0-based attempt @p attempt of a
-/// cell should fail (@p failures failing attempts for kTransient;
-/// kPersistent always throws). Deterministic in its arguments — the
-/// supervisor's retry schedule replays identically from the seed.
-/// @p origin names the fault's source ("spec" or "WP_CELL_FAULT") in
-/// the thrown message.
+/// Fails 0-based attempt @p attempt of a cell when @p kind says so.
+/// kTransient throws SimError for the first @p failures attempts;
+/// kPersistent always throws. kCrash raises SIGKILL for the first
+/// @p failures attempts (0 = every attempt) and kHang blocks forever —
+/// both are survivable only when the attempt runs in a forked worker
+/// (WP_ISOLATE=1). Deterministic in its arguments — the supervisor's
+/// retry schedule replays identically from the seed. @p origin names
+/// the fault's source ("spec" or "WP_CELL_FAULT") in the thrown
+/// message.
 void injectCellFault(CellFault kind, u32 failures, unsigned attempt,
                      const char* origin);
 

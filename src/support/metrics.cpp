@@ -44,6 +44,21 @@ void dieOnIoError(const std::string& what, const std::string& path,
   std::exit(1);
 }
 
+bool fsyncDirContaining(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  errno = 0;
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+  return ok;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<Counter>& slot = counters_[name];
@@ -103,6 +118,12 @@ DurableJsonlWriter::DurableJsonlWriter(std::string path, std::string knob)
   // the interrupted run stay in place.
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) dieOnIoError(knob_, path_, "cannot open journal file");
+  // fsync the *directory* too: O_CREAT may have added a new directory
+  // entry, and without this a crash right after creation can lose the
+  // whole journal file on ext4 even though every record was fsync'd.
+  if (!fsyncDirContaining(path_)) {
+    dieOnIoError(knob_, path_, "cannot fsync directory containing");
+  }
 }
 
 DurableJsonlWriter::~DurableJsonlWriter() {

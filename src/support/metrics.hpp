@@ -38,6 +38,16 @@ namespace wp {
                                const std::string& path,
                                const std::string& detail);
 
+/// fsyncs the directory containing @p path (the path's dirname, or "."
+/// when it has none). Required after creating or renaming a file whose
+/// *existence* must survive a crash: fsyncing the file alone makes its
+/// bytes durable, but on ext4-class filesystems the directory entry
+/// pointing at them is separate metadata with its own durability.
+/// Returns false (with errno set) instead of exiting so callers choose
+/// their own severity — the checkpoint journal dies, the result store
+/// degrades.
+[[nodiscard]] bool fsyncDirContaining(const std::string& path);
+
 /// Monotonic u64 event counter; add() is safe from any thread.
 class Counter {
  public:

@@ -1,0 +1,510 @@
+// Tests for the persistent result store (driver/result_store.hpp +
+// WP_STORE): verified round-trips, tamper/torn rejection, the lock-file
+// lease protocol (wait, dead-holder reclaim, expiry reclaim), loud
+// degradation on an unusable store, warm sweeps serving every cell
+// byte-identically, and two processes racing one store without
+// double-computing or leaving locks behind.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/checkpoint.hpp"
+#include "driver/result_store.hpp"
+#include "driver/sweep.hpp"
+#include "support/ensure.hpp"
+
+namespace wp {
+namespace {
+
+const cache::CacheGeometry kXScale{32 * 1024, 32, 32};
+
+std::vector<std::string> fastSubset() { return {"crc", "bitcount"}; }
+
+driver::SchemeSpec wpSpec() {
+  return driver::SchemeSpec::wayPlacement(16 * 1024);
+}
+
+double icacheEnergy(const driver::Normalized& n) { return n.icache_energy; }
+
+/// Sets an environment variable for the enclosing scope; restores the
+/// previous value (or unsets) on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_old_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_old_ = false;
+};
+
+/// Files in @p dir whose names end with @p suffix (sorted by readdir
+/// order; tests only count them).
+std::vector<std::string> filesWithSuffix(const std::string& dir,
+                                         const std::string& suffix) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      out.push_back(name);
+    }
+  }
+  ::closedir(d);
+  return out;
+}
+
+/// An empty, freshly recreated store directory under the test tempdir.
+std::string freshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string n = e->d_name;
+      if (n != "." && n != "..") ::unlink((dir + "/" + n).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+driver::RunResult fakeResult() {
+  driver::RunResult r;
+  r.stats.instructions = 1111;
+  r.stats.cycles = 2222;
+  r.output = {0xaa, 0x55};
+  r.layout_strategy = "original";
+  r.simulate_seconds = 0.125;
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Configuration: opt-in, strict numerics.
+
+TEST(ResultStoreConfig, IsOptInAndParsesTheLeaseTimeout) {
+  {
+    ScopedEnv store("WP_STORE", "");
+    EXPECT_FALSE(driver::ResultStore::fromEnv().has_value());
+  }
+  {
+    ScopedEnv store("WP_STORE", "/tmp/some-store");
+    const auto c = driver::ResultStore::fromEnv();
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->dir, "/tmp/some-store");
+    EXPECT_EQ(c->lease_timeout_ms, 10u * 60 * 1000)
+        << "default lease timeout is 10 minutes";
+  }
+  {
+    ScopedEnv store("WP_STORE", "/tmp/some-store");
+    ScopedEnv lease("WP_LEASE_TIMEOUT_MS", "1234");
+    const auto c = driver::ResultStore::fromEnv();
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->lease_timeout_ms, 1234u);
+  }
+}
+
+using ResultStoreDeathTest = ::testing::Test;
+
+TEST(ResultStoreDeathTest, TrailingGarbageLeaseTimeoutExits) {
+  ScopedEnv store("WP_STORE", "/tmp/some-store");
+  ScopedEnv lease("WP_LEASE_TIMEOUT_MS", "100x");
+  EXPECT_EXIT((void)driver::ResultStore::fromEnv(),
+              testing::ExitedWithCode(1), "WP_LEASE_TIMEOUT_MS='100x'");
+}
+
+TEST(ResultStoreDeathTest, ZeroLeaseTimeoutExits) {
+  ScopedEnv store("WP_STORE", "/tmp/some-store");
+  ScopedEnv lease("WP_LEASE_TIMEOUT_MS", "0");
+  EXPECT_EXIT((void)driver::ResultStore::fromEnv(),
+              testing::ExitedWithCode(1), "WP_LEASE_TIMEOUT_MS='0'");
+}
+
+TEST(ResultStoreDeathTest, OverflowLeaseTimeoutExits) {
+  ScopedEnv store("WP_STORE", "/tmp/some-store");
+  ScopedEnv lease("WP_LEASE_TIMEOUT_MS", "99999999999999999999");
+  EXPECT_EXIT((void)driver::ResultStore::fromEnv(),
+              testing::ExitedWithCode(1), "WP_LEASE_TIMEOUT_MS");
+}
+
+TEST(ResultStoreDeathTest, NegativeLeaseTimeoutExits) {
+  ScopedEnv store("WP_STORE", "/tmp/some-store");
+  ScopedEnv lease("WP_LEASE_TIMEOUT_MS", "-5");
+  EXPECT_EXIT((void)driver::ResultStore::fromEnv(),
+              testing::ExitedWithCode(1), "WP_LEASE_TIMEOUT_MS");
+}
+
+// ---------------------------------------------------------------------
+// The store primitive, driven directly.
+
+TEST(ResultStore, PutThenOpenRoundTripsUnderTheLeaseProtocol) {
+  const std::string dir = freshDir("store_roundtrip");
+  MetricsRegistry metrics;
+  driver::ResultStore store({dir, 600000}, 7, metrics, nullptr);
+  ASSERT_FALSE(store.degraded());
+
+  auto miss = store.open("cell/a", 42);
+  EXPECT_FALSE(miss.record.has_value());
+  ASSERT_TRUE(miss.lease.owned());
+  struct stat st;
+  EXPECT_EQ(::stat((store.recordPathFor("cell/a", 42) + ".lock").c_str(),
+                   &st),
+            0)
+      << "a miss must leave its lease lock on disk";
+
+  const driver::RunResult sent = fakeResult();
+  store.put(miss.lease, "cell/a", 42, sent, 0.5);
+  EXPECT_FALSE(miss.lease.owned()) << "put releases the lease";
+  EXPECT_NE(::stat((store.recordPathFor("cell/a", 42) + ".lock").c_str(),
+                   &st),
+            0)
+      << "the lock must be gone after publish";
+  EXPECT_EQ(::stat(store.recordPathFor("cell/a", 42).c_str(), &st), 0);
+  EXPECT_EQ(metrics.counter("store.records_written").value(), 1u);
+
+  auto hit = store.open("cell/a", 42);
+  ASSERT_TRUE(hit.record.has_value());
+  EXPECT_FALSE(hit.lease.owned());
+  EXPECT_EQ(driver::statsDigest(hit.record->result),
+            driver::statsDigest(sent));
+  EXPECT_EQ(hit.record->wall_seconds, 0.5);
+  EXPECT_EQ(metrics.counter("store.hits").value(), 1u);
+  EXPECT_EQ(metrics.counter("store.misses").value(), 1u);
+
+  // A different image digest is a different cell: plain miss, no
+  // rejection — the store never serves results for other bytes.
+  auto other = store.open("cell/a", 43);
+  EXPECT_FALSE(other.record.has_value());
+  EXPECT_TRUE(other.lease.owned());
+  EXPECT_EQ(metrics.counter("store.rejected").value(), 0u);
+}
+
+TEST(ResultStore, RejectsTamperedAndTornRecordsAndRecomputes) {
+  const std::string dir = freshDir("store_tamper");
+  MetricsRegistry metrics;
+  driver::ResultStore store({dir, 600000}, 0, metrics, nullptr);
+  {
+    auto miss = store.open("cell/a", 1);
+    store.put(miss.lease, "cell/a", 1, fakeResult(), 0.0);
+  }
+  const std::string path = store.recordPathFor("cell/a", 1);
+
+  // Flip one digit of the payload: the stats digest must trip.
+  std::string body;
+  {
+    std::ifstream in(path);
+    body.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  std::string tampered = body;
+  const std::size_t at = tampered.find("\"instructions\": ");
+  ASSERT_NE(at, std::string::npos);
+  char& digit = tampered[at + 16];
+  digit = digit == '9' ? '8' : '9';
+  {
+    std::ofstream out(path);
+    out << tampered;
+  }
+  auto rejected = store.open("cell/a", 1);
+  EXPECT_FALSE(rejected.record.has_value());
+  EXPECT_TRUE(rejected.lease.owned())
+      << "a rejected record is a miss: the caller recomputes under lease";
+  EXPECT_EQ(metrics.counter("store.rejected").value(), 1u);
+  store.put(rejected.lease, "cell/a", 1, fakeResult(), 0.0);
+
+  // Truncate to half a record (a torn write can only come from outside
+  // the store, since publishes are atomic renames).
+  {
+    std::ofstream out(path);
+    out << body.substr(0, body.size() / 2);
+  }
+  auto torn = store.open("cell/a", 1);
+  EXPECT_FALSE(torn.record.has_value());
+  EXPECT_TRUE(torn.lease.owned());
+  EXPECT_EQ(metrics.counter("store.rejected").value(), 2u);
+}
+
+TEST(ResultStore, ReclaimsADeadHoldersLease) {
+  const std::string dir = freshDir("store_deadpid");
+  MetricsRegistry metrics;
+  driver::ResultStore store({dir, 600000}, 0, metrics, nullptr);
+
+  // A freshly dead pid: forked and exited before we write the lock.
+  const pid_t dead = ::fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) std::_Exit(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(dead, &status, 0), dead);
+
+  {
+    std::ofstream lock(store.recordPathFor("cell/a", 1) + ".lock");
+    lock << "{\"pid\": " << dead << ", \"seed\": 0}\n";
+  }
+  auto out = store.open("cell/a", 1);
+  EXPECT_FALSE(out.record.has_value());
+  EXPECT_TRUE(out.lease.owned())
+      << "a dead holder's lease must be reclaimed immediately";
+  EXPECT_EQ(metrics.counter("store.leases_reclaimed").value(), 1u);
+}
+
+TEST(ResultStore, ReclaimsAnExpiredLeaseOfALiveHolder) {
+  const std::string dir = freshDir("store_expiry");
+  MetricsRegistry metrics;
+  driver::ResultStore store({dir, 50}, 0, metrics, nullptr);
+
+  // pid 1 is alive but will never release this lock; only the
+  // WP_LEASE_TIMEOUT_MS expiry can break the tie.
+  {
+    std::ofstream lock(store.recordPathFor("cell/a", 1) + ".lock");
+    lock << "{\"pid\": 1, \"seed\": 0}\n";
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  auto out = store.open("cell/a", 1);
+  EXPECT_FALSE(out.record.has_value());
+  EXPECT_TRUE(out.lease.owned());
+  EXPECT_EQ(metrics.counter("store.leases_reclaimed").value(), 1u);
+}
+
+TEST(ResultStore, WaitsOutALiveHolderAndServesItsRecord) {
+  const std::string dir = freshDir("store_wait");
+  MetricsRegistry metrics;
+  driver::ResultStore store({dir, 600000}, 0, metrics, nullptr);
+  const std::string path = store.recordPathFor("cell/a", 9);
+  {
+    std::ofstream lock(path + ".lock");
+    lock << "{\"pid\": 1, \"seed\": 0}\n";  // alive, long lease
+  }
+
+  // "The holder": publishes the record and releases the lock while this
+  // thread is blocked inside open().
+  const driver::RunResult sent = fakeResult();
+  std::thread holder([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::string tmp = path + ".tmp.test";
+    std::ofstream out(tmp);
+    out << "{\"ev\": \"store\", \"version\": 1, \"seed\": 0, "
+           "\"key\": \"cell/a\"}\n"
+        << driver::renderRecord("cell/a", 9, sent, 0.25) << "\n";
+    out.close();
+    ASSERT_EQ(::rename(tmp.c_str(), path.c_str()), 0);
+    ::unlink((path + ".lock").c_str());
+  });
+  auto out = store.open("cell/a", 9);
+  holder.join();
+  ASSERT_TRUE(out.record.has_value())
+      << "the waiter must pick up the holder's published record";
+  EXPECT_FALSE(out.lease.owned());
+  EXPECT_EQ(driver::statsDigest(out.record->result),
+            driver::statsDigest(sent));
+  EXPECT_EQ(metrics.counter("store.lease_waits").value(), 1u);
+  EXPECT_EQ(metrics.counter("store.misses").value(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// The store under the sweep executor.
+
+TEST(StoreSweep, WarmRunServesEveryCellByteIdentically) {
+  const std::string dir = freshDir("store_warm");
+  ScopedEnv env("WP_STORE", dir.c_str());
+
+  double e_cold = 0.0;
+  {
+    driver::SweepExecutor cold({"crc"}, energy::EnergyParams{}, 0, 1);
+    ASSERT_NE(cold.store(), nullptr);
+    EXPECT_FALSE(cold.store()->degraded());
+    e_cold = cold.averageNormalized(kXScale, wpSpec(), icacheEnergy);
+    EXPECT_EQ(cold.metrics().counter("cells.computed").value(), 2u);
+    EXPECT_EQ(cold.metrics().counter("store.misses").value(), 2u);
+    EXPECT_EQ(cold.metrics().counter("store.records_written").value(), 2u);
+  }
+
+  driver::SweepExecutor warm({"crc"}, energy::EnergyParams{}, 0, 1);
+  EXPECT_EQ(warm.averageNormalized(kXScale, wpSpec(), icacheEnergy), e_cold)
+      << "a warm store must reproduce the cold numbers byte-identically";
+  EXPECT_EQ(warm.metrics().counter("cells.computed").value(), 0u)
+      << "every cell must come from the store";
+  EXPECT_EQ(warm.metrics().counter("cells.from_store").value(), 2u);
+  EXPECT_EQ(warm.metrics().counter("store.hits").value(), 2u);
+  const auto& p = warm.prepared().at(0);
+  EXPECT_EQ(warm.tryRun(p, kXScale, wpSpec()).attempts, 0u)
+      << "0 attempts marks a cell served without running anything";
+  EXPECT_EQ(filesWithSuffix(dir, ".lock").size(), 0u);
+}
+
+TEST(StoreSweep, TamperedRecordIsRecomputedNotServed) {
+  const std::string dir = freshDir("store_sweep_tamper");
+  ScopedEnv env("WP_STORE", dir.c_str());
+  double e_cold = 0.0;
+  {
+    driver::SweepExecutor cold({"crc"}, energy::EnergyParams{}, 0, 1);
+    e_cold = cold.averageNormalized(kXScale, wpSpec(), icacheEnergy);
+  }
+  const auto records = filesWithSuffix(dir, ".rec");
+  ASSERT_EQ(records.size(), 2u);
+  // Tamper one digit of one record's payload.
+  const std::string victim = dir + "/" + records.front();
+  std::string body;
+  {
+    std::ifstream in(victim);
+    body.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const std::size_t at = body.find("\"instructions\": ");
+  ASSERT_NE(at, std::string::npos);
+  body[at + 16] = body[at + 16] == '9' ? '8' : '9';
+  {
+    std::ofstream out(victim);
+    out << body;
+  }
+
+  driver::SweepExecutor warm({"crc"}, energy::EnergyParams{}, 0, 1);
+  EXPECT_EQ(warm.averageNormalized(kXScale, wpSpec(), icacheEnergy), e_cold)
+      << "a tampered store may cost compute, never correctness";
+  EXPECT_EQ(warm.metrics().counter("store.rejected").value(), 1u);
+  EXPECT_EQ(warm.metrics().counter("cells.from_store").value(), 1u);
+  EXPECT_EQ(warm.metrics().counter("cells.computed").value(), 1u)
+      << "only the tampered cell recomputes";
+}
+
+TEST(StoreSweep, UnusableStorePathDegradesLoudlyToComputeEverything) {
+  // WP_STORE pointing at a regular file: mkdir and every record open
+  // fail. (chmod-based unwritability is untestable as root, which
+  // ignores permission bits.)
+  const std::string path = testing::TempDir() + "store_not_a_dir";
+  {
+    std::ofstream out(path);
+    out << "i am a file\n";
+  }
+  ScopedEnv env("WP_STORE", path.c_str());
+
+  driver::SweepExecutor suite({"crc"}, energy::EnergyParams{}, 0, 1);
+  ASSERT_NE(suite.store(), nullptr);
+  EXPECT_TRUE(suite.store()->degraded());
+  EXPECT_EQ(suite.metrics().counter("store.degraded").value(), 1u);
+  // The sweep itself must be unaffected: everything computes normally.
+  EXPECT_GT(suite.averageNormalized(kXScale, wpSpec(), icacheEnergy), 0.0);
+  EXPECT_EQ(suite.metrics().counter("cells.computed").value(), 2u);
+  EXPECT_EQ(suite.metrics().counter("store.hits").value(), 0u);
+  EXPECT_TRUE(suite.quarantined().empty());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Two processes racing one store.
+
+TEST(StoreRace, TwoProcessesShareOneStoreWithoutDoubleComputeOrLockLitter) {
+  const std::string dir = freshDir("store_race");
+  const std::string child_out = testing::TempDir() + "store_race_child.bin";
+  std::remove(child_out.c_str());
+  ScopedEnv env("WP_STORE", dir.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // The racing sweep: same grid, same seed, same store.
+    double avg = 0.0;
+    {
+      driver::SweepExecutor child(fastSubset(), energy::EnergyParams{}, 0, 2);
+      child.runAll({{kXScale, wpSpec()}});
+      avg = child.averageNormalized(kXScale, wpSpec(), icacheEnergy);
+    }
+    std::ofstream out(child_out, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(&avg), sizeof avg);
+    out.flush();
+    std::_Exit(out.good() ? 0 : 1);
+  }
+
+  driver::SweepExecutor mine(fastSubset(), energy::EnergyParams{}, 0, 2);
+  mine.runAll({{kXScale, wpSpec()}});
+  const double my_avg =
+      mine.averageNormalized(kXScale, wpSpec(), icacheEnergy);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  double child_avg = 0.0;
+  {
+    std::ifstream in(child_out, std::ios::binary);
+    ASSERT_TRUE(in.read(reinterpret_cast<char*>(&child_avg),
+                        sizeof child_avg)
+                    .good());
+  }
+  EXPECT_EQ(my_avg, child_avg)
+      << "both processes must print byte-identical tables";
+
+  // Exactly one record per cell (2 workloads x baseline+way-placement),
+  // no lease litter: the loser of each race waited and hit, it never
+  // wrote a second record or abandoned a lock.
+  EXPECT_EQ(filesWithSuffix(dir, ".rec").size(), 4u);
+  EXPECT_EQ(filesWithSuffix(dir, ".lock").size(), 0u);
+  EXPECT_EQ(filesWithSuffix(dir, "").size(), 6u)
+      << "nothing but records (and . / ..) may remain in the store";
+  std::remove(child_out.c_str());
+}
+
+TEST(StoreRace, SigkilledLeaseHolderIsReclaimedByTheSurvivor) {
+  const std::string dir = freshDir("store_race_kill");
+  int ready[2];
+  ASSERT_EQ(::pipe(ready), 0);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // The doomed holder: acquires the lease, reports readiness, wedges.
+    ::close(ready[0]);
+    MetricsRegistry metrics;
+    driver::ResultStore store({dir, 600000}, 0, metrics, nullptr);
+    auto held = store.open("cell/a", 1);
+    const char ok = held.lease.owned() ? '1' : '0';
+    (void)!::write(ready[1], &ok, 1);
+    for (;;) ::pause();  // SIGKILL is the only way out
+  }
+  ::close(ready[1]);
+  char ok = '0';
+  ASSERT_EQ(::read(ready[0], &ok, 1), 1);
+  ::close(ready[0]);
+  ASSERT_EQ(ok, '1') << "the child must own the lease before dying";
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  MetricsRegistry metrics;
+  driver::ResultStore store({dir, 600000}, 0, metrics, nullptr);
+  auto out = store.open("cell/a", 1);
+  EXPECT_FALSE(out.record.has_value());
+  EXPECT_TRUE(out.lease.owned())
+      << "the survivor must reclaim a SIGKILLed holder's lease";
+  EXPECT_EQ(metrics.counter("store.leases_reclaimed").value(), 1u);
+}
+
+}  // namespace
+}  // namespace wp

@@ -401,5 +401,90 @@ TEST(CheckpointDeathTest, CellRecordsWithoutHeaderAreFatal) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------
+// Strict knob parsing: garbage in any supervision knob exits 1 with a
+// message naming the knob — overflow and trailing-garbage numerics
+// must never round, truncate or silently fall back to a default.
+
+using SupervisorEnvDeathTest = ::testing::Test;
+
+TEST(SupervisorEnvDeathTest, OverflowRetriesExits) {
+  ScopedEnv env("WP_RETRIES", "99999999999999999999");
+  EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+              testing::ExitedWithCode(1), "WP_RETRIES='99999999999999999999'");
+}
+
+TEST(SupervisorEnvDeathTest, TrailingGarbageTimeoutExits) {
+  ScopedEnv env("WP_CELL_TIMEOUT_MS", "100x");
+  EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+              testing::ExitedWithCode(1), "WP_CELL_TIMEOUT_MS='100x'");
+}
+
+TEST(SupervisorEnvDeathTest, NegativeTimeoutExits) {
+  ScopedEnv env("WP_CELL_TIMEOUT_MS", "-1");
+  EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+              testing::ExitedWithCode(1), "WP_CELL_TIMEOUT_MS='-1'");
+}
+
+TEST(SupervisorEnvDeathTest, NonBinaryIsolateExits) {
+  {
+    ScopedEnv env("WP_ISOLATE", "2");
+    EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+                testing::ExitedWithCode(1), "WP_ISOLATE='2'");
+  }
+  ScopedEnv env("WP_ISOLATE", "yes");
+  EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+              testing::ExitedWithCode(1), "WP_ISOLATE='yes'");
+}
+
+TEST(SupervisorEnvDeathTest, MalformedCellFaultExits) {
+  {
+    ScopedEnv env("WP_CELL_FAULT", "bogus");
+    EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+                testing::ExitedWithCode(1), "WP_CELL_FAULT='bogus'");
+  }
+  {
+    // crash takes ":N" but N must be a real count.
+    ScopedEnv env("WP_CELL_FAULT", "crash:0");
+    EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+                testing::ExitedWithCode(1), "bad failure count");
+  }
+  {
+    ScopedEnv env("WP_CELL_FAULT", "transient:12x");
+    EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+                testing::ExitedWithCode(1), "bad failure count");
+  }
+  // hang and persistent take no ":N" at all.
+  ScopedEnv env("WP_CELL_FAULT", "hang:1");
+  EXPECT_EXIT((void)driver::SupervisorConfig::fromEnv(),
+              testing::ExitedWithCode(1), "WP_CELL_FAULT='hang:1'");
+}
+
+TEST(SupervisorEnv, ParsesTheNewIsolationAndFaultKnobs) {
+  {
+    ScopedEnv env("WP_ISOLATE", "1");
+    EXPECT_TRUE(driver::SupervisorConfig::fromEnv().isolate);
+  }
+  {
+    ScopedEnv env("WP_ISOLATE", "0");
+    EXPECT_FALSE(driver::SupervisorConfig::fromEnv().isolate);
+  }
+  {
+    ScopedEnv env("WP_CELL_FAULT", "crash");
+    const auto c = driver::SupervisorConfig::fromEnv();
+    EXPECT_EQ(c.cell_fault, fault::CellFault::kCrash);
+    EXPECT_EQ(c.cell_fault_failures, 0u) << "bare crash = every attempt";
+  }
+  {
+    ScopedEnv env("WP_CELL_FAULT", "crash:3");
+    const auto c = driver::SupervisorConfig::fromEnv();
+    EXPECT_EQ(c.cell_fault, fault::CellFault::kCrash);
+    EXPECT_EQ(c.cell_fault_failures, 3u);
+  }
+  ScopedEnv env("WP_CELL_FAULT", "hang");
+  EXPECT_EQ(driver::SupervisorConfig::fromEnv().cell_fault,
+            fault::CellFault::kHang);
+}
+
 }  // namespace
 }  // namespace wp
