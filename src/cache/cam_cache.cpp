@@ -16,8 +16,12 @@ const CacheGeometry& validated(const CacheGeometry& g) {
 CamCache::CamCache(const CacheGeometry& geometry)
     : geom_(validated(geometry)),
       num_sets_(geometry.sets()),
+      offset_bits_(geometry.offsetBits()),
+      set_mask_(num_sets_ - 1),
+      tag_shift_(geometry.offsetBits() + geometry.setBits()),
       lines_(static_cast<std::size_t>(num_sets_) * geometry.ways),
-      round_robin_(num_sets_, 0) {}
+      round_robin_(num_sets_, 0),
+      hot_way_(num_sets_, 0) {}
 
 CamCache::Line& CamCache::at(u32 set, u32 way) {
   return lines_[static_cast<std::size_t>(set) * geom_.ways + way];
@@ -27,31 +31,45 @@ const CamCache::Line& CamCache::at(u32 set, u32 way) const {
   return lines_[static_cast<std::size_t>(set) * geom_.ways + way];
 }
 
+u32 CamCache::findWay(u32 set, u32 tag) const {
+  const u32 hot = hot_way_[set];
+  {
+    const Line& line = at(set, hot);
+    if (line.valid && line.tag == tag) return hot;
+  }
+  for (u32 w = 0; w < geom_.ways; ++w) {
+    const Line& line = at(set, w);
+    if (line.valid && line.tag == tag) {
+      hot_way_[set] = w;
+      return w;
+    }
+  }
+  return geom_.ways;
+}
+
 LookupResult CamCache::lookup(u32 addr, LookupKind kind) {
-  const u32 set = geom_.setOf(addr);
-  const u32 tag = geom_.tagOf(addr);
+  const u32 set = setIndexOf(addr);
+  const u32 tag = tagFieldOf(addr);
   ++stats_.accesses;
 
   LookupResult result;
   switch (kind) {
     case LookupKind::kFull: {
+      // Modelled cost is always a full parallel search (one precharge
+      // and compare per way); the host-side findWay shortcut changes
+      // nothing the model observes.
       ++stats_.full_lookups;
       stats_.matchline_precharges += geom_.ways;
       stats_.tag_compares += geom_.ways;
-      for (u32 w = 0; w < geom_.ways; ++w) {
-        const Line& line = at(set, w);
-        if (line.valid && line.tag == tag) {
-          result = {true, w};
-          break;
-        }
-      }
+      const u32 w = findWay(set, tag);
+      if (w != geom_.ways) result = {true, w};
       break;
     }
     case LookupKind::kSingleWay: {
       ++stats_.single_way_lookups;
       stats_.matchline_precharges += 1;
       stats_.tag_compares += 1;
-      const u32 w = geom_.wayPlacedWayOf(addr);
+      const u32 w = tag & (geom_.ways - 1);  // wayPlacedWayOf(addr)
       const Line& line = at(set, w);
       if (line.valid && line.tag == tag) {
         result = {true, w};
@@ -78,8 +96,8 @@ LookupResult CamCache::lookup(u32 addr, LookupKind kind) {
 
 LookupResult CamCache::lookupOneWay(u32 addr, u32 way) {
   WP_ENSURE(way < geom_.ways, "lookupOneWay: way out of range");
-  const u32 set = geom_.setOf(addr);
-  const u32 tag = geom_.tagOf(addr);
+  const u32 set = setIndexOf(addr);
+  const u32 tag = tagFieldOf(addr);
   ++stats_.accesses;
   ++stats_.single_way_lookups;
   stats_.matchline_precharges += 1;
@@ -97,8 +115,8 @@ LookupResult CamCache::lookupOneWay(u32 addr, u32 way) {
 
 LookupResult CamCache::lookupAllButOne(u32 addr, u32 excluded_way) {
   WP_ENSURE(excluded_way < geom_.ways, "lookupAllButOne: way out of range");
-  const u32 set = geom_.setOf(addr);
-  const u32 tag = geom_.tagOf(addr);
+  const u32 set = setIndexOf(addr);
+  const u32 tag = tagFieldOf(addr);
   ++stats_.accesses;
   ++stats_.partial_lookups;
   stats_.matchline_precharges += geom_.ways - 1;
@@ -121,23 +139,19 @@ LookupResult CamCache::lookupAllButOne(u32 addr, u32 excluded_way) {
 }
 
 std::optional<u32> CamCache::probe(u32 addr) const {
-  const u32 set = geom_.setOf(addr);
-  const u32 tag = geom_.tagOf(addr);
-  for (u32 w = 0; w < geom_.ways; ++w) {
-    const Line& line = at(set, w);
-    if (line.valid && line.tag == tag) return w;
-  }
-  return std::nullopt;
+  const u32 w = findWay(setIndexOf(addr), tagFieldOf(addr));
+  if (w == geom_.ways) return std::nullopt;
+  return w;
 }
 
 u32 CamCache::fill(u32 addr, bool way_placed) {
-  const u32 set = geom_.setOf(addr);
-  const u32 tag = geom_.tagOf(addr);
+  const u32 set = setIndexOf(addr);
+  const u32 tag = tagFieldOf(addr);
   const std::optional<u32> dup = probe(addr);
 
   u32 victim;
   if (way_placed) {
-    victim = geom_.wayPlacedWayOf(addr);
+    victim = tag & (geom_.ways - 1);  // wayPlacedWayOf(addr)
     WP_ENSURE(!dup.has_value() || *dup != victim,
               "fill of an already-resident line");
     // A copy filled under a different placement decision (possible only
@@ -172,7 +186,15 @@ u32 CamCache::fill(u32 addr, bool way_placed) {
 void CamCache::markDirty(u32 addr) {
   const auto way = probe(addr);
   WP_ENSURE(way.has_value(), "markDirty on non-resident line");
-  at(geom_.setOf(addr), *way).dirty = true;
+  at(setIndexOf(addr), *way).dirty = true;
+}
+
+void CamCache::markDirty(u32 addr, u32 way) {
+  WP_ENSURE(way < geom_.ways, "markDirty: way out of range");
+  Line& line = at(setIndexOf(addr), way);
+  WP_ENSURE(line.valid && line.tag == tagFieldOf(addr),
+            "markDirty: way does not hold the addressed line");
+  line.dirty = true;
 }
 
 void CamCache::reset() {

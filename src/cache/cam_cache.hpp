@@ -70,6 +70,11 @@ class CamCache {
   /// resident.
   void markDirty(u32 addr);
 
+  /// Same, for a caller that already knows the resident way from its
+  /// lookup or fill — skips the residency search. @p way must be the
+  /// way holding @p addr's line (checked).
+  void markDirty(u32 addr, u32 way);
+
   /// Counts a data-array word read (instruction delivery / load data).
   void countWordRead() { ++stats_.data_word_reads; }
 
@@ -102,6 +107,16 @@ class CamCache {
 
   [[nodiscard]] bool lineValid(LineId line) const;
 
+  // The geometry's setOf/tagOf helpers re-derive their shift amounts
+  // (with pow-of-two validation and divisions) on every call; the model
+  // performs one address split per simulated cache access, so these use
+  // widths precomputed at construction. Same results as geometry().setOf
+  // / geometry().tagOf.
+  [[nodiscard]] u32 setIndexOf(u32 addr) const {
+    return (addr >> offset_bits_) & set_mask_;
+  }
+  [[nodiscard]] u32 tagFieldOf(u32 addr) const { return addr >> tag_shift_; }
+
  private:
   struct Line {
     bool valid = false;
@@ -112,10 +127,22 @@ class CamCache {
   [[nodiscard]] Line& at(u32 set, u32 way);
   [[nodiscard]] const Line& at(u32 set, u32 way) const;
 
+  /// The unique matching way of (set, tag), or ways if not resident.
+  /// Host-side fast path: tries the set's last-hit way before scanning.
+  /// Exact because fill() keeps tags unique within a set, so the search
+  /// order cannot change which way (if any) matches.
+  [[nodiscard]] u32 findWay(u32 set, u32 tag) const;
+
   CacheGeometry geom_;
   u32 num_sets_;
+  u32 offset_bits_;                // log2(line_bytes)
+  u32 set_mask_;                   // sets - 1
+  u32 tag_shift_;                  // offset_bits_ + log2(sets)
   std::vector<Line> lines_;        // sets * ways, row-major by set
   std::vector<u32> round_robin_;   // next victim way per set
+  /// Last way hit per set — a host-side search accelerator, not modelled
+  /// state (the modelled CAM searches all ways in parallel regardless).
+  mutable std::vector<u32> hot_way_;
   CacheStats stats_;
   EvictionListener* listener_ = nullptr;
 };

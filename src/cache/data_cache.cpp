@@ -20,12 +20,15 @@ u32 DataCache::load(u32 addr) {
 u32 DataCache::store(u32 addr) {
   const LookupResult r = cache_.lookup(addr, LookupKind::kFull);
   u32 cycles = 1;
+  u32 way = r.way;
   if (!r.hit) {
-    cache_.fill(addr, /*way_placed=*/false);
+    way = cache_.fill(addr, /*way_placed=*/false);
     cycles += missPenalty();
   }
   cache_.countWordWrite();
-  cache_.markDirty(addr);
+  // The lookup (or fill) just told us the resident way; passing it
+  // along lets markDirty skip a second residency search.
+  cache_.markDirty(addr, way);
   return cycles;
 }
 

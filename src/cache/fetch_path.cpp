@@ -130,7 +130,7 @@ u32 FetchPath::fetch(u32 addr, FetchFlow flow) {
   if (drowsy_.enabled()) {
     const auto way = icache_.probe(addr);
     WP_ENSURE(way.has_value(), "fetched line must be resident");
-    if (drowsy_.access(config_.icache.setOf(addr), *way)) {
+    if (drowsy_.access(icache_.setIndexOf(addr), *way)) {
       cycles += 1;
       ++fetch_stats_.extra_cycles;
     }
@@ -138,6 +138,109 @@ u32 FetchPath::fetch(u32 addr, FetchFlow flow) {
 
   last_valid_ = true;
   last_addr_ = addr;
+  return cycles;
+}
+
+u32 FetchPath::fetchLine(u32 addr, FetchFlow flow, u32 n_instructions) {
+  WP_ENSURE(n_instructions >= 1, "fetchLine needs at least one instruction");
+  const u32 cycles = fetch(addr, flow);
+  if (n_instructions == 1) return cycles;
+
+  WP_ENSURE(batchedLineFetchExact(),
+            "fetchLine batching requires no fault hook and no drowsy lines");
+  const u32 last = addr + 4 * (n_instructions - 1);
+  WP_ENSURE(config_.icache.lineAddrOf(addr) == config_.icache.lineAddrOf(last),
+            "fetchLine span crosses a cache-line boundary");
+
+  // The remaining n-1 fetches are sequential, same-line and same-page:
+  // the first fetch above left the line resident and its page in the
+  // I-TLB MRU slot, so each follow-up is a one-cycle hit whose counter
+  // deltas are known in closed form. Apply them k-fold.
+  const u64 k = n_instructions - 1;
+  fetch_stats_.fetches += k;
+  const Tlb::Result tr = itlb_.accessRepeat(addr, k);
+  CacheStats& cs = icache_.mutableStats();
+  // Every delivered instruction is one data-array word read
+  // (countWordRead in the per-fetch path).
+  cs.data_word_reads += k;
+
+  const std::optional<u32> way = icache_.probe(addr);
+  WP_ENSURE(way.has_value(), "fetchLine: line not resident after first fetch");
+
+  const auto noTagHits = [&] {
+    // k × lookup(kNoTag): no search, guaranteed hits.
+    cs.accesses += k;
+    cs.no_tag_lookups += k;
+    cs.hits += k;
+  };
+  const auto fullHits = [&] {
+    // k × lookup(kFull) that all hit.
+    cs.accesses += k;
+    cs.full_lookups += k;
+    cs.matchline_precharges += k * config_.icache.ways;
+    cs.tag_compares += k * config_.icache.ways;
+    cs.hits += k;
+  };
+  const auto singleWayHits = [&] {
+    // k × single-way lookups that all hit (kSingleWay / lookupOneWay).
+    cs.accesses += k;
+    cs.single_way_lookups += k;
+    cs.matchline_precharges += k;
+    cs.tag_compares += k;
+    cs.hits += k;
+  };
+
+  switch (config_.scheme) {
+    case Scheme::kBaseline:
+      // The baseline has no intra-line optimisation: every follow-up is
+      // a full CAM search that hits.
+      fullHits();
+      break;
+    case Scheme::kWayPlacement:
+      if (config_.intraline_skip) {
+        fetch_stats_.sameline_skips += k;
+        noTagHits();
+      } else {
+        // The first fetch updated the hint with this page's bit, so all
+        // follow-ups (same page) predict correctly.
+        fetch_stats_.hint_correct += k;
+        if (tr.way_placement_page) {
+          WP_ENSURE(*way == config_.icache.wayPlacedWayOf(addr),
+                    "way-placed line resident in the wrong way");
+          fetch_stats_.wp_single_way += k;
+          singleWayHits();
+        } else {
+          fullHits();
+        }
+      }
+      hint_.update(tr.way_placement_page);  // idempotent across the k repeats
+      break;
+    case Scheme::kWayMemoization:
+      if (config_.intraline_skip) {
+        fetch_stats_.sameline_skips += k;
+        noTagHits();
+      } else {
+        // Same-line fetches are never linkable (links memoize line
+        // crossings only), so each follow-up is a plain full search.
+        fullHits();
+      }
+      break;
+    case Scheme::kWayPrediction:
+      if (config_.intraline_skip) {
+        fetch_stats_.sameline_skips += k;
+        noTagHits();
+      } else {
+        // The first fetch left the set's MRU pointing at our way, so
+        // every follow-up is a correct one-way probe.
+        WP_ENSURE(mru_way_[icache_.setIndexOf(addr)] == *way,
+                  "way-prediction MRU does not point at the fetched line");
+        fetch_stats_.waypred_correct += k;
+        singleWayHits();
+      }
+      break;
+  }
+
+  last_addr_ = last;  // last_valid_ already set by the first fetch
   return cycles;
 }
 
@@ -265,7 +368,7 @@ u32 FetchPath::fetchWayPrediction(u32 addr, bool same_line) {
     return 1;
   }
 
-  const u32 set = config_.icache.setOf(addr);
+  const u32 set = icache_.setIndexOf(addr);
   u32& mru = mru_way_[set];
   u32 cycles = 1;
 

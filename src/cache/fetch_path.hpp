@@ -92,6 +92,25 @@ class FetchPath {
   /// the fetch (1 for a hit, plus miss/walk/mispredict penalties).
   u32 fetch(u32 addr, FetchFlow flow);
 
+  /// Batched fetch of @p n_instructions consecutive instructions
+  /// starting at @p addr, all within one cache line. Equivalent to
+  /// fetch(addr, flow) followed by n-1 sequential fetch() calls — every
+  /// counter in CacheStats/TlbStats/FetchStats moves by exactly the
+  /// same amount — but the n-1 follow-ups are applied in closed form.
+  /// Returns the cycles of the *first* fetch; each follow-up costs
+  /// exactly one cycle (they hit the just-fetched line on its MRU TLB
+  /// page). Only valid when batchedLineFetchExact() holds.
+  u32 fetchLine(u32 addr, FetchFlow flow, u32 n_instructions);
+
+  /// True when fetchLine's closed form is exact: no fault hook (hooks
+  /// observe and may corrupt state between individual fetches) and no
+  /// drowsy controller (lines can fall drowsy mid-line between two
+  /// sequential fetches). The block engine checks this and falls back
+  /// to the per-instruction interpreter otherwise.
+  [[nodiscard]] bool batchedLineFetchExact() const {
+    return fault_hook_ == nullptr && !drowsy_.enabled();
+  }
+
   /// OS runtime policy (paper §4.1: the area can be adjusted "even
   /// during program execution"): installs a new way-placement area.
   /// Changing page attributes requires the OS to flush the I-TLB and

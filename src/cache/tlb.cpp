@@ -38,6 +38,14 @@ Tlb::Result Tlb::access(u32 addr) {
   return {false, victim.wp_bit};
 }
 
+Tlb::Result Tlb::accessRepeat(u32 addr, u64 count) {
+  const Entry& m = entries_[mru_];
+  WP_ENSURE(m.valid && m.vpn == mem::pageOf(addr),
+            "accessRepeat requires the MRU entry to hold the page");
+  stats_.accesses += count;
+  return {true, m.wp_bit};
+}
+
 void Tlb::setWayPlacementLimit(u32 bytes) {
   WP_ENSURE(bytes % mem::kPageBytes == 0,
             "way-placement area must be a multiple of the page size");

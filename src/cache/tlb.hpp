@@ -30,6 +30,13 @@ class Tlb {
   /// is charged by the caller from stats().misses).
   Result access(u32 addr);
 
+  /// Batched form of @p count repeat accesses to the page of @p addr,
+  /// valid only directly after an access() to the same page: the MRU
+  /// entry must still hold that translation, so every repeat is a hit
+  /// and only the access counter moves. Used by FetchPath::fetchLine for
+  /// intra-line sequential fetches (which never cross a page).
+  Result accessRepeat(u32 addr, u64 count);
+
   /// OS policy: addresses below @p bytes lie in the way-placement area.
   /// The limit must be page-aligned. Changing it flushes the TLB, which
   /// is what an OS updating page attributes would require.

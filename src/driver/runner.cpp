@@ -1,12 +1,26 @@
 #include "driver/runner.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "mem/memory.hpp"
 #include "support/ensure.hpp"
 #include "workloads/common.hpp"
 
 namespace wp::driver {
+
+sim::Engine engineFromEnv() {
+  const char* env = std::getenv("WP_ENGINE");
+  if (env == nullptr || *env == '\0') return sim::Engine::kBlock;
+  if (std::strcmp(env, "block") == 0) return sim::Engine::kBlock;
+  if (std::strcmp(env, "interp") == 0) return sim::Engine::kInterp;
+  std::fprintf(stderr,
+               "error: WP_ENGINE='%s' is not a valid simulation engine "
+               "(expected 'block' or 'interp')\n",
+               env);
+  std::exit(1);
+}
 
 Normalized normalize(const RunResult& scheme, const RunResult& baseline,
                      const std::string& workload) {
@@ -29,7 +43,7 @@ Normalized normalize(const RunResult& scheme, const RunResult& baseline,
 }
 
 Runner::Runner(energy::EnergyParams params, u64 seed)
-    : model_(params), seed_(seed) {}
+    : model_(params), seed_(seed), engine_(engineFromEnv()) {}
 
 const layout::LayoutResult& PreparedWorkload::layoutFor(
     std::string_view strategy) const {
@@ -113,6 +127,7 @@ sim::MachineConfig Runner::machineFor(const cache::CacheGeometry& icache,
   m.fetch.intraline_skip = spec.intraline_skip;
   m.fetch.wm_precise_invalidation = spec.wm_precise_invalidation;
   m.fetch.drowsy_window = spec.drowsy_window;
+  m.engine = engine_;
   return m;
 }
 
@@ -133,7 +148,15 @@ RunResult Runner::run(const PreparedWorkload& prepared,
                   std::to_string(mem::kPageBytes) + "-byte page size");
   }
 
+  // The metrics registry's phase timer keeps wall-clock (observability:
+  // "where did the run's time go"), but the cell's own simulate_seconds
+  // — the guest-MIPS denominator — is *thread CPU time*: on an
+  // oversubscribed host (WP_JOBS above the core count) a wall-clock
+  // span charges the cell for time the scheduler spent running its
+  // neighbours, deflating reported MIPS by up to the oversubscription
+  // factor and making recordings incomparable across WP_JOBS settings.
   ScopedTimer simulate_span(metrics_.timer("phase.simulate"));
+  const double simulate_cpu_start = threadCpuSeconds();
   mem::Memory memory;
   image.loadInto(memory);
   prepared.workload->prepare(memory, input);
@@ -170,7 +193,8 @@ RunResult Runner::run(const PreparedWorkload& prepared,
     result.wp_area_coverage = laid.report.coverage(machine.fetch.wp_area_bytes);
   }
   result.stats = proc.run();
-  result.simulate_seconds = simulate_span.stop();
+  result.simulate_seconds = threadCpuSeconds() - simulate_cpu_start;
+  simulate_span.stop();
   metrics_.counter("guest.instructions").add(result.stats.instructions);
 
   ScopedTimer price_span(metrics_.timer("phase.price"));

@@ -28,6 +28,13 @@
 
 namespace wp::driver {
 
+/// Simulation engine from WP_ENGINE: "block" (default when unset or
+/// empty) or "interp". Parsed strictly like every other knob — any
+/// other value exits with a clear message instead of silently running
+/// the wrong engine. The choice is host-side only: both engines produce
+/// byte-identical tables, so it is deliberately absent from cell keys.
+[[nodiscard]] sim::Engine engineFromEnv();
+
 /// Which fetch scheme to run, with its knobs.
 struct SchemeSpec {
   cache::Scheme scheme = cache::Scheme::kBaseline;
@@ -79,17 +86,23 @@ struct PreparePhases {
 struct RunResult {
   sim::RunStats stats;
   energy::RunEnergy energy;
-  /// Host wall-clock of the simulate (machine setup + run) and price
-  /// phases for this cell. Observability only — never fed back into
-  /// the simulated machine, so results are identical with or without
-  /// anyone reading them.
+  /// Host cost of the simulate (machine setup + run) and price phases
+  /// for this cell. Observability only — never fed back into the
+  /// simulated machine, so results are identical with or without anyone
+  /// reading them. simulate_seconds is *thread CPU time*, not wall
+  /// clock: it is the guest-MIPS denominator, and a wall span on an
+  /// oversubscribed host (WP_JOBS above the core count) would charge
+  /// the cell for time the scheduler gave its neighbours, making
+  /// recordings incomparable across WP_JOBS settings.
   double simulate_seconds = 0.0;
   double price_seconds = 0.0;
   /// Guest-instruction throughput of the simulation in millions of
-  /// instructions per host second (0 when the span was unmeasurably
-  /// short).
-  [[nodiscard]] double guestMips() const {
-    if (simulate_seconds <= 0.0) return 0.0;
+  /// instructions per host second, or nullopt when the simulate span
+  /// was too short to measure (a fast cell can round to 0 s — that is
+  /// "not measurable", not 0 MIPS, and aggregates must exclude it
+  /// rather than average a poisoned zero).
+  [[nodiscard]] std::optional<double> guestMips() const {
+    if (simulate_seconds <= 0.0) return std::nullopt;
     return static_cast<double>(stats.instructions) / simulate_seconds / 1e6;
   }
   /// Workload result bytes read back after the run — compared against
@@ -164,6 +177,9 @@ class Runner {
                   u64 seed = 0);
 
   [[nodiscard]] u64 seed() const { return seed_; }
+  /// The WP_ENGINE choice captured at construction; machineFor() stamps
+  /// it into every machine this runner builds.
+  [[nodiscard]] sim::Engine engine() const { return engine_; }
 
   /// Steps 1-3 above. Profiling is cache-independent, so one prepared
   /// workload serves every geometry. @p profile_input selects the
@@ -210,6 +226,7 @@ class Runner {
  private:
   energy::EnergyModel model_;
   u64 seed_ = 0;
+  sim::Engine engine_ = sim::Engine::kBlock;
   mutable MetricsRegistry metrics_;
 };
 

@@ -177,6 +177,9 @@ SweepExecutor::~SweepExecutor() {
 std::string SweepExecutor::keyOf(const std::string& workload,
                                  const cache::CacheGeometry& g,
                                  const SchemeSpec& s) {
+  // WP_ENGINE is deliberately absent: both engines produce identical
+  // results (the equivalence suite enforces it), so a journal or result
+  // store recorded under one engine legitimately serves the other.
   std::ostringstream os;
   os << workload << '/' << g.size_bytes << '/' << g.ways << '/'
      << g.line_bytes << '/' << static_cast<int>(s.scheme) << '/'
@@ -332,22 +335,24 @@ void SweepExecutor::computeCell(CellEntry& entry, const std::string& key,
       metrics_.counter("cells.computed").add();
       if (attempt > 1) metrics_.counter("cells.healed").add();
       if (trace_) {
-        trace_->write(TraceEvent("cell_end")
-                          .str("key", key)
-                          .num("attempt", attempt)
-                          .num("worker", worker)
-                          .num("wall_seconds", entry.wall_seconds)
-                          .num("simulate_seconds",
-                               entry.result.simulate_seconds)
-                          .num("price_seconds", entry.result.price_seconds)
-                          .num("guest_mips", entry.result.guestMips())
-                          .num("instructions", entry.result.stats.instructions)
-                          .num("cycles", entry.result.stats.cycles)
-                          .str("layout", entry.result.layout_strategy)
-                          .num("layout_chains", entry.result.layout_chains)
-                          .num("layout_repairs", entry.result.layout_repairs)
-                          .num("wp_area_coverage",
-                               entry.result.wp_area_coverage));
+        TraceEvent ev("cell_end");
+        ev.str("key", key)
+            .num("attempt", attempt)
+            .num("worker", worker)
+            .num("wall_seconds", entry.wall_seconds)
+            .num("simulate_seconds", entry.result.simulate_seconds)
+            .num("price_seconds", entry.result.price_seconds);
+        // Omitted (not 0) when the simulate span rounded to 0 s.
+        if (const auto mips = entry.result.guestMips()) {
+          ev.num("guest_mips", *mips);
+        }
+        ev.num("instructions", entry.result.stats.instructions)
+            .num("cycles", entry.result.stats.cycles)
+            .str("layout", entry.result.layout_strategy)
+            .num("layout_chains", entry.result.layout_chains)
+            .num("layout_repairs", entry.result.layout_repairs)
+            .num("wp_area_coverage", entry.result.wp_area_coverage);
+        trace_->write(ev);
       }
       if (journal_) {
         journal_->append(renderRecord(key, image_digest, entry.result,
@@ -534,17 +539,40 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
   const double simulate_total = rm.timer("phase.simulate").seconds();
   const u64 guest_insts = rm.counter("guest.instructions").value();
   std::lock_guard<std::mutex> lock(memo_mutex_);
+  // The throughput aggregate sums only cells whose simulate span was
+  // measurable: a fast cell rounding to 0 s carries no rate information,
+  // and folding its instructions over zero seconds would poison the
+  // quotient. Unmeasurable cells are counted, not averaged.
+  u64 measurable_insts = 0;
+  double measurable_seconds = 0.0;
+  u64 mips_measurable = 0;
+  u64 mips_unmeasurable = 0;
+  for (const auto& [key, entry] : memo_) {
+    if (!entry->ready.load(std::memory_order_acquire)) continue;
+    if (entry->result.simulate_seconds > 0.0) {
+      measurable_insts += entry->result.stats.instructions;
+      measurable_seconds += entry->result.simulate_seconds;
+      ++mips_measurable;
+    } else {
+      ++mips_unmeasurable;
+    }
+  }
   os.precision(17);
   os << "{\n"
      << "  \"seed\": " << runner_.seed() << ",\n"
      << "  \"jobs\": " << pool_.threadCount() << ",\n"
+     << "  \"engine\": \"" << sim::engineName(runner_.engine()) << "\",\n"
      << "  \"wall_seconds\": " << wall << ",\n"
      << "  \"workloads\": " << prepared_.size() << ",\n"
      << "  \"host\": {\"guest_instructions\": " << guest_insts
-     << ", \"simulate_seconds\": " << simulate_total << ", \"guest_mips\": "
-     << (simulate_total > 0.0
-             ? static_cast<double>(guest_insts) / simulate_total / 1e6
-             : 0.0)
+     << ", \"simulate_seconds\": " << simulate_total << ", \"guest_mips\": ";
+  if (measurable_seconds > 0.0) {
+    os << static_cast<double>(measurable_insts) / measurable_seconds / 1e6;
+  } else {
+    os << "null";
+  }
+  os << ", \"mips_measurable_cells\": " << mips_measurable
+     << ", \"mips_unmeasurable_cells\": " << mips_unmeasurable
      << ", \"cells_computed\": " << metrics_.counter("cells.computed").value()
      << ", \"cells_restored\": " << metrics_.counter("cells.restored").value()
      << ", \"cells_from_store\": "
@@ -639,8 +667,13 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
        << ", \"wall_seconds\": " << entry->wall_seconds
        << ", \"simulate_seconds\": " << entry->result.simulate_seconds
        << ", \"price_seconds\": " << entry->result.price_seconds
-       << ", \"guest_mips\": " << entry->result.guestMips()
-       << ", \"worker\": " << entry->worker << "}";
+       << ", \"guest_mips\": ";
+    if (const auto mips = entry->result.guestMips()) {
+      os << *mips;
+    } else {
+      os << "null";  // span rounded to 0 s: not measurable, not 0 MIPS
+    }
+    os << ", \"worker\": " << entry->worker << "}";
     first = false;
   }
   os << "\n  ]\n}\n";
@@ -670,8 +703,12 @@ void SweepExecutor::printSummary(std::ostream& os) const {
   MetricsRegistry& rm = runner_.metrics();
   const double simulate = rm.timer("phase.simulate").seconds();
   const u64 insts = rm.counter("guest.instructions").value();
-  const double mips =
-      simulate > 0.0 ? static_cast<double>(insts) / simulate / 1e6 : 0.0;
+  // "n/a", not 0.0: an unmeasurably short simulate span has no rate.
+  char mips[32] = "n/a MIPS";
+  if (simulate > 0.0) {
+    std::snprintf(mips, sizeof mips, "%.1f MIPS",
+                  static_cast<double>(insts) / simulate / 1e6);
+  }
   const u64 restored = metrics_.counter("cells.restored").value();
   const u64 quar = metrics_.counter("cells.quarantined").value();
   char extras[256] = "";
@@ -700,7 +737,7 @@ void SweepExecutor::printSummary(std::ostream& os) const {
   std::snprintf(line, sizeof line,
                 "[wayplace] sweep: %zu workloads, %llu cells priced "
                 "(+%llu memo hits%s), %.1fM guest insts, simulate %.2fs host "
-                "(%.1f MIPS), wall %.2fs, jobs %u%s\n",
+                "(%s), wall %.2fs, jobs %u%s\n",
                 prepared_.size(),
                 static_cast<unsigned long long>(
                     metrics_.counter("cells.computed").value()),

@@ -57,55 +57,6 @@ Format formatOf(Opcode op) { return info(op).format; }
 
 const char* mnemonic(Opcode op) { return info(op).name; }
 
-bool isControlTransfer(Opcode op) {
-  switch (op) {
-    case Opcode::kB:
-    case Opcode::kBeq:
-    case Opcode::kBne:
-    case Opcode::kBlt:
-    case Opcode::kBge:
-    case Opcode::kBgt:
-    case Opcode::kBle:
-    case Opcode::kBltu:
-    case Opcode::kBgeu:
-    case Opcode::kBl:
-    case Opcode::kJr:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool isConditionalBranch(Opcode op) {
-  switch (op) {
-    case Opcode::kBeq:
-    case Opcode::kBne:
-    case Opcode::kBlt:
-    case Opcode::kBge:
-    case Opcode::kBgt:
-    case Opcode::kBle:
-    case Opcode::kBltu:
-    case Opcode::kBgeu:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool isLoad(Opcode op) {
-  return op == Opcode::kLdr || op == Opcode::kLdrb || op == Opcode::kLdrx ||
-         op == Opcode::kLdrbx;
-}
-
-bool isStore(Opcode op) {
-  return op == Opcode::kStr || op == Opcode::kStrb || op == Opcode::kStrx ||
-         op == Opcode::kStrbx;
-}
-
-bool isMultiply(Opcode op) {
-  return op == Opcode::kMul || op == Opcode::kMla || op == Opcode::kMuli;
-}
-
 u32 encode(const Instruction& inst) {
   const auto opfield = static_cast<u32>(inst.op);
   WP_ENSURE(opfield < kOpcodeCount, "cannot encode unknown opcode");

@@ -125,20 +125,46 @@ struct Instruction {
 /// Mnemonic string, e.g. "add".
 [[nodiscard]] const char* mnemonic(Opcode op);
 
+// The classification predicates below run once per simulated
+// instruction in the timing model, so they live in the header where
+// every caller can inline them down to a couple of compares. The range
+// checks lean on the declaration order of the branch group; pin it.
+static_assert(static_cast<u32>(Opcode::kJr) - static_cast<u32>(Opcode::kB) ==
+                  10,
+              "the control-transfer opcodes kB..kJr must stay contiguous");
+static_assert(static_cast<u32>(Opcode::kBgeu) -
+                      static_cast<u32>(Opcode::kBeq) ==
+                  7,
+              "the conditional branches kBeq..kBgeu must stay contiguous");
+
 /// True for any control-transfer instruction (branches, calls, jr).
-[[nodiscard]] bool isControlTransfer(Opcode op);
+[[nodiscard]] constexpr bool isControlTransfer(Opcode op) {
+  // kB..kJr are declared contiguously (branches, then the call, then
+  // the indirect jump).
+  return op >= Opcode::kB && op <= Opcode::kJr;
+}
 
 /// True for conditional branches only.
-[[nodiscard]] bool isConditionalBranch(Opcode op);
+[[nodiscard]] constexpr bool isConditionalBranch(Opcode op) {
+  return op >= Opcode::kBeq && op <= Opcode::kBgeu;
+}
 
 /// True for loads (both addressing modes).
-[[nodiscard]] bool isLoad(Opcode op);
+[[nodiscard]] constexpr bool isLoad(Opcode op) {
+  return op == Opcode::kLdr || op == Opcode::kLdrb || op == Opcode::kLdrx ||
+         op == Opcode::kLdrbx;
+}
 
 /// True for stores (both addressing modes).
-[[nodiscard]] bool isStore(Opcode op);
+[[nodiscard]] constexpr bool isStore(Opcode op) {
+  return op == Opcode::kStr || op == Opcode::kStrb || op == Opcode::kStrx ||
+         op == Opcode::kStrbx;
+}
 
 /// True if @p op is kMul/kMla/kMuli (longer functional-unit latency).
-[[nodiscard]] bool isMultiply(Opcode op);
+[[nodiscard]] constexpr bool isMultiply(Opcode op) {
+  return op == Opcode::kMul || op == Opcode::kMla || op == Opcode::kMuli;
+}
 
 /// Encodes @p inst to its 32-bit machine word. Validates field ranges.
 [[nodiscard]] u32 encode(const Instruction& inst);

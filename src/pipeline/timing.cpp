@@ -141,45 +141,8 @@ bool TimingModel::predictAndUpdate(u32 pc, bool taken, u32 target) {
 void TimingModel::onInstruction(const Instruction& inst, u32 pc,
                                 u32 fetch_cycles, u32 mem_cycles, bool taken,
                                 u32 target) {
-  WP_ENSURE(fetch_cycles >= 1, "fetch must take at least one cycle");
-
-  // Fetch stalls (cache miss, TLB walk, way-hint second access) delay the
-  // pipeline front end directly.
-  cycle_ += fetch_cycles - 1;
-
-  // Scoreboard: issue waits for sources.
-  const RegUse use = regUsesOf(inst);
-  u64 issue = cycle_ + 1;
-  for (u32 i = 0; i < use.num_srcs; ++i) {
-    issue = std::max(issue, reg_ready_[use.srcs[i]]);
-  }
-  if (use.reads_flags) issue = std::max(issue, flags_ready_);
-  cycle_ = issue;
-
-  // Completion latency (out-of-order completion: later independent
-  // instructions are not delayed, so only the scoreboard entry moves).
-  u64 result_ready = issue + 1;
-  if (isa::isMultiply(inst.op)) {
-    result_ready = issue + config_.mul_latency;
-  } else if (isa::isLoad(inst.op)) {
-    // mem_cycles covers the D-cache access (1 on a hit); the load-use
-    // latency covers the remaining pipeline distance.
-    result_ready = issue + mem_cycles + config_.load_use_latency - 1;
-  } else if (isa::isStore(inst.op)) {
-    // Stores retire through the write buffer; a miss stalls the unit.
-    if (mem_cycles > 1) cycle_ += mem_cycles - 1;
-  }
-  if (use.has_dst) reg_ready_[use.dst] = result_ready;
-  if (use.writes_flags) flags_ready_ = issue + 1;
-
-  if (isa::isControlTransfer(inst.op)) {
-    ++branches_.branches;
-    const bool correct = predictAndUpdate(pc, taken, target);
-    if (!correct) {
-      ++branches_.mispredicts;
-      cycle_ += config_.branch_mispredict_penalty;
-    }
-  }
+  onInstruction(inst, regUsesOf(inst), pc, fetch_cycles, mem_cycles, taken,
+                target);
 }
 
 void TimingModel::reset() {

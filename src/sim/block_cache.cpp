@@ -1,0 +1,31 @@
+#include "sim/block_cache.hpp"
+
+#include "support/bitops.hpp"
+#include "support/ensure.hpp"
+
+namespace wp::sim {
+
+BlockCache::BlockCache(const Core& core, u32 line_bytes)
+    : code_base_(core.codeBase()), code_end_(core.codeEnd()) {
+  WP_ENSURE(line_bytes >= 4 && isPow2(line_bytes),
+            "BlockCache line_bytes must be a power of two holding at least "
+            "one instruction");
+  const std::vector<isa::Instruction>& decoded = core.decoded();
+  const std::size_t n = decoded.size();
+  len_.resize(n);
+  reg_use_.resize(n);
+  // Backwards pass: a slot either terminates a batch (control transfer,
+  // halt, last slot of its cache line, or end of code) or chains to its
+  // successor's extent.
+  for (std::size_t i = n; i-- > 0;) {
+    const isa::Instruction& inst = decoded[i];
+    reg_use_[i] = pipeline::regUsesOf(inst);
+    const u32 pc = code_base_ + static_cast<u32>(i) * 4;
+    const bool terminator =
+        isa::isControlTransfer(inst.op) || inst.op == isa::Opcode::kHalt;
+    const bool last_in_line = ((pc + 4) & (line_bytes - 1)) == 0;
+    len_[i] = (terminator || last_in_line || i + 1 == n) ? 1 : len_[i + 1] + 1;
+  }
+}
+
+}  // namespace wp::sim

@@ -5,7 +5,6 @@
 namespace wp::sim {
 
 using isa::Instruction;
-using isa::Opcode;
 
 Core::Core(const mem::Image& image, mem::Memory& memory)
     : memory_(memory), code_base_(mem::kCodeBase), entry_(image.entry) {
@@ -26,187 +25,6 @@ CoreState Core::initialState() const {
   s.pc = entry_;
   s.regs[isa::kStackReg] = mem::kStackTop;
   return s;
-}
-
-const Instruction& Core::fetchDecoded(u32 pc) const {
-  WP_ENSURE((pc & 3u) == 0, "misaligned pc");
-  WP_ENSURE(pc >= code_base_ && pc < codeEnd(), "pc outside code segment");
-  return decoded_[(pc - code_base_) / 4];
-}
-
-StepInfo Core::step(CoreState& s) {
-  WP_ENSURE(!s.halted, "step on a halted core");
-  const Instruction& inst = fetchDecoded(s.pc);
-  StepInfo info;
-  info.pc = s.pc;
-  info.inst = inst;
-
-  auto& r = s.regs;
-  const u32 seq_pc = s.pc + 4;
-  u32 next_pc = seq_pc;
-
-  const auto setNZ = [&s](u32 value) {
-    s.n = (value >> 31) != 0;
-    s.z = value == 0;
-  };
-  const auto compare = [&](u32 a, u32 b) {
-    const u32 res = a - b;
-    setNZ(res);
-    s.c = a >= b;  // no borrow
-    s.v = (((a ^ b) & (a ^ res)) >> 31) != 0;
-  };
-  const auto branchTarget = [&]() {
-    return static_cast<u32>(static_cast<i64>(seq_pc) +
-                            static_cast<i64>(inst.imm) * 4);
-  };
-  const auto condBranch = [&](bool cond) {
-    info.control_transfer = true;
-    info.taken = cond;
-    if (cond) next_pc = branchTarget();
-  };
-
-  switch (inst.op) {
-    case Opcode::kAdd: r[inst.rd] = r[inst.rn] + r[inst.rm]; break;
-    case Opcode::kSub: r[inst.rd] = r[inst.rn] - r[inst.rm]; break;
-    case Opcode::kRsb: r[inst.rd] = r[inst.rm] - r[inst.rn]; break;
-    case Opcode::kAnd: r[inst.rd] = r[inst.rn] & r[inst.rm]; break;
-    case Opcode::kOrr: r[inst.rd] = r[inst.rn] | r[inst.rm]; break;
-    case Opcode::kEor: r[inst.rd] = r[inst.rn] ^ r[inst.rm]; break;
-    case Opcode::kLsl: r[inst.rd] = r[inst.rn] << (r[inst.rm] & 31); break;
-    case Opcode::kLsr: r[inst.rd] = r[inst.rn] >> (r[inst.rm] & 31); break;
-    case Opcode::kAsr:
-      r[inst.rd] = static_cast<u32>(static_cast<i32>(r[inst.rn]) >>
-                                    (r[inst.rm] & 31));
-      break;
-    case Opcode::kMul: r[inst.rd] = r[inst.rn] * r[inst.rm]; break;
-    case Opcode::kMla: r[inst.rd] = r[inst.rd] + r[inst.rn] * r[inst.rm]; break;
-    case Opcode::kMov: r[inst.rd] = r[inst.rm]; break;
-    case Opcode::kMvn: r[inst.rd] = ~r[inst.rm]; break;
-    case Opcode::kCmp: compare(r[inst.rn], r[inst.rm]); break;
-    case Opcode::kSlt:
-      r[inst.rd] =
-          static_cast<i32>(r[inst.rn]) < static_cast<i32>(r[inst.rm]) ? 1 : 0;
-      break;
-    case Opcode::kSltu: r[inst.rd] = r[inst.rn] < r[inst.rm] ? 1 : 0; break;
-
-    case Opcode::kAddi:
-      r[inst.rd] = r[inst.rn] + static_cast<u32>(inst.imm);
-      break;
-    case Opcode::kSubi:
-      r[inst.rd] = r[inst.rn] - static_cast<u32>(inst.imm);
-      break;
-    case Opcode::kAndi:
-      r[inst.rd] = r[inst.rn] & (static_cast<u32>(inst.imm) & 0xffffu);
-      break;
-    case Opcode::kOrri:
-      r[inst.rd] = r[inst.rn] | (static_cast<u32>(inst.imm) & 0xffffu);
-      break;
-    case Opcode::kEori:
-      r[inst.rd] = r[inst.rn] ^ (static_cast<u32>(inst.imm) & 0xffffu);
-      break;
-    case Opcode::kLsli: r[inst.rd] = r[inst.rn] << (inst.imm & 31); break;
-    case Opcode::kLsri: r[inst.rd] = r[inst.rn] >> (inst.imm & 31); break;
-    case Opcode::kAsri:
-      r[inst.rd] =
-          static_cast<u32>(static_cast<i32>(r[inst.rn]) >> (inst.imm & 31));
-      break;
-    case Opcode::kMuli:
-      r[inst.rd] = r[inst.rn] * static_cast<u32>(inst.imm);
-      break;
-    case Opcode::kCmpi: compare(r[inst.rn], static_cast<u32>(inst.imm)); break;
-    case Opcode::kMovi: r[inst.rd] = static_cast<u32>(inst.imm); break;
-    case Opcode::kMovhi:
-      r[inst.rd] = (r[inst.rd] & 0xffffu) |
-                   ((static_cast<u32>(inst.imm) & 0xffffu) << 16);
-      break;
-
-    case Opcode::kLdr: {
-      const u32 addr = r[inst.rn] + static_cast<u32>(inst.imm);
-      info.mem_addr = addr;
-      r[inst.rd] = memory_.load32(addr);
-      break;
-    }
-    case Opcode::kStr: {
-      const u32 addr = r[inst.rn] + static_cast<u32>(inst.imm);
-      info.mem_addr = addr;
-      memory_.store32(addr, r[inst.rd]);
-      break;
-    }
-    case Opcode::kLdrb: {
-      const u32 addr = r[inst.rn] + static_cast<u32>(inst.imm);
-      info.mem_addr = addr;
-      r[inst.rd] = memory_.load8(addr);
-      break;
-    }
-    case Opcode::kStrb: {
-      const u32 addr = r[inst.rn] + static_cast<u32>(inst.imm);
-      info.mem_addr = addr;
-      memory_.store8(addr, static_cast<u8>(r[inst.rd]));
-      break;
-    }
-    case Opcode::kLdrx: {
-      const u32 addr = r[inst.rn] + r[inst.rm];
-      info.mem_addr = addr;
-      r[inst.rd] = memory_.load32(addr);
-      break;
-    }
-    case Opcode::kStrx: {
-      const u32 addr = r[inst.rn] + r[inst.rm];
-      info.mem_addr = addr;
-      memory_.store32(addr, r[inst.rd]);
-      break;
-    }
-    case Opcode::kLdrbx: {
-      const u32 addr = r[inst.rn] + r[inst.rm];
-      info.mem_addr = addr;
-      r[inst.rd] = memory_.load8(addr);
-      break;
-    }
-    case Opcode::kStrbx: {
-      const u32 addr = r[inst.rn] + r[inst.rm];
-      info.mem_addr = addr;
-      memory_.store8(addr, static_cast<u8>(r[inst.rd]));
-      break;
-    }
-
-    case Opcode::kB:
-      info.control_transfer = true;
-      info.taken = true;
-      next_pc = branchTarget();
-      break;
-    case Opcode::kBeq: condBranch(s.z); break;
-    case Opcode::kBne: condBranch(!s.z); break;
-    case Opcode::kBlt: condBranch(s.n != s.v); break;
-    case Opcode::kBge: condBranch(s.n == s.v); break;
-    case Opcode::kBgt: condBranch(!s.z && s.n == s.v); break;
-    case Opcode::kBle: condBranch(s.z || s.n != s.v); break;
-    case Opcode::kBltu: condBranch(!s.c); break;
-    case Opcode::kBgeu: condBranch(s.c); break;
-    case Opcode::kBl:
-      info.control_transfer = true;
-      info.taken = true;
-      r[isa::kLinkReg] = seq_pc;
-      next_pc = branchTarget();
-      break;
-    case Opcode::kJr:
-      info.control_transfer = true;
-      info.taken = true;
-      info.indirect = true;
-      next_pc = r[inst.rn];
-      break;
-
-    case Opcode::kNop:
-      break;
-    case Opcode::kHalt:
-      s.halted = true;
-      break;
-    case Opcode::kOpcodeCount:
-      WP_UNREACHABLE("invalid opcode");
-  }
-
-  info.next_pc = next_pc;
-  s.pc = next_pc;
-  return info;
 }
 
 }  // namespace wp::sim

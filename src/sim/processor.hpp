@@ -13,9 +13,11 @@
 
 namespace wp::sim {
 
-/// Host-side supervision hook: check(instructions) is invoked every
-/// `interval` retired instructions, riding the same per-instruction
-/// budget check that enforces max_instructions. The hook observes only
+/// Host-side supervision hook: check(instructions) is invoked after
+/// every `interval`-th instruction retires, with the exact retired
+/// count (k * interval on the k-th call) — under both engines, the
+/// block engine splitting a batch mid-block when a boundary falls
+/// inside it. The hook observes only
 /// — it may throw SimError to abort the run (the sweep supervisor's
 /// watchdog does) but never feeds anything back into the machine, so a
 /// run that completes retires a bit-identical instruction stream with
@@ -25,12 +27,23 @@ struct BudgetHook {
   std::function<void(u64 instructions)> check;
 };
 
+/// Which engine executes the run. Both retire a bit-identical
+/// instruction stream and produce identical RunStats; the block engine
+/// is simply faster on the host.
+enum class Engine : u8 {
+  kInterp,  ///< reference per-instruction interpreter
+  kBlock,   ///< decode-once basic-block engine with per-line batched fetch
+};
+
+[[nodiscard]] const char* engineName(Engine e);
+
 struct MachineConfig {
   cache::FetchPathConfig fetch;   ///< I-cache geometry + scheme selection
   cache::DataCacheConfig dcache;
   pipeline::TimingConfig timing;
   u64 max_instructions = 4'000'000'000ULL;
   BudgetHook budget_hook;         ///< optional watchdog (empty = off)
+  Engine engine = Engine::kBlock;
 };
 
 /// Returns the baseline machine of Table 1 (32 KB 32-way 32 B caches,
@@ -91,6 +104,15 @@ class Processor {
   [[nodiscard]] cache::FetchPath& fetchPath() { return fetch_; }
 
  private:
+  /// Reference engine: one fetch + step per loop iteration.
+  RunStats runInterp();
+  /// Block engine: decode-once basic blocks, one fetchLine per cache
+  /// line entered. Selected by config_.engine when the fetch path's
+  /// batched accounting is exact (no fault hook, no drowsy lines);
+  /// otherwise run() falls back to runInterp(), which is equivalent.
+  RunStats runBlock();
+  void collectInto(RunStats& stats) const;
+
   MachineConfig config_;
   Core core_;
   cache::FetchPath fetch_;

@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <ctime>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -31,6 +32,19 @@ std::string jsonEscape(const std::string& s) {
     }
   }
   return out;
+}
+
+double threadCpuSeconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) {
+    // POSIX guarantees this clock on Linux; treat failure as the
+    // harness bug it would be rather than silently reporting 0.
+    std::fprintf(stderr, "error: clock_gettime(CLOCK_THREAD_CPUTIME_ID): %s\n",
+                 std::strerror(errno));
+    std::exit(1);
+  }
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
 void dieOnIoError(const std::string& what, const std::string& path,

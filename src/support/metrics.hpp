@@ -48,6 +48,13 @@ namespace wp {
 /// degrades.
 [[nodiscard]] bool fsyncDirContaining(const std::string& path);
 
+/// CPU time consumed by the *calling thread*, in seconds. Unlike a wall
+/// clock this does not advance while the thread is descheduled, so
+/// spans measured with it are comparable across WP_JOBS settings — on
+/// an oversubscribed machine a wall-clock span charges the cell for
+/// time the scheduler gave to its neighbours.
+[[nodiscard]] double threadCpuSeconds();
+
 /// Monotonic u64 event counter; add() is safe from any thread.
 class Counter {
  public:

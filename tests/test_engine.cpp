@@ -1,0 +1,117 @@
+// Interpreter-vs-block-engine equivalence: the block engine is a host
+// optimisation, never a model change. Over the full workload suite the
+// two engines must agree on the retired instruction stream, the data
+// flow, the workload output and every RunStats counter (statsDigest
+// also folds in the priced energy and layout ride-alongs), plus the
+// strict WP_ENGINE parse and the engine field of the WP_JSON report.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/checkpoint.hpp"
+#include "driver/sweep.hpp"
+#include "workloads/workload.hpp"
+
+namespace wp {
+namespace {
+
+const cache::CacheGeometry kXScale{32 * 1024, 32, 32};
+
+/// Sets an environment variable for the enclosing scope; restores the
+/// previous value (or unsets) on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_old_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_old_ = false;
+};
+
+TEST(EngineKnob, DefaultsToBlock) {
+  ScopedEnv env("WP_ENGINE", "");
+  EXPECT_EQ(driver::engineFromEnv(), sim::Engine::kBlock);
+}
+
+TEST(EngineKnob, ParsesBothEngines) {
+  {
+    ScopedEnv env("WP_ENGINE", "interp");
+    EXPECT_EQ(driver::engineFromEnv(), sim::Engine::kInterp);
+  }
+  {
+    ScopedEnv env("WP_ENGINE", "block");
+    EXPECT_EQ(driver::engineFromEnv(), sim::Engine::kBlock);
+  }
+}
+
+TEST(EngineKnob, GarbageIsAStartupErrorNotASilentDefault) {
+  ScopedEnv env("WP_ENGINE", "fast");
+  EXPECT_EXIT((void)driver::engineFromEnv(), testing::ExitedWithCode(1),
+              "WP_ENGINE.*not a valid simulation engine");
+}
+
+TEST(EngineKnob, RunnerCapturesTheEngineAtConstruction) {
+  ScopedEnv env("WP_ENGINE", "interp");
+  driver::Runner runner;
+  EXPECT_EQ(runner.engine(), sim::Engine::kInterp);
+  EXPECT_EQ(runner.machineFor(kXScale, driver::SchemeSpec::baseline()).engine,
+            sim::Engine::kInterp);
+}
+
+TEST(EngineJson, ReportNamesTheEngine) {
+  ScopedEnv env("WP_ENGINE", "interp");
+  driver::SweepExecutor suite({"crc"}, energy::EnergyParams{}, 0, 1);
+  (void)suite.averageNormalized(
+      kXScale, driver::SchemeSpec::wayPlacement(16 * 1024),
+      [](const driver::Normalized& n) { return n.icache_energy; });
+  std::ostringstream os;
+  suite.writeJsonReport(os);
+  EXPECT_NE(os.str().find("\"engine\": \"interp\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// The property test: every workload in the suite, identical results.
+
+TEST(EngineEquivalence, AllWorkloadsIdenticalAcrossEngines) {
+  ScopedEnv interp_env("WP_ENGINE", "interp");
+  driver::Runner interp_runner;
+  ScopedEnv block_env("WP_ENGINE", "block");
+  driver::Runner block_runner;
+  ASSERT_EQ(interp_runner.engine(), sim::Engine::kInterp);
+  ASSERT_EQ(block_runner.engine(), sim::Engine::kBlock);
+
+  // Way placement exercises the richest fetch path (hint, TLB WP bit,
+  // single-way lookups, intra-line skips); both runners share one
+  // prepared workload, so any divergence is the engine's.
+  const driver::SchemeSpec spec = driver::SchemeSpec::wayPlacement(16 * 1024);
+  for (const std::string& name : workloads::suiteNames()) {
+    SCOPED_TRACE(name);
+    const driver::PreparedWorkload p = block_runner.prepare(name);
+    const driver::RunResult interp = interp_runner.run(p, kXScale, spec);
+    const driver::RunResult block = block_runner.run(p, kXScale, spec);
+    EXPECT_EQ(interp.stats.retired_pc_hash, block.stats.retired_pc_hash);
+    EXPECT_EQ(interp.stats.dataflow_hash, block.stats.dataflow_hash);
+    EXPECT_EQ(interp.stats.instructions, block.stats.instructions);
+    EXPECT_EQ(interp.stats.cycles, block.stats.cycles);
+    EXPECT_EQ(interp.output, block.output);
+    EXPECT_EQ(interp.output, p.workload->expected(workloads::InputSize::kLarge));
+    // Full RunStats + energy + layout ride-alongs, in one digest.
+    EXPECT_EQ(driver::statsDigest(interp), driver::statsDigest(block));
+  }
+}
+
+}  // namespace
+}  // namespace wp

@@ -129,5 +129,187 @@ TEST(Processor, BranchStatsPopulated) {
   EXPECT_LT(s.branches.mispredicts * 50, s.branches.branches);
 }
 
+// Every field of two RunStats, element by element: the block engine's
+// contract is that no counter anywhere moves differently.
+void expectSameRunStats(const sim::RunStats& a, const sim::RunStats& b) {
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.retired_pc_hash, b.retired_pc_hash);
+  EXPECT_EQ(a.dataflow_hash, b.dataflow_hash);
+  const auto expectSameCache = [](const cache::CacheStats& x,
+                                  const cache::CacheStats& y) {
+    EXPECT_EQ(x.accesses, y.accesses);
+    EXPECT_EQ(x.hits, y.hits);
+    EXPECT_EQ(x.misses, y.misses);
+    EXPECT_EQ(x.tag_compares, y.tag_compares);
+    EXPECT_EQ(x.matchline_precharges, y.matchline_precharges);
+    EXPECT_EQ(x.full_lookups, y.full_lookups);
+    EXPECT_EQ(x.single_way_lookups, y.single_way_lookups);
+    EXPECT_EQ(x.partial_lookups, y.partial_lookups);
+    EXPECT_EQ(x.no_tag_lookups, y.no_tag_lookups);
+    EXPECT_EQ(x.data_word_reads, y.data_word_reads);
+    EXPECT_EQ(x.data_word_writes, y.data_word_writes);
+    EXPECT_EQ(x.line_fills, y.line_fills);
+    EXPECT_EQ(x.writebacks, y.writebacks);
+    EXPECT_EQ(x.link_reads, y.link_reads);
+    EXPECT_EQ(x.link_writes, y.link_writes);
+    EXPECT_EQ(x.link_invalidations, y.link_invalidations);
+    EXPECT_EQ(x.linked_accesses, y.linked_accesses);
+    EXPECT_EQ(x.duplicate_invalidations, y.duplicate_invalidations);
+  };
+  expectSameCache(a.icache, b.icache);
+  expectSameCache(a.dcache, b.dcache);
+  EXPECT_EQ(a.itlb.accesses, b.itlb.accesses);
+  EXPECT_EQ(a.itlb.misses, b.itlb.misses);
+  EXPECT_EQ(a.itlb.walks, b.itlb.walks);
+  EXPECT_EQ(a.fetch.fetches, b.fetch.fetches);
+  EXPECT_EQ(a.fetch.sameline_skips, b.fetch.sameline_skips);
+  EXPECT_EQ(a.fetch.wp_single_way, b.fetch.wp_single_way);
+  EXPECT_EQ(a.fetch.hint_correct, b.fetch.hint_correct);
+  EXPECT_EQ(a.fetch.hint_miss_lost_saving, b.fetch.hint_miss_lost_saving);
+  EXPECT_EQ(a.fetch.hint_miss_second_access, b.fetch.hint_miss_second_access);
+  EXPECT_EQ(a.fetch.waypred_correct, b.fetch.waypred_correct);
+  EXPECT_EQ(a.fetch.waypred_mispredict, b.fetch.waypred_mispredict);
+  EXPECT_EQ(a.fetch.extra_cycles, b.fetch.extra_cycles);
+  EXPECT_EQ(a.fetch.link_faults_dropped, b.fetch.link_faults_dropped);
+  EXPECT_EQ(a.branches.branches, b.branches.branches);
+  EXPECT_EQ(a.branches.mispredicts, b.branches.mispredicts);
+  EXPECT_EQ(a.squashed_probes, b.squashed_probes);
+  EXPECT_EQ(a.link_flash_clears, b.link_flash_clears);
+  EXPECT_EQ(a.icache_data_area_factor, b.icache_data_area_factor);
+  EXPECT_EQ(a.drowsy.wakeups, b.drowsy.wakeups);
+  EXPECT_EQ(a.drowsy.awake_line_ticks, b.drowsy.awake_line_ticks);
+  EXPECT_EQ(a.drowsy.drowsy_line_ticks, b.drowsy.drowsy_line_ticks);
+  EXPECT_EQ(a.drowsy.ticks, b.drowsy.ticks);
+  EXPECT_EQ(a.icache_lines, b.icache_lines);
+}
+
+sim::MachineConfig engineConfig(sim::Engine e, cache::Scheme scheme,
+                                u32 wp_area = 0) {
+  sim::MachineConfig cfg = sim::baselineMachine(scheme, wp_area);
+  cfg.engine = e;
+  return cfg;
+}
+
+TEST(Engine, BlockMatchesInterpreterAcrossSchemes) {
+  const ir::Module m = loopProgram(2000, 8);  // D-cache misses included
+  const struct {
+    cache::Scheme scheme;
+    u32 wp_area;
+  } cases[] = {
+      {cache::Scheme::kBaseline, 0},
+      {cache::Scheme::kWayPlacement, 4096},
+      {cache::Scheme::kWayMemoization, 0},
+      {cache::Scheme::kWayPrediction, 0},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(cache::schemeName(c.scheme));
+    const sim::RunStats interp = runProgram(
+        m, engineConfig(sim::Engine::kInterp, c.scheme, c.wp_area));
+    const sim::RunStats block =
+        runProgram(m, engineConfig(sim::Engine::kBlock, c.scheme, c.wp_area));
+    expectSameRunStats(interp, block);
+  }
+}
+
+TEST(Engine, BlockMatchesInterpreterWithoutIntralineSkip) {
+  const ir::Module m = loopProgram(1500, 1);
+  for (const cache::Scheme scheme :
+       {cache::Scheme::kWayPlacement, cache::Scheme::kWayMemoization,
+        cache::Scheme::kWayPrediction}) {
+    SCOPED_TRACE(cache::schemeName(scheme));
+    const u32 area = scheme == cache::Scheme::kWayPlacement ? 4096u : 0u;
+    sim::MachineConfig interp_cfg =
+        engineConfig(sim::Engine::kInterp, scheme, area);
+    interp_cfg.fetch.intraline_skip = false;
+    sim::MachineConfig block_cfg =
+        engineConfig(sim::Engine::kBlock, scheme, area);
+    block_cfg.fetch.intraline_skip = false;
+    expectSameRunStats(runProgram(m, interp_cfg), runProgram(m, block_cfg));
+  }
+}
+
+TEST(Engine, DrowsyRunsFallBackToInterpreterAndMatch) {
+  // drowsy_window != 0 makes the batched line fetch inexact, so the
+  // block engine must fall back — results are then trivially identical,
+  // which is exactly what this asserts.
+  const ir::Module m = loopProgram(1000, 1);
+  sim::MachineConfig interp_cfg =
+      engineConfig(sim::Engine::kInterp, cache::Scheme::kWayPlacement, 4096);
+  interp_cfg.fetch.drowsy_window = 64;
+  sim::MachineConfig block_cfg =
+      engineConfig(sim::Engine::kBlock, cache::Scheme::kWayPlacement, 4096);
+  block_cfg.fetch.drowsy_window = 64;
+  const sim::RunStats a = runProgram(m, interp_cfg);
+  const sim::RunStats b = runProgram(m, block_cfg);
+  expectSameRunStats(a, b);
+  EXPECT_GT(a.drowsy.wakeups, 0u);
+}
+
+// The watchdog contract (fixed here): the hook fires with the *exact*
+// retired count — k * interval on the k-th call — under both engines,
+// the block engine splitting batches mid-block at hook boundaries.
+std::vector<u64> hookCounts(sim::Engine engine, u64 interval) {
+  const ir::Module m = loopProgram(200, 1);
+  sim::MachineConfig cfg = engineConfig(engine, cache::Scheme::kBaseline);
+  std::vector<u64> counts;
+  cfg.budget_hook.interval = interval;
+  cfg.budget_hook.check = [&counts](u64 n) { counts.push_back(n); };
+  runProgram(m, cfg);
+  return counts;
+}
+
+TEST(Watchdog, HookSeesExactRetiredCountsUnderBothEngines) {
+  // 7 is coprime to every block length, so under the block engine most
+  // firings land mid-block.
+  for (const sim::Engine engine : {sim::Engine::kInterp, sim::Engine::kBlock}) {
+    SCOPED_TRACE(sim::engineName(engine));
+    const std::vector<u64> counts = hookCounts(engine, 7);
+    ASSERT_GT(counts.size(), 100u);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      ASSERT_EQ(counts[i], 7 * (i + 1));
+    }
+  }
+}
+
+TEST(Watchdog, BothEnginesDeliverIdenticalHookStreams) {
+  EXPECT_EQ(hookCounts(sim::Engine::kInterp, 13),
+            hookCounts(sim::Engine::kBlock, 13));
+}
+
+TEST(Watchdog, ThrowingHookAbortsAtTheExactCount) {
+  const ir::Module m = loopProgram(200, 1);
+  for (const sim::Engine engine : {sim::Engine::kInterp, sim::Engine::kBlock}) {
+    SCOPED_TRACE(sim::engineName(engine));
+    sim::MachineConfig cfg = engineConfig(engine, cache::Scheme::kBaseline);
+    u64 seen = 0;
+    cfg.budget_hook.interval = 500;
+    cfg.budget_hook.check = [&seen](u64 n) {
+      seen = n;
+      if (n >= 1000) throw SimError("deadline exceeded after " +
+                                    std::to_string(n) + " instructions");
+    };
+    EXPECT_THROW(runProgram(m, cfg), SimError);
+    // Fired at 500, 1000 — and aborted at exactly 1000, not 999 or at
+    // the next block boundary.
+    EXPECT_EQ(seen, 1000u);
+  }
+}
+
+TEST(Engine, RunawayGuestIsCaughtUnderBothEngines) {
+  ModuleBuilder mb;
+  auto& f = mb.func("main");
+  const auto loop = f.label();
+  f.bind(loop);
+  f.jmp(loop);
+  const ir::Module m = mb.build();
+  for (const sim::Engine engine : {sim::Engine::kInterp, sim::Engine::kBlock}) {
+    SCOPED_TRACE(sim::engineName(engine));
+    sim::MachineConfig cfg = engineConfig(engine, cache::Scheme::kBaseline);
+    cfg.max_instructions = 10000;
+    EXPECT_THROW(runProgram(m, cfg), SimError);
+  }
+}
+
 }  // namespace
 }  // namespace wp
