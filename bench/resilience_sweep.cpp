@@ -248,5 +248,71 @@ int main() {
             << (store_ok ? "byte-identical results without recomputing\n"
                          : "WRONG OR RECOMPUTED results — the store is "
                            "broken\n");
+
+  // --- Switch storms: a multiprogrammed co-run at a tiny quantum is a
+  // per-switch flush storm — every context switch flushes the VIVT
+  // I-cache, flash-clears the memo links, resets the way hint and
+  // (with drowsy lines on) must leave every line asleep; FetchPath
+  // ENSUREs awakeLines() == 0 after each storm, so a violation throws
+  // and fails this bench. Through thousands of storms each guest's
+  // retired stream, data flow and output must still equal its solo run.
+  std::cout << "\nswitch storms (quantum 997, flush policy):\n";
+  {
+    const driver::PreparedWorkload storm_p = runner.prepare(names.front());
+    const driver::PreparedWorkload storm_q =
+        runner.prepare(names.size() > 1 ? names[1] : names.front());
+    const struct {
+      const char* name;
+      driver::SchemeSpec spec;
+    } kStormConfigs[] = {
+        {"way-placement 16KB + drowsy-16",
+         [] {
+           driver::SchemeSpec s = driver::SchemeSpec::wayPlacement(16 * 1024);
+           s.drowsy_window = 16;  // every switch must re-drowse the cache
+           return s;
+         }()},
+        {"way-memoization (link storms)",
+         driver::SchemeSpec::wayMemoization()},
+    };
+
+    TextTable storms;
+    storms.header({"config", "switches", "link storms", "drowsy wakeups",
+                   "solo-equal"});
+    bool storm_ok = true;
+    for (const auto& cfg : kStormConfigs) {
+      const driver::RunResult solo_p = runner.run(storm_p, geom, cfg.spec);
+      const driver::RunResult solo_q = runner.run(storm_q, geom, cfg.spec);
+      driver::SchemeSpec co_spec = cfg.spec;
+      co_spec.corun_quantum = 997;  // prime: storms drift across loops
+      co_spec.corun_tlb = cache::TlbSwitchPolicy::kFlush;
+      driver::Runner::CoRunExtra extra;
+      const driver::RunResult co =
+          runner.runCoRun({&storm_p, &storm_q}, geom, co_spec,
+                          workloads::InputSize::kLarge, nullptr, &extra);
+      const bool ok =
+          extra.processes.size() == 2 &&
+          extra.processes[0].retired_pc_hash ==
+              solo_p.stats.retired_pc_hash &&
+          extra.processes[0].dataflow_hash == solo_p.stats.dataflow_hash &&
+          extra.processes[0].output ==
+              storm_p.workload->expected(workloads::InputSize::kLarge) &&
+          extra.processes[1].retired_pc_hash ==
+              solo_q.stats.retired_pc_hash &&
+          extra.processes[1].dataflow_hash == solo_q.stats.dataflow_hash &&
+          extra.processes[1].output ==
+              storm_q.workload->expected(workloads::InputSize::kLarge);
+      storm_ok = storm_ok && ok;
+      storms.row({cfg.name, std::to_string(extra.context_switches),
+                  std::to_string(co.stats.link_flash_clears),
+                  std::to_string(co.stats.drowsy.wakeups),
+                  ok ? "yes" : "NO"});
+    }
+    storms.print(std::cout);
+    all_ok = all_ok && storm_ok;
+    std::cout << "\nstorm invariant: per-switch flush storms leave every "
+                 "drowsy line asleep and the guests "
+              << (storm_ok ? "solo-identical\n"
+                           : "DIVERGED from their solo runs\n");
+  }
   return all_ok ? 0 : 1;
 }

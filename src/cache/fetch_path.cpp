@@ -83,6 +83,55 @@ void FetchPath::resizeWayPlacementArea(u32 bytes) {
   last_valid_ = false;
 }
 
+void FetchPath::switchProcess(u32 asid, u32 wp_area_bytes,
+                              TlbSwitchPolicy policy) {
+  WP_ENSURE(wp_area_bytes % mem::kPageBytes == 0,
+            "switchProcess: per-process WP area (" +
+                std::to_string(wp_area_bytes) +
+                ") must be a multiple of the " +
+                std::to_string(mem::kPageBytes) + " B page size");
+  WP_ENSURE(config_.scheme == Scheme::kWayPlacement || wp_area_bytes == 0,
+            "switchProcess: WP area set but the scheme is '" +
+                std::string(schemeName(config_.scheme)) +
+                "', not way-placement");
+  itlb_.switchContext(asid, wp_area_bytes, policy);
+  if (config_.scheme == Scheme::kWayPlacement) {
+    // Keep the config in step with the installed area, exactly like
+    // resizeWayPlacementArea: the config names the *current* OS policy.
+    config_.wp_area_bytes = wp_area_bytes;
+  }
+  if (!process_active_) {
+    // First install: there is no outgoing process, so no state is stale
+    // and nothing is flushed — a one-process co-run must stay
+    // bit-identical to the same run without a scheduler.
+    process_active_ = true;
+    return;
+  }
+  // The I-cache is virtually tagged: lines of the outgoing address
+  // space would alias the incoming one's, so the OS invalidates it on
+  // every switch (the classic VIVT cost; DESIGN.md §12 records why we
+  // model flush rather than physical tags).
+  icache_.flush();
+  // Way-memoization links died with the lines (eviction listeners saw
+  // the flush); the cheap hardware expresses that as one more wired
+  // flash-clear — the per-switch invalidation storm the multiprog bench
+  // measures, priced like every other flash-clear.
+  if (memo_.has_value()) memo_->flashClearLinks();
+  // The way-hint bit and the way-prediction MRU describe the outgoing
+  // process's access pattern; both are advisory, both restart cold.
+  hint_.reset();
+  if (config_.scheme == Scheme::kWayPrediction) {
+    mru_way_.assign(config_.icache.sets(), 0);
+  }
+  // Same drowsy invariant as a WP-area resize: a flushed cache tracks
+  // no awake line, while the accumulated leakage statistics survive.
+  drowsy_.onCacheFlush();
+  WP_ENSURE(drowsy_.awakeLines() == 0,
+            "I-cache flushed on context switch but the drowsy "
+            "controller still tracks awake lines");
+  last_valid_ = false;
+}
+
 u32 FetchPath::missPenalty() const {
   // 50-cycle memory latency plus one bus cycle per word of the line
   // over the 32-bit memory bus (Table 1). No critical-word-first
@@ -415,6 +464,7 @@ void FetchPath::reset() {
   squashed_probes_ = 0;
   last_valid_ = false;
   last_addr_ = 0;
+  process_active_ = false;
 }
 
 }  // namespace wp::cache

@@ -118,6 +118,23 @@ class FetchPath {
   /// in the subsequent cold misses. Only valid for kWayPlacement.
   void resizeWayPlacementArea(u32 bytes);
 
+  /// Context switch: installs process @p asid's fetch context with its
+  /// per-process way-placement area (@p wp_area_bytes; 0 and required
+  /// so for non-way-placement schemes). The I-TLB follows @p policy
+  /// (flush vs ASID tags, see Tlb::switchContext); the virtually-tagged
+  /// I-cache is invalidated with the old address space, way-memoization
+  /// links are flash-cleared with it (the per-switch invalidation
+  /// storm, counted in linkFlashClears()), the way-hint bit and the
+  /// way-prediction MRU are reset, and drowsy per-line state observes
+  /// the flush (onCacheFlush, awake lines checked back to 0). The very
+  /// first call merely installs the context — there is no outgoing
+  /// process yet, so nothing is flushed and no storm is charged, which
+  /// keeps a one-process co-run bit-identical to a solo run.
+  void switchProcess(u32 asid, u32 wp_area_bytes, TlbSwitchPolicy policy);
+
+  /// ASID whose context is installed (0 until the first switchProcess).
+  [[nodiscard]] u32 currentAsid() const { return itlb_.currentAsid(); }
+
   /// Forgets fetch history (e.g. between profiling and measurement runs).
   void reset();
 
@@ -187,6 +204,9 @@ class FetchPath {
 
   bool last_valid_ = false;
   u32 last_addr_ = 0;
+  /// True once switchProcess installed a context: the next switch has
+  /// an outgoing process and must pay the flush costs.
+  bool process_active_ = false;
 };
 
 }  // namespace wp::cache

@@ -8,6 +8,13 @@
 //
 // The TLB is fully associative with FIFO replacement (32 entries in the
 // baseline machine, matching Table 1).
+//
+// Entries are ASID-tagged: a translation belongs to the process that
+// installed it, and a lookup only matches entries of the current
+// address-space. Solo runs never leave ASID 0, so the tag is invisible
+// to them; the guest scheduler switches spaces via switchContext(),
+// choosing between the two classic policies (flush everything, or keep
+// foreign entries resident under their tags).
 #pragma once
 
 #include <vector>
@@ -16,6 +23,17 @@
 #include "mem/memory.hpp"
 
 namespace wp::cache {
+
+/// What a context switch does to the I-TLB (DESIGN.md §12). The WP bit
+/// is per-process OS state riding the translation, so either the whole
+/// TLB is flushed with the address space, or entries stay resident but
+/// are tagged with their owner's ASID and can only match it.
+enum class TlbSwitchPolicy : u8 {
+  kFlush,       ///< invalidate every entry on switch (untagged hardware)
+  kAsidTagged,  ///< keep entries; matching requires the owning ASID
+};
+
+[[nodiscard]] const char* tlbSwitchPolicyName(TlbSwitchPolicy p);
 
 class Tlb {
  public:
@@ -50,6 +68,16 @@ class Tlb {
     return addr < wp_limit_;
   }
 
+  /// Switches to process @p asid's address space: installs its
+  /// way-placement limit (its page table's view of the WP area) and
+  /// applies @p policy to the resident entries. Under kFlush every
+  /// entry dies with the old space; under kAsidTagged they survive but
+  /// can only match their owner. Either way the MRU shortcut is dropped
+  /// — it may point at the outgoing process's translation.
+  void switchContext(u32 asid, u32 wp_limit_bytes, TlbSwitchPolicy policy);
+
+  [[nodiscard]] u32 currentAsid() const { return cur_asid_; }
+
   void reset();
 
   [[nodiscard]] const TlbStats& stats() const { return stats_; }
@@ -73,13 +101,19 @@ class Tlb {
   struct Entry {
     bool valid = false;
     u32 vpn = 0;
+    u32 asid = 0;
     bool wp_bit = false;
   };
 
+  /// Sentinel for "no MRU entry": every flush path parks mru_ here so a
+  /// batched accessRepeat can never silently ride a dead translation.
+  static constexpr u32 kNoMru = ~0u;
+
   std::vector<Entry> entries_;
-  u32 mru_ = 0;  ///< simulator fast path; no architectural effect
+  u32 mru_ = kNoMru;  ///< simulator fast path; no architectural effect
   u32 fifo_next_ = 0;
   u32 wp_limit_ = 0;
+  u32 cur_asid_ = 0;
   TlbStats stats_;
 };
 

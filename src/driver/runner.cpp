@@ -5,10 +5,25 @@
 #include <cstring>
 
 #include "mem/memory.hpp"
+#include "sim/scheduler.hpp"
 #include "support/ensure.hpp"
 #include "workloads/common.hpp"
 
 namespace wp::driver {
+
+namespace {
+
+/// Clamps a way-placement area to @p image's code pages: pages past the
+/// end of code are never fetched, so the clamp is behavior-neutral, but
+/// it keeps per-process limits (and resize storms) inside each image.
+u32 clampWpAreaToImage(u32 wp_area_bytes, const mem::Image& image) {
+  const u32 code_pages = static_cast<u32>(
+      (image.code.size() + mem::kPageBytes - 1) / mem::kPageBytes);
+  const u32 code_bytes = code_pages * mem::kPageBytes;
+  return wp_area_bytes > code_bytes ? code_bytes : wp_area_bytes;
+}
+
+}  // namespace
 
 sim::Engine engineFromEnv() {
   const char* env = std::getenv("WP_ENGINE");
@@ -164,15 +179,10 @@ RunResult Runner::run(const PreparedWorkload& prepared,
   sim::MachineConfig machine = machineFor(icache, spec);
   if (budget_hook != nullptr) machine.budget_hook = *budget_hook;
   if (machine.fetch.scheme == cache::Scheme::kWayPlacement) {
-    // Clamp the WP area to the image: pages past the end of code are
-    // never fetched, so this is behavior-neutral, but it keeps resize
-    // storms (which restore the configured area) inside the image too.
-    const u32 code_pages = static_cast<u32>(
-        (image.code.size() + mem::kPageBytes - 1) / mem::kPageBytes);
-    const u32 code_bytes = code_pages * mem::kPageBytes;
-    if (machine.fetch.wp_area_bytes > code_bytes) {
-      machine.fetch.wp_area_bytes = code_bytes;
-    }
+    // Clamp the WP area to the image: keeps resize storms (which
+    // restore the configured area) inside the image too.
+    machine.fetch.wp_area_bytes =
+        clampWpAreaToImage(machine.fetch.wp_area_bytes, image);
   }
 
   sim::Processor proc(machine, image, memory);
@@ -202,6 +212,106 @@ RunResult Runner::run(const PreparedWorkload& prepared,
   result.output = prepared.workload->output(memory);
   result.price_seconds = price_span.stop();
   if (injector.has_value()) result.injected = injector->stats();
+  return result;
+}
+
+RunResult Runner::runCoRun(const std::vector<const PreparedWorkload*>& group,
+                           const cache::CacheGeometry& icache,
+                           const SchemeSpec& spec, workloads::InputSize input,
+                           const sim::BudgetHook* budget_hook,
+                           CoRunExtra* extra) const {
+  WP_ENSURE(spec.corunEnabled(),
+            "runCoRun needs corun_quantum > 0 (use run() for solo cells)");
+  WP_ENSURE(!group.empty(), "runCoRun needs at least one workload");
+  for (const PreparedWorkload* pw : group) {
+    WP_ENSURE(pw != nullptr, "runCoRun: null workload in the group");
+  }
+  // Fault hooks observe per-fetch state of *one* run; wiring them to a
+  // time-sliced fetch path is a separate study, so co-run cells reject
+  // them instead of silently attributing injections across guests.
+  WP_ENSURE(!spec.fault.runtimeEnabled(),
+            "co-run cells do not support runtime fault injection");
+  if (spec.scheme == cache::Scheme::kWayPlacement) {
+    WP_ENSURE(spec.wp_area_bytes > 0,
+              "SchemeSpec.wp_area_bytes must be non-zero for the "
+              "way-placement scheme");
+    WP_ENSURE(spec.wp_area_bytes % mem::kPageBytes == 0,
+              "SchemeSpec.wp_area_bytes (" +
+                  std::to_string(spec.wp_area_bytes) +
+                  ") must be a multiple of the " +
+                  std::to_string(mem::kPageBytes) + "-byte page size");
+  }
+
+  ScopedTimer simulate_span(metrics_.timer("phase.simulate"));
+  const double simulate_cpu_start = threadCpuSeconds();
+
+  sim::MachineConfig machine = machineFor(icache, spec);
+  if (budget_hook != nullptr) machine.budget_hook = *budget_hook;
+
+  sim::SchedulerConfig sched_config;
+  sched_config.quantum = spec.corun_quantum;
+  sched_config.tlb_policy = spec.corun_tlb;
+  sim::GuestScheduler sched(machine, sched_config);
+
+  // Register every guest with its own image, per-process WP limit
+  // (clamped to *its* code pages, exactly like run() clamps the solo
+  // area) and inputs written into its private memory.
+  std::vector<u32> asids;
+  asids.reserve(group.size());
+  u32 primary_wp_area = 0;
+  for (const PreparedWorkload* pw : group) {
+    const mem::Image& image = pw->layoutFor(spec.layout).image;
+    u32 wp_limit = 0;
+    if (machine.fetch.scheme == cache::Scheme::kWayPlacement) {
+      wp_limit = clampWpAreaToImage(spec.wp_area_bytes, image);
+    }
+    if (asids.empty()) primary_wp_area = wp_limit;
+    const u32 asid = sched.addProcess(pw->name, image, wp_limit);
+    pw->workload->prepare(sched.memoryOf(asid), input);
+    asids.push_back(asid);
+  }
+
+  sim::CoRunStats co = sched.run();
+
+  const PreparedWorkload& primary = *group.front();
+  const layout::LayoutResult& laid = primary.layoutFor(spec.layout);
+  RunResult result;
+  result.layout_strategy = laid.report.strategy;
+  result.layout_chains = laid.report.chains;
+  result.layout_repairs = laid.report.repairs;
+  if (machine.fetch.scheme == cache::Scheme::kWayPlacement) {
+    result.wp_area_coverage = laid.report.coverage(primary_wp_area);
+  }
+  result.stats = co.combined;
+  result.simulate_seconds = threadCpuSeconds() - simulate_cpu_start;
+  simulate_span.stop();
+  metrics_.counter("guest.instructions").add(result.stats.instructions);
+
+  ScopedTimer price_span(metrics_.timer("phase.price"));
+  result.energy = sim::Processor::price(model_, machine, result.stats);
+  // The cell's output is every guest's output, concatenated in group
+  // order: the stats digest (and so the journal/store verification)
+  // covers each process's result bytes, not just the primary's.
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    std::vector<u8> out =
+        group[i]->workload->output(sched.memoryOf(asids[i]));
+    if (extra != nullptr) {
+      CoRunProcess cp;
+      cp.name = co.processes[i].name;
+      cp.instructions = co.processes[i].instructions;
+      cp.retired_pc_hash = co.processes[i].retired_pc_hash;
+      cp.dataflow_hash = co.processes[i].dataflow_hash;
+      cp.cycles = co.processes[i].cycles;
+      cp.output = out;
+      extra->processes.push_back(std::move(cp));
+    }
+    result.output.insert(result.output.end(), out.begin(), out.end());
+  }
+  result.price_seconds = price_span.stop();
+  if (extra != nullptr) {
+    extra->context_switches = co.context_switches;
+    extra->slices = co.slices;
+  }
   return result;
 }
 

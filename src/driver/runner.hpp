@@ -48,7 +48,29 @@ struct SchemeSpec {
   /// Runtime fault injection (resilience studies); inert by default.
   fault::FaultSpec fault;
 
+  // Co-run (multiprogramming) axis: when corun_quantum > 0 the cell is
+  // a guest-scheduler co-run of this workload with `corun_partners`
+  // (comma-separated prepared-workload names) time-sliced at that
+  // quantum under `corun_tlb`. All three are cell-key material.
+  u64 corun_quantum = 0;  ///< 0 = solo run (no scheduler)
+  cache::TlbSwitchPolicy corun_tlb = cache::TlbSwitchPolicy::kFlush;
+  std::string corun_partners;
+
+  [[nodiscard]] bool corunEnabled() const { return corun_quantum > 0; }
+
   [[nodiscard]] static SchemeSpec baseline() { return {}; }
+  /// The baseline a cell normalizes against: a solo cell's is the plain
+  /// baseline; a co-run cell's is the *co-run* baseline — the same
+  /// partners, quantum and TLB policy under the baseline scheme — so
+  /// normalized metrics compare scheme against scheme, not scheme
+  /// against an unrelated solo run.
+  [[nodiscard]] static SchemeSpec baselineFor(const SchemeSpec& s) {
+    SchemeSpec b;
+    b.corun_quantum = s.corun_quantum;
+    b.corun_tlb = s.corun_tlb;
+    b.corun_partners = s.corun_partners;
+    return b;
+  }
   /// Way-placement cells honor WP_LAYOUT, so a sweep can be re-run under
   /// any registered ordering without recompiling; unset means the
   /// paper's ordering.
@@ -205,6 +227,39 @@ class Runner {
                                   workloads::InputSize::kLarge,
                               const sim::BudgetHook* budget_hook =
                                   nullptr) const;
+
+  /// Per-process slice of a co-run, read back for equivalence checks:
+  /// every process's hashes must match its solo run exactly.
+  struct CoRunProcess {
+    std::string name;
+    u64 instructions = 0;
+    u64 retired_pc_hash = 0;
+    u64 dataflow_hash = 0;
+    u64 cycles = 0;
+    std::vector<u8> output;
+  };
+  /// Co-run observability beyond the combined RunResult.
+  struct CoRunExtra {
+    std::vector<CoRunProcess> processes;
+    u64 context_switches = 0;
+    u64 slices = 0;
+  };
+
+  /// Steps 4-5 for a co-run: time-slices every workload of @p group
+  /// (first member = the cell's primary) over one shared fetch path
+  /// under @p spec's corun_quantum/corun_tlb, then prices the combined
+  /// activity. Per-process WP areas are clamped to each member's image
+  /// like run() clamps the solo area. The returned RunResult's output
+  /// is the concatenation of the per-process outputs in group order
+  /// (so digests cover every guest); @p extra, when non-null, receives
+  /// the per-process results and switch counts. Runtime fault injection
+  /// is a solo-run facility — spec.fault must be inert.
+  [[nodiscard]] RunResult runCoRun(
+      const std::vector<const PreparedWorkload*>& group,
+      const cache::CacheGeometry& icache, const SchemeSpec& spec,
+      workloads::InputSize input = workloads::InputSize::kLarge,
+      const sim::BudgetHook* budget_hook = nullptr,
+      CoRunExtra* extra = nullptr) const;
 
   /// Builds the machine configuration used by run() (exposed so benches
   /// can print Table 1 and tests can inspect it).

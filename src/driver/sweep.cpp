@@ -200,6 +200,15 @@ std::string SweepExecutor::keyOf(const std::string& workload,
     os << "/c" << static_cast<int>(s.fault.cell_fault) << ':'
        << s.fault.cell_fault_failures;
   }
+  if (s.corunEnabled()) {
+    // Co-run cells are a different simulation even at the same scheme:
+    // the quantum, the TLB switch policy and the partner set all change
+    // the shared fetch path's history, so they are all key material.
+    // Solo cells keep their exact pre-multiprog keys (no suffix), so
+    // existing journals and result stores stay valid.
+    os << "/m" << s.corun_quantum << ':' << static_cast<int>(s.corun_tlb)
+       << ':' << s.corun_partners;
+  }
   return os.str();
 }
 
@@ -208,7 +217,54 @@ void SweepExecutor::computeCell(CellEntry& entry, const std::string& key,
                                 const cache::CacheGeometry& icache,
                                 const SchemeSpec& spec) {
   const int worker = ThreadPool::currentWorkerIndex();
-  const u64 image_digest = imageDigest(p.imageFor(spec.layout));
+
+  // Co-run cells resolve their partner group up front (the primary
+  // first, then every corun_partners name against the prepared suite)
+  // and fold every participant's image digest, so a journal or store
+  // record is tied to *all* the code the cell simulates, not just the
+  // primary's. An unresolvable partner is a deterministic cell failure:
+  // it rides the normal retry/quarantine ladder with the key attached
+  // instead of aborting the sweep.
+  std::vector<const PreparedWorkload*> group;
+  std::string group_error;
+  u64 image_digest = 0;
+  if (spec.corunEnabled()) {
+    group.push_back(&p);
+    std::string names = spec.corun_partners;
+    while (!names.empty() && group_error.empty()) {
+      const std::size_t comma = names.find(',');
+      const std::string name = names.substr(0, comma);
+      names = comma == std::string::npos ? "" : names.substr(comma + 1);
+      if (name.empty()) {
+        group_error = "empty co-run partner name in '" +
+                      spec.corun_partners + "'";
+        break;
+      }
+      const PreparedWorkload* partner = nullptr;
+      for (const PreparedWorkload& cand : prepared_) {
+        if (cand.name == name) {
+          partner = &cand;
+          break;
+        }
+      }
+      if (partner == nullptr) {
+        group_error = "co-run partner '" + name +
+                      "' is not a prepared workload of this sweep";
+        break;
+      }
+      group.push_back(partner);
+    }
+    if (group_error.empty()) {
+      u64 h = 0xcbf29ce484222325ULL;
+      for (const PreparedWorkload* pw : group) {
+        h ^= imageDigest(pw->imageFor(spec.layout));
+        h *= 0x100000001b3ULL;
+      }
+      image_digest = h;
+    }
+  } else {
+    image_digest = imageDigest(p.imageFor(spec.layout));
+  }
 
   // Result store first: it coordinates across *processes*, so even the
   // lookup participates in the lease protocol — on a miss this cell now
@@ -288,11 +344,17 @@ void SweepExecutor::computeCell(CellEntry& entry, const std::string& key,
       // knob, which spares baselines so a persistent fault degrades
       // cells rather than erasing every normalization denominator.
       const auto attemptBody = [&]() -> RunResult {
+        if (!group_error.empty()) throw SimError(group_error);
         if (spec.fault.cellFaultEnabled()) {
           fault::injectCellFault(spec.fault, attempt - 1);  // 0-based
         }
         if (!is_baseline) supervisor_.injectConfigCellFault(attempt - 1);
         const sim::BudgetHook watchdog = supervisor_.watchdogFor(key);
+        if (spec.corunEnabled()) {
+          return runner_.runCoRun(group, icache, spec,
+                                  workloads::InputSize::kLarge,
+                                  watchdog.check ? &watchdog : nullptr);
+        }
         return runner_.run(p, icache, spec, workloads::InputSize::kLarge,
                            watchdog.check ? &watchdog : nullptr);
       };
@@ -447,8 +509,11 @@ void SweepExecutor::runAll(const std::vector<Cell>& cells) {
     for (const Cell& cell : cells) {
       pool_.submit([this, &p, cell] {
         // The baseline first: normalize() needs it for every cell of
-        // this geometry, and ensureCell dedups it across schemes.
-        ensureCell(p, cell.icache, SchemeSpec::baseline());
+        // this geometry, and ensureCell dedups it across schemes. A
+        // co-run cell normalizes against the *co-run* baseline (same
+        // quantum/policy/partners, baseline scheme), so the comparison
+        // isolates the scheme, not the multiprogramming.
+        ensureCell(p, cell.icache, SchemeSpec::baselineFor(cell.spec));
         ensureCell(p, cell.icache, cell.spec);
       });
     }
@@ -500,7 +565,7 @@ SweepExecutor::SuiteAverage SweepExecutor::averageNormalizedChecked(
   Accumulator acc;
   SuiteAverage out;
   for (const PreparedWorkload& p : prepared_) {
-    const CellView base = tryRun(p, icache, SchemeSpec::baseline());
+    const CellView base = tryRun(p, icache, SchemeSpec::baselineFor(spec));
     const CellView r = tryRun(p, icache, spec);
     if (base.quarantined || r.quarantined) {
       ++out.excluded;
@@ -627,7 +692,8 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
   for (const auto& [key, entry] : memo_) {
     if (!entry->ready.load(std::memory_order_acquire)) continue;
     const std::string base_key =
-        keyOf(entry->workload, entry->icache, SchemeSpec::baseline());
+        keyOf(entry->workload, entry->icache,
+              SchemeSpec::baselineFor(entry->spec));
     if (key == base_key) continue;  // baselines normalize to 1 by definition
     const auto base = memo_.find(base_key);
     if (base == memo_.end() ||
@@ -654,8 +720,17 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
        << ", \"layout_chains\": " << entry->result.layout_chains
        << ", \"layout_repairs\": " << entry->result.layout_repairs
        << ", \"wp_area_coverage\": " << entry->result.wp_area_coverage
-       << ", \"fault\": " << jsonBool(entry->spec.fault.runtimeEnabled())
-       << ", \"icache_energy\": " << n.icache_energy
+       << ", \"fault\": " << jsonBool(entry->spec.fault.runtimeEnabled());
+    // Only co-run cells carry the multiprog fields, so solo reports
+    // keep their exact schema.
+    if (entry->spec.corunEnabled()) {
+      os << ", \"corun_quantum\": " << entry->spec.corun_quantum
+         << ", \"corun_tlb\": \""
+         << cache::tlbSwitchPolicyName(entry->spec.corun_tlb) << "\""
+         << ", \"corun_partners\": \""
+         << jsonEscape(entry->spec.corun_partners) << "\"";
+    }
+    os << ", \"icache_energy\": " << n.icache_energy
        << ", \"total_energy\": " << n.total_energy
        << ", \"delay\": " << n.delay
        << ", \"ed_product\": " << n.ed_product

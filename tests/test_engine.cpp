@@ -83,7 +83,8 @@ TEST(EngineJson, ReportNamesTheEngine) {
 }
 
 // ---------------------------------------------------------------------
-// The property test: every workload in the suite, identical results.
+// The property test: every workload in the suite, every scheme,
+// identical results.
 
 TEST(EngineEquivalence, AllWorkloadsIdenticalAcrossEngines) {
   ScopedEnv interp_env("WP_ENGINE", "interp");
@@ -93,23 +94,35 @@ TEST(EngineEquivalence, AllWorkloadsIdenticalAcrossEngines) {
   ASSERT_EQ(interp_runner.engine(), sim::Engine::kInterp);
   ASSERT_EQ(block_runner.engine(), sim::Engine::kBlock);
 
-  // Way placement exercises the richest fetch path (hint, TLB WP bit,
-  // single-way lookups, intra-line skips); both runners share one
-  // prepared workload, so any divergence is the engine's.
-  const driver::SchemeSpec spec = driver::SchemeSpec::wayPlacement(16 * 1024);
+  // All four schemes: way placement exercises the richest fetch path
+  // (hint, TLB WP bit, single-way lookups, intra-line skips), way
+  // memoization the link/flash-clear machinery, way prediction the
+  // per-set MRU batching, and the baseline the plain path. One
+  // prepared workload is shared per name, so any divergence is the
+  // engine's, not the build's.
+  const driver::SchemeSpec specs[] = {
+      driver::SchemeSpec::baseline(),
+      driver::SchemeSpec::wayPlacement(16 * 1024),
+      driver::SchemeSpec::wayMemoization(),
+      driver::SchemeSpec::wayPrediction(),
+  };
   for (const std::string& name : workloads::suiteNames()) {
     SCOPED_TRACE(name);
     const driver::PreparedWorkload p = block_runner.prepare(name);
-    const driver::RunResult interp = interp_runner.run(p, kXScale, spec);
-    const driver::RunResult block = block_runner.run(p, kXScale, spec);
-    EXPECT_EQ(interp.stats.retired_pc_hash, block.stats.retired_pc_hash);
-    EXPECT_EQ(interp.stats.dataflow_hash, block.stats.dataflow_hash);
-    EXPECT_EQ(interp.stats.instructions, block.stats.instructions);
-    EXPECT_EQ(interp.stats.cycles, block.stats.cycles);
-    EXPECT_EQ(interp.output, block.output);
-    EXPECT_EQ(interp.output, p.workload->expected(workloads::InputSize::kLarge));
-    // Full RunStats + energy + layout ride-alongs, in one digest.
-    EXPECT_EQ(driver::statsDigest(interp), driver::statsDigest(block));
+    for (const driver::SchemeSpec& spec : specs) {
+      SCOPED_TRACE(cache::schemeName(spec.scheme));
+      const driver::RunResult interp = interp_runner.run(p, kXScale, spec);
+      const driver::RunResult block = block_runner.run(p, kXScale, spec);
+      EXPECT_EQ(interp.stats.retired_pc_hash, block.stats.retired_pc_hash);
+      EXPECT_EQ(interp.stats.dataflow_hash, block.stats.dataflow_hash);
+      EXPECT_EQ(interp.stats.instructions, block.stats.instructions);
+      EXPECT_EQ(interp.stats.cycles, block.stats.cycles);
+      EXPECT_EQ(interp.output, block.output);
+      EXPECT_EQ(interp.output,
+                p.workload->expected(workloads::InputSize::kLarge));
+      // Full RunStats + energy + layout ride-alongs, in one digest.
+      EXPECT_EQ(driver::statsDigest(interp), driver::statsDigest(block));
+    }
   }
 }
 

@@ -519,5 +519,67 @@ TEST(Seed, DifferentSeedsChangeInputsButStayCorrect) {
   EXPECT_NE(ea, eb);
 }
 
+// ---------------------------------------------------------------------
+// Switch storms: a co-run at a tiny quantum hammers every switch-time
+// flush path (VIVT I-cache flush, memo flash-clear, way-hint reset,
+// drowsy re-drowse) thousands of times. FetchPath::switchProcess
+// ENSUREs awakeLines() == 0 after each storm, so the drowsy invariant
+// breaking surfaces as a SimError, and solo equivalence proves the
+// storms never leak into architecture.
+
+TEST(SwitchStorm, DrowsyCoRunSurvivesPerSwitchFlushStorms) {
+  driver::SchemeSpec spec = driver::SchemeSpec::wayPlacement(16 * 1024);
+  spec.drowsy_window = 16;  // every switch must re-drowse the cache
+
+  driver::Runner runner;
+  const driver::PreparedWorkload p = runner.prepare("crc");
+  const driver::PreparedWorkload q = runner.prepare("bitcount");
+  const driver::RunResult solo_p = runner.run(p, kXScale, spec);
+  const driver::RunResult solo_q = runner.run(q, kXScale, spec);
+
+  driver::SchemeSpec co = spec;
+  co.corun_quantum = 499;  // prime: storms drift across loop bodies
+  co.corun_tlb = cache::TlbSwitchPolicy::kFlush;
+  driver::Runner::CoRunExtra extra;
+  const driver::RunResult r = runner.runCoRun(
+      {&p, &q}, kXScale, co, workloads::InputSize::kLarge, nullptr, &extra);
+
+  ASSERT_EQ(extra.processes.size(), 2u);
+  EXPECT_GT(extra.context_switches, 1000u) << "not a storm";
+  EXPECT_GT(r.stats.drowsy.wakeups, 0u) << "drowsy lines never engaged";
+  EXPECT_EQ(extra.processes[0].retired_pc_hash,
+            solo_p.stats.retired_pc_hash);
+  EXPECT_EQ(extra.processes[0].dataflow_hash, solo_p.stats.dataflow_hash);
+  EXPECT_EQ(extra.processes[1].retired_pc_hash,
+            solo_q.stats.retired_pc_hash);
+  EXPECT_EQ(extra.processes[1].dataflow_hash, solo_q.stats.dataflow_hash);
+  EXPECT_EQ(extra.processes[0].output,
+            p.workload->expected(workloads::InputSize::kLarge));
+  EXPECT_EQ(extra.processes[1].output,
+            q.workload->expected(workloads::InputSize::kLarge));
+}
+
+TEST(SwitchStorm, MemoLinkStormsStayArchitecturallyInvisible) {
+  const driver::SchemeSpec spec = driver::SchemeSpec::wayMemoization();
+
+  driver::Runner runner;
+  const driver::PreparedWorkload p = runner.prepare("crc");
+  const driver::PreparedWorkload q = runner.prepare("bitcount");
+  const driver::RunResult solo_p = runner.run(p, kXScale, spec);
+
+  driver::SchemeSpec co = spec;
+  co.corun_quantum = 499;
+  driver::Runner::CoRunExtra extra;
+  const driver::RunResult r = runner.runCoRun(
+      {&p, &q}, kXScale, co, workloads::InputSize::kLarge, nullptr, &extra);
+
+  EXPECT_GT(r.stats.link_flash_clears, extra.context_switches)
+      << "each switch must flash-clear the links (plus normal refills)";
+  EXPECT_EQ(extra.processes[0].retired_pc_hash,
+            solo_p.stats.retired_pc_hash);
+  EXPECT_EQ(extra.processes[0].output,
+            p.workload->expected(workloads::InputSize::kLarge));
+}
+
 }  // namespace
 }  // namespace wp

@@ -1,12 +1,40 @@
 // Fetch-path tests: the three schemes' tag-check behaviour, the
 // way-hint bit's two mispredict scenarios with their penalties, the
-// intra-line skip, and way-memoization's linked fetches.
+// intra-line skip, way-memoization's linked fetches, the fetchLine
+// batching preconditions, and context-switch semantics.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
 
 #include "cache/fetch_path.hpp"
 
 namespace wp::cache {
 namespace {
+
+/// Sets an environment variable for the enclosing scope; restores the
+/// previous value (or unsets) on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_old_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_old_ = false;
+};
 
 FetchPathConfig configFor(Scheme scheme, u32 wp_area = 16 * 1024) {
   FetchPathConfig c;
@@ -202,6 +230,150 @@ TEST(FetchPath, SchemeNames) {
   EXPECT_STREQ(schemeName(Scheme::kBaseline), "baseline");
   EXPECT_STREQ(schemeName(Scheme::kWayPlacement), "way-placement");
   EXPECT_STREQ(schemeName(Scheme::kWayMemoization), "way-memoization");
+}
+
+// ---------------------------------------------------------------------
+// fetchLine preconditions. These are model invariants of the fetch path
+// itself, not of the engine that drives it, so each misuse is asserted
+// under both WP_ENGINE values: the env knob selects which *driver*
+// batches, but neither setting may relax the batching guards.
+
+class FetchLineDeath : public testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, FetchLineDeath,
+                         testing::Values("interp", "block"));
+
+TEST_P(FetchLineDeath, SpanCrossingALineBoundaryIsRejected) {
+  ScopedEnv env("WP_ENGINE", GetParam());
+  FetchPath fp(configFor(Scheme::kWayPlacement));
+  // 32 B lines: 4 instructions from 0x18 would end at 0x24, one word
+  // into the next line — the closed form would misattribute that fetch.
+  EXPECT_THROW(fp.fetchLine(0x18, FetchFlow::kSequential, 4), SimError);
+  EXPECT_NO_THROW(fp.fetchLine(0x18, FetchFlow::kSequential, 2));
+}
+
+TEST_P(FetchLineDeath, DrowsyLinesOnRejectBatches) {
+  ScopedEnv env("WP_ENGINE", GetParam());
+  FetchPathConfig cfg = configFor(Scheme::kBaseline);
+  cfg.drowsy_window = 8;
+  FetchPath fp(cfg);
+  ASSERT_FALSE(fp.batchedLineFetchExact())
+      << "lines can fall drowsy between two sequential fetches";
+  // A 1-instruction "batch" is a plain fetch and stays legal.
+  EXPECT_NO_THROW(fp.fetchLine(0x0, FetchFlow::kSequential, 1));
+  EXPECT_THROW(fp.fetchLine(0x0, FetchFlow::kSequential, 2), SimError);
+}
+
+TEST_P(FetchLineDeath, AttachedFaultHookRejectsBatches) {
+  ScopedEnv env("WP_ENGINE", GetParam());
+  class NullHook : public FetchFaultHook {
+   public:
+    void onFetch(FetchPath&) override {}
+  } hook;
+  FetchPath fp(configFor(Scheme::kWayMemoization));
+  fp.attachFaultHook(&hook);
+  ASSERT_FALSE(fp.batchedLineFetchExact())
+      << "hooks observe state between individual fetches";
+  EXPECT_NO_THROW(fp.fetchLine(0x0, FetchFlow::kSequential, 1));
+  EXPECT_THROW(fp.fetchLine(0x0, FetchFlow::kSequential, 2), SimError);
+  // Detaching restores the closed form.
+  fp.attachFaultHook(nullptr);
+  EXPECT_NO_THROW(fp.fetchLine(0x20, FetchFlow::kSequential, 2));
+}
+
+TEST_P(FetchLineDeath, EmptyBatchIsRejected) {
+  ScopedEnv env("WP_ENGINE", GetParam());
+  FetchPath fp(configFor(Scheme::kBaseline));
+  EXPECT_THROW(fp.fetchLine(0x0, FetchFlow::kSequential, 0), SimError);
+}
+
+// ---------------------------------------------------------------------
+// Context switches: switchProcess's flush semantics and guards.
+
+TEST(FetchSwitch, FirstInstallPaysNoFlushCosts) {
+  FetchPath fp(configFor(Scheme::kWayMemoization));
+  fp.switchProcess(0, 0, TlbSwitchPolicy::kFlush);
+  EXPECT_EQ(fp.currentAsid(), 0u);
+  EXPECT_EQ(fp.linkFlashClears(), 0u)
+      << "no outgoing process yet: a one-process co-run must match solo";
+  EXPECT_EQ(fp.cacheStats().accesses, 0u);
+}
+
+TEST(FetchSwitch, SecondSwitchFlushesCacheAndStormsLinks) {
+  FetchPath fp(configFor(Scheme::kWayMemoization));
+  fp.switchProcess(0, 0, TlbSwitchPolicy::kFlush);
+  fp.fetch(0x00, FetchFlow::kSequential);
+  fp.fetch(0x20, FetchFlow::kSequential);  // link A->B recorded
+  const u64 misses_before = fp.cacheStats().misses;
+  fp.switchProcess(1, 0, TlbSwitchPolicy::kFlush);
+  EXPECT_GE(fp.linkFlashClears(), 1u) << "per-switch invalidation storm";
+  // The VIVT I-cache was invalidated: the incoming process cold-misses
+  // even on the addresses the outgoing one had resident.
+  fp.fetch(0x00, FetchFlow::kSequential);
+  EXPECT_EQ(fp.cacheStats().misses, misses_before + 1);
+}
+
+TEST(FetchSwitch, SwitchResetsTheWayHint) {
+  FetchPath fp(configFor(Scheme::kWayPlacement, mem::kPageBytes));
+  fp.switchProcess(0, mem::kPageBytes, TlbSwitchPolicy::kFlush);
+  fp.fetch(0x0, FetchFlow::kSequential);  // hint learns "way-placement"
+  ASSERT_EQ(fp.fetchStats().hint_miss_lost_saving, 1u);
+  fp.switchProcess(1, mem::kPageBytes, TlbSwitchPolicy::kFlush);
+  // The hint is back to 0: the first WP fetch is case 1 again rather
+  // than riding the outgoing process's hint.
+  fp.fetch(0x0, FetchFlow::kSequential);
+  EXPECT_EQ(fp.fetchStats().hint_miss_lost_saving, 2u);
+}
+
+TEST(FetchSwitch, SwitchKeepsDrowsyInvariant) {
+  FetchPathConfig cfg = configFor(Scheme::kBaseline);
+  cfg.drowsy_window = 4;
+  FetchPath fp(cfg);
+  fp.switchProcess(0, 0, TlbSwitchPolicy::kFlush);
+  fp.fetch(0x00, FetchFlow::kSequential);
+  fp.fetch(0x40, FetchFlow::kSequential);
+  ASSERT_GT(fp.awakeDrowsyLines(), 0u);
+  fp.switchProcess(1, 0, TlbSwitchPolicy::kFlush);
+  EXPECT_EQ(fp.awakeDrowsyLines(), 0u)
+      << "a flushed cache tracks no awake line";
+}
+
+TEST(FetchSwitch, PerProcessWayPlacementAreas) {
+  FetchPath fp(configFor(Scheme::kWayPlacement, mem::kPageBytes));
+  // Process 0: one WP page. Its second line fetch is a single-way hit.
+  fp.switchProcess(0, mem::kPageBytes, TlbSwitchPolicy::kFlush);
+  fp.fetch(0x00, FetchFlow::kSequential);
+  fp.fetch(0x20, FetchFlow::kSequential);
+  EXPECT_EQ(fp.fetchStats().wp_single_way, 1u);
+  // Process 1: no WP area at all — the same addresses are normal pages
+  // under *its* page table, so no single-way fetches accrue.
+  fp.switchProcess(1, 0, TlbSwitchPolicy::kFlush);
+  fp.fetch(0x00, FetchFlow::kSequential);
+  fp.fetch(0x20, FetchFlow::kSequential);
+  fp.fetch(0x40, FetchFlow::kSequential);
+  EXPECT_EQ(fp.fetchStats().wp_single_way, 1u) << "unchanged";
+}
+
+TEST(FetchSwitch, RejectsWpAreaOnNonWpScheme) {
+  FetchPath fp(configFor(Scheme::kBaseline));
+  EXPECT_THROW(
+      fp.switchProcess(1, mem::kPageBytes, TlbSwitchPolicy::kFlush),
+      SimError);
+}
+
+TEST(FetchSwitch, RejectsUnalignedWpArea) {
+  FetchPath fp(configFor(Scheme::kWayPlacement));
+  EXPECT_THROW(fp.switchProcess(1, 100, TlbSwitchPolicy::kFlush), SimError);
+}
+
+TEST(FetchSwitch, ResetForgetsTheInstalledContext) {
+  FetchPath fp(configFor(Scheme::kBaseline));
+  fp.switchProcess(3, 0, TlbSwitchPolicy::kFlush);
+  fp.reset();
+  EXPECT_EQ(fp.currentAsid(), 0u);
+  // After reset the next switchProcess is a first install again.
+  fp.switchProcess(1, 0, TlbSwitchPolicy::kFlush);
+  EXPECT_EQ(fp.cacheStats().accesses, 0u);
 }
 
 }  // namespace

@@ -110,5 +110,113 @@ TEST(Tlb, FaultHooksOnEmptySlotsReportNothing) {
   EXPECT_EQ(tlb.entryCount(), 4u);
 }
 
+// ---------------------------------------------------------------------
+// The stale-MRU fix: every flush path must drop the MRU shortcut, so a
+// batched accessRepeat can never silently ride a dead translation.
+
+TEST(Tlb, BatchAfterLimitChangeCannotRideADeadTranslation) {
+  Tlb tlb(4);
+  tlb.access(0x1000);
+  EXPECT_TRUE(tlb.accessRepeat(0x1000, 3).hit);
+  // setWayPlacementLimit flushes every entry; before the fix the MRU
+  // index survived and still pointed at the (now invalid) slot.
+  tlb.setWayPlacementLimit(mem::kPageBytes);
+  EXPECT_THROW(tlb.accessRepeat(0x1000, 3), SimError);
+  // A fresh access re-walks and re-arms the shortcut.
+  EXPECT_FALSE(tlb.access(0x1000).hit);
+  EXPECT_TRUE(tlb.accessRepeat(0x1000, 2).hit);
+}
+
+TEST(Tlb, BatchAfterResetCannotRideADeadTranslation) {
+  Tlb tlb(4);
+  tlb.access(0x1000);
+  tlb.reset();
+  EXPECT_THROW(tlb.accessRepeat(0x1000, 1), SimError);
+}
+
+TEST(Tlb, BatchAfterFlushingSwitchCannotRideADeadTranslation) {
+  Tlb tlb(4);
+  tlb.access(0x1000);
+  tlb.switchContext(1, 0, TlbSwitchPolicy::kFlush);
+  EXPECT_THROW(tlb.accessRepeat(0x1000, 4), SimError);
+}
+
+TEST(Tlb, BatchAfterTaggedSwitchCannotRideTheOutgoingMru) {
+  Tlb tlb(4);
+  tlb.access(0x1000);
+  // ASID tagging keeps the entry resident, but it belongs to process 0:
+  // the incoming process's batch must not ride it either.
+  tlb.switchContext(1, 0, TlbSwitchPolicy::kAsidTagged);
+  EXPECT_THROW(tlb.accessRepeat(0x1000, 4), SimError);
+}
+
+TEST(Tlb, AccessRepeatRequiresTheMruPage) {
+  Tlb tlb(4);
+  tlb.access(0x1000);
+  tlb.access(0x2000);  // MRU now holds page 2
+  EXPECT_THROW(tlb.accessRepeat(0x1000, 1), SimError);
+  EXPECT_TRUE(tlb.accessRepeat(0x2000, 5).hit);
+}
+
+TEST(Tlb, AccessRepeatCountsEveryAccessOfTheBatch) {
+  Tlb tlb(4);
+  tlb.access(0x1000);
+  tlb.accessRepeat(0x1000, 7);
+  EXPECT_EQ(tlb.stats().accesses, 8u);
+  EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Context switches: ASID tagging vs flush.
+
+TEST(Tlb, FlushingSwitchRewalksEveryPage) {
+  Tlb tlb(4);
+  tlb.access(0x1000);
+  tlb.switchContext(1, 0, TlbSwitchPolicy::kFlush);
+  EXPECT_EQ(tlb.currentAsid(), 1u);
+  EXPECT_FALSE(tlb.access(0x1000).hit) << "flushed on switch";
+  tlb.switchContext(0, 0, TlbSwitchPolicy::kFlush);
+  EXPECT_FALSE(tlb.access(0x1000).hit) << "flushed again on switch back";
+}
+
+TEST(Tlb, TaggedSwitchKeepsEntriesResidentPerProcess) {
+  Tlb tlb(4);
+  tlb.access(0x1000);
+  tlb.switchContext(1, 0, TlbSwitchPolicy::kAsidTagged);
+  EXPECT_FALSE(tlb.access(0x1000).hit)
+      << "process 0's translation must not serve process 1";
+  tlb.switchContext(0, 0, TlbSwitchPolicy::kAsidTagged);
+  EXPECT_TRUE(tlb.access(0x1000).hit)
+      << "process 0's translation survives the round trip";
+  EXPECT_EQ(tlb.stats().walks, 2u) << "one walk per process, not three";
+}
+
+TEST(Tlb, TaggedEntriesCarryTheirOwnersWpBit) {
+  Tlb tlb(4);
+  // Process 0 has a 1-page WP area; process 1 has none. The same VPN
+  // must yield each owner's own page-table bit — this asymmetry is why
+  // per-process WP bits need ASID tagging (or a switch flush) at all.
+  tlb.switchContext(0, mem::kPageBytes, TlbSwitchPolicy::kAsidTagged);
+  EXPECT_TRUE(tlb.access(0).way_placement_page);
+  tlb.switchContext(1, 0, TlbSwitchPolicy::kAsidTagged);
+  EXPECT_FALSE(tlb.access(0).way_placement_page);
+  tlb.switchContext(0, mem::kPageBytes, TlbSwitchPolicy::kAsidTagged);
+  const Tlb::Result r = tlb.access(0);
+  EXPECT_TRUE(r.hit);
+  EXPECT_TRUE(r.way_placement_page) << "cached bit is the owner's";
+}
+
+TEST(Tlb, SwitchLimitMustBePageAligned) {
+  Tlb tlb(4);
+  EXPECT_THROW(tlb.switchContext(1, 100, TlbSwitchPolicy::kFlush), SimError);
+}
+
+TEST(Tlb, ResetRestoresAsidZero) {
+  Tlb tlb(4);
+  tlb.switchContext(3, 0, TlbSwitchPolicy::kFlush);
+  tlb.reset();
+  EXPECT_EQ(tlb.currentAsid(), 0u);
+}
+
 }  // namespace
 }  // namespace wp::cache
