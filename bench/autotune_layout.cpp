@@ -1,0 +1,156 @@
+// Layout autotuning: search the parameterized pass-pipeline space for
+// the configuration that minimizes measured I-cache energy (or ED
+// product) on this machine's suite, and report what the search found.
+//
+// Three read-outs:
+//   1. the objective trajectory — every candidate the coordinate
+//      descent priced, in order, with the incumbent moves marked;
+//   2. the per-workload table — each workload's best evaluated spec,
+//      its normalized objective, and the dominant-block recommended
+//      WP-area (smallest page multiple covering >= 90% of the placed
+//      dynamic profile under that workload's best layout);
+//   3. the margin of the best-found pipeline over the paper's
+//      heaviest-first ordering at the same area.
+// The same data lands in WP_JSON under a top-level "autotune" section
+// (schema in EXPERIMENTS.md). Deterministic from WP_SEED: the same
+// seed, budget and objective replay the identical search byte-for-byte.
+//
+// Knobs on top of the common bench set: WP_TUNE_EVALS (candidate
+// budget, default 24) and WP_TUNE_OBJECTIVE (icache_energy |
+// ed_product).
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "driver/autotune.hpp"
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wp;
+  // Env parsing first: a bad WP_TUNE_* kills the run before the suite
+  // spends minutes preparing workloads.
+  const driver::AutotuneConfig config = driver::AutotuneConfig::fromEnv();
+
+  bench::printHeader(
+      "Layout autotuning: measured-energy search over the pass pipeline\n"
+      "32KB 32-way I-cache, 1KB way-placement area, suite average",
+      "beyond Section 3: is heaviest-first the right ordering?");
+
+  auto suite = bench::makeSuite();
+  const cache::CacheGeometry icache = bench::initialICache();
+  constexpr u32 kArea = 1024;
+
+  std::cout << "objective " << config.objectiveName() << ", budget "
+            << config.evals << " evals\n\n";
+
+  const driver::AutotuneResult r =
+      driver::autotuneLayout(suite, icache, kArea, config);
+
+  std::cout << "objective trajectory (coordinate descent from "
+            << r.start_spec << "):\n";
+  TextTable traj;
+  traj.header({"eval", "candidate spec", "objective (avg)", ""});
+  for (const driver::AutotuneStep& step : r.trajectory) {
+    traj.row({std::to_string(step.eval), step.spec,
+              bench::cellNum(step.objective, 4),
+              step.improved ? "<- incumbent" : ""});
+  }
+  traj.print(std::cout);
+  std::cout << (r.budget_exhausted ? "budget exhausted" : "converged")
+            << " after " << r.evals_used << " evaluations\n\n";
+
+  std::cout << "per-workload best and dominant-block WP-area "
+               "recommendation:\n";
+  TextTable per;
+  per.header({"workload", "best spec", "objective", "rec. WP area",
+              "coverage"});
+  for (const driver::AutotuneWorkloadBest& wb : r.per_workload) {
+    if (wb.quarantined) {
+      per.row({wb.workload, "QUAR", "QUAR", "QUAR", "QUAR"});
+      continue;
+    }
+    per.row({wb.workload, wb.spec, fmt(wb.objective, 4),
+             std::to_string(wb.recommended_wp_bytes) + " B",
+             fmtPct(wb.recommended_coverage, 1)});
+  }
+  per.print(std::cout);
+
+  if (r.start.included > 0 && r.best.included > 0) {
+    const double margin = r.start.mean - r.best.mean;
+    std::cout << "\nbest found: " << r.best_spec << " at "
+              << bench::cellNum(r.best, 4) << " vs "
+              << bench::cellNum(r.start, 4) << " for the paper's "
+              << r.start_spec << " — margin " << fmt(margin * 100.0, 2)
+              << " pp (descent only accepts strict improvements, so the\n"
+                 "margin is never negative; 0.00 pp means heaviest-first "
+                 "is already optimal in the searched space).\n";
+  } else {
+    std::cout << "\nQUAR: the objective could not be measured (every "
+                 "workload quarantined).\n";
+  }
+
+  // The machine-readable mirror of the three read-outs above.
+  std::ostringstream js;
+  js << "{\n    \"objective\": " << jstr(config.objectiveName())
+     << ",\n    \"budget\": " << config.evals
+     << ",\n    \"evals_used\": " << r.evals_used
+     << ",\n    \"budget_exhausted\": "
+     << (r.budget_exhausted ? "true" : "false")
+     << ",\n    \"wp_area_bytes\": " << kArea
+     << ",\n    \"start\": {\"spec\": " << jstr(r.start_spec)
+     << ", \"objective\": " << num(r.start.mean)
+     << "},\n    \"best\": {\"spec\": " << jstr(r.best_spec)
+     << ", \"objective\": " << num(r.best.mean)
+     << "},\n    \"margin\": " << num(r.start.mean - r.best.mean)
+     << ",\n    \"trajectory\": [";
+  for (std::size_t i = 0; i < r.trajectory.size(); ++i) {
+    const driver::AutotuneStep& step = r.trajectory[i];
+    js << (i == 0 ? "" : ",") << "\n      {\"eval\": " << step.eval
+       << ", \"spec\": " << jstr(step.spec)
+       << ", \"objective\": " << num(step.objective.mean)
+       << ", \"excluded\": " << step.objective.excluded
+       << ", \"improved\": " << (step.improved ? "true" : "false") << "}";
+  }
+  js << "\n    ],\n    \"workloads\": [";
+  for (std::size_t i = 0; i < r.per_workload.size(); ++i) {
+    const driver::AutotuneWorkloadBest& wb = r.per_workload[i];
+    js << (i == 0 ? "" : ",") << "\n      {\"name\": " << jstr(wb.workload);
+    if (wb.quarantined) {
+      js << ", \"quarantined\": true}";
+    } else {
+      js << ", \"spec\": " << jstr(wb.spec)
+         << ", \"objective\": " << num(wb.objective)
+         << ", \"recommended_wp_bytes\": " << wb.recommended_wp_bytes
+         << ", \"recommended_coverage\": " << num(wb.recommended_coverage)
+         << "}";
+    }
+  }
+  js << "\n    ]\n  }";
+  suite.addJsonSection("autotune", js.str());
+
+  return bench::finish(suite);
+}

@@ -6,7 +6,7 @@
 
 #include "cache/fetch_path.hpp"
 #include "driver/runner.hpp"
-#include "layout/layout.hpp"
+#include "layout/strategy.hpp"
 #include "profile/profiler.hpp"
 #include "sim/processor.hpp"
 #include "workloads/workload.hpp"
@@ -101,7 +101,7 @@ void BM_FunctionalExecution(benchmark::State& state) {
   auto w = workloads::makeWorkload("crc");
   const ir::Module module = w->build();
   const mem::Image image =
-      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+      layout::layoutImage(module, "original");
   double total_insts = 0;
   for (auto _ : state) {
     mem::Memory memory;
@@ -123,7 +123,7 @@ void BM_FullProcessorSimulation(benchmark::State& state) {
   auto w = workloads::makeWorkload("crc");
   const ir::Module module = w->build();
   const mem::Image image =
-      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+      layout::layoutImage(module, "original");
   sim::MachineConfig machine = sim::baselineMachine();
   machine.engine =
       state.range(0) == 0 ? sim::Engine::kInterp : sim::Engine::kBlock;
@@ -149,7 +149,7 @@ void BM_ChainFormationAndLink(benchmark::State& state) {
   for (ir::BasicBlock& b : module.blocks) b.exec_count = b.id * 7 + 1;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        layout::linkWithPolicy(module, layout::Policy::kWayPlacement));
+        layout::layoutImage(module, "way_placement"));
   }
 }
 BENCHMARK(BM_ChainFormationAndLink)->Unit(benchmark::kMicrosecond);

@@ -6,7 +6,7 @@
 
 #include "asmkit/builder.hpp"
 #include "cache/fetch_path.hpp"
-#include "layout/layout.hpp"
+#include "layout/strategy.hpp"
 #include "profile/profiler.hpp"
 #include "sim/processor.hpp"
 #include "support/rng.hpp"
@@ -88,7 +88,7 @@ int main() {
 
   // 1. Profile on a small input.
   const mem::Image original =
-      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+      layout::layoutImage(module, "original");
   {
     mem::Memory memory;
     original.loadInto(memory);
@@ -98,7 +98,7 @@ int main() {
 
   // 2. Way-placement layout.
   const mem::Image placed =
-      layout::linkWithPolicy(module, layout::Policy::kWayPlacement);
+      layout::layoutImage(module, "way_placement");
   std::cout << "custom kernel: " << module.staticInstructions()
             << " static instructions, " << module.blocks.size()
             << " basic blocks, " << layout::formChains(module).size()

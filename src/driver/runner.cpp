@@ -61,12 +61,32 @@ Runner::Runner(energy::EnergyParams params, u64 seed)
     : model_(params), seed_(seed), engine_(engineFromEnv()) {}
 
 const layout::LayoutResult& PreparedWorkload::layoutFor(
-    std::string_view strategy) const {
-  // parseStrategy both validates the name and canonicalizes aliases.
-  const auto it = layouts.find(layout::parseStrategy(strategy).name);
-  WP_ENSURE(it != layouts.end(),
-            "workload '" + name + "' was prepared without layout '" +
-                std::string(strategy) + "'");
+    std::string_view spec_str) const {
+  // resolveStrategy validates the spec and canonicalizes aliases and
+  // param overrides, so every spelling of one configuration shares one
+  // cache slot.
+  const layout::StrategySpec spec = layout::resolveStrategy(spec_str);
+  // A profile-driven layout without a usable profile falls back to the
+  // original image — for tuned specs exactly like for registered ones
+  // (a bad profile costs energy, never correctness).
+  if (spec.needs_profile && !profile_ok) {
+    const auto it = layouts.find("original");
+    WP_ENSURE(it != layouts.end(),
+              "workload '" + name + "' was prepared without layouts");
+    return it->second;
+  }
+  const std::string key = spec.canonical();
+  if (const auto it = layouts.find(key); it != layouts.end()) {
+    return it->second;
+  }
+  // Parameterized spec: run the pipeline on first use. std::map nodes
+  // are stable, so the reference survives later insertions.
+  std::lock_guard<std::mutex> lock(*tuned_mutex_);
+  if (const auto it = tuned_layouts_.find(key); it != tuned_layouts_.end()) {
+    return it->second;
+  }
+  const auto [it, inserted] =
+      tuned_layouts_.emplace(key, layout::runPipeline(module, spec, seed));
   return it->second;
 }
 
@@ -75,6 +95,7 @@ PreparedWorkload Runner::prepare(const std::string& name,
                                  fault::ProfileFault profile_fault) const {
   PreparedWorkload p;
   p.name = name;
+  p.seed = seed_;
   // The seed is threaded into the workload instance itself (inputs, key
   // material, references) — there is no process-wide seed, so Runners
   // with different seeds can interleave or run on different threads.

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -42,8 +44,10 @@ struct SchemeSpec {
   bool intraline_skip = true;   ///< ablation knob (optimized schemes)
   bool wm_precise_invalidation = false;  ///< ablation knob (way-memo)
   u32 drowsy_window = 0;        ///< drowsy-line window (extension E4)
-  /// Code layout: a registered strategy name (canonical or alias, see
-  /// layout::strategies()). The run simulates that strategy's image.
+  /// Code layout: a strategy spec string — a registered name (canonical
+  /// or alias, see layout::strategies()) or a parameterized
+  /// `name{key=value,...}` spec (layout::resolveStrategy). The run
+  /// simulates that spec's image; cell keys carry its canonical form.
   std::string layout = "original";
   /// Runtime fault injection (resilience studies); inert by default.
   fault::FaultSpec fault;
@@ -147,11 +151,15 @@ struct RunResult {
 
 /// A workload made ready to simulate: profiled and laid out under every
 /// registered strategy. Profiling is layout-independent, so one
-/// prepared workload serves any (strategy, geometry, scheme) cell.
+/// prepared workload serves any (strategy, geometry, scheme) cell —
+/// including parameterized specs, whose pipelines run lazily on first
+/// use and are cached (the autotuner prices many specs against one
+/// prepared workload).
 struct PreparedWorkload {
   std::string name;
   std::unique_ptr<workloads::Workload> workload;
   ir::Module module;        ///< profile-annotated
+  u64 seed = 0;             ///< the preparing Runner's experiment seed
   /// Pipeline output per registered strategy, keyed by canonical name.
   /// Strategies that need a profile hold the original layout's result
   /// when the training profile was unusable.
@@ -164,13 +172,26 @@ struct PreparedWorkload {
   std::string profile_warning;  ///< why, when !profile_ok
   PreparePhases phases;         ///< host wall-clock per prepare phase
 
-  /// Pipeline result / image for @p strategy (canonical name or alias).
-  /// Throws SimError on an unregistered name.
+  /// Pipeline result / image for @p spec (a registered name, alias, or
+  /// parameterized `name{...}` spec). Registered-default specs read the
+  /// eagerly prepared table; anything else is computed on first use
+  /// into the tuned-layout cache (thread-safe: sweep workers price
+  /// tuned cells concurrently). Profile-driven specs fall back to the
+  /// original layout when the training profile was unusable. Throws
+  /// SimError on an unresolvable spec.
   [[nodiscard]] const layout::LayoutResult& layoutFor(
-      std::string_view strategy) const;
-  [[nodiscard]] const mem::Image& imageFor(std::string_view strategy) const {
-    return layoutFor(strategy).image;
+      std::string_view spec) const;
+  [[nodiscard]] const mem::Image& imageFor(std::string_view spec) const {
+    return layoutFor(spec).image;
   }
+
+ private:
+  /// Lazily computed non-default layouts, keyed by canonical spec.
+  /// node-stable (std::map), so returned references outlive the insert.
+  mutable std::map<std::string, layout::LayoutResult, std::less<>>
+      tuned_layouts_;
+  mutable std::unique_ptr<std::mutex> tuned_mutex_ =
+      std::make_unique<std::mutex>();
 };
 
 /// Normalized headline metrics of a scheme run against its baseline.

@@ -185,8 +185,13 @@ std::string SweepExecutor::keyOf(const std::string& workload,
      << g.line_bytes << '/' << static_cast<int>(s.scheme) << '/'
      << s.wp_area_bytes << '/' << s.intraline_skip << '/'
      << s.wm_precise_invalidation << '/' << s.drowsy_window << '/'
-     // Canonicalized so an alias spelling memoizes to the same cell.
-     << layout::parseStrategy(s.layout).name;
+     // Canonicalized so an alias spelling (or any equivalent spelling
+     // of a parameterized spec) memoizes to the same cell, and so every
+     // tuned param value is key material — a journal or store record
+     // can never serve a differently-tuned cell. Default-param specs
+     // canonicalize to the bare name, keeping pre-parameterization
+     // journals and stores valid.
+     << layout::resolveStrategy(s.layout).canonical();
   if (s.fault.runtimeEnabled()) {
     os << "/f" << s.fault.period << ':' << s.fault.seed << ':'
        << s.fault.flip_way_hint << s.fault.flip_tlb_wp_bit
@@ -751,7 +756,19 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
     os << ", \"worker\": " << entry->worker << "}";
     first = false;
   }
-  os << "\n  ]\n}\n";
+  os << "\n  ]";
+  // Bench-registered extra sections (deterministic: map order), e.g.
+  // the autotune report. Values are pre-rendered JSON.
+  for (const auto& [key, value] : extra_json_) {
+    os << ",\n  \"" << jsonEscape(key) << "\": " << value;
+  }
+  os << "\n}\n";
+}
+
+void SweepExecutor::addJsonSection(const std::string& key,
+                                   std::string rendered_json) {
+  const std::lock_guard<std::mutex> lock(memo_mutex_);
+  extra_json_[key] = std::move(rendered_json);
 }
 
 void SweepExecutor::emitJsonIfRequested() const {

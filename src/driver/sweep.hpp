@@ -194,6 +194,13 @@ class SweepExecutor {
   /// ordered by memo key.
   void writeJsonReport(std::ostream& os) const;
 
+  /// Registers an extra top-level section for writeJsonReport: @p key
+  /// becomes a top-level JSON field whose value is @p rendered_json
+  /// (which must already be valid JSON). Benches with bench-specific
+  /// structured results — the autotune report — use this so the shared
+  /// host/prepare/cells schema stays untouched for every other bench.
+  void addJsonSection(const std::string& key, std::string rendered_json);
+
   /// writeJsonReport to the WP_JSON path, if that variable is set.
   /// Benches call this once after printing their tables. An unwritable
   /// path is a fatal error (exit 1), not a silent omission.
@@ -255,6 +262,9 @@ class SweepExecutor {
   /// Keyed by keyOf(); entries hold a once_flag, so they live behind a
   /// unique_ptr (once_flag is neither movable nor copyable).
   std::map<std::string, std::unique_ptr<CellEntry>> memo_;
+  /// Extra writeJsonReport sections (addJsonSection), key → rendered
+  /// JSON. Guarded by memo_mutex_ like the other report inputs.
+  std::map<std::string, std::string> extra_json_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -11,17 +11,10 @@
 //
 // The placement machinery is a three-stage pass pipeline —
 // ChainFormation → ChainOrdering → Emission — with the ordering stage
-// pluggable through the strategy registry (see strategy.hpp). This
-// header keeps the original enum-based Policy API as a thin shim over
-// that registry:
-//   kOriginal      — authored order (the baseline binary; also used for
-//                    the way-memoization runs, which keep the original
-//                    program untouched),
-//   kWayPlacement  — the paper's heaviest-first chain order,
-//   kRandom        — a layout ablation that shuffles blocks arbitrarily,
-//                    exercising the linker's fall-through repair.
-// The registry adds further orderings (call_distance, exttsp) that have
-// no Policy enumerator; use strategy.hpp to reach them.
+// pluggable (and parameterizable) through the strategy registry: see
+// strategy.hpp for strategies, specs and runPipeline(). This header
+// holds only the pieces shared by every stage: the Chain type,
+// ChainFormation itself, and the Emission-stage linker.
 #pragma once
 
 #include <span>
@@ -32,10 +25,6 @@
 
 namespace wp::layout {
 
-enum class Policy : u8 { kOriginal, kWayPlacement, kRandom };
-
-[[nodiscard]] const char* policyName(Policy p);
-
 struct Chain {
   std::vector<u32> blocks;
   u64 weight = 0;  ///< sum over blocks of exec_count * instruction count
@@ -44,19 +33,10 @@ struct Chain {
 /// Forms the must-respect chains of @p module (paper §3).
 [[nodiscard]] std::vector<Chain> formChains(const ir::Module& module);
 
-/// Produces the block placement order for @p policy. @p seed only affects
-/// kRandom.
-[[nodiscard]] std::vector<u32> orderBlocks(const ir::Module& module,
-                                           Policy policy, u64 seed = 0);
-
 /// Lays out @p block_order (a permutation of all block ids), repairs
 /// broken fall-throughs with synthetic unconditional branches, resolves
 /// every relocation and emits the final image.
 [[nodiscard]] mem::Image link(const ir::Module& module,
                               std::span<const u32> block_order);
-
-/// Convenience: orderBlocks + link.
-[[nodiscard]] mem::Image linkWithPolicy(const ir::Module& module,
-                                        Policy policy, u64 seed = 0);
 
 }  // namespace wp::layout

@@ -1,4 +1,4 @@
-// ChainOrdering `call_distance`: Codestitcher-style distance-bounded
+// Ordering pass `call_distance`: Codestitcher-style distance-bounded
 // inter-procedural collocation (Lavaee, Criswell & Ding, "Codestitcher:
 // inter-procedural basic block layout").
 //
@@ -6,28 +6,32 @@
 // callee's entry behind the chain holding its hottest call site, so a
 // hot call and its target share the front of the binary (and, for this
 // paper's purposes, the same way-placement pages). A merge is accepted
-// only while the merged cluster stays within a byte budget — the
-// distance bound that keeps every collocated call short-reach instead of
-// greedily gluing the whole program into one cluster. Clusters are then
-// concatenated heaviest-first like the paper's ordering, so the
-// way-placement area still sees the hottest code first.
+// only while the merged cluster stays within params.call_reach_bytes —
+// the distance bound that keeps every collocated call short-reach
+// instead of greedily gluing the whole program into one cluster.
+// Clusters come back heaviest-first as single merged chains, so the
+// way-placement area still sees the hottest code first (and a later
+// pass sees collocation as an indivisible unit).
 #include <algorithm>
 #include <map>
 
 #include "layout/passes/passes.hpp"
-#include "layout/strategy.hpp"
 #include "support/ensure.hpp"
 
-namespace wp::layout {
+namespace wp::layout::passes {
 
-std::vector<u32> orderCallDistanceWithReach(const ir::Module& module,
-                                            std::vector<Chain>&& chains,
-                                            u32 reach_bytes) {
+std::vector<Chain> passCallDistance(const ir::Module& module,
+                                    std::vector<Chain>&& chains,
+                                    const PassParams& params, u64 /*seed*/) {
   const std::size_t n = chains.size();
+  const u32 reach_bytes = params.call_reach_bytes;
 
   // Block id -> owning chain, and per-chain byte size (repairs excluded:
-  // the bound is a budget, not an address promise).
-  std::vector<u32> chain_of(module.blocks.size(), 0);
+  // the bound is a budget, not an address promise). Blocks outside the
+  // given chains (cold code under a hotness threshold) carry the
+  // sentinel and never participate in a merge.
+  constexpr u32 kNoChain = ~u32{0};
+  std::vector<u32> chain_of(module.blocks.size(), kNoChain);
   std::vector<u64> chain_bytes(n, 0);
   for (u32 ci = 0; ci < n; ++ci) {
     for (const u32 id : chains[ci].blocks) {
@@ -50,7 +54,7 @@ std::vector<u32> orderCallDistanceWithReach(const ir::Module& module,
     const u32 from = chain_of[caller.id];
     const u32 to = chain_of[callee.block_ids.front()];
     ++seq;
-    if (from == to) return;
+    if (from == to || from == kNoChain || to == kNoChain) return;
     auto [it, inserted] = edge_map.try_emplace(std::pair{from, to});
     Edge& e = it->second;
     if (inserted) {
@@ -77,7 +81,7 @@ std::vector<u32> orderCallDistanceWithReach(const ir::Module& module,
   std::vector<u32> group_of(n);
   std::vector<std::vector<u32>> members(n);
   std::vector<u64> group_bytes(n), group_weight(n);
-  std::vector<u32> group_first(n);  ///< formation index of the lead chain
+  std::vector<u32> group_first(n);  ///< given-order index of the lead chain
   for (u32 ci = 0; ci < n; ++ci) {
     group_of[ci] = ci;
     members[ci] = {ci};
@@ -99,8 +103,9 @@ std::vector<u32> orderCallDistanceWithReach(const ir::Module& module,
     group_first[ga] = std::min(group_first[ga], group_first[gb]);
   }
 
-  // Concatenate clusters heaviest-first (ties: lead chain's formation
-  // order), chains within a cluster in merge order.
+  // Concatenate clusters heaviest-first (ties: lead chain's given
+  // order), chains within a cluster in merge order. Each cluster comes
+  // back as one merged chain.
   std::vector<u32> group_ids;
   for (u32 g = 0; g < n; ++g) {
     if (!members[g].empty()) group_ids.push_back(g);
@@ -112,27 +117,23 @@ std::vector<u32> orderCallDistanceWithReach(const ir::Module& module,
                      }
                      return group_first[a] < group_first[b];
                    });
-  std::vector<u32> order;
-  order.reserve(module.blocks.size());
+  std::vector<Chain> out;
+  out.reserve(group_ids.size());
+  std::size_t placed = 0;
   for (const u32 g : group_ids) {
+    Chain merged;
+    merged.weight = group_weight[g];
     for (const u32 ci : members[g]) {
-      order.insert(order.end(), chains[ci].blocks.begin(),
-                   chains[ci].blocks.end());
+      merged.blocks.insert(merged.blocks.end(), chains[ci].blocks.begin(),
+                           chains[ci].blocks.end());
     }
+    placed += merged.blocks.size();
+    out.push_back(std::move(merged));
   }
-  WP_ENSURE(order.size() == module.blocks.size(),
-            "call_distance ordering lost blocks");
-  return order;
+  std::size_t given = 0;
+  for (const Chain& c : chains) given += c.blocks.size();
+  WP_ENSURE(placed == given, "call_distance ordering lost blocks");
+  return out;
 }
 
-namespace passes {
-
-std::vector<u32> orderCallDistance(const ir::Module& module,
-                                   std::vector<Chain>&& chains,
-                                   u64 /*seed*/) {
-  return orderCallDistanceWithReach(module, std::move(chains),
-                                    kCallDistanceReachBytes);
-}
-
-}  // namespace passes
-}  // namespace wp::layout
+}  // namespace wp::layout::passes

@@ -1,16 +1,17 @@
-// ChainOrdering `exttsp`: greedy chain concatenation driven by the
+// Ordering pass `exttsp`: greedy chain concatenation driven by the
 // Extended-TSP score (Newell & Pupyrev, "Improved basic block reordering").
 //
 // ExtTSP generalises maximising fall-throughs: an edge also earns partial
 // credit when its target lands close enough for a short jump — within
-// 1024 bytes forward or 640 bytes backward, decaying linearly with
-// distance. We score inter-chain branch edges (fall-through edges are
-// intra-chain by construction, so concatenation cannot change their
-// score) with the source block's execution count as the edge weight, and
-// repeatedly merge the ordered chain pair with the highest positive
-// score until no merge helps. Remaining chains concatenate
-// heaviest-first, matching the paper's ordering for whatever the greedy
-// phase left apart.
+// params.tsp_forward_bytes forward or params.tsp_backward_bytes backward
+// (historically 1024/640), decaying linearly with distance and scaled by
+// the direction's weight. We score inter-chain branch edges
+// (fall-through edges are intra-chain by construction, so concatenation
+// cannot change their score) with the source block's execution count as
+// the edge weight, and repeatedly merge the ordered chain pair with the
+// highest positive score until no merge helps. Remaining chains come
+// back heaviest-first, matching the paper's ordering for whatever the
+// greedy phase left apart.
 #include <algorithm>
 #include <map>
 
@@ -20,22 +21,22 @@
 namespace wp::layout::passes {
 namespace {
 
-constexpr double kForwardReach = 1024.0;
-constexpr double kBackwardReach = 640.0;
-
 /// ExtTSP credit for one edge: src block ends at `src_end`, dst block
 /// starts at `dst_addr`, both byte offsets in the same (merged) chain.
-double edgeScore(u64 weight, u64 src_end, u64 dst_addr) {
+double edgeScore(const PassParams& p, u64 weight, u64 src_end,
+                 u64 dst_addr) {
   const double w = static_cast<double>(weight);
   if (dst_addr == src_end) return w;
   if (dst_addr > src_end) {
+    const double reach = static_cast<double>(p.tsp_forward_bytes);
     const double d = static_cast<double>(dst_addr - src_end);
-    if (d >= kForwardReach) return 0.0;
-    return w * 0.1 * (1.0 - d / kForwardReach);
+    if (d >= reach || reach == 0.0) return 0.0;
+    return w * p.tsp_forward_weight * (1.0 - d / reach);
   }
+  const double reach = static_cast<double>(p.tsp_backward_bytes);
   const double d = static_cast<double>(src_end - dst_addr);
-  if (d >= kBackwardReach) return 0.0;
-  return w * 0.1 * (1.0 - d / kBackwardReach);
+  if (d >= reach || reach == 0.0) return 0.0;
+  return w * p.tsp_backward_weight * (1.0 - d / reach);
 }
 
 struct BranchEdge {
@@ -45,12 +46,16 @@ struct BranchEdge {
 
 }  // namespace
 
-std::vector<u32> orderExtTsp(const ir::Module& module,
-                             std::vector<Chain>&& chains, u64 /*seed*/) {
+std::vector<Chain> passExtTsp(const ir::Module& module,
+                              std::vector<Chain>&& chains,
+                              const PassParams& params, u64 /*seed*/) {
   const std::size_t n = chains.size();
 
   // Byte offset of every block within its chain, and per-chain sizes.
-  std::vector<u32> chain_of(module.blocks.size(), 0);
+  // Blocks outside the given chains (cold code under a hotness
+  // threshold) carry the sentinel; their edges are ignored.
+  constexpr u32 kNoChain = ~u32{0};
+  std::vector<u32> chain_of(module.blocks.size(), kNoChain);
   std::vector<u64> block_off(module.blocks.size(), 0);
   std::vector<u64> chain_bytes(n, 0);
   auto reindex = [&](u32 ci) {
@@ -72,6 +77,9 @@ std::vector<u32> orderExtTsp(const ir::Module& module,
   module.forEachBranchEdge(
       [&](const ir::BasicBlock& src, u32 target, u32 /*inst*/) {
         if (src.exec_count == 0) return;
+        if (chain_of[src.id] == kNoChain || chain_of[target] == kNoChain) {
+          return;
+        }
         edges.push_back({src.id, target, src.exec_count});
       });
 
@@ -93,7 +101,7 @@ std::vector<u32> orderExtTsp(const ir::Module& module,
       } else {
         continue;
       }
-      score += edgeScore(e.weight, src_end, dst_addr);
+      score += edgeScore(params, e.weight, src_end, dst_addr);
     }
     return score;
   };
@@ -138,7 +146,7 @@ std::vector<u32> orderExtTsp(const ir::Module& module,
     reindex(best_a);
   }
 
-  // Survivors concatenate heaviest-first (ties: formation order).
+  // Survivors come back heaviest-first (ties: given order).
   std::vector<u32> order_chains;
   for (u32 ci = 0; ci < n; ++ci) {
     if (alive[ci]) order_chains.push_back(ci);
@@ -147,15 +155,12 @@ std::vector<u32> orderExtTsp(const ir::Module& module,
                    [&](const u32 a, const u32 b) {
                      return chains[a].weight > chains[b].weight;
                    });
-  std::vector<u32> order;
-  order.reserve(module.blocks.size());
+  std::vector<Chain> out;
+  out.reserve(order_chains.size());
   for (const u32 ci : order_chains) {
-    order.insert(order.end(), chains[ci].blocks.begin(),
-                 chains[ci].blocks.end());
+    out.push_back(std::move(chains[ci]));
   }
-  WP_ENSURE(order.size() == module.blocks.size(),
-            "exttsp ordering lost blocks");
-  return order;
+  return out;
 }
 
 }  // namespace wp::layout::passes

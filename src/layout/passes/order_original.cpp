@@ -1,20 +1,16 @@
-// ChainOrdering `original`: chains in formation order. ChainFormation
-// walks functions and blocks in authored order and never skips a block,
-// so concatenating its chains reproduces the authored program exactly —
+// Ordering pass `original`: chains unchanged. ChainFormation walks
+// functions and blocks in authored order and never skips a block, so
+// concatenating its chains reproduces the authored program exactly —
 // the baseline binary, and the binary the way-memoization runs keep
 // untouched.
 #include "layout/passes/passes.hpp"
 
 namespace wp::layout::passes {
 
-std::vector<u32> orderOriginal(const ir::Module& module,
-                               std::vector<Chain>&& chains, u64 /*seed*/) {
-  std::vector<u32> order;
-  order.reserve(module.blocks.size());
-  for (const Chain& c : chains) {
-    order.insert(order.end(), c.blocks.begin(), c.blocks.end());
-  }
-  return order;
+std::vector<Chain> passOriginal(const ir::Module& /*module*/,
+                                std::vector<Chain>&& chains,
+                                const PassParams& /*params*/, u64 /*seed*/) {
+  return std::move(chains);
 }
 
 }  // namespace wp::layout::passes

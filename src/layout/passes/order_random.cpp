@@ -1,22 +1,34 @@
-// ChainOrdering `random`: seeded Fisher–Yates shuffle of every block
-// id, deliberately ignoring the chains — the ablation floor. It
-// maximally exercises Emission's fall-through repair and bounds how bad
-// a layout the way-placement hardware can be handed.
+// Ordering pass `random`: seeded Fisher–Yates shuffle of the given
+// blocks, deliberately ignoring chain boundaries — the ablation floor.
+// It maximally exercises Emission's fall-through repair and bounds how
+// bad a layout the way-placement hardware can be handed.
 #include "layout/passes/passes.hpp"
 #include "support/rng.hpp"
 
 namespace wp::layout::passes {
 
-std::vector<u32> orderRandom(const ir::Module& module,
-                             std::vector<Chain>&& /*chains*/, u64 seed) {
-  std::vector<u32> order;
-  order.reserve(module.blocks.size());
-  for (u32 id = 0; id < module.blocks.size(); ++id) order.push_back(id);
-  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
-  for (std::size_t i = order.size(); i > 1; --i) {
-    std::swap(order[i - 1], order[rng.below(i)]);
+std::vector<Chain> passRandom(const ir::Module& module,
+                              std::vector<Chain>&& chains,
+                              const PassParams& /*params*/, u64 seed) {
+  // Flatten whatever the pipeline handed us. Formation order yields
+  // ascending block ids, so the historical whole-module shuffle is the
+  // hot_threshold=0 case of this.
+  std::vector<u32> ids;
+  ids.reserve(module.blocks.size());
+  for (const Chain& c : chains) {
+    ids.insert(ids.end(), c.blocks.begin(), c.blocks.end());
   }
-  return order;
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.below(i)]);
+  }
+  std::vector<Chain> out;
+  out.reserve(ids.size());
+  for (const u32 id : ids) {
+    const ir::BasicBlock& b = module.blocks[id];
+    out.push_back(Chain{{id}, b.exec_count * b.insts.size()});
+  }
+  return out;
 }
 
 }  // namespace wp::layout::passes

@@ -1,26 +1,22 @@
-// ChainOrdering `way_placement`: the paper's §3 ordering. Chains are
+// Ordering pass `way_placement`: the paper's §3 ordering. Chains are
 // concatenated heaviest-first so the hottest code lands at the start of
-// the binary where the way-placement area lives. Ties keep formation
-// order for determinism.
+// the binary where the way-placement area lives. Ties keep the prior
+// order for determinism (formation order when this is the first pass).
 #include <algorithm>
 
 #include "layout/passes/passes.hpp"
 
 namespace wp::layout::passes {
 
-std::vector<u32> orderWayPlacement(const ir::Module& module,
-                                   std::vector<Chain>&& chains,
-                                   u64 /*seed*/) {
+std::vector<Chain> passWayPlacement(const ir::Module& /*module*/,
+                                    std::vector<Chain>&& chains,
+                                    const PassParams& /*params*/,
+                                    u64 /*seed*/) {
   std::stable_sort(chains.begin(), chains.end(),
                    [](const Chain& a, const Chain& b) {
                      return a.weight > b.weight;
                    });
-  std::vector<u32> order;
-  order.reserve(module.blocks.size());
-  for (const Chain& c : chains) {
-    order.insert(order.end(), c.blocks.begin(), c.blocks.end());
-  }
-  return order;
+  return std::move(chains);
 }
 
 }  // namespace wp::layout::passes

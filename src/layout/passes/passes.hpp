@@ -1,44 +1,78 @@
 // Internal interface between the pass pipeline's stages. Each ordering
-// lives in its own translation unit under src/layout/passes/; the
-// registry in strategy.cpp binds them to names. Nothing here is part of
-// the public layout API.
+// pass lives in its own translation unit under src/layout/passes/; the
+// registry in strategy.cpp binds strategy names to pass sequences.
+// Nothing here is part of the public layout API.
 #pragma once
 
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
-#include "layout/layout.hpp"
+#include "layout/strategy.hpp"
 
 namespace wp::layout::passes {
 
 // --- ChainOrdering stage -------------------------------------------------
-// Contract: consume the must-respect chains of ChainFormation (blocks
-// within a chain are immovable relative to each other, except where an
-// ordering deliberately breaks them and accepts the Emission repairs)
-// and return a permutation of every block id in the module.
+// Contract: each pass consumes a chain list (blocks within a chain are
+// immovable relative to each other, except where a pass deliberately
+// breaks them and accepts the Emission repairs) and returns the
+// reordered — possibly merged or split — chain list. Concatenating the
+// returned chains is the placement; passes compose left to right
+// through PassParams::passes. A pass must preserve the block set it was
+// given: the pipeline hands hot chains only when a hotness threshold is
+// active, so a pass may never assume it sees the whole module.
 
-/// Chains in formation order — reproduces the authored program order.
-std::vector<u32> orderOriginal(const ir::Module& module,
-                               std::vector<Chain>&& chains, u64 seed);
+/// Chains unchanged — with the formation order this reproduces the
+/// authored program exactly (the baseline binary, and the binary the
+/// way-memoization runs keep untouched).
+std::vector<Chain> passOriginal(const ir::Module& module,
+                                std::vector<Chain>&& chains,
+                                const PassParams& params, u64 seed);
 
-/// The paper's §3 ordering: heaviest chain first, ties in formation
-/// order.
-std::vector<u32> orderWayPlacement(const ir::Module& module,
-                                   std::vector<Chain>&& chains, u64 seed);
+/// The paper's §3 ordering: heaviest chain first, ties in prior order.
+std::vector<Chain> passWayPlacement(const ir::Module& module,
+                                    std::vector<Chain>&& chains,
+                                    const PassParams& params, u64 seed);
 
-/// Seeded Fisher–Yates shuffle of all block ids, ignoring chains — the
-/// ablation floor that exercises Emission's fall-through repair.
-std::vector<u32> orderRandom(const ir::Module& module,
-                             std::vector<Chain>&& chains, u64 seed);
+/// Seeded Fisher–Yates shuffle of the given blocks as singleton chains,
+/// ignoring chain boundaries — the ablation floor that exercises
+/// Emission's fall-through repair.
+std::vector<Chain> passRandom(const ir::Module& module,
+                              std::vector<Chain>&& chains,
+                              const PassParams& params, u64 seed);
 
-/// Codestitcher-style distance-bounded call collocation at the default
-/// reach (layout::kCallDistanceReachBytes).
-std::vector<u32> orderCallDistance(const ir::Module& module,
-                                   std::vector<Chain>&& chains, u64 seed);
+/// Codestitcher-style distance-bounded call collocation within
+/// params.call_reach_bytes; merged clusters come back heaviest-first as
+/// single chains.
+std::vector<Chain> passCallDistance(const ir::Module& module,
+                                    std::vector<Chain>&& chains,
+                                    const PassParams& params, u64 seed);
 
-/// Greedy ExtTSP-scored chain concatenation.
-std::vector<u32> orderExtTsp(const ir::Module& module,
-                             std::vector<Chain>&& chains, u64 seed);
+/// Greedy ExtTSP-scored chain concatenation under the params' jump
+/// windows and weights; surviving chains come back heaviest-first.
+std::vector<Chain> passExtTsp(const ir::Module& module,
+                              std::vector<Chain>&& chains,
+                              const PassParams& params, u64 seed);
+
+/// One registered ordering pass: a PassParams::passes name bound to its
+/// transform. needs_profile marks passes that are meaningless without
+/// block exec counts; a spec needs a profile iff any of its passes do.
+struct OrderingPass {
+  std::string name;
+  bool needs_profile = false;
+  std::vector<Chain> (*run)(const ir::Module&, std::vector<Chain>&&,
+                            const PassParams&, u64) = nullptr;
+};
+
+/// All registered ordering passes, in registration order.
+[[nodiscard]] const std::vector<const OrderingPass*>& orderingPasses();
+
+/// Pass lookup by name; nullptr when unknown.
+[[nodiscard]] const OrderingPass* findOrderingPass(std::string_view name);
+
+/// "a, b, c" over the registered pass names, for error messages.
+[[nodiscard]] std::string joinedOrderingPassNames();
 
 // --- Emission stage ------------------------------------------------------
 

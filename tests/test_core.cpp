@@ -5,7 +5,7 @@
 #include <functional>
 
 #include "asmkit/builder.hpp"
-#include "layout/layout.hpp"
+#include "layout/strategy.hpp"
 #include "sim/core.hpp"
 
 namespace wp {
@@ -25,7 +25,7 @@ std::vector<u32> runProgram(
   f.epilogue({r4, r5, r6, r7});
   const ir::Module module = mb.build();
   const mem::Image image =
-      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+      layout::layoutImage(module, "original");
   mem::Memory memory;
   image.loadInto(memory);
   sim::Core core(image, memory);
@@ -282,7 +282,7 @@ TEST(CoreErrors, PcOutsideCodeThrows) {
   f.jr(r0);  // jump into the void
   const ir::Module module = mb.build();
   const mem::Image image =
-      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+      layout::layoutImage(module, "original");
   mem::Memory memory;
   image.loadInto(memory);
   sim::Core core(image, memory);

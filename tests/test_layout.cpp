@@ -94,12 +94,12 @@ TEST(Chains, WeightOverflowIsALoudError) {
 TEST(Order, HeaviestChainFirst) {
   ir::Module m = twoFunctionModule();
   // Profile: make "hot" hot.
-  const mem::Image orig = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image orig = layout::layoutImage(m, "original");
   mem::Memory memory;
   orig.loadInto(memory);
   profile::annotate(m, profile::profileImage(orig, memory));
 
-  const auto order = layout::orderBlocks(m, layout::Policy::kWayPlacement);
+  const auto order = layout::orderBlocks(m, layout::resolveStrategy("way_placement"));
   // The first placed block must belong to the hot loop's chain.
   const ir::Function* hot = m.findFunction("hot");
   EXPECT_EQ(order[0], hot->block_ids[0]);
@@ -110,7 +110,7 @@ TEST(Order, HeaviestChainFirst) {
 
 TEST(Order, OriginalKeepsAuthoredOrder) {
   const ir::Module m = twoFunctionModule();
-  const auto order = layout::orderBlocks(m, layout::Policy::kOriginal);
+  const auto order = layout::orderBlocks(m, layout::resolveStrategy("original"));
   u32 expect = 0;
   for (const ir::Function& fn : m.functions) {
     for (const u32 id : fn.block_ids) EXPECT_EQ(order[expect++], id);
@@ -119,9 +119,9 @@ TEST(Order, OriginalKeepsAuthoredOrder) {
 
 TEST(Order, RandomIsAPermutationAndSeedStable) {
   const ir::Module m = twoFunctionModule();
-  const auto a = layout::orderBlocks(m, layout::Policy::kRandom, 3);
-  const auto b = layout::orderBlocks(m, layout::Policy::kRandom, 3);
-  const auto c = layout::orderBlocks(m, layout::Policy::kRandom, 4);
+  const auto a = layout::orderBlocks(m, layout::resolveStrategy("random"), 3);
+  const auto b = layout::orderBlocks(m, layout::resolveStrategy("random"), 3);
+  const auto c = layout::orderBlocks(m, layout::resolveStrategy("random"), 4);
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);
   std::vector<u32> sorted = a;
@@ -131,14 +131,14 @@ TEST(Order, RandomIsAPermutationAndSeedStable) {
 
 TEST(Linker, NoRepairsWhenFallthroughsIntact) {
   const ir::Module m = twoFunctionModule();
-  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image img = layout::layoutImage(m, "original");
   EXPECT_EQ(img.code.size(), m.staticInstructions() * 4);
 }
 
 TEST(Linker, RepairsInsertedForBrokenFallthroughs) {
   const ir::Module m = twoFunctionModule();
   // A reversed order breaks most fall-throughs.
-  auto order = layout::orderBlocks(m, layout::Policy::kOriginal);
+  auto order = layout::orderBlocks(m, layout::resolveStrategy("original"));
   std::reverse(order.begin(), order.end());
   const mem::Image img = layout::link(m, order);
   EXPECT_GT(img.code.size(), m.staticInstructions() * 4);
@@ -146,7 +146,7 @@ TEST(Linker, RepairsInsertedForBrokenFallthroughs) {
 
 TEST(Linker, BlockAddressesCoverCode) {
   const ir::Module m = twoFunctionModule();
-  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image img = layout::layoutImage(m, "original");
   EXPECT_EQ(img.block_addr.size(), m.blocks.size());
   for (const auto& [id, addr] : img.block_addr) {
     EXPECT_LE(mem::kCodeBase, addr);
@@ -260,8 +260,8 @@ ir::Module randomProgram(u64 seed) {
   return mb.build();
 }
 
-u32 runAndReadOut(const ir::Module& m, layout::Policy policy, u64 seed) {
-  const mem::Image img = layout::linkWithPolicy(m, policy, seed);
+u32 runAndReadOut(const ir::Module& m, const std::string& spec, u64 seed) {
+  const mem::Image img = layout::layoutImage(m, spec, seed);
   mem::Memory memory;
   img.loadInto(memory);
   sim::Core core(img, memory);
@@ -278,22 +278,29 @@ class LayoutEquivalence : public ::testing::TestWithParam<u64> {};
 
 TEST_P(LayoutEquivalence, AllPoliciesComputeSameResult) {
   ir::Module m = randomProgram(GetParam());
-  const u32 original = runAndReadOut(m, layout::Policy::kOriginal, 0);
+  const u32 original = runAndReadOut(m, "original", 0);
 
   // Annotate with a profile so the WP order is meaningful.
-  const mem::Image orig = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image orig = layout::layoutImage(m, "original");
   mem::Memory memory;
   orig.loadInto(memory);
   profile::annotate(m, profile::profileImage(orig, memory));
 
-  EXPECT_EQ(runAndReadOut(m, layout::Policy::kWayPlacement, 0), original);
+  EXPECT_EQ(runAndReadOut(m, "way_placement", 0), original);
   for (u64 shuffle = 1; shuffle <= 3; ++shuffle) {
-    EXPECT_EQ(runAndReadOut(m, layout::Policy::kRandom, shuffle), original)
+    EXPECT_EQ(runAndReadOut(m, "random", shuffle), original)
         << "shuffle seed " << shuffle;
   }
 
-  // Every registered strategy — including the literature orderings with
-  // no Policy enumerator — must preserve semantics too.
+  // Parameter overrides reorder and split chains but must preserve
+  // semantics just like the registered defaults.
+  EXPECT_EQ(runAndReadOut(
+                m, "exttsp{passes=call_distance+exttsp,chain_hot_threshold=4}",
+                0),
+            original);
+
+  // Every registered strategy — including the literature orderings and
+  // the autotuned configuration — must preserve semantics too.
   for (const layout::LayoutStrategy* s : layout::strategies()) {
     const layout::LayoutResult laid = layout::runPipeline(m, *s);
     mem::Memory memory;
@@ -319,7 +326,7 @@ class SchemeEquivalence : public ::testing::TestWithParam<u64> {};
 
 TEST_P(SchemeEquivalence, AllSchemesComputeSameResult) {
   ir::Module m = randomProgram(GetParam() * 1000003ULL);
-  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image img = layout::layoutImage(m, "original");
 
   std::optional<u32> expected;
   std::optional<u64> expected_insts;
@@ -355,7 +362,8 @@ INSTANTIATE_TEST_SUITE_P(RandomPrograms, SchemeEquivalence,
 TEST(Strategy, RegistryListsTheExpectedOrderings) {
   const std::vector<std::string> names = layout::strategyNames();
   const std::vector<std::string> expected = {
-      "original", "way_placement", "random", "call_distance", "exttsp"};
+      "original", "way_placement", "random",
+      "call_distance", "exttsp", "autotuned"};
   EXPECT_EQ(names, expected);
   EXPECT_EQ(layout::defaultStrategyName(), "way_placement");
   for (const std::string& n : names) {
@@ -363,20 +371,18 @@ TEST(Strategy, RegistryListsTheExpectedOrderings) {
   }
 }
 
-TEST(Strategy, PolicyNamesRoundTripThroughParseStrategy) {
+TEST(Strategy, LegacyPolicySpellingsRoundTripThroughParseStrategy) {
   // The legacy Policy spellings (including the hyphenated
-  // "way-placement" that policyName has always printed and that recorded
-  // WP_JSON references carry) must resolve to registered strategies.
-  EXPECT_EQ(layout::parseStrategy(layout::policyName(layout::Policy::kOriginal))
-                .name,
-            "original");
-  EXPECT_EQ(
-      layout::parseStrategy(layout::policyName(layout::Policy::kWayPlacement))
-          .name,
-      "way_placement");
-  EXPECT_EQ(layout::parseStrategy(layout::policyName(layout::Policy::kRandom))
-                .name,
-            "random");
+  // "way-placement" that the removed policyName printed and that
+  // recorded WP_JSON references carry) must resolve to registered
+  // strategies.
+  EXPECT_EQ(layout::parseStrategy("original").name, "original");
+  EXPECT_EQ(layout::parseStrategy("way-placement").name, "way_placement");
+  EXPECT_EQ(layout::parseStrategy("random").name, "random");
+  // The alias resolves to the same canonical spec as the primary name,
+  // so memo keys and store digests agree no matter the spelling used.
+  EXPECT_EQ(layout::resolveStrategy("way-placement").canonical(),
+            "way_placement");
 }
 
 TEST(Strategy, ParseRejectsUnknownNamesListingTheValidOnes) {
@@ -417,7 +423,7 @@ TEST(Strategy, WayPlacementImageMatchesLegacyAlgorithmBitForBit) {
   for (const u64 seed : {3u, 17u, 42u}) {
     ir::Module m = randomProgram(seed);
     const mem::Image orig =
-        layout::linkWithPolicy(m, layout::Policy::kOriginal);
+        layout::layoutImage(m, "original");
     mem::Memory memory;
     orig.loadInto(memory);
     profile::annotate(m, profile::profileImage(orig, memory));
@@ -445,7 +451,7 @@ TEST(Strategy, WayPlacementImageMatchesLegacyAlgorithmBitForBit) {
 
 TEST(Strategy, ReportExplainsThePlacement) {
   ir::Module m = randomProgram(11);
-  const mem::Image orig = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image orig = layout::layoutImage(m, "original");
   mem::Memory memory;
   orig.loadInto(memory);
   profile::annotate(m, profile::profileImage(orig, memory));
@@ -500,15 +506,14 @@ TEST(Strategy, NewOrderingsKeepChainsIntact) {
   for (const u64 seed : {2u, 9u, 23u}) {
     ir::Module m = randomProgram(seed);
     const mem::Image orig =
-        layout::linkWithPolicy(m, layout::Policy::kOriginal);
+        layout::layoutImage(m, "original");
     mem::Memory memory;
     orig.loadInto(memory);
     profile::annotate(m, profile::profileImage(orig, memory));
 
-    for (const char* name : {"call_distance", "exttsp"}) {
-      const layout::LayoutStrategy& s = layout::parseStrategy(name);
+    for (const char* name : {"call_distance", "exttsp", "autotuned"}) {
       const std::vector<u32> order =
-          s.order(m, layout::formChains(m), /*seed=*/0);
+          layout::orderBlocks(m, layout::resolveStrategy(name), /*seed=*/0);
       expectChainsIntact(m, order, name);
     }
   }
@@ -518,13 +523,171 @@ TEST(Strategy, CallDistanceWithZeroReachIsPlainWayPlacement) {
   // With no byte budget nothing merges, and the heaviest-first group
   // concatenation degenerates to the paper's ordering exactly.
   ir::Module m = randomProgram(5);
-  const mem::Image orig = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image orig = layout::layoutImage(m, "original");
   mem::Memory memory;
   orig.loadInto(memory);
   profile::annotate(m, profile::profileImage(orig, memory));
 
-  EXPECT_EQ(layout::orderCallDistanceWithReach(m, layout::formChains(m), 0),
-            layout::orderBlocks(m, layout::Policy::kWayPlacement));
+  EXPECT_EQ(
+      layout::orderBlocks(
+          m, layout::resolveStrategy("call_distance{call_reach_bytes=0}")),
+      layout::orderBlocks(m, layout::resolveStrategy("way_placement")));
+}
+
+// ---------------------------------------------------------------------------
+// Strategy specs: parameter overrides, canonicalization, env parsing.
+// ---------------------------------------------------------------------------
+
+TEST(StrategySpec, CanonicalElidesDefaultsAndRoundTrips) {
+  // A bare name stays a bare name: every pre-parameterization cell key,
+  // checkpoint record and store digest remains valid.
+  for (const layout::LayoutStrategy* s : layout::strategies()) {
+    EXPECT_EQ(layout::resolveStrategy(s->name).canonical(), s->name);
+  }
+  // Explicitly spelling a registered default is the same spec.
+  EXPECT_EQ(
+      layout::resolveStrategy("call_distance{call_reach_bytes=4096}")
+          .canonical(),
+      "call_distance");
+  // Overridden keys print in fixed key order regardless of input order,
+  // and the canonical string re-resolves to an equal spec.
+  const layout::StrategySpec spec = layout::resolveStrategy(
+      "exttsp{tsp_forward_weight=0.2,chain_hot_threshold=64,"
+      "passes=call_distance+exttsp}");
+  EXPECT_EQ(spec.canonical(),
+            "exttsp{passes=call_distance+exttsp,chain_hot_threshold=64,"
+            "tsp_forward_weight=0.2}");
+  EXPECT_TRUE(layout::resolveStrategy(spec.canonical()) == spec);
+}
+
+TEST(StrategySpec, MalformedOverridesAreRejectedWithTheValidKeys) {
+  const auto expectThrows = [](const std::string& spec,
+                               const std::string& needle) {
+    try {
+      (void)layout::resolveStrategy(spec);
+      FAIL() << "resolveStrategy accepted " << spec;
+    } catch (const SimError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << spec << " -> " << e.what();
+    }
+  };
+  // Unknown key: the message lists the valid ones.
+  expectThrows("way_placement{reach=1}", "call_reach_bytes");
+  // Bad values, missing '=' and unterminated spec are all startup
+  // errors, never silent defaults.
+  expectThrows("way_placement{call_reach_bytes=banana}", "call_reach_bytes");
+  expectThrows("exttsp{tsp_forward_weight=-1}", "tsp_forward_weight");
+  expectThrows("way_placement{chain_hot_threshold}", "chain_hot_threshold");
+  expectThrows("way_placement{passes=original", "way_placement{");
+  // Unknown pass name in a pass list: lists the registered passes.
+  expectThrows("way_placement{passes=original+hottest}", "call_distance");
+}
+
+TEST(StrategySpec, HotThresholdSplitsColdChainsBehindTheHotOnes) {
+  ir::Module m = randomProgram(13);
+  const mem::Image orig = layout::layoutImage(m, "original");
+  mem::Memory memory;
+  orig.loadInto(memory);
+  profile::annotate(m, profile::profileImage(orig, memory));
+
+  // An impossible threshold marks every chain cold: nothing reaches the
+  // ordering passes and the cold tail is the formation order, i.e. the
+  // authored order — the original image, bit for bit.
+  const mem::Image all_cold = layout::layoutImage(
+      m, "way_placement{chain_hot_threshold=18446744073709551615}");
+  EXPECT_EQ(all_cold.code, orig.code);
+  EXPECT_EQ(all_cold.block_addr, orig.block_addr);
+
+  // A moderate threshold still yields a chain-respecting permutation,
+  // with every hot chain placed ahead of every cold one.
+  const layout::StrategySpec spec =
+      layout::resolveStrategy("way_placement{chain_hot_threshold=8}");
+  const std::vector<u32> order = layout::orderBlocks(m, spec);
+  expectChainsIntact(m, order, "hot/cold split");
+  std::vector<u32> pos(order.size());
+  for (u32 i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  u32 max_hot = 0;
+  u32 min_cold = static_cast<u32>(order.size());
+  for (const auto& c : layout::formChains(m)) {
+    for (const u32 b : c.blocks) {
+      if (c.weight >= 8) {
+        max_hot = std::max(max_hot, pos[b]);
+      } else {
+        min_cold = std::min(min_cold, pos[b]);
+      }
+    }
+  }
+  EXPECT_LT(max_hot, min_cold);
+}
+
+TEST(StrategyDeathTest, GarbageWpLayoutParamsExitsWithStatusOne) {
+  EXPECT_EXIT(
+      {
+        setenv("WP_LAYOUT", "way_placement", 1);
+        setenv("WP_LAYOUT_PARAMS", "call_reach_bytes=soon", 1);
+        (void)layout::strategyFromEnv();
+      },
+      ::testing::ExitedWithCode(1), "WP_LAYOUT_PARAMS");
+  EXPECT_EXIT(
+      {
+        setenv("WP_LAYOUT", "way_placement", 1);
+        setenv("WP_LAYOUT_PARAMS", "frobnicate=1", 1);
+        (void)layout::strategyFromEnv();
+      },
+      ::testing::ExitedWithCode(1), "WP_LAYOUT_PARAMS");
+}
+
+TEST(Strategy, EnvParamsOverrideTheSelectedStrategy) {
+  setenv("WP_LAYOUT", "exttsp", 1);
+  setenv("WP_LAYOUT_PARAMS", "tsp_forward_bytes=512", 1);
+  EXPECT_EQ(layout::strategyFromEnv(), "exttsp{tsp_forward_bytes=512}");
+  // Overriding back to the registered default canonicalizes away.
+  setenv("WP_LAYOUT_PARAMS", "tsp_forward_bytes=1024", 1);
+  EXPECT_EQ(layout::strategyFromEnv(), "exttsp");
+  unsetenv("WP_LAYOUT_PARAMS");
+  unsetenv("WP_LAYOUT");
+}
+
+// ---------------------------------------------------------------------------
+// LayoutReport edge cases: the coverage CDF and dynamic-instruction
+// accounting must stay well-defined on degenerate inputs.
+// ---------------------------------------------------------------------------
+
+TEST(LayoutReport, EmptyReportHasNoProfileAndZeroCoverage) {
+  const layout::LayoutReport r;
+  EXPECT_EQ(r.dynamicInstructions(), 0u);
+  EXPECT_DOUBLE_EQ(r.coverage(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.coverage(4096), 0.0);
+}
+
+TEST(LayoutReport, ZeroExecProfileReportsZeroCoverageNotNan) {
+  // An unannotated module lays out fine; its report just carries no
+  // profile, and coverage must stay 0.0 (not 0/0) at every area.
+  ir::Module m = twoFunctionModule();
+  const layout::LayoutResult laid = layout::runPipeline(m, "original");
+  EXPECT_EQ(laid.report.dynamicInstructions(), 0u);
+  EXPECT_DOUBLE_EQ(laid.report.coverage(1024), 0.0);
+  const u32 whole = static_cast<u32>(laid.image.code.size()) + 1024;
+  EXPECT_DOUBLE_EQ(laid.report.coverage(whole), 0.0);
+}
+
+TEST(LayoutReport, BlockStraddlingTheAreaBoundaryCountsPerInstruction) {
+  // One 16-instruction block at the segment base, executed once: a
+  // 32-byte area covers exactly its first 8 instructions.
+  layout::LayoutReport r;
+  r.spans.push_back({/*addr=*/mem::kCodeBase, /*insts=*/16, /*exec=*/1});
+  EXPECT_EQ(r.dynamicInstructions(), 16u);
+  EXPECT_DOUBLE_EQ(r.coverage(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.coverage(32), 0.5);
+  // A non-instruction-aligned boundary rounds down to whole covered
+  // instructions.
+  EXPECT_DOUBLE_EQ(r.coverage(34), 0.5);
+  EXPECT_DOUBLE_EQ(r.coverage(36), 9.0 / 16.0);
+  EXPECT_DOUBLE_EQ(r.coverage(64), 1.0);
+  // A second, never-executed span beyond the boundary changes nothing.
+  r.spans.push_back({/*addr=*/mem::kCodeBase + 64, /*insts=*/4, /*exec=*/0});
+  EXPECT_DOUBLE_EQ(r.coverage(32), 0.5);
+  EXPECT_DOUBLE_EQ(r.coverage(64), 1.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -560,10 +723,10 @@ class PermutationEquivalence : public ::testing::TestWithParam<u64> {};
 TEST_P(PermutationEquivalence, AnyBlockPermutationPreservesDataflow) {
   ir::Module m = randomProgram(GetParam() * 7919ULL + 1);
   const ProcRun original = runOnProcessor(
-      layout::linkWithPolicy(m, layout::Policy::kOriginal));
+      layout::layoutImage(m, "original"));
 
   for (u64 shuffle = 1; shuffle <= 4; ++shuffle) {
-    const auto order = layout::orderBlocks(m, layout::Policy::kRandom,
+    const auto order = layout::orderBlocks(m, layout::resolveStrategy("random"),
                                            shuffle);
     const mem::Image img = layout::link(m, order);
     const ProcRun permuted = runOnProcessor(img);

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "asmkit/builder.hpp"
-#include "layout/layout.hpp"
+#include "layout/strategy.hpp"
 #include "sim/processor.hpp"
 
 namespace wp {
@@ -38,7 +38,7 @@ ir::Module loopProgram(i32 iters, i32 stride_elems) {
 }
 
 sim::RunStats runProgram(const ir::Module& m, const sim::MachineConfig& cfg) {
-  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image img = layout::layoutImage(m, "original");
   mem::Memory memory;
   img.loadInto(memory);
   sim::Processor proc(cfg, img, memory);
@@ -96,7 +96,7 @@ TEST(Processor, RunawayGuestIsCaught) {
   const ir::Module m = mb.build();
   sim::MachineConfig cfg = sim::baselineMachine();
   cfg.max_instructions = 10000;
-  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image img = layout::layoutImage(m, "original");
   mem::Memory memory;
   img.loadInto(memory);
   sim::Processor proc(cfg, img, memory);

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "asmkit/builder.hpp"
-#include "layout/layout.hpp"
+#include "layout/strategy.hpp"
 #include "profile/profiler.hpp"
 
 namespace wp {
@@ -24,7 +24,7 @@ TEST(Profiler, LoopCountsAreExact) {
   f.ret();
   ir::Module m = mb.build();
 
-  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image img = layout::layoutImage(m, "original");
   mem::Memory memory;
   img.loadInto(memory);
   const profile::ProfileResult res = profile::profileImage(img, memory);
@@ -46,7 +46,7 @@ TEST(Profiler, UnreachedBlocksGetZero) {
   auto& f = mb.func("main");
   f.ret();
   ir::Module m = mb.build();
-  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image img = layout::layoutImage(m, "original");
   mem::Memory memory;
   img.loadInto(memory);
   profile::annotate(m, profile::profileImage(img, memory));
@@ -64,7 +64,7 @@ TEST(Profiler, InstructionCountMatches) {
   f.add(r0, r0, r1);
   f.ret();
   const ir::Module m = mb.build();
-  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image img = layout::layoutImage(m, "original");
   mem::Memory memory;
   img.loadInto(memory);
   const profile::ProfileResult res = profile::profileImage(img, memory);
@@ -79,7 +79,7 @@ TEST(Profiler, BudgetGuardsAgainstRunaway) {
   f.bind(loop);
   f.jmp(loop);  // infinite
   const ir::Module m = mb.build();
-  const mem::Image img = layout::linkWithPolicy(m, layout::Policy::kOriginal);
+  const mem::Image img = layout::layoutImage(m, "original");
   mem::Memory memory;
   img.loadInto(memory);
   EXPECT_THROW(profile::profileImage(img, memory, /*max=*/1000), SimError);

@@ -313,6 +313,19 @@ TEST(SweepKey, LayoutStrategiesAreKeyMaterialAndAliasesCanonicalize) {
       driver::SweepExecutor::keyOf("crc", kXScale, s);
   s.layout = "way-placement";
   EXPECT_EQ(driver::SweepExecutor::keyOf("crc", kXScale, s), canonical);
+
+  // Parameter overrides are key material: a tuned spec must never
+  // collide with the default-params cell it was derived from...
+  s.layout = "way_placement{chain_hot_threshold=64}";
+  EXPECT_NE(driver::SweepExecutor::keyOf("crc", kXScale, s), canonical);
+  // ...but spelling out a registered default is the same experiment,
+  // and any spelling of the same overrides normalizes to one key.
+  s.layout = "way_placement{chain_hot_threshold=0}";
+  EXPECT_EQ(driver::SweepExecutor::keyOf("crc", kXScale, s), canonical);
+  s.layout = "exttsp{tsp_forward_weight=0.2,tsp_forward_bytes=512}";
+  const std::string tuned = driver::SweepExecutor::keyOf("crc", kXScale, s);
+  s.layout = "exttsp{tsp_forward_bytes=512,tsp_forward_weight=0.2}";
+  EXPECT_EQ(driver::SweepExecutor::keyOf("crc", kXScale, s), tuned);
 }
 
 // ---------------------------------------------------------------------

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "asmkit/builder.hpp"
-#include "layout/layout.hpp"
+#include "layout/strategy.hpp"
 #include "sim/tracer.hpp"
 
 namespace wp {
@@ -16,7 +16,7 @@ mem::Image linkSimple(const std::function<void(FunctionBuilder&)>& body) {
   mb.bss("buf", 64);
   auto& f = mb.func("main");
   body(f);
-  return layout::linkWithPolicy(mb.build(), layout::Policy::kOriginal);
+  return layout::layoutImage(mb.build(), "original");
 }
 
 TEST(Tracer, RecordsDisassemblyAndRegisters) {

@@ -32,7 +32,7 @@ TEST_P(WorkloadCorrectness, SmallInputOriginalLayout) {
   auto w = workloads::makeWorkload(GetParam());
   const ir::Module module = w->build();
   const mem::Image image =
-      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+      layout::layoutImage(module, "original");
   mem::Memory memory;
   image.loadInto(memory);
   w->prepare(memory, InputSize::kSmall);
@@ -44,7 +44,7 @@ TEST_P(WorkloadCorrectness, LargeInputOriginalLayout) {
   auto w = workloads::makeWorkload(GetParam());
   const ir::Module module = w->build();
   const mem::Image image =
-      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+      layout::layoutImage(module, "original");
   mem::Memory memory;
   image.loadInto(memory);
   w->prepare(memory, InputSize::kLarge);
@@ -58,14 +58,14 @@ TEST_P(WorkloadCorrectness, LargeInputWayPlacementLayout) {
 
   // Profile on the small input, as the real flow does.
   const mem::Image orig =
-      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+      layout::layoutImage(module, "original");
   mem::Memory pmem;
   orig.loadInto(pmem);
   w->prepare(pmem, InputSize::kSmall);
   profile::annotate(module, profile::profileImage(orig, pmem));
 
   const mem::Image image =
-      layout::linkWithPolicy(module, layout::Policy::kWayPlacement);
+      layout::layoutImage(module, "way_placement");
   mem::Memory memory;
   image.loadInto(memory);
   w->prepare(memory, InputSize::kLarge);
@@ -81,7 +81,7 @@ TEST_P(WorkloadCorrectness, SmallInputLiteratureStrategyLayouts) {
   ir::Module module = w->build();
 
   const mem::Image orig =
-      layout::linkWithPolicy(module, layout::Policy::kOriginal);
+      layout::layoutImage(module, "original");
   mem::Memory pmem;
   orig.loadInto(pmem);
   w->prepare(pmem, InputSize::kSmall);
@@ -101,7 +101,7 @@ TEST_P(WorkloadCorrectness, LargeInputRandomLayout) {
   auto w = workloads::makeWorkload(GetParam());
   const ir::Module module = w->build();
   const mem::Image image =
-      layout::linkWithPolicy(module, layout::Policy::kRandom, /*seed=*/7);
+      layout::layoutImage(module, "random", /*seed=*/7);
   mem::Memory memory;
   image.loadInto(memory);
   w->prepare(memory, InputSize::kLarge);
