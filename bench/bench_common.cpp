@@ -7,6 +7,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "support/shutdown.hpp"
 #include "workloads/workload.hpp"
 
 namespace wp::bench {
@@ -51,26 +52,50 @@ u64 experimentSeed() {
 }
 
 driver::SweepExecutor makeSuite() {
+  // Every bench is interrupt-aware: SIGTERM/SIGINT latches, cells that
+  // have not started quarantine as `interrupted`, and finish() flushes
+  // the partial WP_JSON report and exits 5 instead of losing the run.
+  ShutdownLatch& latch = ShutdownLatch::instance();
+  latch.install();
   return driver::SweepExecutor(selectedWorkloads(), energy::EnergyParams{},
-                               experimentSeed());
+                               experimentSeed(), 0, nullptr, &latch);
 }
 
 int finish(const driver::SweepExecutor& suite) {
-  const auto quarantined = suite.quarantined();
-  if (!quarantined.empty()) {
+  std::vector<driver::SweepExecutor::QuarantinedCell> failed;
+  std::size_t interrupted = 0;
+  for (auto& q : suite.quarantined()) {
+    if (q.interrupted) {
+      ++interrupted;
+    } else {
+      failed.push_back(std::move(q));
+    }
+  }
+  if (!failed.empty()) {
     // Part of the bench's result, so it goes to stdout with the tables:
     // anyone diffing output sees exactly which cells the averages lost.
-    std::cout << "\nDEGRADED RESULTS: " << quarantined.size()
+    std::cout << "\nDEGRADED RESULTS: " << failed.size()
               << " cell(s) quarantined after exhausting retries; averages "
                  "marked '*' exclude them, cells marked QUAR have no "
                  "surviving data.\n";
-    for (const auto& q : quarantined) {
+    for (const auto& q : failed) {
       std::cout << "  QUAR " << q.error << "\n";
     }
   }
+  const bool was_interrupted = ShutdownLatch::instance().requested();
+  if (was_interrupted) {
+    // A count, not a listing: an early SIGTERM can skip hundreds of
+    // cells, and the point of the footer is "this table is partial",
+    // not a per-cell audit (the WP_JSON quarantined section has that).
+    std::cout << "\nINTERRUPTED SWEEP: shutdown signal received; "
+              << interrupted
+              << " cell(s) were never started and render as QUAR. Partial "
+                 "results above are trustworthy; rerun to complete.\n";
+  }
   suite.printSummary(std::cerr);
   suite.emitJsonIfRequested();
-  return quarantined.empty() ? 0 : 3;
+  if (was_interrupted) return 5;
+  return failed.empty() ? 0 : 3;
 }
 
 std::string cellPct(const driver::SweepExecutor::SuiteAverage& a,

@@ -60,6 +60,10 @@ void printHeader(const std::string& title, const std::string& paper_ref);
 ///   0  clean sweep, every cell priced
 ///   3  degraded-but-complete: >=1 cell quarantined, tables rendered
 ///      with QUAR markers and the remaining cells are trustworthy
+///   5  interrupted: SIGTERM/SIGINT latched mid-sweep (makeSuite
+///      installs the process shutdown latch) — cells that never
+///      started render as QUAR behind an INTERRUPTED footer, and the
+///      partial WP_JSON report is still flushed before exit
 [[nodiscard]] int finish(const driver::SweepExecutor& suite);
 
 /// Renders a checked suite average as a percentage table cell: "QUAR"

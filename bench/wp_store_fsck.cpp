@@ -1,0 +1,31 @@
+// Offline WP_STORE integrity checker — see driver/store_fsck.hpp.
+//
+// Usage: wp_store_fsck [--remove] [--verbose] DIR
+//
+// Exit codes:
+//   0  store is clean (or --remove just made it so)
+//   1  DIR missing or unlistable
+//   2  usage error
+//   3  problems found and left in place (report-only mode)
+#include <cstdio>
+#include <iostream>
+
+#include "driver/store_fsck.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wp::driver;
+
+  FsckOptions options;
+  std::string error;
+  if (!parseFsckArgs(argc, argv, options, error)) {
+    std::fprintf(stderr,
+                 "error: wp_store_fsck: %s\n"
+                 "usage: wp_store_fsck [--remove] [--verbose] DIR\n",
+                 error.c_str());
+    return 2;
+  }
+  const FsckReport report = fsckStore(options, std::cout);
+  if (!report.dir_ok) return 1;
+  if (report.clean() || options.remove) return 0;
+  return 3;
+}

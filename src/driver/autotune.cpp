@@ -151,6 +151,26 @@ u32 pageCeil(u64 bytes) {
 
 }  // namespace
 
+WpAreaRecommendation recommendWpArea(const PreparedWorkload& prepared,
+                                     const std::string& spec) {
+  WpAreaRecommendation rec;
+  const layout::LayoutReport& report = prepared.layoutFor(spec).report;
+  if (report.dynamicInstructions() == 0) return rec;  // nothing to steer by
+  u64 code_end = 0;
+  for (const layout::LayoutReport::Span& s : report.spans) {
+    code_end = std::max(code_end, static_cast<u64>(s.addr) +
+                                      static_cast<u64>(s.insts) * 4);
+  }
+  const u32 code_limit = pageCeil(code_end - mem::kCodeBase);
+  u32 area = mem::kPageBytes;
+  while (area < code_limit && report.coverage(area) < kDominantCoverage) {
+    area += mem::kPageBytes;
+  }
+  rec.bytes = area;
+  rec.coverage = report.coverage(area);
+  return rec;
+}
+
 AutotuneResult autotuneLayout(SweepExecutor& suite,
                               const cache::CacheGeometry& icache,
                               u32 wp_area_bytes,
@@ -288,25 +308,10 @@ AutotuneResult autotuneLayout(SweepExecutor& suite,
       wb.quarantined = true;
     } else {
       // Dominant-block area recommendation from the winning layout's
-      // report: smallest page multiple covering kDominantCoverage of
-      // the profiled dynamic instructions.
-      const layout::LayoutReport& report = p.layoutFor(wb.spec).report;
-      if (report.dynamicInstructions() > 0) {
-        u64 code_end = 0;
-        for (const layout::LayoutReport::Span& s : report.spans) {
-          code_end = std::max(code_end,
-                              static_cast<u64>(s.addr) +
-                                  static_cast<u64>(s.insts) * 4);
-        }
-        const u32 code_limit = pageCeil(code_end - mem::kCodeBase);
-        u32 area = mem::kPageBytes;
-        while (area < code_limit &&
-               report.coverage(area) < kDominantCoverage) {
-          area += mem::kPageBytes;
-        }
-        wb.recommended_wp_bytes = area;
-        wb.recommended_coverage = report.coverage(area);
-      }
+      // report.
+      const WpAreaRecommendation rec = recommendWpArea(p, wb.spec);
+      wb.recommended_wp_bytes = rec.bytes;
+      wb.recommended_coverage = rec.coverage;
     }
     result.per_workload.push_back(std::move(wb));
   }

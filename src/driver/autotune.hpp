@@ -83,6 +83,23 @@ struct AutotuneResult {
   std::vector<AutotuneWorkloadBest> per_workload;  ///< suite order
 };
 
+/// A dominant-block WP-area recommendation (Patel & Rajawat): the
+/// smallest page-multiple area covering >= 90% of the profiled dynamic
+/// instructions under one layout. bytes == 0 means the workload has no
+/// usable profile to recommend from.
+struct WpAreaRecommendation {
+  u32 bytes = 0;
+  double coverage = 0.0;
+};
+
+/// Computes the recommendation for @p prepared under layout @p spec
+/// (any resolvable strategy spec; throws SimError on an unresolvable
+/// one, like PreparedWorkload::layoutFor). Pure read-out of the layout
+/// report — no simulation. Shared by the autotune bench's per-workload
+/// table and the sweep service's `recommend` op.
+[[nodiscard]] WpAreaRecommendation recommendWpArea(
+    const PreparedWorkload& prepared, const std::string& spec);
+
 /// Runs the coordinate-descent search over the layout PassParams space
 /// on @p suite at (@p icache, way-placement area @p wp_area_bytes),
 /// starting from the paper's `way_placement` defaults. Deterministic

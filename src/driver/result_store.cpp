@@ -60,16 +60,11 @@ std::string renderStoreHeader(u64 seed, const std::string& key) {
   return os.str();
 }
 
-/// Reads the pid recorded in a lock file; 0 when the file is missing or
-/// torn (both mean "cannot probe the holder", handled by the caller).
-pid_t lockHolderPid(const std::string& lock_path) {
-  std::ifstream in(lock_path);
-  if (!in.is_open()) return 0;
-  std::string line;
-  std::getline(in, line);
-  std::map<std::string, JsonToken> tokens;
-  if (!parseFlatJsonLine(line, tokens)) return 0;
-  const auto it = tokens.find("pid");
+/// Strict parse of one numeric token out of a lease payload; 0 when
+/// the field is missing, quoted or malformed.
+u64 leaseField(const std::map<std::string, JsonToken>& tokens,
+               const char* field) {
+  const auto it = tokens.find(field);
   if (it == tokens.end() || it->second.is_string) return 0;
   errno = 0;
   char* end = nullptr;
@@ -78,7 +73,11 @@ pid_t lockHolderPid(const std::string& lock_path) {
   if (end == it->second.text.c_str() || *end != '\0' || errno == ERANGE) {
     return 0;
   }
-  return static_cast<pid_t>(v);
+  return static_cast<u64>(v);
+}
+
+pid_t lockHolderPid(const std::string& lock_path) {
+  return readStoreLease(lock_path).pid;
 }
 
 /// Age of @p path in milliseconds by mtime; u64(-1) when unstattable
@@ -95,6 +94,42 @@ u64 fileAgeMs(const std::string& path) {
 }
 
 }  // namespace
+
+StoreLeaseHolder readStoreLease(const std::string& lock_path) {
+  StoreLeaseHolder holder;
+  std::ifstream in(lock_path);
+  if (!in.is_open()) return holder;
+  std::string line;
+  std::getline(in, line);
+  std::map<std::string, JsonToken> tokens;
+  if (!parseFlatJsonLine(line, tokens)) return holder;
+  holder.pid = static_cast<pid_t>(leaseField(tokens, "pid"));
+  holder.boot = leaseField(tokens, "boot");
+  return holder;
+}
+
+u64 bootNonce() {
+  static const u64 nonce = [] {
+    // The kernel regenerates this UUID every boot; its hash is the
+    // strongest boot identity available without any state of our own.
+    std::ifstream boot_id("/proc/sys/kernel/random/boot_id");
+    std::string line;
+    if (boot_id.is_open() && std::getline(boot_id, line) && !line.empty()) {
+      return stringDigest(line);
+    }
+    // Fallback: the boot timestamp (seconds since the epoch). Coarser —
+    // two boots within the same second collide — but still catches the
+    // reboot-plus-pid-reuse case the pid probe cannot.
+    std::ifstream stat("/proc/stat");
+    while (stat.is_open() && std::getline(stat, line)) {
+      if (line.rfind("btime ", 0) == 0) {
+        return stringDigest(line);
+      }
+    }
+    return static_cast<u64>(0);  // no boot identity: nonce check disabled
+  }();
+  return nonce;
+}
 
 std::optional<ResultStore::Config> ResultStore::fromEnv() {
   const char* dir = std::getenv("WP_STORE");
@@ -238,6 +273,7 @@ ResultStore::Outcome ResultStore::open(const std::string& key,
       if (fd >= 0) {
         const std::string payload =
             "{\"pid\": " + std::to_string(::getpid()) +
+            ", \"boot\": " + std::to_string(bootNonce()) +
             ", \"seed\": " + std::to_string(seed_) + "}\n";
         const ssize_t n =
             ::write(fd, payload.data(), payload.size());
@@ -260,32 +296,44 @@ ResultStore::Outcome ResultStore::open(const std::string& key,
       }
 
       // Someone else holds the lease. Reclaim it if the holder is
-      // provably dead or has overstayed WP_LEASE_TIMEOUT_MS; otherwise
-      // wait for its record to appear.
-      const pid_t holder = lockHolderPid(lock_path);
-      const bool holder_dead = holder > 0 && holder != ::getpid() &&
-                               ::kill(holder, 0) != 0 && errno == ESRCH;
+      // provably dead, was written in a previous boot (its pid may have
+      // been reused by an unrelated live process, so kill(pid, 0) says
+      // nothing), or has overstayed WP_LEASE_TIMEOUT_MS; otherwise wait
+      // for its record to appear.
+      const StoreLeaseHolder holder = readStoreLease(lock_path);
+      const bool holder_dead = holder.pid > 0 &&
+                               holder.pid != ::getpid() &&
+                               ::kill(holder.pid, 0) != 0 &&
+                               errno == ESRCH;
+      // Both nonces must exist for the boot check: a 0 on either side
+      // means "no boot identity" (old-format lease or a host without
+      // one), and the pid probe plus expiry stay the only evidence.
+      const bool stale_boot =
+          holder.boot != 0 && bootNonce() != 0 && holder.boot != bootNonce();
       const u64 age_ms = fileAgeMs(lock_path);
       const bool lease_expired =
           age_ms != static_cast<u64>(-1) &&
           age_ms > config_.lease_timeout_ms;
-      if (holder_dead || lease_expired) {
+      if (holder_dead || stale_boot || lease_expired) {
         ::unlink(lock_path.c_str());
         metrics_.counter("store.leases_reclaimed").add();
+        const char* why = holder_dead    ? "holder dead"
+                          : stale_boot   ? "holder from a previous boot"
+                                         : "lease expired";
         if (trace_ != nullptr) {
           trace_->write(TraceEvent("store_lease_reclaimed")
                             .str("cell", key)
-                            .str("why", holder_dead ? "holder dead"
-                                                    : "lease expired")
+                            .str("why", why)
                             .num("holder_pid", static_cast<u64>(
-                                     holder > 0 ? holder : 0)));
+                                     holder.pid > 0 ? holder.pid : 0)));
         }
         std::fprintf(stderr,
                      "[wayplace] WP_STORE: reclaimed stale lease for cell "
                      "'%s' (%s)\n",
                      key.c_str(),
-                     holder_dead ? "holder process is dead"
-                                 : "holder exceeded WP_LEASE_TIMEOUT_MS");
+                     holder_dead  ? "holder process is dead"
+                     : stale_boot ? "holder is from a previous boot"
+                                  : "holder exceeded WP_LEASE_TIMEOUT_MS");
         continue;  // race for the lock again
       }
       if (!waited) {
@@ -295,7 +343,7 @@ ResultStore::Outcome ResultStore::open(const std::string& key,
           trace_->write(TraceEvent("store_lease_wait")
                             .str("cell", key)
                             .num("holder_pid", static_cast<u64>(
-                                     holder > 0 ? holder : 0)));
+                                     holder.pid > 0 ? holder.pid : 0)));
         }
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(20));

@@ -14,11 +14,14 @@
 //                  concurrent writers of the same cell converge on the
 //                  same bytes — results are deterministic per key.
 //   lock leases    a miss is computed under `<record>.lock`, created
-//                  with O_CREAT|O_EXCL and carrying a {"pid", "seed"}
-//                  payload. A second process that misses the same cell
-//                  waits on the lease instead of double-computing, and
-//                  reclaims it when the holder is provably dead
-//                  (kill(pid, 0) => ESRCH) or has sat on it past
+//                  with O_CREAT|O_EXCL and carrying a {"pid", "boot",
+//                  "seed"} payload. A second process that misses the
+//                  same cell waits on the lease instead of
+//                  double-computing, and reclaims it when the holder is
+//                  provably dead (kill(pid, 0) => ESRCH), was written
+//                  in a previous boot (the boot nonce mismatches — a
+//                  rebooted host may have reused the pid for a live,
+//                  unrelated process), or has sat on it past
 //                  WP_LEASE_TIMEOUT_MS (a hung holder). See DESIGN.md
 //                  §10 for why this is O_EXCL + pid probing and not
 //                  flock.
@@ -33,6 +36,8 @@
 // — a malformed WP_LEASE_TIMEOUT_MS exits 1 like every other WP_* knob.
 #pragma once
 
+#include <sys/types.h>
+
 #include <atomic>
 #include <optional>
 #include <string>
@@ -41,6 +46,29 @@
 #include "support/metrics.hpp"
 
 namespace wp::driver {
+
+/// Identity of the current OS boot, hashed to a stable nonce: the
+/// kernel's boot_id UUID when readable, the boot timestamp from
+/// /proc/stat otherwise, 0 when neither exists (the nonce check then
+/// disables itself). Lease payloads carry it so a lease written before
+/// a reboot can never be mistaken for one held by a live process —
+/// after a reboot the old holder's pid may have been reused by an
+/// unrelated, very-much-alive process, and probing it with kill(pid, 0)
+/// would wrongly keep the stale lease parked until WP_LEASE_TIMEOUT_MS.
+[[nodiscard]] u64 bootNonce();
+
+/// What a store lease (.lock) file claims about its holder. pid 0 means
+/// the file is missing or torn ("cannot probe the holder"); boot 0
+/// means the payload predates the boot nonce (old-format lease), and
+/// the nonce check falls back to pid probing alone. Shared between the
+/// store's reclamation logic and the wp_store_fsck tool so both judge
+/// staleness by exactly the same evidence.
+struct StoreLeaseHolder {
+  pid_t pid = 0;
+  u64 boot = 0;
+};
+
+[[nodiscard]] StoreLeaseHolder readStoreLease(const std::string& lock_path);
 
 class ResultStore {
  public:

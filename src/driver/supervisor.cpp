@@ -66,47 +66,13 @@ SupervisorConfig SupervisorConfig::fromEnv() {
 
   const char* fault = std::getenv("WP_CELL_FAULT");
   if (fault != nullptr && *fault != '\0') {
-    const std::string_view v(fault);
-    const auto colon = v.find(':');
-    const std::string_view kind = v.substr(0, colon);
-    // Strict failure-count parse for the kinds that accept ":N".
-    const auto parseFailures = [&](const char* shape) -> u32 {
-      const std::string n(v.substr(colon + 1));
-      errno = 0;
-      char* end = nullptr;
-      const unsigned long failures = std::strtoul(n.c_str(), &end, 10);
-      if (n.empty() || *end != '\0' || errno == ERANGE || failures == 0 ||
-          failures > 1000) {
-        std::fprintf(stderr,
-                     "error: WP_CELL_FAULT='%s' has a bad failure count "
-                     "(expected %s with N in [1, 1000])\n",
-                     fault, shape);
-        std::exit(1);
-      }
-      return static_cast<u32>(failures);
-    };
-    if (kind == "persistent" && colon == std::string_view::npos) {
-      c.cell_fault = fault::CellFault::kPersistent;
-    } else if (kind == "transient") {
-      c.cell_fault = fault::CellFault::kTransient;
-      if (colon != std::string_view::npos) {
-        c.cell_fault_failures = parseFailures("transient[:N]");
-      }
-    } else if (kind == "crash") {
-      c.cell_fault = fault::CellFault::kCrash;
-      // Bare "crash" crashes every attempt (failures = 0); "crash:N"
-      // crashes N attempts and then heals — mirroring transient, except
-      // the failure is a SIGKILL instead of a catchable SimError.
-      c.cell_fault_failures =
-          colon == std::string_view::npos ? 0 : parseFailures("crash[:N]");
-    } else if (kind == "hang" && colon == std::string_view::npos) {
-      c.cell_fault = fault::CellFault::kHang;
-    } else {
-      std::fprintf(stderr,
-                   "error: WP_CELL_FAULT='%s' is not a valid cell fault "
-                   "(expected 'transient[:N]', 'persistent', 'crash[:N]' "
-                   "or 'hang')\n",
-                   fault);
+    // The shared non-exiting parse (the sweep service validates request
+    // fault specs with it too); only the *environment* knob escalates a
+    // parse failure to exit 1, per the strict WP_* policy.
+    std::string error;
+    if (!fault::parseCellFault(fault, "WP_CELL_FAULT", c.cell_fault,
+                               c.cell_fault_failures, error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
       std::exit(1);
     }
   }

@@ -53,6 +53,8 @@ struct SweepExecutor::CellEntry {
   /// Attempts spent on this cell (0 = restored from the checkpoint
   /// journal without running anything).
   unsigned attempts = 0;
+  /// Quarantined-without-running because the shutdown latch fired.
+  bool interrupted = false;
   bool restored = false;    ///< came from the WP_CHECKPOINT journal
   bool from_store = false;  ///< served from the WP_STORE result store
   /// Host wall-clock of the whole cell compute (simulate + price) and
@@ -65,13 +67,15 @@ struct SweepExecutor::CellEntry {
 
 SweepExecutor::SweepExecutor(std::vector<std::string> workload_names,
                              energy::EnergyParams params, u64 seed,
-                             unsigned jobs, const SupervisorConfig* supervisor)
+                             unsigned jobs, const SupervisorConfig* supervisor,
+                             const ShutdownLatch* interrupt_latch)
     : runner_(params, seed),
       // Strict WP_* parsing runs before anything expensive: a bad knob
       // exits 1 here, long before the first workload is prepared.
       supervisor_(supervisor != nullptr ? *supervisor
                                         : SupervisorConfig::fromEnv(),
                   seed),
+      interrupt_latch_(interrupt_latch),
       pool_(jobs == 0 ? jobsFromEnv() : jobs),
       start_(std::chrono::steady_clock::now()) {
   if (const char* trace_path = std::getenv("WP_TRACE");
@@ -222,6 +226,23 @@ void SweepExecutor::computeCell(CellEntry& entry, const std::string& key,
                                 const cache::CacheGeometry& icache,
                                 const SchemeSpec& spec) {
   const int worker = ThreadPool::currentWorkerIndex();
+
+  // Interrupt check before any work (and before touching the store, so
+  // a draining bench never takes a lease it won't use): a latched
+  // shutdown quarantines every not-yet-started cell quietly — no retry
+  // ladder, no per-cell stderr line — so a SIGTERM'd sweep reaches its
+  // flush-and-exit path in one pool drain instead of minutes later.
+  if (interrupt_latch_ != nullptr && interrupt_latch_->requested()) {
+    entry.failure = "cell '" + key +
+                    "': not started — shutdown requested before compute";
+    entry.interrupted = true;
+    entry.quarantined.store(true, std::memory_order_release);
+    metrics_.counter("cells.interrupted").add();
+    if (trace_) {
+      trace_->write(TraceEvent("cell_interrupted").str("key", key));
+    }
+    return;
+  }
 
   // Co-run cells resolve their partner group up front (the primary
   // first, then every corun_partners name against the prepared suite)
@@ -589,7 +610,8 @@ std::vector<SweepExecutor::QuarantinedCell> SweepExecutor::quarantined()
   std::vector<QuarantinedCell> out;
   for (const auto& [key, entry] : memo_) {
     if (!entry->quarantined.load(std::memory_order_acquire)) continue;
-    out.push_back(QuarantinedCell{key, entry->failure, entry->attempts});
+    out.push_back(QuarantinedCell{key, entry->failure, entry->attempts,
+                                  entry->interrupted});
   }
   return out;  // map order: deterministic at any job count
 }
@@ -687,7 +709,8 @@ void SweepExecutor::writeJsonReport(std::ostream& os) const {
   for (const auto& [key, entry] : memo_) {
     if (!entry->quarantined.load(std::memory_order_acquire)) continue;
     os << (first ? "\n" : ",\n") << "    {\"key\": \"" << jsonEscape(key)
-       << "\", \"attempts\": " << entry->attempts << ", \"error\": \""
+       << "\", \"attempts\": " << entry->attempts << ", \"interrupted\": "
+       << jsonBool(entry->interrupted) << ", \"error\": \""
        << jsonEscape(entry->failure) << "\"}";
     first = false;
   }

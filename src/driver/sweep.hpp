@@ -70,6 +70,7 @@
 #include "driver/runner.hpp"
 #include "driver/supervisor.hpp"
 #include "support/metrics.hpp"
+#include "support/shutdown.hpp"
 #include "support/thread_pool.hpp"
 
 namespace wp::driver {
@@ -112,6 +113,13 @@ class SweepExecutor {
     std::string key;
     std::string error;
     unsigned attempts = 0;
+    /// True when the cell never ran because a shutdown latch fired
+    /// first (see the interrupt_latch constructor argument): the cell
+    /// is excluded like any quarantined cell, but it represents work
+    /// deliberately not started, not work that failed — benches count
+    /// these in an INTERRUPTED footer instead of listing them as QUAR
+    /// failures, and exit 5 instead of 3.
+    bool interrupted = false;
   };
 
   /// Prepares @p workload_names (profile + layout) in parallel, kept in
@@ -122,10 +130,18 @@ class SweepExecutor {
   /// nothing). All WP_* parsing and the WP_CHECKPOINT journal open
   /// happen before any workload is prepared, so a bad environment fails
   /// in milliseconds.
+  /// @p interrupt_latch, when non-null, makes the executor *interrupt-
+  /// aware*: once the latch fires (SIGTERM/SIGINT), cells that have not
+  /// started yet are immediately quarantined with `interrupted` set
+  /// instead of being computed — a running cell always finishes, so no
+  /// record is ever torn — and the bench can flush partial results and
+  /// exit 5. Benches pass the process latch; the sweep service passes
+  /// nothing (its drain protocol finishes queued work instead).
   explicit SweepExecutor(std::vector<std::string> workload_names,
                          energy::EnergyParams params = energy::EnergyParams{},
                          u64 seed = 0, unsigned jobs = 0,
-                         const SupervisorConfig* supervisor = nullptr);
+                         const SupervisorConfig* supervisor = nullptr,
+                         const ShutdownLatch* interrupt_latch = nullptr);
 
   /// Out of line: the memo map holds unique_ptrs to the private
   /// CellEntry, which is incomplete outside sweep.cpp.
@@ -245,6 +261,9 @@ class SweepExecutor {
   Runner runner_;
   mutable MetricsRegistry metrics_;
   CellSupervisor supervisor_;
+  /// Optional shutdown latch consulted before each cell compute (see
+  /// the constructor). Not owned; null = never interrupt.
+  const ShutdownLatch* interrupt_latch_ = nullptr;
   /// Created before (and so destroyed after) the pool whose workers
   /// write to it. Null unless WP_TRACE is set.
   std::unique_ptr<TraceWriter> trace_;

@@ -6,6 +6,9 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
 
 #include "support/ensure.hpp"
 
@@ -90,6 +93,61 @@ void injectCellFault(CellFault kind, u32 failures, unsigned attempt,
 
 void injectCellFault(const FaultSpec& spec, unsigned attempt) {
   injectCellFault(spec.cell_fault, spec.cell_fault_failures, attempt, "spec");
+}
+
+bool parseCellFault(std::string_view spec, std::string_view knob,
+                    CellFault& kind, u32& failures, std::string& error) {
+  const auto badSpec = [&] {
+    error = std::string(knob) + "='" + std::string(spec) +
+            "' is not a valid cell fault (expected 'transient[:N]', "
+            "'persistent', 'crash[:N]' or 'hang')";
+    return false;
+  };
+  const auto colon = spec.find(':');
+  const std::string_view name = spec.substr(0, colon);
+  // Strict failure-count parse for the kinds that accept ":N".
+  const auto parseFailures = [&](const char* shape, u32& out) {
+    const std::string n(spec.substr(colon + 1));
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(n.c_str(), &end, 10);
+    if (n.empty() || *end != '\0' || errno == ERANGE || v == 0 ||
+        v > 1000) {
+      error = std::string(knob) + "='" + std::string(spec) +
+              "' has a bad failure count (expected " + shape +
+              " with N in [1, 1000])";
+      return false;
+    }
+    out = static_cast<u32>(v);
+    return true;
+  };
+  if (name == "persistent" && colon == std::string_view::npos) {
+    kind = CellFault::kPersistent;
+    failures = 1;
+  } else if (name == "transient") {
+    kind = CellFault::kTransient;
+    failures = 1;
+    if (colon != std::string_view::npos &&
+        !parseFailures("transient[:N]", failures)) {
+      return false;
+    }
+  } else if (name == "crash") {
+    kind = CellFault::kCrash;
+    // Bare "crash" crashes every attempt (failures = 0); "crash:N"
+    // crashes N attempts and then heals — mirroring transient, except
+    // the failure is a SIGKILL instead of a catchable SimError.
+    failures = 0;
+    if (colon != std::string_view::npos &&
+        !parseFailures("crash[:N]", failures)) {
+      return false;
+    }
+  } else if (name == "hang" && colon == std::string_view::npos) {
+    kind = CellFault::kHang;
+    failures = 1;
+  } else {
+    return badSpec();
+  }
+  return true;
 }
 
 FaultSpec FaultSpec::allClasses(u64 period, u64 seed) {

@@ -15,6 +15,9 @@
 // and delay degrade boundedly.
 #pragma once
 
+#include <string>
+#include <string_view>
+
 #include "cache/fetch_path.hpp"
 #include "profile/profiler.hpp"
 #include "support/rng.hpp"
@@ -149,5 +152,16 @@ void injectCellFault(CellFault kind, u32 failures, unsigned attempt,
 
 /// The FaultSpec-level form: injectCellFault(spec.cell_fault, ...).
 void injectCellFault(const FaultSpec& spec, unsigned attempt);
+
+/// Parses a cell-fault spec string — "transient[:N]", "persistent",
+/// "crash[:N]" or "hang" — into (@p kind, @p failures). Never exits:
+/// on garbage it returns false with @p error set to a message naming
+/// @p knob (the environment variable or request field the spec came
+/// from), so callers choose their own fate — SupervisorConfig::fromEnv
+/// exits 1 under the strict WP_* policy, while the sweep service turns
+/// the same message into a tagged error reply instead of dying.
+[[nodiscard]] bool parseCellFault(std::string_view spec,
+                                  std::string_view knob, CellFault& kind,
+                                  u32& failures, std::string& error);
 
 }  // namespace wp::fault

@@ -1,0 +1,123 @@
+#include "support/socket.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wp::support {
+
+namespace {
+
+/// Fills @p addr for @p path; false when the path cannot fit in
+/// sun_path (a kernel-imposed ~107-byte limit a caller can hit with a
+/// deep temp directory — better a named error than silent truncation).
+bool fillAddr(const std::string& path, sockaddr_un& addr,
+              std::string& error) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    error = "socket path '" + path + "' is empty or longer than " +
+            std::to_string(sizeof addr.sun_path - 1) +
+            " bytes (sun_path limit)";
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+int listenUnix(const std::string& path, int backlog, std::string& error) {
+  sockaddr_un addr;
+  if (!fillAddr(path, addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    error = std::string("socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  // Crash-only restart: a SIGKILLed daemon leaves its socket file
+  // behind; the successor replaces it instead of refusing to start.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    error = "bind('" + path + "'): " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) != 0) {
+    error = "listen('" + path + "'): " + std::strerror(errno);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return -1;
+  }
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    error = std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+int connectUnix(const std::string& path, std::string& error) {
+  sockaddr_un addr;
+  if (!fillAddr(path, addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    error = std::string("socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    error = "connect('" + path + "'): " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool sendAll(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineReader::next(std::string& line, std::size_t max_bytes) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      if (nl > max_bytes) return false;
+      line.assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    if (buf_.size() > max_bytes) return false;  // unbounded "line"
+    if (eof_) return false;
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;  // one more pass: the buffer may hold a final line
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace wp::support

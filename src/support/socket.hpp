@@ -1,0 +1,52 @@
+// Minimal Unix-domain stream-socket helpers for the sweep service.
+//
+// The service protocol is deliberately tiny — one '\n'-terminated flat
+// JSON object per message in each direction — so the socket layer stays
+// tiny too: bind/listen with crash-only stale-socket replacement,
+// connect, a full-buffer send that survives EINTR and suppresses
+// SIGPIPE, and a buffered line reader with a hard per-line byte cap
+// (the first admission-control gate: a client that streams an unbounded
+// "line" is disconnected, not buffered into oblivion).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace wp::support {
+
+/// Binds and listens on @p path. An existing socket file is unlinked
+/// first: the daemon is crash-only, so a leftover socket from a killed
+/// instance is expected litter, not an error (single-instance policy is
+/// the supervisor's job, not the filesystem's). Returns the listening
+/// fd (CLOEXEC, non-blocking) or -1 with @p error explaining why.
+[[nodiscard]] int listenUnix(const std::string& path, int backlog,
+                             std::string& error);
+
+/// Connects to the daemon at @p path (blocking fd, CLOEXEC). Returns
+/// the fd or -1 with @p error.
+[[nodiscard]] int connectUnix(const std::string& path, std::string& error);
+
+/// Writes all of @p data to @p fd. EINTR-safe; uses MSG_NOSIGNAL so a
+/// peer that hung up costs an error return, never a SIGPIPE. Returns
+/// false on any unrecoverable write error.
+[[nodiscard]] bool sendAll(int fd, std::string_view data);
+
+/// Buffered '\n'-line reader over a blocking fd (client side and
+/// tests; the server uses its own non-blocking per-connection buffer).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads the next line (newline stripped) into @p line. Returns false
+  /// on EOF, on a read error, or when a line exceeds @p max_bytes.
+  [[nodiscard]] bool next(std::string& line,
+                          std::size_t max_bytes = 1 << 16);
+
+ private:
+  int fd_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+}  // namespace wp::support

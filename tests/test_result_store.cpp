@@ -291,6 +291,54 @@ TEST(ResultStore, ReclaimsAnExpiredLeaseOfALiveHolder) {
   EXPECT_EQ(metrics.counter("store.leases_reclaimed").value(), 1u);
 }
 
+TEST(ResultStore, ReclaimsALeaseFromAPreviousBootDespiteALivePid) {
+  const std::string dir = freshDir("store_staleboot");
+  MetricsRegistry metrics;
+  // Ten-minute lease timeout: only the boot-nonce mismatch can explain
+  // an immediate reclaim here.
+  driver::ResultStore store({dir, 600000}, 0, metrics, nullptr);
+
+  ASSERT_NE(driver::bootNonce(), 0u)
+      << "this host exposes no boot identity; the nonce check is moot";
+  EXPECT_EQ(driver::bootNonce(), driver::bootNonce())
+      << "the nonce must be stable within one boot";
+
+  // The PID-reuse-after-reboot shape: pid 1 is alive *now*, but the
+  // lease was written under a different boot nonce — before the fix,
+  // kill(1, 0) succeeding parked this lease until expiry even though
+  // its real holder died with the previous boot.
+  {
+    std::ofstream lock(store.recordPathFor("cell/a", 1) + ".lock");
+    lock << "{\"pid\": 1, \"boot\": " << (driver::bootNonce() ^ 1)
+         << ", \"seed\": 0}\n";
+  }
+  auto out = store.open("cell/a", 1);
+  EXPECT_FALSE(out.record.has_value());
+  EXPECT_TRUE(out.lease.owned())
+      << "a previous-boot lease must be reclaimed immediately";
+  EXPECT_EQ(metrics.counter("store.leases_reclaimed").value(), 1u);
+}
+
+TEST(ResultStore, CurrentBootLeasePayloadKeepsALiveHolderParked) {
+  const std::string dir = freshDir("store_currentboot");
+  MetricsRegistry metrics;
+  driver::ResultStore store({dir, 50}, 0, metrics, nullptr);
+
+  // Same shape as the expiry test, but with the *current* boot nonce in
+  // the payload: the nonce check must not fire, leaving expiry as the
+  // only way past a live holder.
+  {
+    std::ofstream lock(store.recordPathFor("cell/a", 1) + ".lock");
+    lock << "{\"pid\": 1, \"boot\": " << driver::bootNonce()
+         << ", \"seed\": 0}\n";
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  auto out = store.open("cell/a", 1);
+  EXPECT_TRUE(out.lease.owned());
+  EXPECT_EQ(metrics.counter("store.leases_reclaimed").value(), 1u)
+      << "reclaimed exactly once, by expiry";
+}
+
 TEST(ResultStore, WaitsOutALiveHolderAndServesItsRecord) {
   const std::string dir = freshDir("store_wait");
   MetricsRegistry metrics;
